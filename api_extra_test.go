@@ -1,0 +1,123 @@
+package streamdag
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBuildTopologyDSL(t *testing.T) {
+	topo, err := BuildTopology(`
+topology t {
+  buffer 4
+  A -> (B, C) -> D
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Class() != SP {
+		t.Errorf("class = %v", a.Class())
+	}
+	if _, err := BuildTopology("topology bad {"); err == nil {
+		t.Error("bad DSL accepted")
+	}
+}
+
+func TestLoadTopologyAuto(t *testing.T) {
+	dsl := "topology t { a -> b }"
+	triples := "a b 1\n"
+	if !LooksLikeDSL(dsl) || LooksLikeDSL(triples) {
+		t.Fatal("sniffing wrong")
+	}
+	if !LooksLikeDSL("# comment\n\n" + dsl) {
+		t.Error("comment prefix broke sniffing")
+	}
+	for _, src := range []string{dsl, triples} {
+		topo, err := LoadTopologyAuto(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if topo.Graph().NumEdges() != 1 {
+			t.Errorf("%q: %d edges", src, topo.Graph().NumEdges())
+		}
+	}
+}
+
+// TestDistributedPublicAPI runs a protected Fig. 2 across two TCP workers
+// through the public facade.
+func TestDistributedPublicAPI(t *testing.T) {
+	topo := fig2(t)
+	a, err := Analyze(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := a.Intervals(Propagation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := Partition{
+		topo.Node("A"): "left",
+		topo.Node("B"): "right",
+		topo.Node("C"): "right",
+	}
+	addrs := map[string]string{"left": "127.0.0.1:0", "right": "127.0.0.1:0"}
+	kernels := RouteKernels(topo, DropEdge(2)) // starve A→C
+	cfg := DistConfig{
+		Inputs: 100, Algorithm: Propagation, Intervals: iv,
+		WatchdogTimeout: 5 * time.Second,
+	}
+	var workers []*DistWorker
+	for _, name := range []string{"left", "right"} {
+		w, err := NewDistWorker(topo, name, part, addrs, kernels, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers = append(workers, w)
+	}
+	for _, w := range workers {
+		if err := w.Listen(); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(w.Addr(), "127.0.0.1:") {
+			t.Errorf("Addr = %s", w.Addr())
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(workers))
+	for i, w := range workers {
+		wg.Add(1)
+		go func(i int, w *DistWorker) {
+			defer wg.Done()
+			_, errs[i] = w.Run()
+		}(i, w)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+}
+
+func TestSimulateTraceHook(t *testing.T) {
+	topo := fig2(t)
+	var events []string
+	r := Simulate(topo, PassAll, SimConfig{
+		Inputs: 5,
+		Trace:  func(s string) { events = append(events, s) },
+	})
+	if !r.Completed {
+		t.Fatal("should complete")
+	}
+	if len(events) == 0 {
+		t.Error("no trace events")
+	}
+	if !strings.Contains(strings.Join(events, "\n"), "A consumes") {
+		t.Errorf("trace lacks consume events: %v", events[:3])
+	}
+}

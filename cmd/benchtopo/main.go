@@ -1,0 +1,139 @@
+// Benchtopo regenerates the paper's complexity results as CSV: wall-clock
+// time of each dummy-interval algorithm versus topology size, for random
+// SP-DAGs, random SP-ladders, and (small) general DAGs under the
+// exponential baseline.  Plot time against edges to see the O(|G|),
+// O(|G|²), O(|G|³), and exponential shapes of §IV and §VI.
+//
+// Usage:
+//
+//	benchtopo [-family sp|ladder|general|all] [-reps 5] > scaling.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"streamdag/internal/cs4"
+	"streamdag/internal/cycles"
+	"streamdag/internal/graph"
+	"streamdag/internal/ival"
+	"streamdag/internal/ladder"
+	"streamdag/internal/sp"
+	"streamdag/internal/workload"
+)
+
+func main() {
+	family := flag.String("family", "all", "sp, ladder, general, or all")
+	reps := flag.Int("reps", 5, "repetitions per point (minimum time reported)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	fmt.Println("family,algorithm,nodes,edges,cycles,seconds")
+	switch *family {
+	case "sp":
+		runSP(*seed, *reps)
+	case "ladder":
+		runLadder(*seed, *reps)
+	case "general":
+		runGeneral(*seed, *reps)
+	case "all":
+		runSP(*seed, *reps)
+		runLadder(*seed, *reps)
+		runGeneral(*seed, *reps)
+	default:
+		fmt.Fprintf(os.Stderr, "benchtopo: unknown family %q\n", *family)
+		os.Exit(2)
+	}
+}
+
+func timeIt(reps int, f func()) float64 {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		f()
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	return best.Seconds()
+}
+
+func runSP(seed int64, reps int) {
+	rng := rand.New(rand.NewSource(seed))
+	for _, leaves := range []int{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384} {
+		g := workload.RandomSP(rng, leaves, 8)
+		emit("sp", "propagation", g, -1, timeIt(reps, func() {
+			if _, err := sp.PropagationIntervals(g); err != nil {
+				panic(err)
+			}
+		}))
+		emit("sp", "nonpropagation", g, -1, timeIt(reps, func() {
+			if _, err := sp.NonPropagationIntervals(g); err != nil {
+				panic(err)
+			}
+		}))
+		emit("sp", "propagation-naive", g, -1, timeIt(reps, func() {
+			if _, err := sp.PropagationIntervalsNaive(g); err != nil {
+				panic(err)
+			}
+		}))
+	}
+}
+
+func runLadder(seed int64, reps int) {
+	rng := rand.New(rand.NewSource(seed))
+	for _, rungs := range []int{4, 8, 16, 32, 64, 128, 256} {
+		g := workload.RandomLadder(rng, rungs, 8, 0.2, 0.3)
+		l := mustLadder(g)
+		emit("ladder", "propagation-pairs", g, -1, timeIt(reps, func() {
+			out := make(map[graph.EdgeID]ival.Interval, g.NumEdges())
+			l.PropagationIntervals(out)
+		}))
+		emit("ladder", "propagation-linear", g, -1, timeIt(reps, func() {
+			out := make(map[graph.EdgeID]ival.Interval, g.NumEdges())
+			l.PropagationIntervalsLinear(out)
+		}))
+		emit("ladder", "nonpropagation", g, -1, timeIt(reps, func() {
+			out := make(map[graph.EdgeID]ival.Interval, g.NumEdges())
+			l.NonPropagationIntervals(out)
+		}))
+	}
+}
+
+func runGeneral(seed int64, reps int) {
+	rng := rand.New(rand.NewSource(seed))
+	for _, layers := range []int{1, 2, 3, 4, 5} {
+		g := workload.RandomLayeredDAG(rng, layers, 3, 8, 0.5)
+		n := cycles.Count(g)
+		emit("general", "exhaustive-propagation", g, n, timeIt(reps, func() {
+			cycles.PropagationIntervals(g)
+		}))
+		emit("general", "exhaustive-nonpropagation", g, n, timeIt(reps, func() {
+			cycles.NonPropagationIntervals(g)
+		}))
+	}
+}
+
+func mustLadder(g *graph.Graph) *ladder.Ladder {
+	d, err := cs4.Classify(g)
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range d.Components {
+		if c.Ladder != nil {
+			return c.Ladder
+		}
+	}
+	panic("benchtopo: generated graph contains no ladder")
+}
+
+func emit(family, alg string, g *graph.Graph, nCycles int, secs float64) {
+	cyc := ""
+	if nCycles >= 0 {
+		cyc = fmt.Sprint(nCycles)
+	}
+	fmt.Printf("%s,%s,%d,%d,%s,%.9f\n", family, alg, g.NumNodes(), g.NumEdges(), cyc, secs)
+}

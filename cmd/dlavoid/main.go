@@ -1,0 +1,123 @@
+// Dlavoid classifies a streaming topology and prints its dummy-message
+// intervals for both deadlock-avoidance algorithms.
+//
+// Usage:
+//
+//	dlavoid -f topo.txt [-alg prop|nonprop|both]
+//	dlavoid -demo fig1|fig2|fig3|fig4-cross|fig4-butterfly [-alg ...]
+//
+// Topology files use the line format "from to bufsize" (see
+// internal/graph.Parse).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"streamdag"
+	"streamdag/internal/graph"
+	"streamdag/internal/workload"
+)
+
+func main() {
+	file := flag.String("f", "", "topology file (from/to/buf lines)")
+	demo := flag.String("demo", "", "built-in demo topology: fig1, fig2, fig3, fig4-cross, fig4-butterfly")
+	alg := flag.String("alg", "both", "algorithm: prop, nonprop, or both")
+	dot := flag.Bool("dot", false, "also print the topology in Graphviz DOT")
+	flag.Parse()
+
+	topo, err := loadTopology(*file, *demo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dlavoid:", err)
+		os.Exit(1)
+	}
+	if *dot {
+		fmt.Print(topo.DOT())
+	}
+	analysis, err := streamdag.Analyze(topo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dlavoid:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("class: %v\n", analysis.Class())
+	for _, c := range analysis.Components() {
+		fmt.Printf("component: %s\n", c)
+	}
+	if w := analysis.Witness(); w != "" {
+		fmt.Printf("non-CS4 witness cycle: %s\n", w)
+		fmt.Println("(falling back to the exponential general-DAG algorithm)")
+	}
+
+	algs := map[string][]streamdag.Algorithm{
+		"prop":    {streamdag.Propagation},
+		"nonprop": {streamdag.NonPropagation},
+		"both":    {streamdag.Propagation, streamdag.NonPropagation},
+	}[*alg]
+	if algs == nil {
+		fmt.Fprintf(os.Stderr, "dlavoid: unknown -alg %q\n", *alg)
+		os.Exit(2)
+	}
+	for _, a := range algs {
+		iv, err := analysis.Intervals(a)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dlavoid: %v: %v\n", a, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n%v intervals:\n", a)
+		ids := make([]streamdag.EdgeID, 0, len(iv))
+		for e := range iv {
+			ids = append(ids, e)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, e := range ids {
+			from, to, buf := topo.Edge(e)
+			fmt.Printf("  %-20s buf=%-4d [e]=%v\n", from+"->"+to, buf, iv[e])
+		}
+	}
+}
+
+func loadTopology(file, demo string) (*streamdag.Topology, error) {
+	switch {
+	case file != "" && demo != "":
+		return nil, fmt.Errorf("use -f or -demo, not both")
+	case file != "":
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return streamdag.LoadTopologyAuto(string(src))
+	case demo != "":
+		g, err := demoGraph(demo)
+		if err != nil {
+			return nil, err
+		}
+		return g, nil
+	}
+	return nil, fmt.Errorf("need -f FILE or -demo NAME")
+}
+
+func demoGraph(name string) (*streamdag.Topology, error) {
+	builders := map[string]func() *streamdag.Topology{
+		"fig1":           func() *streamdag.Topology { return fromWorkload(workload.Fig1SplitJoin(4)) },
+		"fig2":           func() *streamdag.Topology { return fromWorkload(workload.Fig2Triangle(2)) },
+		"fig3":           func() *streamdag.Topology { return fromWorkload(workload.Fig3Cycle()) },
+		"fig4-cross":     func() *streamdag.Topology { return fromWorkload(workload.Fig4CrossedSplitJoin(2)) },
+		"fig4-butterfly": func() *streamdag.Topology { return fromWorkload(workload.Fig4Butterfly(2)) },
+	}
+	b, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown demo %q", name)
+	}
+	return b(), nil
+}
+
+// fromWorkload copies a generated graph into a Topology.
+func fromWorkload(g *graph.Graph) *streamdag.Topology {
+	t := streamdag.NewTopology()
+	for _, e := range g.Edges() {
+		t.Channel(g.Name(e.From), g.Name(e.To), e.Buf)
+	}
+	return t
+}

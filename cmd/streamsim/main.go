@@ -1,0 +1,185 @@
+// Streamsim runs a streaming workload on the deterministic simulator,
+// with or without deadlock avoidance, and reports the outcome and the
+// dummy-message traffic.
+//
+// Usage:
+//
+//	streamsim -demo fig2 -inputs 1000 -filter drop:A:C
+//	streamsim -demo fig2 -inputs 1000 -filter drop:A:C -protect prop
+//	streamsim -f topo.txt -inputs 100000 -filter bernoulli:0.3:7 -protect nonprop
+//
+// Filters:
+//
+//	none                 pass everything (SDF behavior)
+//	bernoulli:P:SEED     independent per-(node,seq,edge) with pass prob P
+//	perinput:P:SEED      all-or-nothing per input
+//	periodic:K           pass every K-th sequence number
+//	drop:FROM:TO         starve the single channel FROM→TO
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"streamdag"
+	"streamdag/internal/graph"
+	"streamdag/internal/workload"
+)
+
+func main() {
+	file := flag.String("f", "", "topology file")
+	demo := flag.String("demo", "", "built-in demo: fig1, fig2, fig3, fig4-cross, fig4-butterfly")
+	inputs := flag.Uint64("inputs", 10000, "number of inputs to stream")
+	filterSpec := flag.String("filter", "none", "filtering behavior (see doc comment)")
+	protect := flag.String("protect", "off", "deadlock avoidance: off, prop, nonprop")
+	maxSteps := flag.Int64("maxsteps", 100_000_000, "scheduler step budget")
+	trace := flag.Int("trace", 0, "print the last N consume/emit events")
+	flag.Parse()
+
+	topo, err := load(*file, *demo)
+	if err != nil {
+		fail(err)
+	}
+	filter, err := parseFilter(topo, *filterSpec)
+	if err != nil {
+		fail(err)
+	}
+	cfg := streamdag.SimConfig{Inputs: *inputs, MaxSteps: *maxSteps}
+	switch *protect {
+	case "off":
+	case "prop", "nonprop":
+		analysis, err := streamdag.Analyze(topo)
+		if err != nil {
+			fail(err)
+		}
+		alg := streamdag.Propagation
+		if *protect == "nonprop" {
+			alg = streamdag.NonPropagation
+		}
+		iv, err := analysis.Intervals(alg)
+		if err != nil {
+			fail(err)
+		}
+		cfg.Algorithm = alg
+		cfg.Intervals = iv
+		fmt.Printf("class: %v, protection: %v\n", analysis.Class(), alg)
+	default:
+		fail(fmt.Errorf("unknown -protect %q", *protect))
+	}
+
+	var events []string
+	if *trace > 0 {
+		cfg.Trace = func(line string) { events = append(events, line) }
+	}
+	res := streamdag.Simulate(topo, filter, cfg)
+	if *trace > 0 {
+		start := 0
+		if len(events) > *trace {
+			start = len(events) - *trace
+		}
+		fmt.Printf("--- last %d events ---\n", len(events)-start)
+		for _, e := range events[start:] {
+			fmt.Println(" ", e)
+		}
+	}
+	if res.Completed {
+		fmt.Printf("completed after %d steps\n", res.Steps)
+	} else {
+		fmt.Printf("FAILED: %s after %d steps\n", res.Reason, res.Steps)
+		for _, b := range res.Blocked {
+			fmt.Printf("  %s\n", b)
+		}
+	}
+	fmt.Printf("data messages:  %d\n", res.TotalData())
+	fmt.Printf("dummy messages: %d (overhead %.4f)\n", res.TotalDummy(), res.Overhead())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "streamsim:", err)
+	os.Exit(1)
+}
+
+func load(file, demo string) (*streamdag.Topology, error) {
+	switch {
+	case file != "" && demo != "":
+		return nil, fmt.Errorf("use -f or -demo, not both")
+	case file != "":
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return streamdag.LoadTopologyAuto(string(src))
+	case demo != "":
+		gens := map[string]func() *graph.Graph{
+			"fig1":           func() *graph.Graph { return workload.Fig1SplitJoin(4) },
+			"fig2":           func() *graph.Graph { return workload.Fig2Triangle(2) },
+			"fig3":           workload.Fig3Cycle,
+			"fig4-cross":     func() *graph.Graph { return workload.Fig4CrossedSplitJoin(2) },
+			"fig4-butterfly": func() *graph.Graph { return workload.Fig4Butterfly(2) },
+		}
+		gen, ok := gens[demo]
+		if !ok {
+			return nil, fmt.Errorf("unknown demo %q", demo)
+		}
+		g := gen()
+		t := streamdag.NewTopology()
+		for _, e := range g.Edges() {
+			t.Channel(g.Name(e.From), g.Name(e.To), e.Buf)
+		}
+		return t, nil
+	}
+	return nil, fmt.Errorf("need -f FILE or -demo NAME")
+}
+
+func parseFilter(t *streamdag.Topology, spec string) (streamdag.Filter, error) {
+	parts := strings.Split(spec, ":")
+	switch parts[0] {
+	case "none":
+		return streamdag.PassAll, nil
+	case "bernoulli", "perinput":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("%s needs %s:P:SEED", parts[0], parts[0])
+		}
+		p, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, err
+		}
+		seed, err := strconv.ParseUint(parts[2], 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		if parts[0] == "bernoulli" {
+			return streamdag.Bernoulli(p, seed), nil
+		}
+		return streamdag.PerInputBernoulli(p, seed), nil
+	case "periodic":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("periodic needs periodic:K")
+		}
+		k, err := strconv.ParseUint(parts[1], 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		return streamdag.Periodic(k), nil
+	case "drop":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("drop needs drop:FROM:TO")
+		}
+		g := t.Graph()
+		from, ok1 := g.NodeByName(parts[1])
+		to, ok2 := g.NodeByName(parts[2])
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("unknown node in %q", spec)
+		}
+		for _, e := range g.Edges() {
+			if e.From == from && e.To == to {
+				return streamdag.DropEdge(e.ID), nil
+			}
+		}
+		return nil, fmt.Errorf("no channel %s→%s", parts[1], parts[2])
+	}
+	return nil, fmt.Errorf("unknown filter %q", spec)
+}

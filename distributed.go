@@ -1,0 +1,35 @@
+package streamdag
+
+import (
+	"streamdag/internal/dist"
+	"streamdag/internal/graph"
+)
+
+// This file exposes the distributed runtime: the same streaming model and
+// dummy protocols executed across TCP-connected workers, with finite
+// channel buffers preserved over the wire by credit-based flow control.
+
+// Partition assigns every node of a topology to a named worker.
+type Partition = dist.Partition
+
+// DistConfig parameterizes a distributed run (mirrors RunConfig).
+type DistConfig = dist.Config
+
+// DistStats is one worker's traffic summary.
+type DistStats = dist.Stats
+
+// DistWorker hosts a subset of a topology's nodes.
+type DistWorker = dist.Worker
+
+// NewDistWorker prepares a worker named name for its share of the
+// topology.  addrs maps every worker name to a TCP listen address
+// ("host:port"; port 0 allocates — the bound address is visible via
+// Addr after Listen).  Call Listen on every worker before Run on any.
+func NewDistWorker(t *Topology, name string, partition Partition,
+	addrs map[string]string, kernels map[NodeID]Kernel, cfg DistConfig) (*DistWorker, error) {
+	ks := make(map[graph.NodeID]Kernel, len(kernels))
+	for n, k := range kernels {
+		ks[n] = k
+	}
+	return dist.NewWorker(t.g, name, partition, addrs, ks, cfg)
+}

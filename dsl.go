@@ -1,0 +1,47 @@
+package streamdag
+
+import (
+	"strings"
+
+	"streamdag/internal/lang"
+)
+
+// BuildTopology compiles topology-language source (see internal/lang for
+// the grammar) into a Topology:
+//
+//	topology video {
+//	  buffer 8
+//	  capture -> segment
+//	  segment -> (faces, plates, motion) ->[4] fuse
+//	  fuse -> archive
+//	}
+func BuildTopology(src string) (*Topology, error) {
+	g, err := lang.Build(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Topology{g: g}, nil
+}
+
+// LooksLikeDSL reports whether src appears to be topology-language source
+// rather than the line-oriented triple format: its first non-comment,
+// non-blank token is the keyword "topology".
+func LooksLikeDSL(src string) bool {
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return strings.HasPrefix(line, "topology")
+	}
+	return false
+}
+
+// LoadTopologyAuto parses src in either supported format, sniffing which
+// one it is.
+func LoadTopologyAuto(src string) (*Topology, error) {
+	if LooksLikeDSL(src) {
+		return BuildTopology(src)
+	}
+	return LoadTopology(strings.NewReader(src))
+}

@@ -1,0 +1,161 @@
+// Bioinformatics models a BLAST-style sequence-search accelerator in the
+// style of the authors' Mercury BLAST work: a heavily filtering seed
+// matcher feeds two parallel scoring paths, with a one-way hint channel
+// linking them.  The hint channel makes the topology CS4 but not
+// series-parallel (the paper's Fig. 4 left), exercising the SP-ladder
+// algorithms of §VI.
+//
+//	go run ./examples/bioinformatics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streamdag"
+)
+
+type candidate struct {
+	query  uint64
+	score  int
+	hinted bool
+}
+
+func main() {
+	topo := streamdag.NewTopology()
+	// reads → seeder, then two scoring paths that rejoin at the reporter:
+	//   seeder → ungapped → reporter        (fast path)
+	//   seeder → gapped   → reporter        (slow path)
+	// plus the hint channel ungapped → gapped: a high-scoring ungapped
+	// hit tells the gapped stage to prioritize the same query.
+	topo.Channel("reads", "seeder", 16)
+	topo.Channel("seeder", "ungapped", 16)
+	topo.Channel("seeder", "gapped", 16)
+	topo.Channel("ungapped", "reporter", 16)
+	topo.Channel("gapped", "reporter", 16)
+	topo.Channel("ungapped", "gapped", 4) // the cross-link
+	topo.Channel("reporter", "results", 16)
+
+	analysis, err := streamdag.Analyze(topo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("class: %v\n", analysis.Class())
+	for _, c := range analysis.Components() {
+		fmt.Printf("  component: %s\n", c)
+	}
+
+	iv, err := analysis.Intervals(streamdag.NonPropagation)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("non-propagation intervals on the ladder:")
+	for e := range iv {
+		from, to, _ := topo.Edge(e)
+		fmt.Printf("  [%s→%s] = %v\n", from, to, iv[e])
+	}
+
+	ks := kernels(topo)
+	stats, err := streamdag.Run(topo, ks, streamdag.RunConfig{
+		Inputs:    20_000,
+		Algorithm: streamdag.NonPropagation,
+		Intervals: iv,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nprocessed 20000 reads: %d alignments reported, %d dummies (%.3f/read), %.1fms\n",
+		stats.SinkData, stats.TotalDummies(),
+		float64(stats.TotalDummies())/20000, float64(stats.Elapsed.Microseconds())/1000)
+}
+
+func kernels(topo *streamdag.Topology) map[streamdag.NodeID]streamdag.Kernel {
+	ks := map[streamdag.NodeID]streamdag.Kernel{}
+	hash := func(x uint64) uint64 {
+		x ^= x >> 33
+		x *= 0xff51afd7ed558ccd
+		x ^= x >> 33
+		return x
+	}
+	ks[topo.Node("reads")] = streamdag.KernelFunc(func(seq uint64, _ []streamdag.Input) map[int]any {
+		return map[int]any{0: candidate{query: seq}}
+	})
+	// The seeder filters ~85% of reads (no seed hit) — the paper's
+	// headline filtering behavior — and routes survivors to both paths.
+	ks[topo.Node("seeder")] = streamdag.KernelFunc(func(_ uint64, in []streamdag.Input) map[int]any {
+		if !in[0].Present {
+			return nil
+		}
+		c := in[0].Payload.(candidate)
+		if hash(c.query)%100 < 85 {
+			return nil // no seed: drop the read entirely
+		}
+		return map[int]any{0: c, 1: c}
+	})
+	// Ungapped extension: scores quickly; ~half die.  High scorers also
+	// emit a hint on the cross-link.
+	ks[topo.Node("ungapped")] = streamdag.KernelFunc(func(_ uint64, in []streamdag.Input) map[int]any {
+		if !in[0].Present {
+			return nil
+		}
+		c := in[0].Payload.(candidate)
+		c.score = int(hash(c.query^0xbeef) % 100)
+		out := map[int]any{}
+		if c.score >= 50 {
+			out[0] = c // forward to reporter
+		}
+		if c.score >= 90 {
+			out[1] = c // hint the gapped stage
+		}
+		if len(out) == 0 {
+			return nil
+		}
+		return out
+	})
+	// Gapped alignment: consumes seeds and hints (aligned by read id).
+	ks[topo.Node("gapped")] = streamdag.KernelFunc(func(_ uint64, in []streamdag.Input) map[int]any {
+		var c candidate
+		have := false
+		for _, i := range in {
+			if i.Present {
+				p := i.Payload.(candidate)
+				if !have || p.score > c.score {
+					c = p
+				}
+				have = true
+				if p.score >= 90 {
+					c.hinted = true
+				}
+			}
+		}
+		if !have {
+			return nil
+		}
+		// Hinted queries always align; others rarely do.
+		if !c.hinted && hash(c.query^0xfeed)%100 < 70 {
+			return nil
+		}
+		return map[int]any{0: c}
+	})
+	ks[topo.Node("reporter")] = streamdag.KernelFunc(func(_ uint64, in []streamdag.Input) map[int]any {
+		best := candidate{score: -1}
+		have := false
+		for _, i := range in {
+			if i.Present {
+				p := i.Payload.(candidate)
+				if p.score > best.score {
+					best = p
+				}
+				have = true
+			}
+		}
+		if !have {
+			return nil
+		}
+		return map[int]any{0: best}
+	})
+	ks[topo.Node("results")] = streamdag.KernelFunc(func(uint64, []streamdag.Input) map[int]any {
+		return nil
+	})
+	return ks
+}

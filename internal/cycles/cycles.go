@@ -1,0 +1,242 @@
+// Package cycles implements the exhaustive general-DAG baseline of the paper.
+//
+// Every potential deadlock in a streaming DAG corresponds to an undirected
+// simple cycle (Li et al., SPAA 2010), and the dummy-interval definitions in
+// §II-B of the paper quantify over all such cycles.  A DAG may have
+// exponentially many undirected simple cycles, so this direct implementation
+// runs in worst-case exponential time — it is the baseline that the SP-DAG
+// and CS4 algorithms of §IV and §VI beat, and the ground truth against which
+// they are cross-validated in tests.
+package cycles
+
+import (
+	"errors"
+	"fmt"
+
+	"streamdag/internal/graph"
+)
+
+// Arc is one step of an undirected cycle traversal: an edge together with
+// the direction it is traversed in rotation order.  Forward means the
+// traversal follows the edge's direction (tail → head).
+type Arc struct {
+	Edge    graph.EdgeID
+	Forward bool
+}
+
+// Cycle is an undirected simple cycle in rotation order.  Verts[i] is the
+// vertex at which Arcs[i] begins (in rotation order, not edge direction);
+// the cycle closes back to Verts[0].  All vertices are distinct, all edges
+// are distinct, and len(Arcs) == len(Verts) ≥ 2.
+type Cycle struct {
+	Arcs  []Arc
+	Verts []graph.NodeID
+}
+
+// Len returns the number of edges on the cycle.
+func (c *Cycle) Len() int { return len(c.Arcs) }
+
+// ErrTooManyCycles is returned by EnumerateLimit when the cycle count
+// exceeds the caller's budget; the graph is too large for exhaustive
+// analysis.
+var ErrTooManyCycles = errors.New("cycles: cycle count exceeds limit")
+
+// Enumerate returns every undirected simple cycle of g, each exactly once
+// (rotation direction and starting vertex are canonicalized).  Worst-case
+// exponential in the size of g; intended for small graphs and for tests.
+func Enumerate(g *graph.Graph) []*Cycle {
+	cs, err := EnumerateLimit(g, -1)
+	if err != nil {
+		panic("cycles: unreachable: unlimited enumeration failed")
+	}
+	return cs
+}
+
+// EnumerateLimit is Enumerate with a budget: if more than limit cycles
+// exist, it stops and returns ErrTooManyCycles.  A negative limit means no
+// budget.
+func EnumerateLimit(g *graph.Graph, limit int) ([]*Cycle, error) {
+	adj := make([][]half, g.NumNodes())
+	for _, e := range g.Edges() {
+		adj[e.From] = append(adj[e.From], half{e.ID, e.To, true})
+		adj[e.To] = append(adj[e.To], half{e.ID, e.From, false})
+	}
+	en := enumerator{g: g, adj: adj, limit: limit}
+	for s := 0; s < g.NumNodes(); s++ {
+		en.start = graph.NodeID(s)
+		en.onPath = map[graph.NodeID]bool{en.start: true}
+		en.usedEdge = map[graph.EdgeID]bool{}
+		if err := en.dfs(en.start); err != nil {
+			return nil, err
+		}
+		delete(en.onPath, en.start)
+	}
+	return en.found, nil
+}
+
+type half struct {
+	e       graph.EdgeID
+	other   graph.NodeID
+	forward bool // true if traversing e from its tail
+}
+
+type enumerator struct {
+	g        *graph.Graph
+	adj      [][]half
+	start    graph.NodeID
+	path     []Arc
+	verts    []graph.NodeID // tails of path arcs
+	onPath   map[graph.NodeID]bool
+	usedEdge map[graph.EdgeID]bool
+	found    []*Cycle
+	limit    int
+}
+
+func (en *enumerator) dfs(at graph.NodeID) error {
+	for _, h := range en.adj[at] {
+		if en.usedEdge[h.e] {
+			continue
+		}
+		if h.other == en.start {
+			if len(en.path) >= 1 && en.path[0].Edge < h.e {
+				// Canonical closure: the first edge has the smaller ID,
+				// so each cycle is reported in exactly one direction.
+				arcs := make([]Arc, len(en.path)+1)
+				copy(arcs, en.path)
+				arcs[len(en.path)] = Arc{h.e, h.forward}
+				verts := make([]graph.NodeID, len(en.verts)+1)
+				copy(verts, en.verts)
+				verts[len(en.verts)] = at
+				en.found = append(en.found, &Cycle{Arcs: arcs, Verts: verts})
+				if en.limit >= 0 && len(en.found) > en.limit {
+					return ErrTooManyCycles
+				}
+			}
+			continue
+		}
+		// Restrict interior vertices to IDs greater than the start so each
+		// cycle is enumerated from its minimum vertex only.
+		if h.other < en.start || en.onPath[h.other] {
+			continue
+		}
+		en.path = append(en.path, Arc{h.e, h.forward})
+		en.verts = append(en.verts, at)
+		en.onPath[h.other] = true
+		en.usedEdge[h.e] = true
+		if err := en.dfs(h.other); err != nil {
+			return err
+		}
+		en.usedEdge[h.e] = false
+		delete(en.onPath, h.other)
+		en.path = en.path[:len(en.path)-1]
+		en.verts = en.verts[:len(en.verts)-1]
+	}
+	return nil
+}
+
+// Run is a maximal directed path on a cycle: a maximal sequence of
+// consecutive arcs with the same orientation.  As a directed path it starts
+// at Source (a cycle source shares two outgoing runs; a cycle sink ends
+// two).  BufLen is the total buffer capacity along the run and Hops its
+// edge count, the L and h ingredients of the paper's interval formulas.
+type Run struct {
+	Source graph.NodeID
+	Edges  []graph.EdgeID // in directed order from Source
+	BufLen int64
+	Hops   int
+}
+
+// Runs decomposes c into its maximal directed runs, in an order such that
+// runs 2i and 2i+1 need not be related; instead each run records its own
+// source.  Opposite returns the pairing.
+func (c *Cycle) Runs(g *graph.Graph) []Run {
+	n := len(c.Arcs)
+	// Find a rotation boundary where direction changes so runs don't wrap.
+	startIdx := 0
+	for i := 0; i < n; i++ {
+		prev := c.Arcs[(i+n-1)%n]
+		if prev.Forward != c.Arcs[i].Forward {
+			startIdx = i
+			break
+		}
+	}
+	var runs []Run
+	i := 0
+	for i < n {
+		j := i
+		dir := c.Arcs[(startIdx+i)%n].Forward
+		for j < n && c.Arcs[(startIdx+j)%n].Forward == dir {
+			j++
+		}
+		var edges []graph.EdgeID
+		var buf int64
+		// Rotation-order slice [i, j); as a directed path a forward run goes
+		// in rotation order, a backward run in reverse rotation order.
+		for k := i; k < j; k++ {
+			idx := (startIdx + k) % n
+			edges = append(edges, c.Arcs[idx].Edge)
+			buf += int64(g.Edge(c.Arcs[idx].Edge).Buf)
+		}
+		var src graph.NodeID
+		if dir {
+			src = c.Verts[(startIdx+i)%n]
+		} else {
+			// Backward run: directed source is the rotation-end vertex.
+			for l, r := 0, len(edges)-1; l < r; l, r = l+1, r-1 {
+				edges[l], edges[r] = edges[r], edges[l]
+			}
+			src = c.Verts[(startIdx+j)%n]
+		}
+		runs = append(runs, Run{Source: src, Edges: edges, BufLen: buf, Hops: len(edges)})
+		i = j
+	}
+	if len(runs)%2 != 0 {
+		panic(fmt.Sprintf("cycles: odd run count %d", len(runs)))
+	}
+	return runs
+}
+
+// OppositeRuns pairs each run with the run that shares its source.  The
+// returned slice maps run index → index of the opposing run.  Every cycle
+// vertex where two runs begin is a cycle source; the two runs beginning
+// there oppose each other.
+func OppositeRuns(runs []Run) []int {
+	opp := make([]int, len(runs))
+	for i := range opp {
+		opp[i] = -1
+	}
+	for i := range runs {
+		if opp[i] != -1 {
+			continue
+		}
+		for j := i + 1; j < len(runs); j++ {
+			if opp[j] == -1 && runs[j].Source == runs[i].Source {
+				opp[i], opp[j] = j, i
+				break
+			}
+		}
+		if opp[i] == -1 {
+			panic("cycles: unpaired run")
+		}
+	}
+	return opp
+}
+
+// NumSources returns the number of cycle sources (equivalently sinks) of c:
+// half the number of directed runs.  A cycle is "CS4-compatible" when this
+// is exactly 1.
+func (c *Cycle) NumSources(g *graph.Graph) int {
+	return len(c.Runs(g)) / 2
+}
+
+// Describe renders the cycle as a human-readable vertex sequence.
+func (c *Cycle) Describe(g *graph.Graph) string {
+	s := ""
+	for i, v := range c.Verts {
+		if i > 0 {
+			s += "-"
+		}
+		s += g.Name(v)
+	}
+	return s
+}

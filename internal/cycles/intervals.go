@@ -1,0 +1,113 @@
+package cycles
+
+import (
+	"streamdag/internal/graph"
+	"streamdag/internal/ival"
+)
+
+// This file derives per-edge dummy intervals for both avoidance algorithms
+// directly from the paper's definitions (§II-B), by enumerating all
+// undirected simple cycles.
+//
+// For a cycle C and an edge e on C, let R(e) be the maximal directed run of
+// C containing e, let u be the source of R(e), and let O be the opposing run
+// leaving u.  Then:
+//
+//   Propagation:      e must be the FIRST edge of R(e) (so that C contains
+//                     two edges out of u); the constraint is L(C,e) =
+//                     BufLen(O).
+//   Non-Propagation:  every edge of R(e) is constrained by
+//                     L(C,e)/h(C,e) = BufLen(O)/Hops(R(e)).
+//
+// On single-source cycles (the CS4 case) this coincides exactly with the
+// paper's formulas and with Fig. 3.  On multi-source cycles it is the
+// natural generalization: the opposing run is the shortest directed path on
+// C leaving u in the other direction, ending at the first cycle sink
+// encountered.  See DESIGN.md ("Fidelity notes").
+
+// PropagationIntervals computes, for every edge, the Propagation-algorithm
+// dummy interval [e] = min over qualifying cycles of L(C,e).  Edges on no
+// qualifying cycle get +∞.
+func PropagationIntervals(g *graph.Graph) map[graph.EdgeID]ival.Interval {
+	return propagationFrom(g, Enumerate(g))
+}
+
+// PropagationIntervalsLimit is PropagationIntervals with a cycle budget.
+func PropagationIntervalsLimit(g *graph.Graph, limit int) (map[graph.EdgeID]ival.Interval, error) {
+	cs, err := EnumerateLimit(g, limit)
+	if err != nil {
+		return nil, err
+	}
+	return propagationFrom(g, cs), nil
+}
+
+func propagationFrom(g *graph.Graph, cs []*Cycle) map[graph.EdgeID]ival.Interval {
+	iv := newAllInf(g)
+	for _, c := range cs {
+		runs := c.Runs(g)
+		opp := OppositeRuns(runs)
+		for i, r := range runs {
+			first := r.Edges[0]
+			cand := ival.FromInt(runs[opp[i]].BufLen)
+			iv[first] = ival.Min(iv[first], cand)
+		}
+	}
+	return iv
+}
+
+// NonPropagationIntervals computes, for every edge, the Non-Propagation
+// dummy interval [e] = min over cycles containing e of L(C,e)/h(C,e), as an
+// exact rational.  Edges on no cycle get +∞.
+func NonPropagationIntervals(g *graph.Graph) map[graph.EdgeID]ival.Interval {
+	return nonPropagationFrom(g, Enumerate(g))
+}
+
+// NonPropagationIntervalsLimit is NonPropagationIntervals with a cycle
+// budget.
+func NonPropagationIntervalsLimit(g *graph.Graph, limit int) (map[graph.EdgeID]ival.Interval, error) {
+	cs, err := EnumerateLimit(g, limit)
+	if err != nil {
+		return nil, err
+	}
+	return nonPropagationFrom(g, cs), nil
+}
+
+func nonPropagationFrom(g *graph.Graph, cs []*Cycle) map[graph.EdgeID]ival.Interval {
+	iv := newAllInf(g)
+	for _, c := range cs {
+		runs := c.Runs(g)
+		opp := OppositeRuns(runs)
+		for i, r := range runs {
+			cand := ival.FromInt(runs[opp[i]].BufLen).DivInt(int64(r.Hops))
+			for _, e := range r.Edges {
+				iv[e] = ival.Min(iv[e], cand)
+			}
+		}
+	}
+	return iv
+}
+
+func newAllInf(g *graph.Graph) map[graph.EdgeID]ival.Interval {
+	iv := make(map[graph.EdgeID]ival.Interval, g.NumEdges())
+	for _, e := range g.Edges() {
+		iv[e.ID] = ival.Inf()
+	}
+	return iv
+}
+
+// IsCS4 reports whether every undirected simple cycle of g has exactly one
+// source and one sink (§V).  When false, the returned cycle is a witness
+// with two or more sources.  This is the exhaustive ground-truth check; the
+// cs4 package recognizes the family structurally in polynomial time.
+func IsCS4(g *graph.Graph) (bool, *Cycle) {
+	for _, c := range Enumerate(g) {
+		if c.NumSources(g) != 1 {
+			return false, c
+		}
+	}
+	return true, nil
+}
+
+// Count returns the number of undirected simple cycles of g.  Exponential;
+// used by benchmarks to report problem difficulty.
+func Count(g *graph.Graph) int { return len(Enumerate(g)) }

@@ -1,0 +1,121 @@
+package dom
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamdag/internal/graph"
+	"streamdag/internal/workload"
+)
+
+func TestDiamondDominators(t *testing.T) {
+	g := workload.Fig1SplitJoin(1)
+	a, b, c, d := g.MustNode("A"), g.MustNode("B"), g.MustNode("C"), g.MustNode("D")
+	dt, err := Dominators(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []graph.NodeID{b, c, d} {
+		if id, ok := dt.ImmediateDominator(n); !ok || id != a {
+			t.Errorf("idom(%s) = %v, want A", g.Name(n), id)
+		}
+	}
+	if !dt.Dominates(a, d) || dt.Dominates(b, d) || !dt.Dominates(d, d) {
+		t.Error("Dominates wrong on diamond")
+	}
+	pt, err := PostDominators(g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []graph.NodeID{a, b, c} {
+		if id, ok := pt.ImmediateDominator(n); !ok || id != d {
+			t.Errorf("ipdom(%s) = %v, want D", g.Name(n), id)
+		}
+	}
+}
+
+func TestPipelineDominators(t *testing.T) {
+	g := workload.Pipeline(6, 1)
+	dt, err := Dominators(g, g.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In a pipeline, each node's idom is its predecessor.
+	for i := 1; i < 6; i++ {
+		n := g.MustNode("s" + string(rune('0'+i)))
+		p := g.MustNode("s" + string(rune('0'+i-1)))
+		if id, _ := dt.ImmediateDominator(n); id != p {
+			t.Errorf("idom(s%d) = %v", i, id)
+		}
+	}
+}
+
+func TestUnreachableNodes(t *testing.T) {
+	g := graph.New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	c := g.AddNode("c")
+	g.AddEdge(a, b, 1)
+	g.AddEdge(c, b, 1) // c unreachable from a
+	dt, err := Dominators(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt.Reachable(c) {
+		t.Error("c should be unreachable")
+	}
+	if dt.Dominates(c, b) || dt.Dominates(b, c) {
+		t.Error("unreachable nodes must not dominate")
+	}
+	if _, ok := dt.ImmediateDominator(c); ok {
+		t.Error("unreachable idom reported")
+	}
+	if _, ok := dt.ImmediateDominator(a); ok {
+		t.Error("root idom reported")
+	}
+}
+
+func TestRejectsCyclicGraph(t *testing.T) {
+	g := graph.New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	g.AddEdge(a, b, 1)
+	g.AddEdge(b, a, 1)
+	if _, err := Dominators(g, a); err == nil {
+		t.Error("cycle accepted")
+	}
+	if _, err := PostDominators(g, a); err == nil {
+		t.Error("cycle accepted (post)")
+	}
+}
+
+// TestValidateRandom brute-force-validates both trees on random SP, CS4,
+// and layered general DAGs.
+func TestValidateRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		var g *graph.Graph
+		switch trial % 3 {
+		case 0:
+			g = workload.RandomSP(rng, 1+rng.Intn(20), 4)
+		case 1:
+			g = workload.RandomCS4(rng, 1+rng.Intn(3), 4, 0.5)
+		default:
+			g = workload.RandomLayeredDAG(rng, 1+rng.Intn(3), 1+rng.Intn(3), 4, 0.5)
+		}
+		dt, err := Dominators(g, g.Source())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dt.Validate(g, true); err != nil {
+			t.Fatalf("trial %d (dom): %v\n%s", trial, err, g)
+		}
+		pt, err := PostDominators(g, g.Sink())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pt.Validate(g, false); err != nil {
+			t.Fatalf("trial %d (postdom): %v\n%s", trial, err, g)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package graph
+
+import "testing"
+
+// FuzzParse checks the triple-format parser never panics and that
+// accepted inputs round-trip through Marshal.
+func FuzzParse(f *testing.F) {
+	f.Add("a b 1\nb c 2\n")
+	f.Add("node x\nedge x y 3\n")
+	f.Add("# comment\n\n a b 10")
+	f.Add("a b 0")
+	f.Add("a a 1")
+	f.Add("x y z w")
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		for _, e := range g.Edges() {
+			if e.Buf < 1 {
+				t.Fatalf("accepted buffer %d", e.Buf)
+			}
+		}
+		var b []byte
+		buf := &writeBuf{b: b}
+		if err := g.Marshal(buf); err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		g2, err := ParseString(string(buf.b))
+		if err != nil {
+			t.Fatalf("round trip parse: %v", err)
+		}
+		if g.String() != g2.String() {
+			t.Fatalf("round trip mismatch:\n%s\n%s", g, g2)
+		}
+	})
+}
+
+type writeBuf struct{ b []byte }
+
+func (w *writeBuf) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}

@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a graph from a simple line-oriented text format used by the
+// command-line tools and test fixtures:
+//
+//	# comment
+//	node <name>           (optional; nodes are auto-created by edges)
+//	edge <from> <to> <buf>
+//	<from> <to> <buf>     (bare triple, shorthand for edge)
+//
+// Node creation order follows first appearance.
+func Parse(r io.Reader) (*Graph, error) {
+	g := New()
+	ensure := func(name string) NodeID {
+		if id, ok := g.NodeByName(name); ok {
+			return id
+		}
+		return g.AddNode(name)
+	}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		switch {
+		case f[0] == "node" && len(f) == 2:
+			if _, dup := g.NodeByName(f[1]); dup {
+				return nil, fmt.Errorf("line %d: duplicate node %q", lineNo, f[1])
+			}
+			g.AddNode(f[1])
+		case f[0] == "edge" && len(f) == 4:
+			if err := parseEdge(g, ensure, f[1], f[2], f[3]); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+		case len(f) == 3:
+			if err := parseEdge(g, ensure, f[0], f[1], f[2]); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("line %d: cannot parse %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func parseEdge(g *Graph, ensure func(string) NodeID, from, to, buf string) error {
+	b, err := strconv.Atoi(buf)
+	if err != nil || b < 1 {
+		return fmt.Errorf("bad buffer size %q", buf)
+	}
+	g.AddEdge(ensure(from), ensure(to), b)
+	return nil
+}
+
+// ParseString is Parse over a string, for tests and embedded fixtures.
+func ParseString(s string) (*Graph, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// Marshal writes g in the format accepted by Parse.
+func (g *Graph) Marshal(w io.Writer) error {
+	for n := 0; n < g.NumNodes(); n++ {
+		if _, err := fmt.Fprintf(w, "node %s\n", g.names[n]); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.edges {
+		if _, err := fmt.Fprintf(w, "edge %s %s %d\n", g.names[e.From], g.names[e.To], e.Buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

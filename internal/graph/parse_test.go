@@ -1,0 +1,62 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	src := `
+# Fig. 1 split/join
+node A
+node B
+node C
+node D
+edge A B 2
+edge A C 3
+B D 4
+C D 5
+`
+	g, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("parsed %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	var b strings.Builder
+	if err := g.Marshal(&b); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ParseString(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.String() != g2.String() {
+		t.Errorf("round trip mismatch:\n%s\n%s", g, g2)
+	}
+}
+
+func TestParseAutoCreatesNodes(t *testing.T) {
+	g, err := ParseString("a b 1\nb c 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 {
+		t.Errorf("NumNodes = %d", g.NumNodes())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"a b x",          // bad buffer
+		"a b 0",          // buffer < 1
+		"garbage",        // wrong field count
+		"node a\nnode a", // duplicate node
+	}
+	for _, src := range cases {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("ParseString(%q) succeeded, want error", src)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package ladder
+
+import (
+	"sort"
+
+	"streamdag/internal/graph"
+	"streamdag/internal/sp"
+)
+
+// assemble orients the outer cycle at the terminals, validates the chord
+// structure, and builds the slot arrays of Fig. 6.
+func assemble(g *graph.Graph, sk *skeleton, outer *cycleOrder, chords []*sp.Fragment, x, y graph.NodeID) (*Ladder, error) {
+	m := len(outer.verts)
+	// Rotate so the cycle starts at X.
+	xi := -1
+	yi := -1
+	for i, v := range outer.verts {
+		if v == x {
+			xi = i
+		}
+		if v == y {
+			yi = i
+		}
+	}
+	if xi < 0 || yi < 0 {
+		return nil, notLadder("terminals not on outer cycle")
+	}
+	rotV := make([]graph.NodeID, m)
+	rotF := make([]*sp.Fragment, m)
+	for i := 0; i < m; i++ {
+		rotV[i] = outer.verts[(xi+i)%m]
+		rotF[i] = outer.frags[(xi+i)%m]
+	}
+	ypos := (yi - xi + m) % m
+
+	// Left side: rotation order X … Y.  Right side: reverse rotation from X.
+	leftV := rotV[:ypos+1] // X, u1, …, Y
+	leftF := rotF[:ypos]   // leftF[i] joins leftV[i] → leftV[i+1]
+	rightV := make([]graph.NodeID, 0, m-ypos+1)
+	rightF := make([]*sp.Fragment, 0, m-ypos)
+	rightV = append(rightV, x)
+	for i := m - 1; i >= ypos; i-- {
+		rightF = append(rightF, rotF[i])
+		rightV = append(rightV, rotV[i])
+	}
+	// rightV ends at Y; rightF[i] joins rightV[i] → rightV[i+1].
+
+	// The outer cycle must consist of two directed X→Y paths.
+	checkArc := func(vs []graph.NodeID, fs []*sp.Fragment) error {
+		for i, f := range fs {
+			if f.From != vs[i] || f.To != vs[i+1] {
+				return notLadder("outer cycle arc not directed X→Y at %s→%s (cycle with multiple sources)",
+					g.Name(f.From), g.Name(f.To))
+			}
+		}
+		return nil
+	}
+	if err := checkArc(leftV, leftF); err != nil {
+		return nil, err
+	}
+	if err := checkArc(rightV, rightF); err != nil {
+		return nil, err
+	}
+
+	leftPos := make(map[graph.NodeID]int, len(leftV))
+	for i, v := range leftV {
+		leftPos[v] = i
+	}
+	rightPos := make(map[graph.NodeID]int, len(rightV))
+	for i, v := range rightV {
+		rightPos[v] = i
+	}
+
+	// Classify and order the chords (cross-links).
+	if len(chords) == 0 {
+		return nil, notLadder("no cross-links (internal error: SP graph not detected earlier)")
+	}
+	type rung struct {
+		lp, rp int
+		frag   *sp.Fragment
+		l2r    bool
+	}
+	rungs := make([]rung, 0, len(chords))
+	for _, f := range chords {
+		fl, flOK := leftPos[f.From]
+		tl, tlOK := leftPos[f.To]
+		fr, frOK := rightPos[f.From]
+		tr, trOK := rightPos[f.To]
+		internal := func(v graph.NodeID) bool { return v != x && v != y }
+		switch {
+		case flOK && trOK && internal(f.From) && internal(f.To):
+			rungs = append(rungs, rung{lp: fl, rp: tr, frag: f, l2r: true})
+		case frOK && tlOK && internal(f.From) && internal(f.To):
+			rungs = append(rungs, rung{lp: tl, rp: fr, frag: f, l2r: false})
+		default:
+			return nil, notLadder("chord %s→%s does not join the two sides away from the terminals",
+				g.Name(f.From), g.Name(f.To))
+		}
+	}
+	sort.Slice(rungs, func(i, j int) bool {
+		if rungs[i].lp != rungs[j].lp {
+			return rungs[i].lp < rungs[j].lp
+		}
+		return rungs[i].rp < rungs[j].rp
+	})
+	for i := 1; i < len(rungs); i++ {
+		if rungs[i].rp < rungs[i-1].rp {
+			return nil, notLadder("cross-links cross (K4 subdivision)")
+		}
+	}
+
+	// Every internal side vertex must carry at least one cross-link;
+	// otherwise it would have been SP-reduced into a segment.
+	lSeen := map[int]bool{}
+	rSeen := map[int]bool{}
+	for _, r := range rungs {
+		lSeen[r.lp] = true
+		rSeen[r.rp] = true
+	}
+	if len(lSeen) != len(leftV)-2 || len(rSeen) != len(rightV)-2 {
+		return nil, notLadder("internal side vertex without a cross-link")
+	}
+
+	// Build the slot arrays.
+	k := len(rungs)
+	lad := &Ladder{
+		G: g, X: x, Y: y, K: k,
+		U:   make([]graph.NodeID, k+2),
+		V:   make([]graph.NodeID, k+2),
+		S:   make([]*sp.Fragment, k+1),
+		D:   make([]*sp.Fragment, k+1),
+		Kx:  make([]*sp.Fragment, k+1),
+		L2R: make([]bool, k+1),
+	}
+	lad.U[0], lad.V[0] = x, x
+	lad.U[k+1], lad.V[k+1] = y, y
+	for i, r := range rungs {
+		lad.U[i+1] = leftV[r.lp]
+		lad.V[i+1] = rightV[r.rp]
+		lad.Kx[i+1] = r.frag
+		lad.L2R[i+1] = r.l2r
+	}
+	// Side segments: consecutive slot endpoints must be identical or
+	// adjacent on their side path.
+	segment := func(vs []graph.NodeID, fs []*sp.Fragment, pos map[graph.NodeID]int, a, b graph.NodeID) (*sp.Fragment, error) {
+		pa, pb := pos[a], pos[b]
+		switch {
+		case pa == pb:
+			return nil, nil
+		case pb == pa+1:
+			return fs[pa], nil
+		default:
+			return nil, notLadder("segment %s→%s skips a side vertex", g.Name(a), g.Name(b))
+		}
+	}
+	for i := 0; i <= k; i++ {
+		s, err := segment(leftV, leftF, leftPos, lad.U[i], lad.U[i+1])
+		if err != nil {
+			return nil, err
+		}
+		lad.S[i] = s
+		d, err := segment(rightV, rightF, rightPos, lad.V[i], lad.V[i+1])
+		if err != nil {
+			return nil, err
+		}
+		lad.D[i] = d
+	}
+	// S[0], D[0], S[K], D[K] join the terminals and are always non-empty.
+	if lad.S[0] == nil || lad.D[0] == nil || lad.S[k] == nil || lad.D[k] == nil {
+		return nil, notLadder("cross-link touches a terminal")
+	}
+	return lad, nil
+}

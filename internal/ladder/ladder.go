@@ -1,0 +1,132 @@
+// Package ladder implements SP-ladder recognition and the paper's dummy-
+// interval algorithms for SP-ladders (§V–VI).
+//
+// An SP-ladder is a two-path outer cycle from a source X to a sink Y,
+// decorated with non-crossing chord graphs, at least one of which is a
+// cross-link joining the two paths away from X and Y.  Theorem V.7 shows
+// the CS4 DAGs are exactly serial compositions of SP-DAGs and SP-ladders,
+// so this package plus package sp covers the whole family.
+//
+// Recognition pipeline:
+//
+//  1. SP-reduce the graph (sp.Residual).  Every maximal SP fragment
+//     contracts to one skeleton edge carrying its decomposition tree.
+//  2. The skeleton of a valid SP-ladder is a 2-connected outerplanar
+//     digraph: all skeleton vertices lie on the unique outer (Hamiltonian)
+//     cycle, and surviving chords are exactly the cross-links.  A
+//     Mitchell-style degree-2 elimination recovers the outer cycle and the
+//     chord set in linear time, or fails if the skeleton is not
+//     outerplanar (then the graph is not CS4).
+//  3. Orient the outer cycle: it must split at X and Y into two directed
+//     paths (the "left" and "right" sides); chords must join opposite
+//     sides away from the terminals, and must be linearly ordered
+//     (non-crossing).  The result is the rung structure of Fig. 6.
+//
+// Interval computation exploits the face structure of the skeleton: its
+// interior faces form a path f_0 … f_K, and every undirected simple cycle
+// that spans more than one fragment is the boundary of a contiguous face
+// interval — the pair (a, b) with 0 ≤ a ≤ b ≤ K, using cross-links K_a and
+// K_{b+1} as its top and bottom.  Enumerating the O(K²) pairs covers every
+// external cycle; SETIVALS-style recursion per fragment covers internal
+// ones.  This yields O(|G|²) Propagation and O(|G|³) Non-Propagation
+// algorithms; the paper's O(|G|) Propagation recurrences (Ls/Lk/Ld) are
+// implemented as well and cross-checked.
+package ladder
+
+import (
+	"errors"
+	"fmt"
+
+	"streamdag/internal/graph"
+	"streamdag/internal/sp"
+)
+
+// Ladder is a recognized SP-ladder over a host graph.
+// Slot indices follow Fig. 6: rungs are numbered 1..K top to bottom;
+// U[0] = V[0] = X and U[K+1] = V[K+1] = Y.  Side segments S[i] (left) and
+// D[i] (right) connect consecutive rung endpoints; S[i] is nil when
+// U[i] == U[i+1] (cross-links sharing an endpoint, the Fig. 6 special
+// case), likewise D[i].
+type Ladder struct {
+	G    *graph.Graph
+	X, Y graph.NodeID
+	K    int            // number of cross-links (rungs)
+	U    []graph.NodeID // U[0..K+1]: left-path rung endpoints
+	V    []graph.NodeID // V[0..K+1]: right-path rung endpoints
+	S    []*sp.Fragment // S[0..K]: left segments; nil if zero length
+	D    []*sp.Fragment // D[0..K]: right segments; nil if zero length
+	Kx   []*sp.Fragment // Kx[1..K]: cross-links (index 0 unused)
+	L2R  []bool         // L2R[i]: cross-link i directed left→right (U[i]→V[i])
+}
+
+// ErrIsSP is returned by Recognize when the subgraph is series-parallel:
+// the caller should use package sp directly.
+var ErrIsSP = errors.New("ladder: graph is series-parallel, not a ladder")
+
+// NotLadderError reports why recognition failed; such graphs are outside
+// the CS4 family (or violate the two-terminal preconditions).
+type NotLadderError struct{ Reason string }
+
+func (e *NotLadderError) Error() string { return "ladder: not an SP-ladder: " + e.Reason }
+
+func notLadder(format string, args ...any) error {
+	return &NotLadderError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// Recognize decomposes the subgraph of g given by edges, with terminals x
+// and y, as an SP-ladder.  It returns ErrIsSP if the subgraph is
+// series-parallel and a *NotLadderError if it is neither.
+func Recognize(g *graph.Graph, edges []graph.EdgeID, x, y graph.NodeID) (*Ladder, error) {
+	frags := sp.Residual(g, edges, x, y)
+	if len(frags) == 0 {
+		return nil, notLadder("empty subgraph")
+	}
+	if len(frags) == 1 {
+		if frags[0].From == x && frags[0].To == y {
+			return nil, ErrIsSP
+		}
+		return nil, notLadder("single fragment does not span %s→%s", g.Name(x), g.Name(y))
+	}
+	sk, err := newSkeleton(g, frags, x, y)
+	if err != nil {
+		return nil, err
+	}
+	outer, chords, err := sk.outerCycle()
+	if err != nil {
+		return nil, err
+	}
+	return assemble(g, sk, outer, chords, x, y)
+}
+
+// Fragments returns every fragment of the ladder in a deterministic order:
+// S[0..K], D[0..K], Kx[1..K], skipping nils.
+func (l *Ladder) Fragments() []*sp.Fragment {
+	var fs []*sp.Fragment
+	for _, f := range l.S {
+		if f != nil {
+			fs = append(fs, f)
+		}
+	}
+	for _, f := range l.D {
+		if f != nil {
+			fs = append(fs, f)
+		}
+	}
+	for _, f := range l.Kx[1:] {
+		fs = append(fs, f)
+	}
+	return fs
+}
+
+// String summarizes the rung structure for diagnostics.
+func (l *Ladder) String() string {
+	s := fmt.Sprintf("ladder{X=%s Y=%s K=%d", l.G.Name(l.X), l.G.Name(l.Y), l.K)
+	for i := 1; i <= l.K; i++ {
+		dir := "→"
+		if !l.L2R[i] {
+			dir = "←"
+		}
+		s += fmt.Sprintf(" %s%s%s", l.G.Name(l.U[i]), dir, l.G.Name(l.V[i]))
+	}
+	return s + "}"
+}

@@ -1,0 +1,275 @@
+package ladder
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"streamdag/internal/cycles"
+	"streamdag/internal/graph"
+	"streamdag/internal/ival"
+	"streamdag/internal/workload"
+)
+
+func allEdges(g *graph.Graph) []graph.EdgeID {
+	ids := make([]graph.EdgeID, g.NumEdges())
+	for i := range ids {
+		ids[i] = graph.EdgeID(i)
+	}
+	return ids
+}
+
+func recognize(t testing.TB, g *graph.Graph) *Ladder {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Recognize(g, allEdges(g), g.Source(), g.Sink())
+	if err != nil {
+		t.Fatalf("Recognize: %v\n%s", err, g)
+	}
+	return l
+}
+
+func TestRecognizeCrossedSplitJoin(t *testing.T) {
+	g := workload.Fig4CrossedSplitJoin(2)
+	l := recognize(t, g)
+	if l.K != 1 {
+		t.Fatalf("K = %d, want 1", l.K)
+	}
+	// One rung joining the two internal vertices; left/right naming is
+	// arbitrary, but the rung must join a and b.
+	u, v := g.Name(l.U[1]), g.Name(l.V[1])
+	if !(u == "a" && v == "b" || u == "b" && v == "a") {
+		t.Errorf("rung joins %s,%s want a,b", u, v)
+	}
+	// a→b is the cross-link, so it runs from a's side to b's side.
+	if l.Kx[1].Tree.Size() != 1 {
+		t.Errorf("cross-link size = %d", l.Kx[1].Tree.Size())
+	}
+	if (u == "a") != l.L2R[1] {
+		t.Errorf("direction wrong: u=%s L2R=%v", u, l.L2R[1])
+	}
+	if l.S[0] == nil || l.S[1] == nil || l.D[0] == nil || l.D[1] == nil {
+		t.Error("terminal segments must be non-nil")
+	}
+	if !strings.Contains(l.String(), "K=1") {
+		t.Errorf("String = %s", l)
+	}
+}
+
+func TestRecognizeSPIsErrIsSP(t *testing.T) {
+	g := workload.Fig1SplitJoin(2)
+	_, err := Recognize(g, allEdges(g), g.Source(), g.Sink())
+	if err != ErrIsSP {
+		t.Errorf("err = %v, want ErrIsSP", err)
+	}
+}
+
+func TestRecognizeRejectsButterfly(t *testing.T) {
+	g := workload.Fig4Butterfly(1)
+	_, err := Recognize(g, allEdges(g), g.Source(), g.Sink())
+	if err == nil {
+		t.Fatal("butterfly recognized as ladder")
+	}
+	if _, ok := err.(*NotLadderError); !ok {
+		t.Errorf("err = %T %v, want *NotLadderError", err, err)
+	}
+}
+
+// TestFig5StyleDecomposition builds a ladder in the style of Fig. 5: side
+// segments and cross-links that are themselves SP-DAGs, and verifies the
+// slot decomposition.
+func TestFig5StyleDecomposition(t *testing.T) {
+	g, err := graph.ParseString(`
+# left side X -> u1 -> u2 -> Y with a diamond segment between u1 and u2
+X u1 2
+u1 p 1
+u1 q 3
+p u2 2
+q u2 1
+u2 Y 4
+# right side X -> v1 -> v2 -> Y
+X v1 3
+v1 v2 2
+v2 Y 1
+# cross-links: u1 -> v1 (single edge), v2 -> u2 (two-hop SP path)
+u1 v1 5
+v2 r 1
+r u2 2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := recognize(t, g)
+	if l.K != 2 {
+		t.Fatalf("K = %d, want 2\n%s", l.K, l)
+	}
+	name := func(n graph.NodeID) string { return g.Name(n) }
+	// Slot 1: u1—v1 (left-to-right as drawn, but side naming may flip).
+	pairs := [][2]string{{name(l.U[1]), name(l.V[1])}, {name(l.U[2]), name(l.V[2])}}
+	okDirect := pairs[0] == [2]string{"u1", "v1"} && pairs[1] == [2]string{"u2", "v2"}
+	okFlipped := pairs[0] == [2]string{"v1", "u1"} && pairs[1] == [2]string{"v2", "u2"}
+	if !okDirect && !okFlipped {
+		t.Fatalf("slots = %v\n%s", pairs, l)
+	}
+	// The diamond segment (4 edges) sits between the slot-1 and slot-2
+	// left endpoints (or right, if flipped).
+	seg := l.S[1]
+	if okFlipped {
+		seg = l.D[1]
+	}
+	if seg == nil || seg.Tree.Size() != 4 {
+		t.Fatalf("mid segment = %v", seg)
+	}
+	// Cross-link 2 is the 2-hop path v2→r→u2.
+	if l.Kx[2].Tree.Size() != 2 || l.Kx[2].Tree.Hops != 2 {
+		t.Errorf("Kx[2] = %v", l.Kx[2].Tree)
+	}
+	// Direction: slot 1 runs u1→v1, slot 2 runs v2→u2.
+	if okDirect && (!l.L2R[1] || l.L2R[2]) {
+		t.Errorf("directions = %v %v, want true false", l.L2R[1], l.L2R[2])
+	}
+	if okFlipped && (l.L2R[1] || !l.L2R[2]) {
+		t.Errorf("flipped directions = %v %v, want false true", l.L2R[1], l.L2R[2])
+	}
+	if got := len(l.Fragments()); got != 8 {
+		t.Errorf("fragments = %d, want 8 (3 left + 3 right segments + 2 rungs)", got)
+	}
+}
+
+func TestRecognizeSharedEndpoints(t *testing.T) {
+	// Two cross-links sharing their left endpoint u (Fig. 6 inset):
+	// u sources rungs to v1 and v2.
+	g, err := graph.ParseString(`
+X u 1
+u Y 5
+X v1 2
+v1 v2 3
+v2 Y 1
+u v1 4
+u v2 2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := recognize(t, g)
+	if l.K != 2 {
+		t.Fatalf("K = %d, want 2\n%s", l.K, l)
+	}
+	if l.U[1] != l.U[2] && l.V[1] != l.V[2] {
+		t.Fatalf("expected a shared endpoint: %s", l)
+	}
+	// The segment between the shared slots must be nil.
+	if l.U[1] == l.U[2] && l.S[1] != nil {
+		t.Error("S[1] should be nil for shared left endpoint")
+	}
+	if l.V[1] == l.V[2] && l.D[1] != nil {
+		t.Error("D[1] should be nil for shared right endpoint")
+	}
+}
+
+func equalIvals(t *testing.T, g *graph.Graph, got, want map[graph.EdgeID]ival.Interval, label string) {
+	t.Helper()
+	for _, e := range g.Edges() {
+		gv, ok1 := got[e.ID]
+		wv, ok2 := want[e.ID]
+		if !ok1 || !ok2 || !gv.Equal(wv) {
+			t.Fatalf("%s: edge %s->%s: got %v want %v\ngraph: %s",
+				label, g.Name(e.From), g.Name(e.To), gv, wv, g)
+		}
+	}
+}
+
+func ladderProp(t *testing.T, g *graph.Graph, linear bool) map[graph.EdgeID]ival.Interval {
+	t.Helper()
+	l := recognize(t, g)
+	out := make(map[graph.EdgeID]ival.Interval, g.NumEdges())
+	if linear {
+		l.PropagationIntervalsLinear(out)
+	} else {
+		l.PropagationIntervals(out)
+	}
+	return out
+}
+
+func TestCrossedSplitJoinGolden(t *testing.T) {
+	// By hand on Fig. 4 left with all buffers 2: cycles are
+	// (X,a,Y,b) [source X], (X,a,b) [source X], (a,Y,b) [source a].
+	g := workload.Fig4CrossedSplitJoin(2)
+	ref := cycles.PropagationIntervals(g)
+	got := ladderProp(t, g, false)
+	equalIvals(t, g, got, ref, "prop vs exhaustive")
+	lin := ladderProp(t, g, true)
+	equalIvals(t, g, lin, ref, "linear prop vs exhaustive")
+
+	l := recognize(t, g)
+	np := make(map[graph.EdgeID]ival.Interval)
+	l.NonPropagationIntervals(np)
+	refNP := cycles.NonPropagationIntervals(g)
+	equalIvals(t, g, np, refNP, "nonprop vs exhaustive")
+}
+
+// TestLadderMatchesExhaustive cross-validates both ladder algorithms (and
+// the linear propagation variant) against the exponential baseline on
+// random SP-ladders, including shared endpoints and SP fragments (E14).
+func TestLadderMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	tested := 0
+	for trial := 0; trial < 400; trial++ {
+		rungs := 1 + rng.Intn(4)
+		g := workload.RandomLadder(rng, rungs, 5, 0.3, 0.3)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: generator produced invalid graph: %v", trial, err)
+		}
+		refProp, err := cycles.PropagationIntervalsLimit(g, 100000)
+		if err != nil {
+			continue
+		}
+		tested++
+		got := ladderProp(t, g, false)
+		equalIvals(t, g, got, refProp, "prop")
+		lin := ladderProp(t, g, true)
+		equalIvals(t, g, lin, refProp, "linear-prop")
+
+		l := recognize(t, g)
+		np := make(map[graph.EdgeID]ival.Interval)
+		l.NonPropagationIntervals(np)
+		refNP := cycles.NonPropagationIntervals(g)
+		equalIvals(t, g, np, refNP, "nonprop")
+	}
+	if tested < 100 {
+		t.Fatalf("only %d instances cross-validated", tested)
+	}
+}
+
+// TestGeneratorProducesCS4 pins the workload generator itself: every
+// random ladder must satisfy the exhaustive CS4 check.
+func TestGeneratorProducesCS4(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 100; trial++ {
+		g := workload.RandomLadder(rng, 1+rng.Intn(5), 4, 0.4, 0.2)
+		ok, w := cycles.IsCS4(g)
+		if !ok {
+			t.Fatalf("trial %d: generator produced non-CS4 ladder; witness %s\n%s",
+				trial, w.Describe(g), g)
+		}
+	}
+}
+
+func TestRecognizeLargeLadder(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	g := workload.RandomLadder(rng, 300, 8, 0.2, 0.3)
+	l := recognize(t, g)
+	if l.K != 300 {
+		t.Fatalf("K = %d, want 300", l.K)
+	}
+	out := make(map[graph.EdgeID]ival.Interval, g.NumEdges())
+	l.PropagationIntervals(out)
+	lin := make(map[graph.EdgeID]ival.Interval, g.NumEdges())
+	l.PropagationIntervalsLinear(lin)
+	equalIvals(t, g, lin, out, "linear vs pairwise on large ladder")
+	if len(out) != g.NumEdges() {
+		t.Errorf("covered %d edges of %d", len(out), g.NumEdges())
+	}
+}

@@ -1,0 +1,102 @@
+package ladder
+
+import (
+	"streamdag/internal/graph"
+	"streamdag/internal/ival"
+	"streamdag/internal/sp"
+)
+
+// This file computes Non-Propagation-Algorithm dummy intervals on an
+// SP-ladder (§VI-B): for every edge e on a cycle C,
+//
+//	[e] = min over C of  L(C,e) / h(C,e),
+//
+// where L(C,e) is the opposing arm's shortest buffer length and h(C,e) the
+// longest hop count of e's own arm through e.  Cycles internal to a
+// fragment are handled by sp.NonPropFromTree; external cycles are the
+// face-interval pairs C(a,b) described in prop.go.  For a fragment H on an
+// arm, the arm's longest hop path through edge e ∈ H is
+//
+//	h(arm,e) = Σ_{F ≠ H on arm} h(F) + h(H,e),
+//
+// since path choices within distinct fragments are independent.  Following
+// the paper this runs in O(|G|³) worst-case time: O(K²) pairs, each
+// touching O(|G|) edges.
+
+// NonPropagationIntervals computes the Non-Propagation dummy interval for
+// every edge of the ladder, writing exact rationals into out.
+func (l *Ladder) NonPropagationIntervals(out map[graph.EdgeID]ival.Interval) {
+	frags := l.Fragments()
+	// Internal cycles first.
+	for _, f := range frags {
+		sp.NonPropFromTree(f.Tree, out)
+	}
+	// Per-fragment h(H,e) tables, shared across all pairs.
+	hops := make(map[*sp.Fragment]map[graph.EdgeID]int64, len(frags))
+	for _, f := range frags {
+		hops[f] = f.Tree.HopsThrough()
+	}
+
+	apply := func(arm []*sp.Fragment, armHops, oppLen int64) {
+		if oppLen < 0 {
+			return
+		}
+		for _, f := range arm {
+			rest := armHops - fragH(f)
+			for e, he := range hops[f] {
+				cand := ival.FromInt(oppLen).DivInt(rest + he)
+				out[e] = ival.Min(out[e], cand)
+			}
+		}
+	}
+
+	for a := 0; a <= l.K; a++ {
+		// Arm fragment lists grow with b; the closing link is appended
+		// per-iteration and popped after use.
+		var armS, armD []*sp.Fragment
+		var lenS, lenD, hopS, hopD int64
+		if a >= 1 {
+			if l.L2R[a] {
+				armD = append(armD, l.Kx[a])
+				lenD += fragL(l.Kx[a])
+				hopD += fragH(l.Kx[a])
+			} else {
+				armS = append(armS, l.Kx[a])
+				lenS += fragL(l.Kx[a])
+				hopS += fragH(l.Kx[a])
+			}
+		}
+		for b := a; b <= l.K; b++ {
+			if l.S[b] != nil {
+				armS = append(armS, l.S[b])
+				lenS += fragL(l.S[b])
+				hopS += fragH(l.S[b])
+			}
+			if l.D[b] != nil {
+				armD = append(armD, l.D[b])
+				lenD += fragL(l.D[b])
+				hopD += fragH(l.D[b])
+			}
+			// Close the cycle at face b.
+			cS, cD := armS, armD
+			clS, clD, chS, chD := lenS, lenD, hopS, hopD
+			if b < l.K {
+				kb := l.Kx[b+1]
+				if l.L2R[b+1] {
+					cS = append(armS[:len(armS):len(armS)], kb)
+					clS += fragL(kb)
+					chS += fragH(kb)
+				} else {
+					cD = append(armD[:len(armD):len(armD)], kb)
+					clD += fragL(kb)
+					chD += fragH(kb)
+				}
+			}
+			if len(cS) == 0 || len(cD) == 0 {
+				continue // degenerate: cannot occur in a DAG, but be safe
+			}
+			apply(cS, chS, clD)
+			apply(cD, chD, clS)
+		}
+	}
+}

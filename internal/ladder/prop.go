@@ -1,0 +1,279 @@
+package ladder
+
+import (
+	"streamdag/internal/graph"
+	"streamdag/internal/ival"
+	"streamdag/internal/sp"
+)
+
+// This file computes Propagation-Algorithm dummy intervals on an SP-ladder
+// (§VI-A).
+//
+// Every cycle that spans more than one fragment is the boundary of a
+// contiguous interval of skeleton faces: a pair (a, b), 0 ≤ a ≤ b ≤ K,
+// whose two arms are
+//
+//	armS(a,b) = [K_a if right-to-left] S_a … S_b [K_{b+1} if left-to-right]
+//	armD(a,b) = [K_a if left-to-right] D_a … D_b [K_{b+1} if right-to-left]
+//
+// (a = 0 starts at X with no top cross-link; b = K ends at Y with no bottom
+// one).  The cycle's source is X (a = 0) or the source endpoint of K_a, and
+// for the Propagation algorithm only the first fragment of each arm — the
+// one leaving the source — is constrained, with the opposing arm's total
+// shortest-path buffer length.  Distributing that external constraint over
+// the fragment's edges is exactly sp.SetIvals' V parameter.
+//
+// PropagationIntervals enumerates the O(K²) pairs directly (simple, and
+// correct for shared endpoints); PropagationIntervalsLinear implements the
+// paper's O(|G|) Ls/Lk/Ld recurrences, generalized to shared endpoints,
+// and is cross-checked against the pair version in tests.
+
+// armLens returns lenS(a,b) and lenD(a,b) given running segment sums; the
+// caller accumulates sums over b.
+type armAcc struct {
+	l      *Ladder
+	a      int
+	sumS   int64 // Σ L(S_a..S_b)
+	sumD   int64
+	topS   int64 // L(K_a) if K_a lies on the S arm (right-to-left), else 0
+	topD   int64
+	firstS *sp.Fragment // first fragment of armS ignoring the closing link
+	firstD *sp.Fragment
+}
+
+func fragL(f *sp.Fragment) int64 {
+	if f == nil {
+		return 0
+	}
+	return f.Tree.LBuf
+}
+
+func fragH(f *sp.Fragment) int64 {
+	if f == nil {
+		return 0
+	}
+	return f.Tree.Hops
+}
+
+func newArmAcc(l *Ladder, a int) *armAcc {
+	acc := &armAcc{l: l, a: a}
+	if a >= 1 {
+		if l.L2R[a] {
+			acc.topD = fragL(l.Kx[a])
+			acc.firstD = l.Kx[a]
+		} else {
+			acc.topS = fragL(l.Kx[a])
+			acc.firstS = l.Kx[a]
+		}
+	}
+	return acc
+}
+
+// extend advances the accumulator to include face b (segments S_b, D_b).
+func (acc *armAcc) extend(b int) {
+	acc.sumS += fragL(acc.l.S[b])
+	acc.sumD += fragL(acc.l.D[b])
+	if acc.firstS == nil && acc.l.S[b] != nil {
+		acc.firstS = acc.l.S[b]
+	}
+	if acc.firstD == nil && acc.l.D[b] != nil {
+		acc.firstD = acc.l.D[b]
+	}
+}
+
+// cycleAt materializes the cycle C(a,b) currently accumulated: arm first
+// fragments and lengths, including the closing cross-link K_{b+1} when
+// b < K.  ok is false for degenerate (impossible) empty arms.
+func (acc *armAcc) cycleAt(b int) (firstS, firstD *sp.Fragment, lenS, lenD int64, ok bool) {
+	firstS, firstD = acc.firstS, acc.firstD
+	lenS = acc.topS + acc.sumS
+	lenD = acc.topD + acc.sumD
+	if b < acc.l.K {
+		kb := acc.l.Kx[b+1]
+		if acc.l.L2R[b+1] {
+			lenS += fragL(kb)
+			if firstS == nil {
+				firstS = kb
+			}
+		} else {
+			lenD += fragL(kb)
+			if firstD == nil {
+				firstD = kb
+			}
+		}
+	}
+	return firstS, firstD, lenS, lenD, firstS != nil && firstD != nil
+}
+
+// PropagationVExt computes, for every fragment, the minimum external-cycle
+// constraint on its source edges, by enumerating all face-interval pairs.
+func (l *Ladder) PropagationVExt() map[*sp.Fragment]ival.Interval {
+	v := make(map[*sp.Fragment]ival.Interval)
+	for _, f := range l.Fragments() {
+		v[f] = ival.Inf()
+	}
+	for a := 0; a <= l.K; a++ {
+		acc := newArmAcc(l, a)
+		for b := a; b <= l.K; b++ {
+			acc.extend(b)
+			fs, fd, lenS, lenD, ok := acc.cycleAt(b)
+			if !ok {
+				continue
+			}
+			v[fs] = ival.Min(v[fs], ival.FromInt(lenD))
+			v[fd] = ival.Min(v[fd], ival.FromInt(lenS))
+		}
+	}
+	return v
+}
+
+// PropagationIntervals computes the Propagation-Algorithm dummy interval
+// for every edge of the ladder.  O(K² + |G|) time.
+func (l *Ladder) PropagationIntervals(out map[graph.EdgeID]ival.Interval) {
+	vext := l.PropagationVExt()
+	for _, f := range l.Fragments() {
+		sp.SetIvals(f.Tree, vext[f], out)
+	}
+}
+
+// PropagationIntervalsLinear is the paper's O(|G|) algorithm: the Ls / Lk /
+// Ld recurrences of §VI-A, generalized to cross-links that share endpoints
+// (the Fig. 6 case) by tracking running minima along each shared-endpoint
+// chain.  Cross-checked against PropagationIntervals in tests.
+func (l *Ladder) PropagationIntervalsLinear(out map[graph.EdgeID]ival.Interval) {
+	k := l.K
+	// lsDown[j] (1 ≤ j ≤ K+1): shortest buffer length of a directed path
+	// that starts at U[j], descends the left side, and ends at a potential
+	// sink (Lemma VI.3); ldDown mirrors on the right.  arrive*[j] is the
+	// cost of the best continuation upon reaching slot j from above.
+	lsDown := make([]int64, k+2)
+	ldDown := make([]int64, k+2)
+	const inf = int64(1) << 62
+	arrive := func(j int, left bool) int64 {
+		if j == k+1 {
+			return 0 // Y is always a sink
+		}
+		var cross, down int64
+		if left {
+			if !l.L2R[j] {
+				cross = 0 // U[j] receives K_j: potential sink, stop
+			} else {
+				cross = fragL(l.Kx[j]) // cross to V[j], a potential sink
+			}
+			down = lsDown[j]
+		} else {
+			if l.L2R[j] {
+				cross = 0
+			} else {
+				cross = fragL(l.Kx[j])
+			}
+			down = ldDown[j]
+		}
+		if cross < down {
+			return cross
+		}
+		return down
+	}
+	for j := k; j >= 1; j-- {
+		lsDown[j] = fragL(l.S[j]) + arrive(j+1, true)
+		ldDown[j] = fragL(l.D[j]) + arrive(j+1, false)
+	}
+	lsDown0 := fragL(l.S[0]) + arrive(1, true)
+	ldDown0 := fragL(l.D[0]) + arrive(1, false)
+
+	// Prefix sums of full segment lengths, for closing-link updates.
+	prefS := make([]int64, k+2) // prefS[t] = Σ_{s ≤ t} L(S_s)
+	prefD := make([]int64, k+2)
+	for t := 0; t <= k; t++ {
+		add := int64(0)
+		if t > 0 {
+			add = prefS[t-1]
+		}
+		prefS[t] = add + fragL(l.S[t])
+		if t > 0 {
+			add = prefD[t-1]
+		} else {
+			add = 0
+		}
+		prefD[t] = add + fragL(l.D[t])
+	}
+
+	vext := make(map[*sp.Fragment]ival.Interval)
+	upd := func(f *sp.Fragment, val int64) {
+		if f == nil {
+			return
+		}
+		cur, ok := vext[f]
+		if !ok {
+			cur = ival.Inf()
+		}
+		vext[f] = ival.Min(cur, ival.FromInt(val))
+	}
+
+	// Terminal updates: edges out of X.
+	upd(l.S[0], ldDown0)
+	upd(l.D[0], lsDown0)
+
+	// Chain-tracked minima.  Over the current run of slots sharing U[j]
+	// (resp. V[j]), track the best L(K_a) − prefD[a−1] among left-to-right
+	// cross-links (resp. L(K_a) − prefS[a−1] among right-to-left ones).
+	// This single quantity serves both update kinds rooted at the chain:
+	//
+	//   closing link K_j of C(a, j−1): opposing arm K_a + D_a..D_{j−1},
+	//     length chainTopL + prefD[j−1];
+	//   segment below the chain (S_j): opposing arm K_a + D_a..D_{j−1}
+	//     continuing past level j, length chainTopL + prefD[j−1] +
+	//     ldDown[j].  The descent may not stop at a potential sink inside
+	//     the chain: sinks at levels ≤ j are unreachable by an arm whose
+	//     first fragment is S_j, so the plain Lk(u_a) = L(K_a) + ldDown[a]
+	//     of the paper applies only to the unshared case a = j.
+	chainTopL, chainTopR := inf, inf
+	for j := 1; j <= k; j++ {
+		if l.U[j] != l.U[j-1] {
+			chainTopL = inf
+		}
+		if l.V[j] != l.V[j-1] {
+			chainTopR = inf
+		}
+		if l.L2R[j] {
+			// K_j leaves U[j].  As the top link of C(j,b) its opposing arm
+			// descends the S side: lsDown[j].  As the closing link of
+			// C(a, j−1) for a shared ancestor a, the opposing arm is
+			// K_a + D_a..D_{j−1}.
+			upd(l.Kx[j], lsDown[j])
+			if chainTopL < inf {
+				upd(l.Kx[j], chainTopL+prefD[j-1])
+			}
+			top := fragL(l.Kx[j]) - prefD[j-1]
+			if top < chainTopL {
+				chainTopL = top
+			}
+		} else {
+			upd(l.Kx[j], ldDown[j])
+			if chainTopR < inf {
+				upd(l.Kx[j], chainTopR+prefS[j-1])
+			}
+			top := fragL(l.Kx[j]) - prefS[j-1]
+			if top < chainTopR {
+				chainTopR = top
+			}
+		}
+		// The segment below slot j starts the descending arm for every
+		// source in the chain; the opposing arm crosses at K_a, descends
+		// to level j without stopping, then continues optimally.
+		if l.S[j] != nil && chainTopL < inf {
+			upd(l.S[j], chainTopL+prefD[j-1]+ldDown[j])
+		}
+		if l.D[j] != nil && chainTopR < inf {
+			upd(l.D[j], chainTopR+prefS[j-1]+lsDown[j])
+		}
+	}
+
+	for _, f := range l.Fragments() {
+		v, ok := vext[f]
+		if !ok {
+			v = ival.Inf()
+		}
+		sp.SetIvals(f.Tree, v, out)
+	}
+}

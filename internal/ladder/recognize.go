@@ -1,0 +1,268 @@
+package ladder
+
+import (
+	"sort"
+
+	"streamdag/internal/graph"
+	"streamdag/internal/sp"
+)
+
+// This file recovers the outer cycle and chord set of a ladder skeleton.
+//
+// The skeleton (the residue of SP reduction) of a valid SP-ladder is a
+// 2-connected outerplanar multigraph-free digraph: its unique Hamiltonian
+// cycle is the ladder's outer cycle and its chords are the cross-links.  We
+// find them by Mitchell-style elimination: repeatedly remove a degree-2
+// vertex w with neighbors a and b, replacing its two edges by a virtual
+// edge a–b that remembers the path it contracts.  If an a–b edge already
+// exists it must be an original fragment and is recorded as a chord (with
+// more than three vertices live, a direct a–b edge cannot lie on the outer
+// cycle alongside the a–w–b path).  The graph is outerplanar exactly when
+// elimination reaches a triangle or a 2-vertex digon, whose expansion is
+// the outer cycle.
+
+// skEdge is an undirected skeleton edge: either an original SP fragment or
+// a virtual edge contracting an outer path.
+type skEdge struct {
+	a, b graph.NodeID
+	frag *sp.Fragment // non-nil for original edges
+	// virtual-edge fields: the eliminated middle vertex and the two edges
+	// it joined, c1 = a–mid and c2 = mid–b.
+	mid    graph.NodeID
+	c1, c2 *skEdge
+	dead   bool
+}
+
+func (e *skEdge) other(v graph.NodeID) graph.NodeID {
+	if v == e.a {
+		return e.b
+	}
+	return e.a
+}
+
+type skeleton struct {
+	g      *graph.Graph
+	adj    map[graph.NodeID][]*skEdge
+	chords []*sp.Fragment
+	nVerts int
+}
+
+func newSkeleton(g *graph.Graph, frags []*sp.Fragment, x, y graph.NodeID) (*skeleton, error) {
+	sk := &skeleton{g: g, adj: make(map[graph.NodeID][]*skEdge)}
+	for _, f := range frags {
+		if f.From == f.To {
+			return nil, notLadder("fragment self-loop at %s", g.Name(f.From))
+		}
+		e := &skEdge{a: f.From, b: f.To, frag: f}
+		sk.adj[f.From] = append(sk.adj[f.From], e)
+		sk.adj[f.To] = append(sk.adj[f.To], e)
+	}
+	sk.nVerts = len(sk.adj)
+	if _, ok := sk.adj[x]; !ok {
+		return nil, notLadder("source %s not in skeleton", g.Name(x))
+	}
+	if _, ok := sk.adj[y]; !ok {
+		return nil, notLadder("sink %s not in skeleton", g.Name(y))
+	}
+	return sk, nil
+}
+
+// live returns the live edges at v, compacting dead ones.
+func (sk *skeleton) live(v graph.NodeID) []*skEdge {
+	list := sk.adj[v]
+	w := 0
+	for _, e := range list {
+		if !e.dead {
+			list[w] = e
+			w++
+		}
+	}
+	sk.adj[v] = list[:w]
+	return sk.adj[v]
+}
+
+// findBetween returns the live edge between a and b, if any, and whether
+// more than one exists.
+func (sk *skeleton) findBetween(a, b graph.NodeID) (*skEdge, bool) {
+	var found *skEdge
+	multiple := false
+	for _, e := range sk.live(a) {
+		if e.other(a) == b {
+			if found != nil {
+				multiple = true
+			}
+			found = e
+		}
+	}
+	return found, multiple
+}
+
+// outerCycle runs the elimination.  On success it returns the outer cycle
+// as parallel vertex and fragment sequences (fragment i joins vertex i and
+// vertex i+1 mod m) plus the chord fragments.
+func (sk *skeleton) outerCycle() (outer *cycleOrder, chords []*sp.Fragment, err error) {
+	// Seed the work queue with all vertices; re-examine lazily.
+	queue := make([]graph.NodeID, 0, sk.nVerts)
+	for v := range sk.adj {
+		queue = append(queue, v)
+	}
+	// Deterministic order for reproducible errors.
+	sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
+
+	removed := make(map[graph.NodeID]bool)
+	for sk.nVerts > 2 {
+		// Triangle termination: 3 vertices, 3 edges, all degree 2.
+		if sk.nVerts == 3 {
+			if tri, ok := sk.triangle(removed); ok {
+				return tri, sk.chords, nil
+			}
+		}
+		// Find a degree-2 vertex.
+		var w graph.NodeID
+		found := false
+		for len(queue) > 0 {
+			w = queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			if removed[w] {
+				continue
+			}
+			switch len(sk.live(w)) {
+			case 0, 1:
+				return nil, nil, notLadder("skeleton not 2-connected at %s", sk.g.Name(w))
+			case 2:
+				found = true
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			return nil, nil, notLadder("skeleton is not outerplanar (no degree-2 vertex among %d)", sk.nVerts)
+		}
+		es := sk.live(w)
+		e1, e2 := es[0], es[1]
+		a, b := e1.other(w), e2.other(w)
+		if a == b {
+			return nil, nil, notLadder("parallel skeleton paths at %s", sk.g.Name(a))
+		}
+		if ex, multi := sk.findBetween(a, b); ex != nil {
+			if multi || ex.frag == nil {
+				// A virtual a–b edge is itself an outer arc; a third
+				// connection means a theta subdivision — not outerplanar.
+				return nil, nil, notLadder("theta structure between %s and %s", sk.g.Name(a), sk.g.Name(b))
+			}
+			sk.chords = append(sk.chords, ex.frag)
+			ex.dead = true
+			queue = append(queue, a, b)
+		}
+		e1.dead = true
+		e2.dead = true
+		removed[w] = true
+		sk.nVerts--
+		ve := &skEdge{a: a, b: b, mid: w, c1: e1, c2: e2}
+		sk.adj[a] = append(sk.adj[a], ve)
+		sk.adj[b] = append(sk.adj[b], ve)
+		queue = append(queue, a, b)
+	}
+	// Two vertices remain: they must be joined by exactly two live edges
+	// (the two halves of the outer cycle).
+	return sk.digon(removed)
+}
+
+// cycleOrder is the expanded outer cycle.
+type cycleOrder struct {
+	verts []graph.NodeID
+	frags []*sp.Fragment // frags[i] joins verts[i] and verts[i+1 mod m]
+}
+
+// triangle checks for the 3-vertex / 3-edge termination state and expands
+// it.  ok is false if the live graph is not a clean triangle (the caller
+// keeps eliminating, and will fail elsewhere if stuck).
+func (sk *skeleton) triangle(removed map[graph.NodeID]bool) (*cycleOrder, bool) {
+	var vs []graph.NodeID
+	for v := range sk.adj {
+		if !removed[v] {
+			vs = append(vs, v)
+		}
+	}
+	if len(vs) != 3 {
+		return nil, false
+	}
+	edges := map[*skEdge]bool{}
+	for _, v := range vs {
+		if len(sk.live(v)) != 2 {
+			return nil, false
+		}
+		for _, e := range sk.live(v) {
+			edges[e] = true
+		}
+	}
+	if len(edges) != 3 {
+		return nil, false
+	}
+	// Walk the triangle starting anywhere.
+	return expandCycle(vs[0], edges), true
+}
+
+// digon handles the 2-vertex termination.
+func (sk *skeleton) digon(removed map[graph.NodeID]bool) (*cycleOrder, []*sp.Fragment, error) {
+	var vs []graph.NodeID
+	for v := range sk.adj {
+		if !removed[v] {
+			vs = append(vs, v)
+		}
+	}
+	if len(vs) != 2 {
+		return nil, nil, notLadder("internal: %d vertices after elimination", len(vs))
+	}
+	es := sk.live(vs[0])
+	if len(es) != 2 {
+		return nil, nil, notLadder("outer cycle is not two arcs (%d edges between last two vertices)", len(es))
+	}
+	edges := map[*skEdge]bool{es[0]: true, es[1]: true}
+	return expandCycle(vs[0], edges), sk.chords, nil
+}
+
+// expandCycle walks the final cycle edges from start, expanding virtual
+// edges into their contracted paths.
+func expandCycle(start graph.NodeID, edges map[*skEdge]bool) *cycleOrder {
+	out := &cycleOrder{}
+	cur := start
+	var prev *skEdge
+	for {
+		var next *skEdge
+		for e := range edges {
+			if e != prev && (e.a == cur || e.b == cur) {
+				next = e
+				break
+			}
+		}
+		expandEdge(next, cur, out)
+		cur = next.other(cur)
+		delete(edges, next)
+		prev = next
+		if cur == start {
+			break
+		}
+	}
+	return out
+}
+
+// expandEdge appends the path represented by e, starting from endpoint
+// `from`, to the cycle order: it appends `from` and all interior vertices,
+// plus the fragments, leaving the far endpoint for the next call.
+func expandEdge(e *skEdge, from graph.NodeID, out *cycleOrder) {
+	if e.frag != nil {
+		out.verts = append(out.verts, from)
+		out.frags = append(out.frags, e.frag)
+		return
+	}
+	// Virtual: from == e.a means order c1 (a–mid) then c2 (mid–b).
+	if from == e.a {
+		expandEdge(e.c1, from, out)
+		expandEdge(e.c2, e.mid, out)
+	} else {
+		expandEdge(e.c2, from, out)
+		expandEdge(e.c1, e.mid, out)
+	}
+}

@@ -1,0 +1,44 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzBuild checks the DSL pipeline never panics and that accepted
+// programs compile to structurally sane graphs.
+func FuzzBuild(f *testing.F) {
+	seeds := []string{
+		videoSrc,
+		"topology t { a -> b }",
+		"topology t { buffer 3\n (a,b) -> c -> (d,e) }",
+		"topology t { a ->[7] b ->[1] c }",
+		"topology t { node x, y\n x -> y }",
+		"topology t {}",
+		"topology { a -> b }",
+		"topology t { a -> }",
+		"# just a comment",
+		"topology t { a -> b -> a }",
+		strings.Repeat("topology t { a -> b }\n", 3),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := Build(src)
+		if err != nil {
+			return
+		}
+		if g.NumNodes() == 0 {
+			t.Fatal("accepted empty graph")
+		}
+		if !g.IsDAG() {
+			t.Fatal("accepted cyclic graph")
+		}
+		for _, e := range g.Edges() {
+			if e.Buf < 1 {
+				t.Fatalf("accepted buffer %d", e.Buf)
+			}
+		}
+	})
+}

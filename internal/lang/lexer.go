@@ -1,0 +1,180 @@
+// Package lang implements a small declarative language for streaming
+// topologies, in the spirit of the paper's conclusion ("we plan to augment
+// an existing language for streaming computation, such as the X language,
+// to support the filtering model").  A topology file declares nodes and
+// channels with buffer capacities; the compiler produces the graph that
+// the analysis and runtime layers consume, so deadlock avoidance is wired
+// in at build time exactly as the paper prescribes for a compiler.
+//
+// Grammar (line comments with #):
+//
+//	file     := "topology" IDENT "{" stmt* "}"
+//	stmt     := "buffer" NUMBER            default channel capacity
+//	          | "node" IDENT ("," IDENT)*  explicit declaration
+//	          | chain
+//	chain    := group (arrow group)+
+//	arrow    := "->" | "->" "[" NUMBER "]"
+//	group    := IDENT | "(" IDENT ("," IDENT)* ")"
+//
+// A chain connects consecutive groups completely (every member of the
+// left group to every member of the right); an arrow's bracketed number
+// overrides the default buffer for the channels it creates.
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token types.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokArrow  // ->
+	tokLBrace // {
+	tokRBrace // }
+	tokLParen // (
+	tokRParen // )
+	tokLBrack // [
+	tokRBrack // ]
+	tokComma  // ,
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokArrow:
+		return "'->'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBrack:
+		return "'['"
+	case tokRBrack:
+		return "']'"
+	case tokComma:
+		return "','"
+	}
+	return "?"
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+// SyntaxError reports a lexical or parse failure with position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("lang: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(t token, format string, args ...any) error {
+	return &SyntaxError{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenizes src.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	advance := func(n int) {
+		for k := 0; k < n; k++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				advance(1)
+			}
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			advance(1)
+		case c == '-':
+			if i+1 < len(src) && src[i+1] == '>' {
+				toks = append(toks, token{tokArrow, "->", line, col})
+				advance(2)
+			} else {
+				return nil, &SyntaxError{line, col, "expected '->' after '-'"}
+			}
+		case c == '{':
+			toks = append(toks, token{tokLBrace, "{", line, col})
+			advance(1)
+		case c == '}':
+			toks = append(toks, token{tokRBrace, "}", line, col})
+			advance(1)
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", line, col})
+			advance(1)
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", line, col})
+			advance(1)
+		case c == '[':
+			toks = append(toks, token{tokLBrack, "[", line, col})
+			advance(1)
+		case c == ']':
+			toks = append(toks, token{tokRBrack, "]", line, col})
+			advance(1)
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", line, col})
+			advance(1)
+		case unicode.IsDigit(rune(c)):
+			start, l0, c0 := i, line, col
+			for i < len(src) && unicode.IsDigit(rune(src[i])) {
+				advance(1)
+			}
+			toks = append(toks, token{tokNumber, src[start:i], l0, c0})
+		case isIdentStart(rune(c)):
+			start, l0, c0 := i, line, col
+			for i < len(src) && isIdentPart(rune(src[i])) {
+				advance(1)
+			}
+			toks = append(toks, token{tokIdent, src[start:i], l0, c0})
+		default:
+			return nil, &SyntaxError{line, col, fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line, col})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return isIdentStart(r) || unicode.IsDigit(r) || r == '.'
+}
+
+// reserved words may not be used as node names.
+var reserved = map[string]bool{"topology": true, "buffer": true, "node": true}
+
+func isReserved(s string) bool { return reserved[strings.ToLower(s)] }

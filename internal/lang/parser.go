@@ -1,0 +1,274 @@
+package lang
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"streamdag/internal/graph"
+)
+
+// File is the parsed form of a topology file.
+type File struct {
+	Name  string
+	Stmts []Stmt
+}
+
+// Stmt is one statement: a default-buffer setting, node declarations, or
+// a chain of connections.
+type Stmt struct {
+	// Exactly one of the following is meaningful.
+	DefaultBuf int      // > 0 for "buffer N"
+	Nodes      []string // non-empty for "node a, b"
+	Chain      *Chain
+	line       int
+}
+
+// Chain is group -> group -> … with per-arrow buffer overrides.
+type Chain struct {
+	Groups [][]string
+	// Bufs[i] is the override for the arrow between Groups[i] and
+	// Groups[i+1]; 0 means use the default.
+	Bufs []int
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) expect(k tokKind) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, errAt(t, "expected %v, found %v %q", k, t.kind, t.text)
+	}
+	return t, nil
+}
+
+// ParseFile parses a topology file.
+func ParseFile(r io.Reader) (*File, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return ParseString(string(src))
+}
+
+// ParseString parses topology source text.
+func ParseString(src string) (*File, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	kw, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if kw.text != "topology" {
+		return nil, errAt(kw, "expected 'topology', found %q", kw.text)
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if isReserved(name.text) {
+		return nil, errAt(name, "reserved word %q cannot name a topology", name.text)
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	f := &File{Name: name.text}
+	for p.peek().kind != tokRBrace {
+		if p.peek().kind == tokEOF {
+			return nil, errAt(p.peek(), "unterminated topology block")
+		}
+		st, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		f.Stmts = append(f.Stmts, st)
+	}
+	p.next() // }
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, errAt(t, "trailing input after topology block")
+	}
+	return f, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokIdent && t.text == "buffer":
+		p.next()
+		num, err := p.expect(tokNumber)
+		if err != nil {
+			return Stmt{}, err
+		}
+		n, err := strconv.Atoi(num.text)
+		if err != nil || n < 1 {
+			return Stmt{}, errAt(num, "buffer capacity must be a positive integer")
+		}
+		return Stmt{DefaultBuf: n, line: t.line}, nil
+	case t.kind == tokIdent && t.text == "node":
+		p.next()
+		var names []string
+		for {
+			id, err := p.ident()
+			if err != nil {
+				return Stmt{}, err
+			}
+			names = append(names, id)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+		return Stmt{Nodes: names, line: t.line}, nil
+	default:
+		c, err := p.chain()
+		if err != nil {
+			return Stmt{}, err
+		}
+		return Stmt{Chain: c, line: t.line}, nil
+	}
+}
+
+func (p *parser) ident() (string, error) {
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return "", err
+	}
+	if isReserved(t.text) {
+		return "", errAt(t, "reserved word %q cannot name a node", t.text)
+	}
+	return t.text, nil
+}
+
+func (p *parser) group() ([]string, error) {
+	if p.peek().kind == tokLParen {
+		p.next()
+		var names []string
+		for {
+			id, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			names = append(names, id)
+			if p.peek().kind == tokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return names, nil
+	}
+	id, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return []string{id}, nil
+}
+
+func (p *parser) chain() (*Chain, error) {
+	first, err := p.group()
+	if err != nil {
+		return nil, err
+	}
+	c := &Chain{Groups: [][]string{first}}
+	for p.peek().kind == tokArrow {
+		arrow := p.next()
+		buf := 0
+		if p.peek().kind == tokLBrack {
+			p.next()
+			num, err := p.expect(tokNumber)
+			if err != nil {
+				return nil, err
+			}
+			buf, err = strconv.Atoi(num.text)
+			if err != nil || buf < 1 {
+				return nil, errAt(num, "channel capacity must be a positive integer")
+			}
+			if _, err := p.expect(tokRBrack); err != nil {
+				return nil, err
+			}
+		}
+		g, err := p.group()
+		if err != nil {
+			return nil, err
+		}
+		_ = arrow
+		c.Groups = append(c.Groups, g)
+		c.Bufs = append(c.Bufs, buf)
+	}
+	if len(c.Groups) < 2 {
+		return nil, errAt(p.peek(), "expected '->' in connection statement")
+	}
+	return c, nil
+}
+
+// Compile elaborates a parsed file into a graph: groups connect
+// completely, buffers default as declared (or 1 if never declared), and
+// nodes appear in declaration/first-use order.
+func Compile(f *File) (*graph.Graph, error) {
+	g := graph.New()
+	defaultBuf := 0
+	ensure := func(name string) graph.NodeID {
+		if id, ok := g.NodeByName(name); ok {
+			return id
+		}
+		return g.AddNode(name)
+	}
+	for _, st := range f.Stmts {
+		switch {
+		case st.DefaultBuf > 0:
+			if defaultBuf > 0 {
+				return nil, fmt.Errorf("lang: line %d: duplicate buffer declaration", st.line)
+			}
+			defaultBuf = st.DefaultBuf
+		case len(st.Nodes) > 0:
+			for _, n := range st.Nodes {
+				if _, dup := g.NodeByName(n); dup {
+					return nil, fmt.Errorf("lang: line %d: node %q already declared", st.line, n)
+				}
+				g.AddNode(n)
+			}
+		case st.Chain != nil:
+			for i := 0; i+1 < len(st.Chain.Groups); i++ {
+				buf := st.Chain.Bufs[i]
+				if buf == 0 {
+					buf = defaultBuf
+				}
+				if buf == 0 {
+					buf = 1
+				}
+				for _, from := range st.Chain.Groups[i] {
+					for _, to := range st.Chain.Groups[i+1] {
+						g.AddEdge(ensure(from), ensure(to), buf)
+					}
+				}
+			}
+		}
+	}
+	if g.NumNodes() == 0 {
+		return nil, fmt.Errorf("lang: topology %q declares no nodes", f.Name)
+	}
+	if !g.IsDAG() {
+		return nil, fmt.Errorf("lang: topology %q contains a directed cycle", f.Name)
+	}
+	return g, nil
+}
+
+// Build parses and compiles in one step.
+func Build(src string) (*graph.Graph, error) {
+	f, err := ParseString(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(f)
+}

@@ -1,0 +1,340 @@
+// Package mc is a model checker for the streaming-with-filtering model: it
+// exhaustively explores every interleaving of consume and deliver actions
+// on (small) instances and reports the set of reachable terminal outcomes.
+//
+// The deterministic simulator (package sim) decides deadlock using a
+// single round-robin schedule.  That is sound because the network is
+// confluent: nodes are deterministic functions of their input streams and
+// channels are FIFO, so whether the run completes is independent of the
+// schedule (a bounded-buffer Kahn network).  This package checks that
+// claim mechanically: on every explored instance, all maximal executions
+// must end in the same outcome, and that outcome must match the
+// simulator's verdict.  Because mc implements the semantics independently
+// of sim, agreement also guards against implementation drift.
+package mc
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"streamdag/internal/cs4"
+	"streamdag/internal/graph"
+	"streamdag/internal/ival"
+	"streamdag/internal/sim"
+)
+
+// Config mirrors the simulator's knobs for the explored instance.
+type Config struct {
+	Algorithm cs4.Algorithm
+	Intervals map[graph.EdgeID]ival.Interval
+	Inputs    uint64
+	// MaxStates bounds the exploration; exceeded ⇒ ErrStateBudget.
+	MaxStates int
+}
+
+// ErrStateBudget is returned when the state space exceeds MaxStates.
+var ErrStateBudget = fmt.Errorf("mc: state budget exceeded")
+
+// Outcome is the terminal verdict of one maximal execution.
+type Outcome int
+
+const (
+	// Completed: every node finished and all messages were delivered.
+	Completed Outcome = iota
+	// Deadlocked: no action enabled but the stream has not drained.
+	Deadlocked
+)
+
+func (o Outcome) String() string {
+	if o == Completed {
+		return "completed"
+	}
+	return "deadlocked"
+}
+
+// Result summarizes the exploration.
+type Result struct {
+	States    int
+	Terminals map[Outcome]int
+	// Confluent reports whether exactly one outcome is reachable.
+	Confluent bool
+}
+
+const eosSeq = math.MaxUint64
+
+type msg struct {
+	seq  uint64
+	kind sim.Kind
+}
+
+type pending struct {
+	edge graph.EdgeID
+	m    msg
+}
+
+// state is one global configuration.  It is copied on every transition;
+// instances are tiny by construction.
+type state struct {
+	chans    [][]msg
+	pend     [][]pending
+	lastSent [][]int64
+	done     []bool
+	nextIn   uint64
+	srcEOS   bool
+}
+
+func (s *state) clone() *state {
+	c := &state{
+		chans:    make([][]msg, len(s.chans)),
+		pend:     make([][]pending, len(s.pend)),
+		lastSent: make([][]int64, len(s.lastSent)),
+		done:     append([]bool(nil), s.done...),
+		nextIn:   s.nextIn,
+		srcEOS:   s.srcEOS,
+	}
+	for i := range s.chans {
+		c.chans[i] = append([]msg(nil), s.chans[i]...)
+	}
+	for i := range s.pend {
+		c.pend[i] = append([]pending(nil), s.pend[i]...)
+		c.lastSent[i] = append([]int64(nil), s.lastSent[i]...)
+	}
+	return c
+}
+
+func (s *state) key() string {
+	var b strings.Builder
+	for _, ch := range s.chans {
+		for _, m := range ch {
+			fmt.Fprintf(&b, "%d.%d,", m.seq, m.kind)
+		}
+		b.WriteByte('|')
+	}
+	for i := range s.pend {
+		for _, p := range s.pend[i] {
+			fmt.Fprintf(&b, "%d:%d.%d,", p.edge, p.m.seq, p.m.kind)
+		}
+		b.WriteByte(';')
+		for _, ls := range s.lastSent[i] {
+			fmt.Fprintf(&b, "%d,", ls)
+		}
+		b.WriteByte('!')
+		if s.done[i] {
+			b.WriteByte('D')
+		}
+	}
+	fmt.Fprintf(&b, "#%d.%v", s.nextIn, s.srcEOS)
+	return b.String()
+}
+
+// Explore runs the exhaustive search.
+func Explore(g *graph.Graph, filter sim.Filter, cfg Config) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxStates == 0 {
+		cfg.MaxStates = 1 << 20
+	}
+	m := &machine{g: g, filter: filter, cfg: cfg}
+	m.sendAt = make([][]uint64, g.NumNodes())
+	for n := 0; n < g.NumNodes(); n++ {
+		outs := g.Out(graph.NodeID(n))
+		m.sendAt[n] = make([]uint64, len(outs))
+		for i, e := range outs {
+			m.sendAt[n][i] = integerize(cfg, e)
+		}
+	}
+	init := &state{
+		chans:    make([][]msg, g.NumEdges()),
+		pend:     make([][]pending, g.NumNodes()),
+		lastSent: make([][]int64, g.NumNodes()),
+		done:     make([]bool, g.NumNodes()),
+	}
+	for n := 0; n < g.NumNodes(); n++ {
+		init.lastSent[n] = make([]int64, g.OutDegree(graph.NodeID(n)))
+		for i := range init.lastSent[n] {
+			init.lastSent[n][i] = -1
+		}
+	}
+	res := &Result{Terminals: map[Outcome]int{}}
+	seen := map[string]bool{}
+	stack := []*state{init}
+	seen[init.key()] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		res.States++
+		if res.States > cfg.MaxStates {
+			return nil, ErrStateBudget
+		}
+		succs := m.successors(s)
+		if len(succs) == 0 {
+			if m.drained(s) {
+				res.Terminals[Completed]++
+			} else {
+				res.Terminals[Deadlocked]++
+			}
+			continue
+		}
+		for _, ns := range succs {
+			k := ns.key()
+			if !seen[k] {
+				seen[k] = true
+				stack = append(stack, ns)
+			}
+		}
+	}
+	res.Confluent = len(res.Terminals) == 1
+	return res, nil
+}
+
+type machine struct {
+	g      *graph.Graph
+	filter sim.Filter
+	cfg    Config
+	sendAt [][]uint64
+}
+
+func (m *machine) drained(s *state) bool {
+	for _, d := range s.done {
+		if !d {
+			return false
+		}
+	}
+	for i := range s.pend {
+		if len(s.pend[i]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// successors enumerates every enabled action.
+func (m *machine) successors(s *state) []*state {
+	var out []*state
+	for n := 0; n < m.g.NumNodes(); n++ {
+		id := graph.NodeID(n)
+		// Deliver actions: any pending message whose channel has space,
+		// each as a separate interleaving choice.
+		for pi, p := range s.pend[n] {
+			ch := s.chans[p.edge]
+			if len(ch) >= m.g.Edge(p.edge).Buf {
+				continue
+			}
+			ns := s.clone()
+			ns.chans[p.edge] = append(ns.chans[p.edge], p.m)
+			ns.pend[n] = append(append([]pending(nil), ns.pend[n][:pi]...), ns.pend[n][pi+1:]...)
+			out = append(out, ns)
+		}
+		if len(s.pend[n]) > 0 || s.done[n] {
+			continue
+		}
+		// Consume / inject.
+		if m.g.InDegree(id) == 0 {
+			out = append(out, m.stepSource(s, id)...)
+			continue
+		}
+		if ns, ok := m.consume(s, id); ok {
+			out = append(out, ns)
+		}
+	}
+	return out
+}
+
+func (m *machine) stepSource(s *state, id graph.NodeID) []*state {
+	if s.srcEOS {
+		return nil
+	}
+	ns := s.clone()
+	if s.nextIn >= m.cfg.Inputs {
+		for _, e := range m.g.Out(id) {
+			ns.pend[id] = append(ns.pend[id], pending{e, msg{eosSeq, sim.EOS}})
+		}
+		ns.srcEOS = true
+		ns.done[id] = true
+		return []*state{ns}
+	}
+	m.emit(ns, id, ns.nextIn, true)
+	ns.nextIn++
+	return []*state{ns}
+}
+
+func (m *machine) consume(s *state, id graph.NodeID) (*state, bool) {
+	in := m.g.In(id)
+	minSeq := uint64(eosSeq)
+	for _, e := range in {
+		if len(s.chans[e]) == 0 {
+			return nil, false
+		}
+		if h := s.chans[e][0].seq; h < minSeq {
+			minSeq = h
+		}
+	}
+	ns := s.clone()
+	if minSeq == eosSeq {
+		for _, e := range in {
+			ns.chans[e] = ns.chans[e][1:]
+		}
+		for _, e := range m.g.Out(id) {
+			ns.pend[id] = append(ns.pend[id], pending{e, msg{eosSeq, sim.EOS}})
+		}
+		ns.done[id] = true
+		return ns, true
+	}
+	haveData := false
+	for _, e := range in {
+		if ns.chans[e][0].seq == minSeq {
+			if ns.chans[e][0].kind == sim.Data {
+				haveData = true
+			}
+			ns.chans[e] = ns.chans[e][1:]
+		}
+	}
+	m.emit(ns, id, minSeq, haveData)
+	return ns, true
+}
+
+// emit mirrors sim's protocol wrapper exactly (sequence-distance timers,
+// Propagation cascade on data-free firings).
+func (m *machine) emit(s *state, id graph.NodeID, seq uint64, haveData bool) {
+	out := m.g.Out(id)
+	dummies := m.cfg.Intervals != nil
+	anyData := false
+	emitted := make([]bool, len(out))
+	for i, e := range out {
+		if haveData && m.filter(id, seq, e) {
+			s.pend[id] = append(s.pend[id], pending{e, msg{seq, sim.Data}})
+			s.lastSent[id][i] = int64(seq)
+			emitted[i] = true
+			anyData = true
+		}
+	}
+	cascade := dummies && m.cfg.Algorithm == cs4.Propagation && !anyData
+	for i, e := range out {
+		if emitted[i] {
+			continue
+		}
+		due := dummies && m.sendAt[id][i] != 0 &&
+			int64(seq)-s.lastSent[id][i] >= int64(m.sendAt[id][i])
+		if cascade || due {
+			s.pend[id] = append(s.pend[id], pending{e, msg{seq, sim.Dummy}})
+			s.lastSent[id][i] = int64(seq)
+		}
+	}
+}
+
+func integerize(cfg Config, e graph.EdgeID) uint64 {
+	if cfg.Intervals == nil {
+		return 0
+	}
+	iv, ok := cfg.Intervals[e]
+	if !ok || iv.IsInf() {
+		return 0
+	}
+	n := iv.Ceil()
+	if n < 1 {
+		n = 1
+	}
+	return uint64(n)
+}

@@ -1,0 +1,163 @@
+package mc
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamdag/internal/cs4"
+	"streamdag/internal/graph"
+	"streamdag/internal/sim"
+	"streamdag/internal/workload"
+)
+
+func explore(t *testing.T, g *graph.Graph, f sim.Filter, cfg Config) *Result {
+	t.Helper()
+	r, err := Explore(g, f, cfg)
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	return r
+}
+
+func TestPipelineAllSchedulesComplete(t *testing.T) {
+	g := workload.Pipeline(3, 1)
+	r := explore(t, g, sim.EmitAll, Config{Inputs: 3})
+	if !r.Confluent || r.Terminals[Completed] == 0 || r.Terminals[Deadlocked] != 0 {
+		t.Fatalf("terminals = %v", r.Terminals)
+	}
+	if r.States < 10 {
+		t.Errorf("suspiciously few states: %d", r.States)
+	}
+}
+
+// TestFig2DeadlockAllSchedules: with the adversarial filter, EVERY
+// schedule deadlocks — the hazard is not a scheduling artifact.
+func TestFig2DeadlockAllSchedules(t *testing.T) {
+	g := workload.Fig2Triangle(1)
+	var drop graph.EdgeID
+	for _, e := range g.Edges() {
+		if g.Name(e.From) == "A" && g.Name(e.To) == "C" {
+			drop = e.ID
+		}
+	}
+	f := sim.Filter(workload.DropEdge(drop))
+	r := explore(t, g, f, Config{Inputs: 5})
+	if r.Terminals[Completed] != 0 {
+		t.Fatalf("some schedule completed: %v", r.Terminals)
+	}
+	if r.Terminals[Deadlocked] == 0 {
+		t.Fatal("no deadlocked terminal found")
+	}
+	// And the simulator agrees.
+	sr := sim.Run(g, f, sim.Config{Inputs: 5})
+	if sr.Completed {
+		t.Error("simulator disagrees with model checker")
+	}
+}
+
+// TestFig2AvoidanceAllSchedules: with computed intervals, EVERY schedule
+// completes.
+func TestFig2AvoidanceAllSchedules(t *testing.T) {
+	g := workload.Fig2Triangle(1)
+	var drop graph.EdgeID
+	for _, e := range g.Edges() {
+		if g.Name(e.From) == "A" && g.Name(e.To) == "C" {
+			drop = e.ID
+		}
+	}
+	f := sim.Filter(workload.DropEdge(drop))
+	d, err := cs4.Classify(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []cs4.Algorithm{cs4.Propagation, cs4.NonPropagation} {
+		iv, err := d.Intervals(alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := explore(t, g, f, Config{Inputs: 5, Algorithm: alg, Intervals: iv})
+		if r.Terminals[Deadlocked] != 0 {
+			t.Fatalf("%v: some schedule deadlocked: %v", alg, r.Terminals)
+		}
+		if r.Terminals[Completed] == 0 {
+			t.Fatalf("%v: nothing completed", alg)
+		}
+	}
+}
+
+// TestConfluenceMatchesSimulator is the headline property: across random
+// small instances and filters, the reachable outcome is unique and equal
+// to the simulator's verdict.
+func TestConfluenceMatchesSimulator(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	checked := 0
+	for trial := 0; trial < 60; trial++ {
+		g := workload.RandomSP(rng, 1+rng.Intn(4), 2)
+		if g.NumEdges() > 5 {
+			continue
+		}
+		var filter workload.FilterFunc
+		switch trial % 3 {
+		case 0:
+			filter = workload.PassAll
+		case 1:
+			filter = workload.Bernoulli(0.5, uint64(trial))
+		default:
+			filter = workload.Periodic(3)
+		}
+		var cfg Config
+		if trial%2 == 0 {
+			d, err := cs4.Classify(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			iv, err := d.Intervals(cs4.NonPropagation)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg = Config{Inputs: 4, Algorithm: cs4.NonPropagation, Intervals: iv}
+		} else {
+			cfg = Config{Inputs: 4}
+		}
+		cfg.MaxStates = 1 << 21
+		r, err := Explore(g, sim.Filter(filter), cfg)
+		if err == ErrStateBudget {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		checked++
+		if !r.Confluent {
+			t.Fatalf("trial %d: outcomes %v not confluent\n%s", trial, r.Terminals, g)
+		}
+		sr := sim.Run(g, sim.Filter(filter), sim.Config{
+			Inputs: 4, Algorithm: cfg.Algorithm, Intervals: cfg.Intervals,
+		})
+		mcCompleted := r.Terminals[Completed] > 0
+		if mcCompleted != sr.Completed {
+			t.Fatalf("trial %d: model checker %v, simulator completed=%v\n%s",
+				trial, r.Terminals, sr.Completed, g)
+		}
+	}
+	if checked < 25 {
+		t.Fatalf("only %d instances explored", checked)
+	}
+}
+
+func TestStateBudget(t *testing.T) {
+	g := workload.Pipeline(4, 2)
+	_, err := Explore(g, sim.EmitAll, Config{Inputs: 10, MaxStates: 5})
+	if err != ErrStateBudget {
+		t.Errorf("err = %v, want ErrStateBudget", err)
+	}
+}
+
+func TestExploreRejectsInvalid(t *testing.T) {
+	g := graph.New()
+	g.AddNode("a")
+	g.AddNode("b")
+	if _, err := Explore(g, sim.EmitAll, Config{Inputs: 1}); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+}

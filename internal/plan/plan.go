@@ -1,0 +1,164 @@
+// Package plan solves the inverse problem of the paper's analysis: the
+// interval algorithms map buffer sizes to dummy intervals; a deployment
+// usually starts from a dummy-traffic budget and asks how big the buffers
+// must be.  Because every interval is a minimum over sums of buffer
+// capacities (divided by hop counts that do not depend on capacities),
+// intervals scale exactly linearly when all buffers are scaled uniformly —
+// so the minimal uniform factor is a ceiling of a ratio, no search needed.
+//
+// The package also predicts the steady-state dummy overhead of the
+// Non-Propagation protocol under Bernoulli filtering analytically, via the
+// renewal argument: on an edge with integer interval k and per-sequence
+// pass probability p, sends form renewal cycles that end either at the
+// first data message or at the k-th consecutive filtered one, so
+//
+//	dummies/seq  =  (1−p)^k / E[cycle],
+//	E[cycle]     =  Σ_{i=1..k} i·p(1−p)^{i−1} + k·(1−p)^k.
+//
+// The prediction is validated against the simulator in tests and in
+// experiment E12b.
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"streamdag/internal/cs4"
+	"streamdag/internal/graph"
+	"streamdag/internal/ival"
+)
+
+// ScaleForInterval returns the smallest integer factor f such that, after
+// multiplying every buffer capacity by f, every finite dummy interval of
+// the chosen algorithm is at least minInterval, together with the scaled
+// graph.  Returns f = 1 and the original graph when already satisfied; an
+// error if the graph has no finite intervals (no cycles — any buffers
+// work) is not needed: such graphs return f = 1.
+func ScaleForInterval(g *graph.Graph, alg cs4.Algorithm, minInterval int64) (int64, *graph.Graph, error) {
+	if minInterval < 1 {
+		return 0, nil, fmt.Errorf("plan: minInterval must be ≥ 1")
+	}
+	dec, err := cs4.Classify(g)
+	if err != nil {
+		return 0, nil, err
+	}
+	if dec.Class == cs4.ClassGeneral {
+		return 0, nil, fmt.Errorf("plan: general topology; classify it CS4 first")
+	}
+	iv, err := dec.Intervals(alg)
+	if err != nil {
+		return 0, nil, err
+	}
+	minFinite := ival.Inf()
+	for _, v := range iv {
+		minFinite = ival.Min(minFinite, v)
+	}
+	if minFinite.IsInf() {
+		return 1, g, nil // acyclic: no dummies ever
+	}
+	// Smallest f with f · minFinite ≥ minInterval:
+	// f = ceil(minInterval · den / num).
+	num, den := minFinite.Num(), minFinite.Den()
+	f := (minInterval*den + num - 1) / num
+	if f < 1 {
+		f = 1
+	}
+	if f == 1 {
+		return 1, g, nil
+	}
+	scaled := graph.New()
+	for n := 0; n < g.NumNodes(); n++ {
+		scaled.AddNode(g.Name(graph.NodeID(n)))
+	}
+	for _, e := range g.Edges() {
+		scaled.AddEdge(e.From, e.To, e.Buf*int(f))
+	}
+	return f, scaled, nil
+}
+
+// PredictSourceDummyRate returns the expected dummy and data messages per
+// generated input on each of the source's out-edges, for the
+// Non-Propagation protocol under independent Bernoulli(p) routing at the
+// source.  The source consumes every sequence number, so the renewal model
+// is exact there: a cycle ends at the first data send (probability p per
+// step) or at the k-th consecutive filtered step.  Interior edges are
+// consume-gated by upstream filtering and are not predicted (the
+// simulator measures them; see experiment E12).
+func PredictSourceDummyRate(g *graph.Graph, intervals map[graph.EdgeID]ival.Interval, p float64) (map[graph.EdgeID]Rate, error) {
+	if p <= 0 || p > 1 {
+		return nil, fmt.Errorf("plan: pass probability must be in (0, 1]")
+	}
+	src := g.Sources()
+	if len(src) != 1 {
+		return nil, fmt.Errorf("plan: need a unique source")
+	}
+	out := make(map[graph.EdgeID]Rate, g.OutDegree(src[0]))
+	for _, eid := range g.Out(src[0]) {
+		r := Rate{Data: p}
+		if v, ok := intervals[eid]; ok && !v.IsInf() {
+			k := float64(v.Ceil())
+			if k < 1 {
+				k = 1
+			}
+			q := 1 - p
+			qk := math.Pow(q, k)
+			// E[cycle] = Σ_{i=1..k} i·p·q^{i−1} + k·q^k, with the partial
+			// geometric mean in closed form:
+			// Σ_{i=1}^{k} i·p·q^{i−1} = (1 − (k+1)·q^k + k·q^{k+1}) / p.
+			ecycle := (1-(k+1)*qk+k*qk*q)/p + k*qk
+			r.Dummy = qk / ecycle
+		}
+		out[eid] = r
+	}
+	return out, nil
+}
+
+// Rate is an expected per-input message rate on one edge.
+type Rate struct {
+	Data  float64
+	Dummy float64
+}
+
+// EdgeBudget describes one edge's protection in a Report.
+type EdgeBudget struct {
+	Edge     graph.EdgeID
+	Interval ival.Interval
+	// SendGap is the integerized dummy gap (0 = never).
+	SendGap int64
+}
+
+// Report summarizes a planning run for operators: per-edge intervals and
+// the uniform scaling applied.
+type Report struct {
+	Factor int64
+	Edges  []EdgeBudget
+}
+
+// Plan computes intervals on the (possibly scaled) graph and assembles a
+// Report.  It is what cmd/dlavoid-style tooling would surface to users.
+func Plan(g *graph.Graph, alg cs4.Algorithm, minInterval int64) (*Report, *graph.Graph, error) {
+	f, scaled, err := ScaleForInterval(g, alg, minInterval)
+	if err != nil {
+		return nil, nil, err
+	}
+	dec, err := cs4.Classify(scaled)
+	if err != nil {
+		return nil, nil, err
+	}
+	iv, err := dec.Intervals(alg)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{Factor: f}
+	for _, e := range scaled.Edges() {
+		b := EdgeBudget{Edge: e.ID, Interval: iv[e.ID]}
+		if !iv[e.ID].IsInf() {
+			b.SendGap = iv[e.ID].Ceil()
+			if b.SendGap < 1 {
+				b.SendGap = 1
+			}
+		}
+		rep.Edges = append(rep.Edges, b)
+	}
+	return rep, scaled, nil
+}

@@ -1,0 +1,181 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamdag/internal/cs4"
+	"streamdag/internal/graph"
+	"streamdag/internal/ival"
+	"streamdag/internal/sim"
+	"streamdag/internal/workload"
+)
+
+func intervals(t testing.TB, g *graph.Graph, alg cs4.Algorithm) map[graph.EdgeID]ival.Interval {
+	t.Helper()
+	d, err := cs4.Classify(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := d.Intervals(alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return iv
+}
+
+// TestScaleLinearity pins the lemma the planner relies on: scaling every
+// buffer by f multiplies every interval by exactly f.
+func TestScaleLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 60; trial++ {
+		g := workload.RandomCS4(rng, 1+rng.Intn(3), 4, 0.5)
+		for _, alg := range []cs4.Algorithm{cs4.Propagation, cs4.NonPropagation} {
+			base := intervals(t, g, alg)
+			f := int64(2 + rng.Intn(4))
+			scaled := graph.New()
+			for n := 0; n < g.NumNodes(); n++ {
+				scaled.AddNode(g.Name(graph.NodeID(n)))
+			}
+			for _, e := range g.Edges() {
+				scaled.AddEdge(e.From, e.To, e.Buf*int(f))
+			}
+			got := intervals(t, scaled, alg)
+			for e, v := range base {
+				want := v
+				if !v.IsInf() {
+					want = ival.FromRatio(v.Num()*f, v.Den())
+				}
+				if !got[e].Equal(want) {
+					t.Fatalf("trial %d %v: edge %d: %v × %d = %v, got %v",
+						trial, alg, e, v, f, want, got[e])
+				}
+			}
+		}
+	}
+}
+
+func TestScaleForInterval(t *testing.T) {
+	g := workload.Fig2Triangle(2) // min finite propagation interval = 2
+	f, scaled, err := ScaleForInterval(g, cs4.Propagation, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 5 {
+		t.Fatalf("factor = %d, want 5", f)
+	}
+	iv := intervals(t, scaled, cs4.Propagation)
+	for e, v := range iv {
+		if !v.IsInf() && v.Less(ival.FromInt(10)) {
+			t.Errorf("edge %d interval %v < 10 after scaling", e, v)
+		}
+	}
+	// Already satisfied ⇒ factor 1, same graph.
+	f2, same, err := ScaleForInterval(scaled, cs4.Propagation, 10)
+	if err != nil || f2 != 1 || same != scaled {
+		t.Errorf("re-plan: f=%d err=%v", f2, err)
+	}
+}
+
+func TestScaleAcyclic(t *testing.T) {
+	g := workload.Pipeline(4, 1)
+	f, same, err := ScaleForInterval(g, cs4.NonPropagation, 1000)
+	if err != nil || f != 1 || same != g {
+		t.Errorf("acyclic: f=%d err=%v", f, err)
+	}
+}
+
+func TestScaleErrors(t *testing.T) {
+	g := workload.Fig2Triangle(2)
+	if _, _, err := ScaleForInterval(g, cs4.Propagation, 0); err == nil {
+		t.Error("minInterval 0 accepted")
+	}
+	if _, _, err := ScaleForInterval(workload.Fig4Butterfly(1), cs4.Propagation, 2); err == nil {
+		t.Error("general graph accepted")
+	}
+}
+
+func TestPlanReport(t *testing.T) {
+	g := workload.Fig2Triangle(2)
+	rep, scaled, err := Plan(g, cs4.NonPropagation, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Factor < 2 {
+		t.Errorf("factor = %d", rep.Factor)
+	}
+	if len(rep.Edges) != scaled.NumEdges() {
+		t.Errorf("report covers %d edges", len(rep.Edges))
+	}
+	for _, b := range rep.Edges {
+		if !b.Interval.IsInf() && b.SendGap < 6 {
+			t.Errorf("edge %d gap %d < 6", b.Edge, b.SendGap)
+		}
+		if b.Interval.IsInf() && b.SendGap != 0 {
+			t.Errorf("infinite interval with gap %d", b.SendGap)
+		}
+	}
+}
+
+// TestPredictionMatchesSimulator validates the renewal-model dummy-rate
+// prediction against measured simulator traffic on the source's edges,
+// where the model is exact (the source consumes every sequence number).
+func TestPredictionMatchesSimulator(t *testing.T) {
+	g := workload.Fig1SplitJoin(8)
+	iv := intervals(t, g, cs4.NonPropagation)
+	const inputs = 40000
+	for _, p := range []float64{0.2, 0.5, 0.8} {
+		pred, err := PredictSourceDummyRate(g, iv, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		filter := workload.Bernoulli(p, 77)
+		r := sim.Run(g, sim.Filter(filter), sim.Config{
+			Algorithm: cs4.NonPropagation, Intervals: iv, Inputs: inputs,
+		})
+		if !r.Completed {
+			t.Fatalf("p=%.1f: deadlocked", p)
+		}
+		for eid, rate := range pred {
+			wantDummy := rate.Dummy * inputs
+			gotDummy := float64(r.DummyMsgs[eid])
+			if wantDummy < 20 {
+				continue // too rare to compare statistically
+			}
+			rel := (gotDummy - wantDummy) / wantDummy
+			if rel < 0 {
+				rel = -rel
+			}
+			if rel > 0.10 {
+				t.Errorf("p=%.1f edge %d: measured %v dummies vs predicted %.1f (rel %.2f)",
+					p, eid, gotDummy, wantDummy, rel)
+			}
+			wantData := rate.Data * inputs
+			gotData := float64(r.DataMsgs[eid])
+			if d := (gotData - wantData) / wantData; d > 0.05 || d < -0.05 {
+				t.Errorf("p=%.1f edge %d: data %v vs predicted %.1f", p, eid, gotData, wantData)
+			}
+		}
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	g := workload.Fig1SplitJoin(2)
+	iv := intervals(t, g, cs4.NonPropagation)
+	if _, err := PredictSourceDummyRate(g, iv, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := PredictSourceDummyRate(g, iv, 1.5); err == nil {
+		t.Error("p>1 accepted")
+	}
+	// p = 1: no filtering, no dummies anywhere.
+	rates, err := PredictSourceDummyRate(g, iv, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e, r := range rates {
+		if r.Dummy != 0 || r.Data != 1 {
+			t.Errorf("p=1 edge %d: %+v", e, r)
+		}
+	}
+}

@@ -1,0 +1,439 @@
+// Package sim is a deterministic discrete-step simulator of the paper's
+// streaming model: a DAG of nodes joined by bounded FIFO channels carrying
+// sequence-numbered messages, with data-dependent filtering and the two
+// dummy-message deadlock-avoidance protocols.
+//
+// Unlike the goroutine runtime (package stream), the simulator detects
+// deadlock exactly: it runs nodes round-robin until the stream completes or
+// no node can make progress.  Because nodes are deterministic and channels
+// are FIFO, the network is confluent (a Kahn network with bounded buffers):
+// whether the run completes is independent of the schedule, so a single
+// deterministic schedule is a sound and complete deadlock oracle.  The
+// simulator is the ground truth for the safety experiments (E10–E12) and
+// for validating the runtime itself.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"streamdag/internal/cs4"
+	"streamdag/internal/graph"
+	"streamdag/internal/ival"
+)
+
+// Filter decides routing: whether node emits a data message for sequence
+// number seq on its outgoing edge e, given that it received data for seq.
+// Filters must be pure functions so runs are reproducible and the
+// confluence argument holds.
+type Filter func(node graph.NodeID, seq uint64, e graph.EdgeID) bool
+
+// EmitAll never filters.
+func EmitAll(graph.NodeID, uint64, graph.EdgeID) bool { return true }
+
+// Kind discriminates simulated messages.
+type Kind uint8
+
+const (
+	// Data is an ordinary message.
+	Data Kind = iota
+	// Dummy is a content-free deadlock-avoidance message.
+	Dummy
+	// EOS is the end-of-stream marker, broadcast on every channel after
+	// the last input so nodes can drain and terminate.
+	EOS
+)
+
+// message is a simulated message; EOS uses seq = math.MaxUint64.
+type message struct {
+	seq  uint64
+	kind Kind
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Algorithm selects the dummy protocol used when Intervals != nil.
+	Algorithm cs4.Algorithm
+	// Intervals are the per-edge dummy intervals; nil disables dummy
+	// messages entirely (the unsafe baseline).  +∞ entries never send.
+	Intervals map[graph.EdgeID]ival.Interval
+	// Rounding converts rational Non-Propagation intervals to integer
+	// send gaps.  The paper rounds up (Fig. 3); see EXPERIMENTS.md E10.
+	// Defaults to ceiling.
+	Rounding Rounding
+	// Inputs is the number of sequence numbers injected at the source.
+	Inputs uint64
+	// MaxSteps bounds the scheduler; 0 means no bound.  Runs exceeding
+	// the bound report Completed=false with Reason "step budget".
+	MaxSteps int64
+	// Trace, if non-nil, receives one line per consume/emit event; for
+	// debugging only.
+	Trace func(string)
+}
+
+// Rounding is the policy for integerizing rational intervals.
+type Rounding int
+
+const (
+	// Ceil rounds intervals up (the paper's published policy).
+	Ceil Rounding = iota
+	// Floor rounds intervals down (strictly more conservative).
+	Floor
+)
+
+// Result summarizes a run.
+type Result struct {
+	Completed bool
+	// Reason is empty on success, otherwise "deadlock" or "step budget".
+	Reason string
+	Steps  int64
+	// DataMsgs and DummyMsgs count messages delivered per edge.
+	DataMsgs  map[graph.EdgeID]int64
+	DummyMsgs map[graph.EdgeID]int64
+	// Blocked describes the stuck configuration on deadlock: for each
+	// node, what it is waiting for.
+	Blocked []string
+}
+
+// TotalData sums data messages across edges.
+func (r *Result) TotalData() int64 { return sumMap(r.DataMsgs) }
+
+// TotalDummy sums dummy messages across edges.
+func (r *Result) TotalDummy() int64 { return sumMap(r.DummyMsgs) }
+
+// Overhead is the dummy-to-data traffic ratio.
+func (r *Result) Overhead() float64 {
+	d := r.TotalData()
+	if d == 0 {
+		return math.Inf(1)
+	}
+	return float64(r.TotalDummy()) / float64(d)
+}
+
+func sumMap(m map[graph.EdgeID]int64) int64 {
+	var s int64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// node is the simulated state of one compute node.
+type node struct {
+	id      graph.NodeID
+	in, out []graph.EdgeID
+	// pending are messages produced but not yet delivered (a node blocks
+	// on its first undeliverable send, like a goroutine on a full
+	// channel).
+	pending []pendingMsg
+	// lastSent[i] is the sequence number of the last message (data or
+	// dummy) sent on out[i], or -1; dummy timers measure distance in
+	// sequence numbers, not in consumed inputs, because upstream
+	// filtering makes sequence numbers advance faster than consumes.
+	lastSent []int64
+	// sendAt[i] is the integerized dummy interval for out[i]; 0 means
+	// "never" (∞ or dummies disabled).
+	sendAt []uint64
+	done   bool
+}
+
+type pendingMsg struct {
+	edge graph.EdgeID
+	msg  message
+}
+
+// Run simulates the streaming computation defined by g and filter under
+// cfg.  g must be a validated two-terminal DAG.
+func Run(g *graph.Graph, filter Filter, cfg Config) *Result {
+	if err := g.Validate(); err != nil {
+		panic(fmt.Sprintf("sim: invalid graph: %v", err))
+	}
+	if filter == nil {
+		filter = EmitAll
+	}
+	s := &state{
+		g:      g,
+		filter: filter,
+		cfg:    cfg,
+		chans:  make([]chanState, g.NumEdges()),
+		res: &Result{
+			DataMsgs:  make(map[graph.EdgeID]int64, g.NumEdges()),
+			DummyMsgs: make(map[graph.EdgeID]int64, g.NumEdges()),
+		},
+	}
+	for i := range s.chans {
+		s.chans[i].cap = g.Edge(graph.EdgeID(i)).Buf
+	}
+	topo, _ := g.TopoOrder()
+	for _, n := range topo {
+		nd := &node{id: n, in: g.In(n), out: g.Out(n)}
+		nd.lastSent = make([]int64, len(nd.out))
+		for i := range nd.lastSent {
+			nd.lastSent[i] = -1
+		}
+		nd.sendAt = make([]uint64, len(nd.out))
+		for i, e := range nd.out {
+			nd.sendAt[i] = integerize(cfg, e)
+		}
+		s.nodes = append(s.nodes, nd)
+	}
+	s.run()
+	return s.res
+}
+
+// integerize converts the configured interval of e into a send gap; 0
+// disables dummies on e.
+func integerize(cfg Config, e graph.EdgeID) uint64 {
+	if cfg.Intervals == nil {
+		return 0
+	}
+	iv, ok := cfg.Intervals[e]
+	if !ok || iv.IsInf() {
+		return 0
+	}
+	var n int64
+	if cfg.Rounding == Floor {
+		n = iv.Floor()
+	} else {
+		n = iv.Ceil()
+	}
+	if n < 1 {
+		n = 1 // an interval below one message means "send every time"
+	}
+	return uint64(n)
+}
+
+type chanState struct {
+	buf []message
+	cap int
+}
+
+func (c *chanState) full() bool  { return len(c.buf) >= c.cap }
+func (c *chanState) empty() bool { return len(c.buf) == 0 }
+
+type state struct {
+	g      *graph.Graph
+	filter Filter
+	cfg    Config
+	nodes  []*node
+	chans  []chanState
+	res    *Result
+	nextIn uint64 // next external input seq at the source
+	srcEOS bool
+}
+
+func (s *state) run() {
+	for {
+		progress := false
+		for _, nd := range s.nodes {
+			for s.step(nd) {
+				progress = true
+				s.res.Steps++
+				if s.cfg.MaxSteps > 0 && s.res.Steps >= s.cfg.MaxSteps {
+					s.res.Reason = "step budget"
+					return
+				}
+			}
+		}
+		if s.allDone() {
+			s.res.Completed = true
+			return
+		}
+		if !progress {
+			s.res.Reason = "deadlock"
+			s.res.Blocked = s.describeBlocked()
+			return
+		}
+	}
+}
+
+func (s *state) allDone() bool {
+	for _, nd := range s.nodes {
+		if !nd.done || len(nd.pending) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// step attempts one unit of work for nd; it returns whether any was done.
+func (s *state) step(nd *node) bool {
+	// Deliver pending sends first (even after EOS).  A firing produces at
+	// most one message per out-channel and sends to distinct channels
+	// proceed independently — the node waits on the set of full channels,
+	// not on an arbitrary send order (head-of-line blocking across
+	// channels would introduce deadlocks the model does not have; the
+	// goroutine runtime mirrors this with concurrent sends per firing).
+	// The node consumes its next input only when all sends have landed.
+	if len(nd.pending) > 0 {
+		delivered := false
+		rest := nd.pending[:0]
+		for _, p := range nd.pending {
+			ch := &s.chans[p.edge]
+			if ch.full() {
+				rest = append(rest, p)
+				continue
+			}
+			ch.buf = append(ch.buf, p.msg)
+			delivered = true
+			switch p.msg.kind {
+			case Data:
+				s.res.DataMsgs[p.edge]++
+			case Dummy:
+				s.res.DummyMsgs[p.edge]++
+			}
+		}
+		nd.pending = rest
+		if delivered {
+			return true
+		}
+		return false
+	}
+	if nd.done {
+		return false
+	}
+	if len(nd.in) == 0 {
+		return s.stepSource(nd)
+	}
+	// Consume: every in-channel must be non-empty.
+	minSeq := uint64(math.MaxUint64)
+	for _, e := range nd.in {
+		ch := &s.chans[e]
+		if ch.empty() {
+			return false
+		}
+		if h := ch.buf[0].seq; h < minSeq {
+			minSeq = h
+		}
+	}
+	if minSeq == math.MaxUint64 {
+		// All heads are EOS: drain them, broadcast EOS, finish.
+		for _, e := range nd.in {
+			ch := &s.chans[e]
+			ch.buf = ch.buf[1:]
+		}
+		for _, e := range nd.out {
+			nd.pending = append(nd.pending, pendingMsg{e, message{math.MaxUint64, EOS}})
+		}
+		nd.done = true
+		return true
+	}
+	// Pop all heads with seq == minSeq; note whether any carried data.
+	anyData := false
+	for _, e := range nd.in {
+		ch := &s.chans[e]
+		if ch.buf[0].seq == minSeq {
+			if ch.buf[0].kind == Data {
+				anyData = true
+			}
+			ch.buf = ch.buf[1:]
+		}
+	}
+	s.emit(nd, minSeq, anyData)
+	return true
+}
+
+// stepSource injects external inputs at the source node.
+func (s *state) stepSource(nd *node) bool {
+	if s.srcEOS {
+		return false
+	}
+	if s.nextIn >= s.cfg.Inputs {
+		for _, e := range nd.out {
+			nd.pending = append(nd.pending, pendingMsg{e, message{math.MaxUint64, EOS}})
+		}
+		s.srcEOS = true
+		nd.done = true
+		return true
+	}
+	s.emit(nd, s.nextIn, true)
+	s.nextIn++
+	return true
+}
+
+// emit applies the filter and the dummy protocol for sequence number seq.
+//
+// Protocol notes (see DESIGN.md, "Fidelity notes"):
+//
+//   - Dummy timers measure distance in SEQUENCE NUMBERS since the last
+//     message sent on the edge.  Counting consumed inputs instead is
+//     unsound: a node fed sparse (upstream-filtered) traffic advances many
+//     sequence numbers per consume and would starve its successors beyond
+//     the interval bound.
+//   - Propagation algorithm: an input that yields no data on any output is
+//     informationally identical to a dummy — sequence number seq happened
+//     and nothing follows — and must cascade like one ("dummy messages may
+//     not be filtered").  This covers both dummy-only inputs and inputs
+//     whose data the node filtered entirely; without the latter, a fully
+//     filtering pass-through node (a recognizer that never fires, as in
+//     the paper's own Fig. 1 narrative) starves its cycle with no dummy to
+//     propagate, and no finite timer exists on its edges ([e] = ∞ for
+//     interior edges under Propagation).  Splits that emit data on some
+//     outputs are covered by timers: in a CS4 graph every out-edge of a
+//     node with two or more out-edges has a finite Propagation interval.
+func (s *state) emit(nd *node, seq uint64, haveData bool) {
+	dummies := s.cfg.Intervals != nil
+	emitted := make([]bool, len(nd.out))
+	anyData := false
+	for i, e := range nd.out {
+		if haveData && s.filter(nd.id, seq, e) {
+			nd.pending = append(nd.pending, pendingMsg{e, message{seq, Data}})
+			nd.lastSent[i] = int64(seq)
+			emitted[i] = true
+			anyData = true
+		}
+	}
+	cascade := dummies && s.cfg.Algorithm == cs4.Propagation && !anyData
+	for i, e := range nd.out {
+		if emitted[i] {
+			continue
+		}
+		timerDue := dummies && nd.sendAt[i] != 0 &&
+			int64(seq)-nd.lastSent[i] >= int64(nd.sendAt[i])
+		if cascade || timerDue {
+			nd.pending = append(nd.pending, pendingMsg{e, message{seq, Dummy}})
+			nd.lastSent[i] = int64(seq)
+		}
+	}
+	if s.cfg.Trace != nil {
+		desc := fmt.Sprintf("%s consumes %d (data=%v):", s.g.Name(nd.id), seq, haveData)
+		for _, p := range nd.pending {
+			kind := "data"
+			if p.msg.kind == Dummy {
+				kind = "dummy"
+			}
+			desc += fmt.Sprintf(" %s(%d)→%s", kind, p.msg.seq, s.g.Name(s.g.Edge(p.edge).To))
+		}
+		s.cfg.Trace(desc)
+	}
+}
+
+// describeBlocked renders the stuck configuration (the full/empty pattern
+// of Fig. 2) for diagnostics.
+func (s *state) describeBlocked() []string {
+	var out []string
+	for _, nd := range s.nodes {
+		if nd.done {
+			continue
+		}
+		if len(nd.pending) > 0 {
+			e := nd.pending[0].edge
+			out = append(out, fmt.Sprintf("%s blocked sending on %s→%s (full)",
+				s.g.Name(nd.id), s.g.Name(s.g.Edge(e).From), s.g.Name(s.g.Edge(e).To)))
+			continue
+		}
+		var empties []string
+		for _, e := range nd.in {
+			if s.chans[e].empty() {
+				empties = append(empties,
+					fmt.Sprintf("%s→%s", s.g.Name(s.g.Edge(e).From), s.g.Name(s.g.Edge(e).To)))
+			}
+		}
+		if len(empties) > 0 {
+			out = append(out, fmt.Sprintf("%s waiting on empty %s",
+				s.g.Name(nd.id), strings.Join(empties, ", ")))
+		}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package sp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"streamdag/internal/workload"
+)
+
+// TestTreeAggregatesMatchGraphDP cross-checks the decomposition tree's
+// bottom-up L(H) and h(H) against an independent DAG dynamic program over
+// the raw graph: the two must agree at the root for every random SP-DAG.
+func TestTreeAggregatesMatchGraphDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 200; trial++ {
+		g := workload.RandomSP(rng, 1+rng.Intn(40), 9)
+		tr, err := Decompose(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantL, ok := g.ShortestBufPath(g.Source(), g.Sink())
+		if !ok || tr.LBuf != wantL {
+			t.Fatalf("trial %d: L(G) = %d, DP says %d (ok=%v)\n%s",
+				trial, tr.LBuf, wantL, ok, g)
+		}
+		wantH, ok := g.LongestHopPath(g.Source(), g.Sink())
+		if !ok || tr.Hops != wantH {
+			t.Fatalf("trial %d: h(G) = %d, DP says %d\n%s", trial, tr.Hops, wantH, g)
+		}
+	}
+}
+
+// TestHopsThroughInvariants: for every edge, 1 ≤ h(G,e) ≤ h(G), and the
+// maximum over edges equals h(G) (some edge lies on a longest path).
+func TestHopsThroughInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	check := func(seed16 uint16) bool {
+		g := workload.RandomSP(rng, 1+int(seed16%30), 5)
+		tr, err := Decompose(g)
+		if err != nil {
+			return false
+		}
+		ht := tr.HopsThrough()
+		maxH := int64(0)
+		for _, e := range g.Edges() {
+			h := ht[e.ID]
+			if h < 1 || h > tr.Hops {
+				return false
+			}
+			if h > maxH {
+				maxH = h
+			}
+		}
+		return maxH == tr.Hops
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeepSeriesChainNonProp exercises the worst case of the walk-up
+// Non-Propagation algorithm — a long series chain in parallel with a
+// chord — at a depth that would break a recursive decomposition and
+// verifies the exact rational interval 5/(depth+1) on every chain edge.
+func TestDeepSeriesChainNonProp(t *testing.T) {
+	const depth = 3000
+	g := workload.Pipeline(depth+2, 1)
+	src, snk := g.Source(), g.Sink()
+	g.AddEdge(src, snk, 5) // parallel chord closes one big cycle
+	iv, err := NonPropagationIntervals(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges() {
+		if e.From == src && e.To == snk {
+			// The chord: opposing path length = depth+1 hops of buffer 1.
+			if iv[e.ID].IsInf() || iv[e.ID].Num() != depth+1 {
+				t.Fatalf("chord interval = %v, want %d", iv[e.ID], depth+1)
+			}
+			continue
+		}
+		v := iv[e.ID]
+		if v.IsInf() || v.Num() != 5 || v.Den() != depth+1 {
+			t.Fatalf("edge %d interval = %v, want 5/%d", e.ID, v, depth+1)
+		}
+	}
+}
+
+// TestIntervalsNeverExceedOpposingPaths: a structural safety invariant —
+// every finite propagation interval of an edge out of node u is at most
+// the total buffering of some u-rooted alternative route, so it can never
+// exceed the total buffer capacity of the graph.
+func TestIntervalBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	for trial := 0; trial < 100; trial++ {
+		g := workload.RandomSP(rng, 1+rng.Intn(25), 6)
+		var total int64
+		for _, e := range g.Edges() {
+			total += int64(e.Buf)
+		}
+		prop, err := PropagationIntervals(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		np, err := NonPropagationIntervals(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range g.Edges() {
+			if !prop[e.ID].IsInf() && prop[e.ID].Num()/prop[e.ID].Den() > total {
+				t.Fatalf("trial %d: prop interval %v exceeds total buffering %d",
+					trial, prop[e.ID], total)
+			}
+			// Non-propagation intervals never exceed propagation ones on
+			// the same edge when both are finite: the non-prop minimum
+			// ranges over more cycles and divides by hops ≥ 1.
+			if !prop[e.ID].IsInf() && np[e.ID].Cmp(prop[e.ID]) > 0 {
+				t.Fatalf("trial %d: np %v > prop %v on edge %d",
+					trial, np[e.ID], prop[e.ID], e.ID)
+			}
+		}
+	}
+}

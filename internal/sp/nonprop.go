@@ -1,0 +1,114 @@
+package sp
+
+import (
+	"streamdag/internal/graph"
+	"streamdag/internal/ival"
+)
+
+// This file implements dummy-interval computation for the Non-Propagation
+// Algorithm on SP-DAGs (§IV-B).  For an edge e the interval is
+//
+//	[e] = min over cycles C through e of  L(C,e) / h(C,e),
+//
+// and on an SP-DAG every relevant cycle through e arises at some parallel
+// composition Pc(H1,H2) with e ∈ H1 (say): the minimizing cycle pairs the
+// longest hop path through e in H1 with the shortest buffer path in H2,
+// giving the candidate L(H2) / h(H1,e) (paper, §IV-B case 3).
+//
+// Rather than materializing h(H,e) tables for every component (the paper's
+// step 4), each leaf walks up the decomposition tree accumulating its hop
+// count h(H,e) incrementally: crossing a Series node adds the sibling's
+// h(H); crossing a Parallel node leaves it unchanged and contributes the
+// candidate L(sibling)/h.  Worst-case O(|G|²) total (tree depth can be
+// linear), matching the paper's bound with O(|G|) memory.
+
+// NonPropagationIntervals computes the Non-Propagation-Algorithm dummy
+// interval for every edge of the SP-DAG g as an exact rational.
+func NonPropagationIntervals(g *graph.Graph) (map[graph.EdgeID]ival.Interval, error) {
+	t, err := Decompose(g)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[graph.EdgeID]ival.Interval, g.NumEdges())
+	NonPropFromTree(t, out)
+	return out, nil
+}
+
+// NonPropFromTree computes Non-Propagation intervals for every leaf of t,
+// considering only cycles internal to the component t spans, and writes
+// them into out.  The ladder package reuses this for ladder fragments
+// before applying cross-fragment constraints.
+func NonPropFromTree(t *Tree, out map[graph.EdgeID]ival.Interval) {
+	var leaves []*Tree
+	stack := []*Tree{t}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n.Kind == Leaf {
+			leaves = append(leaves, n)
+			continue
+		}
+		stack = append(stack, n.R, n.L)
+	}
+	for _, leaf := range leaves {
+		best := ival.Inf()
+		hops := int64(1) // h(H,e) for H = the leaf itself
+		for n := leaf; n.Parent != nil && n != t; n = n.Parent {
+			p := n.Parent
+			sib := p.L
+			if sib == n {
+				sib = p.R
+			}
+			switch p.Kind {
+			case Series:
+				hops += sib.Hops
+			case Parallel:
+				cand := ival.FromInt(sib.LBuf).DivInt(hops)
+				best = ival.Min(best, cand)
+			}
+			if p == t {
+				break
+			}
+		}
+		out[leaf.Edge] = best
+	}
+}
+
+// NonPropagationIntervalsTable is the paper's literal step-4 formulation:
+// it materializes h(H,e) for every component H and edge e below it, then
+// performs the bottom-up per-component updates.  O(|G|²) time AND memory;
+// retained as an ablation baseline and cross-checked against the walk-up
+// variant.
+func NonPropagationIntervalsTable(g *graph.Graph) (map[graph.EdgeID]ival.Interval, error) {
+	t, err := Decompose(g)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[graph.EdgeID]ival.Interval, g.NumEdges())
+	for _, id := range t.Leaves(nil) {
+		out[id] = ival.Inf()
+	}
+	// Post-order: at each Parallel node, the new cycles pair one branch's
+	// longest path through e with the other branch's shortest path.
+	var visit func(n *Tree)
+	visit = func(n *Tree) {
+		if n.Kind == Leaf {
+			return
+		}
+		visit(n.L)
+		visit(n.R)
+		if n.Kind != Parallel {
+			return
+		}
+		lh := n.L.HopsThrough()
+		rh := n.R.HopsThrough()
+		for id, h := range lh {
+			out[id] = ival.Min(out[id], ival.FromInt(n.R.LBuf).DivInt(h))
+		}
+		for id, h := range rh {
+			out[id] = ival.Min(out[id], ival.FromInt(n.L.LBuf).DivInt(h))
+		}
+	}
+	visit(t)
+	return out, nil
+}

@@ -1,0 +1,378 @@
+package sp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"streamdag/internal/cycles"
+	"streamdag/internal/graph"
+	"streamdag/internal/ival"
+	"streamdag/internal/workload"
+)
+
+func TestDecomposeDiamond(t *testing.T) {
+	g := workload.Fig1SplitJoin(2)
+	tr, err := Decompose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Kind != Parallel {
+		t.Errorf("root kind = %v, want P", tr.Kind)
+	}
+	if tr.Size() != 4 {
+		t.Errorf("Size = %d", tr.Size())
+	}
+	if tr.LBuf != 4 {
+		t.Errorf("L(G) = %d, want 4 (two hops of buffer 2)", tr.LBuf)
+	}
+	if tr.Hops != 2 {
+		t.Errorf("h(G) = %d, want 2", tr.Hops)
+	}
+	s := tr.String()
+	if !strings.HasPrefix(s, "P(") || strings.Count(s, "e") != 4 {
+		t.Errorf("String = %s", s)
+	}
+}
+
+func TestDecomposePipeline(t *testing.T) {
+	g := workload.Pipeline(5, 3)
+	tr, err := Decompose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.LBuf != 12 || tr.Hops != 4 {
+		t.Errorf("L=%d h=%d, want 12, 4", tr.LBuf, tr.Hops)
+	}
+	if !IsSP(g) {
+		t.Error("pipeline should be SP")
+	}
+}
+
+func TestDecomposeMultiEdge(t *testing.T) {
+	g, err := graph.ParseString("a b 3\na b 5\na b 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Decompose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Kind != Parallel || tr.Size() != 3 {
+		t.Fatalf("tree = %s", tr)
+	}
+	if tr.LBuf != 3 || tr.Hops != 1 {
+		t.Errorf("L=%d h=%d", tr.LBuf, tr.Hops)
+	}
+}
+
+func TestDecomposeRejectsNonSP(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"crossed split/join": workload.Fig4CrossedSplitJoin(1),
+		"butterfly":          workload.Fig4Butterfly(1),
+	} {
+		_, err := Decompose(g)
+		if err == nil {
+			t.Errorf("%s: Decompose succeeded, want NotSPError", name)
+			continue
+		}
+		if _, ok := err.(*NotSPError); !ok {
+			t.Errorf("%s: err = %v, want *NotSPError", name, err)
+		}
+		if IsSP(g) {
+			t.Errorf("%s: IsSP = true", name)
+		}
+	}
+}
+
+func TestDecomposeRejectsInvalid(t *testing.T) {
+	g, err := graph.ParseString("a c 1\nb c 1") // two sources
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompose(g); err == nil {
+		t.Error("Decompose accepted two-source graph")
+	}
+}
+
+func TestParentPointers(t *testing.T) {
+	g := workload.Fig1SplitJoin(2)
+	tr, err := Decompose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Parent != nil {
+		t.Error("root has parent")
+	}
+	var check func(n *Tree)
+	check = func(n *Tree) {
+		if n.Kind == Leaf {
+			return
+		}
+		if n.L.Parent != n || n.R.Parent != n {
+			t.Error("child parent pointer wrong")
+		}
+		check(n.L)
+		check(n.R)
+	}
+	check(tr)
+}
+
+func TestFig3GoldenPropagation(t *testing.T) {
+	g := workload.Fig3Cycle()
+	iv, err := PropagationIntervals(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]ival.Interval{
+		"a->b": ival.FromInt(6),
+		"a->c": ival.FromInt(8),
+		"b->e": ival.Inf(), "e->f": ival.Inf(), "c->d": ival.Inf(), "d->f": ival.Inf(),
+	}
+	for k, w := range want {
+		id := edgeByNames(t, g, k[:1], k[3:])
+		if !iv[id].Equal(w) {
+			t.Errorf("[%s] = %v, want %v", k, iv[id], w)
+		}
+	}
+}
+
+func TestFig3GoldenNonPropagation(t *testing.T) {
+	g := workload.Fig3Cycle()
+	iv, err := NonPropagationIntervals(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two := ival.FromInt(2)
+	et := ival.FromRatio(8, 3)
+	want := map[string]ival.Interval{
+		"a->b": two, "b->e": two, "e->f": two,
+		"a->c": et, "c->d": et, "d->f": et,
+	}
+	for k, w := range want {
+		id := edgeByNames(t, g, k[:1], k[3:])
+		if !iv[id].Equal(w) {
+			t.Errorf("[%s] = %v, want %v", k, iv[id], w)
+		}
+	}
+}
+
+func edgeByNames(t testing.TB, g *graph.Graph, from, to string) graph.EdgeID {
+	t.Helper()
+	f, k := g.MustNode(from), g.MustNode(to)
+	for _, e := range g.Edges() {
+		if e.From == f && e.To == k {
+			return e.ID
+		}
+	}
+	t.Fatalf("no edge %s->%s", from, to)
+	return 0
+}
+
+func TestHopsThrough(t *testing.T) {
+	g := workload.Fig3Cycle()
+	tr, err := Decompose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht := tr.HopsThrough()
+	for _, e := range g.Edges() {
+		if ht[e.ID] != 3 {
+			t.Errorf("h(G,%s->%s) = %d, want 3", g.Name(e.From), g.Name(e.To), ht[e.ID])
+		}
+	}
+	// Asymmetric case: diamond with one branch of 2 hops, one of 1.
+	d, err := graph.ParseString("a m 1\nm b 1\na b 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := Decompose(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dht := dt.HopsThrough()
+	if got := dht[edgeByNames(t, d, "a", "m")]; got != 2 {
+		t.Errorf("h through a->m = %d, want 2", got)
+	}
+	if got := dht[edgeByNames(t, d, "a", "b")]; got != 1 {
+		t.Errorf("h through a->b = %d, want 1", got)
+	}
+}
+
+func equalIvals(a, b map[graph.EdgeID]ival.Interval) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if !v.Equal(b[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSPMatchesExhaustivePropagation cross-validates the O(|G|) SETIVALS
+// algorithm against the exponential cycle-enumeration baseline on random
+// SP-DAGs (experiment E14).
+func TestSPMatchesExhaustivePropagation(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 300; trial++ {
+		leaves := 1 + rng.Intn(12)
+		g := workload.RandomSP(rng, leaves, 6)
+		fast, err := PropagationIntervals(g)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, g)
+		}
+		ref, err := cycles.PropagationIntervalsLimit(g, 200000)
+		if err != nil {
+			continue // cycle blow-up; skip this instance
+		}
+		if !equalIvals(fast, ref) {
+			t.Fatalf("trial %d: mismatch\ngraph: %s\nfast: %v\nref:  %v", trial, g, fast, ref)
+		}
+	}
+}
+
+// TestSPMatchesExhaustiveNonPropagation does the same for the
+// Non-Propagation algorithm.
+func TestSPMatchesExhaustiveNonPropagation(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 300; trial++ {
+		leaves := 1 + rng.Intn(12)
+		g := workload.RandomSP(rng, leaves, 6)
+		fast, err := NonPropagationIntervals(g)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, g)
+		}
+		ref, err := cycles.NonPropagationIntervalsLimit(g, 200000)
+		if err != nil {
+			continue
+		}
+		if !equalIvals(fast, ref) {
+			t.Fatalf("trial %d: mismatch\ngraph: %s\nfast: %v\nref:  %v", trial, g, fast, ref)
+		}
+	}
+}
+
+// TestNaiveMatchesSetIvals checks the ablation pair: the O(|G|²) bottom-up
+// formulation and O(|G|) SETIVALS must agree everywhere.
+func TestNaiveMatchesSetIvals(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 200; trial++ {
+		g := workload.RandomSP(rng, 1+rng.Intn(30), 8)
+		fast, err := PropagationIntervals(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := PropagationIntervalsNaive(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalIvals(fast, naive) {
+			t.Fatalf("trial %d mismatch on %s", trial, g)
+		}
+	}
+}
+
+// TestTableMatchesWalkUp checks the two Non-Propagation implementations.
+func TestTableMatchesWalkUp(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 200; trial++ {
+		g := workload.RandomSP(rng, 1+rng.Intn(30), 8)
+		walk, err := NonPropagationIntervals(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		table, err := NonPropagationIntervalsTable(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalIvals(walk, table) {
+			t.Fatalf("trial %d mismatch on %s", trial, g)
+		}
+	}
+}
+
+// TestMultiEdgeEquivalence: the paper's multi-edge base case must emerge
+// from nested parallel leaves (design decision 1 in DESIGN.md).
+func TestMultiEdgeEquivalence(t *testing.T) {
+	g, err := graph.ParseString("a b 3\na b 5\na b 7\nb c 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := PropagationIntervals(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{5, 3, 3} // min of the other parallel buffers
+	for i, w := range want {
+		if !iv[graph.EdgeID(i)].Equal(ival.FromInt(w)) {
+			t.Errorf("[e%d] = %v, want %d", i, iv[graph.EdgeID(i)], w)
+		}
+	}
+	if !iv[graph.EdgeID(3)].IsInf() {
+		t.Errorf("[b->c] = %v, want ∞", iv[3])
+	}
+}
+
+func TestDecomposeSubgraph(t *testing.T) {
+	// Take the left branch of a diamond as a subgraph.
+	g, err := graph.ParseString("a m 2\nm b 3\na b 9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := []graph.EdgeID{
+		edgeByNames(t, g, "a", "m"),
+		edgeByNames(t, g, "m", "b"),
+	}
+	tr, err := DecomposeSubgraph(g, sub, g.MustNode("a"), g.MustNode("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Kind != Series || tr.LBuf != 5 || tr.Hops != 2 {
+		t.Errorf("subtree = %s L=%d h=%d", tr, tr.LBuf, tr.Hops)
+	}
+	if _, err := DecomposeSubgraph(g, nil, 0, 1); err == nil {
+		t.Error("empty subgraph accepted")
+	}
+}
+
+func TestResidualSkeleton(t *testing.T) {
+	// The crossed split/join reduces to a 5-edge skeleton (nothing is
+	// reducible); a ladder with decorated sides contracts each side segment.
+	g := workload.Fig4CrossedSplitJoin(1)
+	frags := Residual(g, allEdges(g), g.MustNode("X"), g.MustNode("Y"))
+	if len(frags) != 5 {
+		t.Errorf("crossed split/join skeleton = %d fragments, want 5", len(frags))
+	}
+	// An SP graph's residual is a single fragment.
+	sp := workload.Fig1SplitJoin(2)
+	frags = Residual(sp, allEdges(sp), sp.MustNode("A"), sp.MustNode("D"))
+	if len(frags) != 1 {
+		t.Errorf("SP residual = %d fragments, want 1", len(frags))
+	}
+	if frags[0].Tree.Size() != 4 {
+		t.Errorf("fragment size = %d", frags[0].Tree.Size())
+	}
+}
+
+func allEdges(g *graph.Graph) []graph.EdgeID {
+	ids := make([]graph.EdgeID, g.NumEdges())
+	for i := range ids {
+		ids[i] = graph.EdgeID(i)
+	}
+	return ids
+}
+
+// TestLargeSPPerformance is a smoke test that big SP-DAGs decompose and
+// solve quickly (the O(|G|) claim, asserted properly in benchmarks).
+func TestLargeSPPerformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	g := workload.RandomSP(rng, 20000, 10)
+	if _, err := PropagationIntervals(g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NonPropagationIntervals(g); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,386 @@
+// Package sp implements series-parallel DAG recognition and the paper's
+// efficient dummy-interval algorithms on SP-DAGs (§III–IV).
+//
+// An SP-DAG is decomposed into a binary tree of series (Sc) and parallel
+// (Pc) compositions whose leaves are the original edges, using the
+// reduction method of Valdes, Tarjan and Lawler: repeatedly merge parallel
+// edges between the same endpoints (parallel reduction) and splice out
+// interior nodes with in-degree and out-degree one (series reduction).  A
+// two-terminal DAG is series-parallel exactly when this process terminates
+// in a single edge.  The paper's multi-edge base case appears here as a
+// nest of parallel nodes over single-edge leaves; the equivalence is
+// covered by tests.
+package sp
+
+import (
+	"fmt"
+	"strings"
+
+	"streamdag/internal/graph"
+)
+
+// Kind discriminates decomposition-tree nodes.
+type Kind int
+
+const (
+	// Leaf is a single original edge of the graph.
+	Leaf Kind = iota
+	// Series is Sc(L, R): R's source is L's sink.
+	Series
+	// Parallel is Pc(L, R): shared source and sink.
+	Parallel
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Leaf:
+		return "leaf"
+	case Series:
+		return "S"
+	case Parallel:
+		return "P"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Tree is a node of the series-parallel decomposition tree of a component H.
+// Terminals refer to nodes of the original graph.  LBuf and Hops cache the
+// two aggregate path measures the paper calls L(H) and h(H):
+//
+//	L(H): minimum total buffer capacity over directed Src→Snk paths
+//	h(H): maximum hop count over directed Src→Snk paths
+type Tree struct {
+	Kind   Kind
+	Edge   graph.EdgeID // valid when Kind == Leaf
+	L, R   *Tree        // valid when Kind != Leaf
+	Parent *Tree        // nil at the root
+	Src    graph.NodeID
+	Snk    graph.NodeID
+	LBuf   int64
+	Hops   int64
+}
+
+// NotSPError reports why a graph failed SP recognition.
+type NotSPError struct {
+	// Remaining is the number of unreduced super-edges left when reduction
+	// stalled (> 1 for a genuine non-SP graph).
+	Remaining int
+}
+
+func (e *NotSPError) Error() string {
+	return fmt.Sprintf("sp: graph is not series-parallel (%d irreducible super-edges)", e.Remaining)
+}
+
+// Decompose validates g as a two-terminal DAG and returns its decomposition
+// tree, or a *NotSPError if g is not series-parallel.  Runs in near-linear
+// time in |g|.
+func Decompose(g *graph.Graph) (*Tree, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	all := make([]graph.EdgeID, g.NumEdges())
+	for i := range all {
+		all[i] = graph.EdgeID(i)
+	}
+	return DecomposeSubgraph(g, all, g.Source(), g.Sink())
+}
+
+// IsSP reports whether g is a valid two-terminal series-parallel DAG.
+func IsSP(g *graph.Graph) bool {
+	_, err := Decompose(g)
+	return err == nil
+}
+
+// DecomposeSubgraph decomposes the subgraph of g induced by the given edge
+// set, with the given terminals.  It is used by the ladder package to
+// decompose the SP-DAG fragments of an SP-ladder.  All endpoints of edges
+// must be reachable between src and snk within the edge set; interior
+// vertices must have all their g-incident edges... only the listed edges are
+// considered.
+func DecomposeSubgraph(g *graph.Graph, edges []graph.EdgeID, src, snk graph.NodeID) (*Tree, error) {
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("sp: empty edge set")
+	}
+	r := newReducer(g, edges, src, snk)
+	return r.run()
+}
+
+// superEdge is a working edge of the reduction: a contracted SP component.
+type superEdge struct {
+	from, to graph.NodeID
+	tree     *Tree
+	dead     bool
+}
+
+type reducer struct {
+	g        *graph.Graph
+	src, snk graph.NodeID
+	out      map[graph.NodeID][]*superEdge
+	in       map[graph.NodeID][]*superEdge
+	// rep[from][to] is the current representative super-edge between a node
+	// pair, for O(1) parallel-merge detection.
+	rep   map[graph.NodeID]map[graph.NodeID]*superEdge
+	queue []graph.NodeID // candidates for series reduction
+	live  int
+}
+
+func newReducer(g *graph.Graph, edges []graph.EdgeID, src, snk graph.NodeID) *reducer {
+	r := &reducer{
+		g:   g,
+		src: src,
+		snk: snk,
+		out: make(map[graph.NodeID][]*superEdge),
+		in:  make(map[graph.NodeID][]*superEdge),
+		rep: make(map[graph.NodeID]map[graph.NodeID]*superEdge),
+	}
+	for _, id := range edges {
+		e := g.Edge(id)
+		leaf := &Tree{Kind: Leaf, Edge: id, Src: e.From, Snk: e.To, LBuf: int64(e.Buf), Hops: 1}
+		r.insert(&superEdge{from: e.From, to: e.To, tree: leaf})
+	}
+	// Seed the series queue with every interior endpoint.
+	seen := map[graph.NodeID]bool{}
+	for _, id := range edges {
+		e := g.Edge(id)
+		for _, n := range []graph.NodeID{e.From, e.To} {
+			if !seen[n] {
+				seen[n] = true
+				r.queue = append(r.queue, n)
+			}
+		}
+	}
+	return r
+}
+
+// insert adds se, immediately applying parallel reduction if a super-edge
+// with the same endpoints exists, and enqueues the endpoints for series
+// checks.
+func (r *reducer) insert(se *superEdge) {
+	if m := r.rep[se.from]; m != nil {
+		if other := m[se.to]; other != nil && !other.dead {
+			// Parallel reduction: Pc(other, se).
+			other.dead = true
+			r.live--
+			t := compose(Parallel, other.tree, se.tree)
+			se = &superEdge{from: se.from, to: se.to, tree: t}
+			r.detach(se.from, se.to)
+		}
+	}
+	if r.rep[se.from] == nil {
+		r.rep[se.from] = make(map[graph.NodeID]*superEdge)
+	}
+	r.rep[se.from][se.to] = se
+	r.out[se.from] = append(r.out[se.from], se)
+	r.in[se.to] = append(r.in[se.to], se)
+	r.live++
+	r.queue = append(r.queue, se.from, se.to)
+}
+
+// detach clears the representative entry for a node pair.
+func (r *reducer) detach(from, to graph.NodeID) {
+	if m := r.rep[from]; m != nil {
+		delete(m, to)
+	}
+}
+
+// compact removes dead super-edges from an adjacency list in place.
+func compact(list []*superEdge) []*superEdge {
+	w := 0
+	for _, se := range list {
+		if !se.dead {
+			list[w] = se
+			w++
+		}
+	}
+	return list[:w]
+}
+
+func (r *reducer) run() (*Tree, error) {
+	for len(r.queue) > 0 {
+		v := r.queue[len(r.queue)-1]
+		r.queue = r.queue[:len(r.queue)-1]
+		if v == r.src || v == r.snk {
+			continue
+		}
+		r.in[v] = compact(r.in[v])
+		r.out[v] = compact(r.out[v])
+		if len(r.in[v]) != 1 || len(r.out[v]) != 1 {
+			continue
+		}
+		a := r.in[v][0]
+		b := r.out[v][0]
+		// Series reduction: splice v, composing Sc(a, b).
+		a.dead = true
+		b.dead = true
+		r.live -= 2
+		r.detach(a.from, a.to)
+		r.detach(b.from, b.to)
+		t := compose(Series, a.tree, b.tree)
+		r.insert(&superEdge{from: a.from, to: b.to, tree: t})
+	}
+	if r.live != 1 {
+		return nil, &NotSPError{Remaining: r.live}
+	}
+	// The sole survivor spans src→snk.
+	for _, se := range r.out[r.src] {
+		if !se.dead {
+			se.tree.setParents(nil)
+			return se.tree, nil
+		}
+	}
+	return nil, fmt.Errorf("sp: internal error: surviving super-edge not at source")
+}
+
+// Residual runs the same reduction but, instead of failing on non-SP
+// graphs, returns the irreducible skeleton: the set of surviving
+// super-edges, each carrying the decomposition tree of the SP fragment it
+// contracts.  The ladder package recognizes SP-ladders from this skeleton.
+// If the graph is SP the skeleton has exactly one super-edge.
+func Residual(g *graph.Graph, edges []graph.EdgeID, src, snk graph.NodeID) []*Fragment {
+	r := newReducer(g, edges, src, snk)
+	for len(r.queue) > 0 {
+		v := r.queue[len(r.queue)-1]
+		r.queue = r.queue[:len(r.queue)-1]
+		if v == r.src || v == r.snk {
+			continue
+		}
+		r.in[v] = compact(r.in[v])
+		r.out[v] = compact(r.out[v])
+		if len(r.in[v]) != 1 || len(r.out[v]) != 1 {
+			continue
+		}
+		a := r.in[v][0]
+		b := r.out[v][0]
+		a.dead = true
+		b.dead = true
+		r.live -= 2
+		r.detach(a.from, a.to)
+		r.detach(b.from, b.to)
+		r.insert(&superEdge{from: a.from, to: b.to, tree: compose(Series, a.tree, b.tree)})
+	}
+	var frags []*Fragment
+	seen := map[*superEdge]bool{}
+	for _, list := range r.out {
+		for _, se := range list {
+			if !se.dead && !seen[se] {
+				seen[se] = true
+				se.tree.setParents(nil)
+				frags = append(frags, &Fragment{From: se.from, To: se.to, Tree: se.tree})
+			}
+		}
+	}
+	return frags
+}
+
+// Fragment is a maximal SP component contracted to a single skeleton edge.
+type Fragment struct {
+	From, To graph.NodeID
+	Tree     *Tree
+}
+
+func compose(k Kind, l, r *Tree) *Tree {
+	t := &Tree{Kind: k, L: l, R: r}
+	switch k {
+	case Series:
+		t.Src, t.Snk = l.Src, r.Snk
+		t.LBuf = l.LBuf + r.LBuf
+		t.Hops = l.Hops + r.Hops
+	case Parallel:
+		t.Src, t.Snk = l.Src, l.Snk
+		t.LBuf = min64(l.LBuf, r.LBuf)
+		t.Hops = max64(l.Hops, r.Hops)
+	default:
+		panic("sp: compose of leaf")
+	}
+	return t
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (t *Tree) setParents(p *Tree) {
+	t.Parent = p
+	if t.Kind != Leaf {
+		t.L.setParents(t)
+		t.R.setParents(t)
+	}
+}
+
+// Leaves appends the leaf edge IDs under t to dst and returns it.
+func (t *Tree) Leaves(dst []graph.EdgeID) []graph.EdgeID {
+	stack := []*Tree{t}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n.Kind == Leaf {
+			dst = append(dst, n.Edge)
+			continue
+		}
+		stack = append(stack, n.R, n.L)
+	}
+	return dst
+}
+
+// Size returns the number of leaves under t.
+func (t *Tree) Size() int {
+	if t.Kind == Leaf {
+		return 1
+	}
+	return t.L.Size() + t.R.Size()
+}
+
+// String renders the tree shape with edge IDs, e.g. "P(S(e0,e1),e2)".
+func (t *Tree) String() string {
+	var b strings.Builder
+	t.write(&b)
+	return b.String()
+}
+
+func (t *Tree) write(b *strings.Builder) {
+	if t.Kind == Leaf {
+		fmt.Fprintf(b, "e%d", int(t.Edge))
+		return
+	}
+	b.WriteString(t.Kind.String())
+	b.WriteByte('(')
+	t.L.write(b)
+	b.WriteByte(',')
+	t.R.write(b)
+	b.WriteByte(')')
+}
+
+// HopsThrough returns h(t, e) for every leaf edge e under t: the maximum
+// hop count of a directed Src→Snk path of the component that passes through
+// e (step 4 of the §IV-B procedure).  Computed in one top-down pass: at a
+// series node the sibling's h(H) joins every path; at a parallel node paths
+// stay within the branch.
+func (t *Tree) HopsThrough() map[graph.EdgeID]int64 {
+	out := make(map[graph.EdgeID]int64, t.Size())
+	var walk func(n *Tree, acc int64)
+	walk = func(n *Tree, acc int64) {
+		if n.Kind == Leaf {
+			out[n.Edge] = acc + 1
+			return
+		}
+		if n.Kind == Series {
+			walk(n.L, acc+n.R.Hops)
+			walk(n.R, acc+n.L.Hops)
+			return
+		}
+		walk(n.L, acc)
+		walk(n.R, acc)
+	}
+	walk(t, 0)
+	return out
+}

@@ -1,0 +1,422 @@
+// Package stream is the concurrent runtime for streaming computations with
+// filtering: every compute node is a goroutine, every channel of the
+// topology is a buffered Go channel whose capacity is the edge's buffer
+// size, and the dummy-message protocols of Buhler et al. are implemented
+// as a wrapper around the user's kernel — no kernel code ever sees a dummy
+// (the paper's "no participation by the application programmer").
+//
+// Goroutines and buffered channels realize the paper's model exactly:
+// reliable FIFO delivery, finite buffering, and blocking sends.  A
+// progress watchdog turns a wedged network into a diagnosable
+// DeadlockError instead of a hung process; the deterministic oracle lives
+// in package sim.
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamdag/internal/cs4"
+	"streamdag/internal/graph"
+	"streamdag/internal/ival"
+)
+
+// Kind discriminates runtime messages.
+type Kind uint8
+
+const (
+	// Data is an ordinary message with a payload.
+	Data Kind = iota
+	// Dummy is a content-free deadlock-avoidance message.
+	Dummy
+	// EOS is the end-of-stream marker; the wrapper broadcasts it after the
+	// last input so nodes drain and terminate.  Kernels never see it; it is
+	// exported for the distributed transport (internal/dist).
+	EOS
+)
+
+// Message is one item on a channel.
+type Message struct {
+	Seq     uint64
+	Kind    Kind
+	Payload any
+}
+
+// Input is what a kernel receives on one in-edge for a sequence number.
+type Input struct {
+	// Present reports whether a data message with this sequence number
+	// arrived on the edge (false ⇒ it was filtered upstream).
+	Present bool
+	Payload any
+}
+
+// Kernel is user code for one node.  Process receives the aligned inputs
+// for sequence number seq — one entry per in-edge, in the edge order of
+// graph.Graph.In — and returns the outputs keyed by out-edge position
+// (graph.Graph.Out order).  Absent keys mean the input is filtered with
+// respect to that channel.  Sources (no in-edges) receive an empty slice
+// and are invoked once per generated sequence number.
+type Kernel interface {
+	Process(seq uint64, in []Input) map[int]any
+}
+
+// KernelFunc adapts a function to Kernel.
+type KernelFunc func(seq uint64, in []Input) map[int]any
+
+// Process implements Kernel.
+func (f KernelFunc) Process(seq uint64, in []Input) map[int]any { return f(seq, in) }
+
+// Passthrough forwards the first present input payload on every out-edge.
+func Passthrough(outs int) Kernel {
+	return KernelFunc(func(_ uint64, in []Input) map[int]any {
+		var payload any
+		ok := false
+		for _, i := range in {
+			if i.Present {
+				payload, ok = i.Payload, true
+				break
+			}
+		}
+		if !ok && len(in) > 0 {
+			return nil
+		}
+		out := make(map[int]any, outs)
+		for i := 0; i < outs; i++ {
+			out[i] = payload
+		}
+		return out
+	})
+}
+
+// Config parameterizes Run.
+type Config struct {
+	// Inputs is the number of sequence numbers generated at the source.
+	Inputs uint64
+	// Algorithm selects the dummy protocol when Intervals != nil.
+	Algorithm cs4.Algorithm
+	// Intervals are per-edge dummy intervals (nil disables avoidance).
+	Intervals map[graph.EdgeID]ival.Interval
+	// WatchdogTimeout is how long the watchdog waits without global
+	// progress before declaring deadlock.  Zero defaults to one second.
+	WatchdogTimeout time.Duration
+}
+
+// Stats summarizes a completed run.
+type Stats struct {
+	Data    map[graph.EdgeID]int64
+	Dummies map[graph.EdgeID]int64
+	// SinkData counts data messages consumed by the sink.
+	SinkData int64
+	Elapsed  time.Duration
+}
+
+// TotalDummies sums dummy messages across edges.
+func (s *Stats) TotalDummies() int64 {
+	var n int64
+	for _, v := range s.Dummies {
+		n += v
+	}
+	return n
+}
+
+// DeadlockError reports a wedged network with a channel-state snapshot.
+type DeadlockError struct {
+	// Channels maps "from→to" to "occupied/capacity".
+	Channels map[string]string
+}
+
+func (e *DeadlockError) Error() string {
+	keys := make([]string, 0, len(e.Channels))
+	for k := range e.Channels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("stream: deadlock detected; channel occupancy:")
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%s", k, e.Channels[k])
+	}
+	return b.String()
+}
+
+// Run executes the topology with the given kernels (keyed by node) until
+// the stream drains or the watchdog detects deadlock.  Kernels default to
+// Passthrough.  g must be a validated two-terminal DAG.
+func Run(g *graph.Graph, kernels map[graph.NodeID]Kernel, cfg Config) (*Stats, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.WatchdogTimeout == 0 {
+		cfg.WatchdogTimeout = time.Second
+	}
+	start := time.Now()
+	chans := make([]chan Message, g.NumEdges())
+	for i := range chans {
+		chans[i] = make(chan Message, g.Edge(graph.EdgeID(i)).Buf)
+	}
+	var progress atomic.Int64
+	var dataCounts, dummyCounts []atomic.Int64
+	dataCounts = make([]atomic.Int64, g.NumEdges())
+	dummyCounts = make([]atomic.Int64, g.NumEdges())
+	var sinkData atomic.Int64
+
+	abort := make(chan struct{})
+	var abortOnce sync.Once
+	var wg sync.WaitGroup
+	for n := 0; n < g.NumNodes(); n++ {
+		id := graph.NodeID(n)
+		k := kernels[id]
+		if k == nil {
+			k = Passthrough(g.OutDegree(id))
+		}
+		w := &worker{
+			g: g, id: id, kernel: k, cfg: cfg,
+			chans: chans, progress: &progress, abort: abort,
+			dataCounts: dataCounts, dummyCounts: dummyCounts, sinkData: &sinkData,
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.run()
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+
+	ticker := time.NewTicker(cfg.WatchdogTimeout)
+	defer ticker.Stop()
+	last := progress.Load()
+	for {
+		select {
+		case <-done:
+			stats := &Stats{
+				Data:     make(map[graph.EdgeID]int64, g.NumEdges()),
+				Dummies:  make(map[graph.EdgeID]int64, g.NumEdges()),
+				SinkData: sinkData.Load(),
+				Elapsed:  time.Since(start),
+			}
+			for i := range dataCounts {
+				stats.Data[graph.EdgeID(i)] = dataCounts[i].Load()
+				stats.Dummies[graph.EdgeID(i)] = dummyCounts[i].Load()
+			}
+			return stats, nil
+		case <-ticker.C:
+			cur := progress.Load()
+			if cur == last {
+				// No progress for a full watchdog period: snapshot and
+				// abort.  Channel lengths are racy but indicative.
+				derr := &DeadlockError{Channels: make(map[string]string, len(chans))}
+				for i, ch := range chans {
+					e := g.Edge(graph.EdgeID(i))
+					derr.Channels[fmt.Sprintf("%s→%s", g.Name(e.From), g.Name(e.To))] =
+						fmt.Sprintf("%d/%d", len(ch), cap(ch))
+				}
+				abortOnce.Do(func() { close(abort) })
+				<-done
+				return nil, derr
+			}
+			last = cur
+		}
+	}
+}
+
+// worker is the per-node goroutine: input alignment, kernel invocation,
+// and the dummy-protocol wrapper.
+type worker struct {
+	g        *graph.Graph
+	id       graph.NodeID
+	kernel   Kernel
+	cfg      Config
+	chans    []chan Message
+	progress *atomic.Int64
+	abort    chan struct{}
+
+	dataCounts  []atomic.Int64
+	dummyCounts []atomic.Int64
+	sinkData    *atomic.Int64
+}
+
+func (w *worker) run() {
+	in := w.g.In(w.id)
+	out := w.g.Out(w.id)
+	lastSent := make([]int64, len(out))
+	sendAt := make([]uint64, len(out))
+	for i := range lastSent {
+		lastSent[i] = -1
+		sendAt[i] = integerize(w.cfg, out[i])
+	}
+	heads := make([]*Message, len(in))
+
+	if len(in) == 0 {
+		// Source: generate Inputs sequence numbers, then EOS.
+		for seq := uint64(0); seq < w.cfg.Inputs; seq++ {
+			outs := w.kernel.Process(seq, nil)
+			if !w.deliver(out, lastSent, sendAt, seq, true, outs) {
+				return
+			}
+		}
+		w.broadcast(out, Message{Seq: math.MaxUint64, Kind: EOS})
+		return
+	}
+
+	for {
+		// Fill head slots (input alignment).
+		for i, e := range in {
+			if heads[i] != nil {
+				continue
+			}
+			select {
+			case m := <-w.chans[e]:
+				heads[i] = &m
+				w.progress.Add(1)
+			case <-w.abort:
+				return
+			}
+		}
+		minSeq := uint64(math.MaxUint64)
+		for _, h := range heads {
+			if h.Seq < minSeq {
+				minSeq = h.Seq
+			}
+		}
+		if minSeq == math.MaxUint64 {
+			// All EOS: drain, forward, finish.
+			w.broadcast(out, Message{Seq: math.MaxUint64, Kind: EOS})
+			return
+		}
+		inputs := make([]Input, len(in))
+		anyData := false
+		for i, h := range heads {
+			if h.Seq == minSeq {
+				if h.Kind == Data {
+					inputs[i] = Input{Present: true, Payload: h.Payload}
+					anyData = true
+				}
+				heads[i] = nil
+			}
+		}
+		var outs map[int]any
+		if anyData {
+			outs = w.kernel.Process(minSeq, inputs)
+			if len(out) == 0 {
+				w.sinkData.Add(1)
+			}
+		}
+		if !w.deliver(out, lastSent, sendAt, minSeq, anyData, outs) {
+			return
+		}
+	}
+}
+
+// deliver sends one firing's messages — data per the kernel's choices plus
+// protocol dummies — concurrently to their channels, returning false if
+// aborted.  Concurrent sends avoid head-of-line blocking across channels
+// (DESIGN.md, "Protocol soundness" note 2).
+func (w *worker) deliver(out []graph.EdgeID, lastSent []int64, sendAt []uint64,
+	seq uint64, anyData bool, outs map[int]any) bool {
+
+	emittedAny := false
+	for i := range out {
+		if _, ok := outs[i]; ok {
+			emittedAny = true
+		}
+	}
+	cascade := w.cfg.Intervals != nil && w.cfg.Algorithm == cs4.Propagation &&
+		!(anyData && emittedAny)
+	msgs := make([]Message, 0, len(out))
+	targets := make([]int, 0, len(out))
+	for i := range out {
+		if payload, ok := outs[i]; ok {
+			msgs = append(msgs, Message{Seq: seq, Kind: Data, Payload: payload})
+			targets = append(targets, i)
+			lastSent[i] = int64(seq)
+			continue
+		}
+		timerDue := w.cfg.Intervals != nil && sendAt[i] != 0 &&
+			int64(seq)-lastSent[i] >= int64(sendAt[i])
+		if cascade || timerDue {
+			msgs = append(msgs, Message{Seq: seq, Kind: Dummy})
+			targets = append(targets, i)
+			lastSent[i] = int64(seq)
+		}
+	}
+	return w.sendAll(out, targets, msgs)
+}
+
+// broadcast sends m on every out-edge (used for EOS).
+func (w *worker) broadcast(out []graph.EdgeID, m Message) {
+	targets := make([]int, len(out))
+	msgs := make([]Message, len(out))
+	for i := range out {
+		targets[i] = i
+		msgs[i] = m
+	}
+	w.sendAll(out, targets, msgs)
+}
+
+// sendAll delivers the firing's messages concurrently and waits for all of
+// them (or abort).
+func (w *worker) sendAll(out []graph.EdgeID, targets []int, msgs []Message) bool {
+	if len(msgs) == 0 {
+		return true
+	}
+	if len(msgs) == 1 {
+		return w.sendOne(out[targets[0]], msgs[0])
+	}
+	var wg sync.WaitGroup
+	ok := atomic.Bool{}
+	ok.Store(true)
+	for j := range msgs {
+		wg.Add(1)
+		go func(e graph.EdgeID, m Message) {
+			defer wg.Done()
+			if !w.sendOne(e, m) {
+				ok.Store(false)
+			}
+		}(out[targets[j]], msgs[j])
+	}
+	wg.Wait()
+	return ok.Load()
+}
+
+func (w *worker) sendOne(e graph.EdgeID, m Message) bool {
+	select {
+	case w.chans[e] <- m:
+		switch m.Kind {
+		case Data:
+			w.dataCounts[e].Add(1)
+		case Dummy:
+			w.dummyCounts[e].Add(1)
+		}
+		w.progress.Add(1)
+		return true
+	case <-w.abort:
+		return false
+	}
+}
+
+// integerize converts the configured interval of e into a send gap; 0
+// disables dummies on e.  The ceiling is the paper's Fig. 3 policy.
+func integerize(cfg Config, e graph.EdgeID) uint64 {
+	if cfg.Intervals == nil {
+		return 0
+	}
+	iv, ok := cfg.Intervals[e]
+	if !ok || iv.IsInf() {
+		return 0
+	}
+	n := iv.Ceil()
+	if n < 1 {
+		n = 1
+	}
+	return uint64(n)
+}

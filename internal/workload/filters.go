@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"streamdag/internal/graph"
+)
+
+// Filtering behaviors for experiments.  All are pure functions of
+// (node, seq, edge) plus a seed, so simulator runs are reproducible and
+// schedule-independent.
+
+// FilterFunc mirrors sim.Filter without importing it (workload stays a
+// leaf package); it reports whether the node forwards seq on edge e.
+type FilterFunc func(node graph.NodeID, seq uint64, e graph.EdgeID) bool
+
+// PassAll never filters: the synchronous-dataflow special case.
+func PassAll(graph.NodeID, uint64, graph.EdgeID) bool { return true }
+
+// splitmix64 is the standard 64-bit finalizer; a pure hash keeps filters
+// deterministic without shared RNG state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func hash3(seed uint64, node graph.NodeID, seq uint64, e graph.EdgeID) uint64 {
+	h := splitmix64(seed ^ 0xabcd)
+	h = splitmix64(h ^ uint64(node)*0x9e3779b97f4a7c15)
+	h = splitmix64(h ^ seq)
+	h = splitmix64(h ^ uint64(e)*0xc2b2ae3d27d4eb4f)
+	return h
+}
+
+// Bernoulli forwards each (node, seq, edge) independently with probability
+// p, deterministically from seed.  p is clamped to [0, 1].
+func Bernoulli(p float64, seed uint64) FilterFunc {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	threshold := uint64(p * float64(1<<63) * 2)
+	if p >= 1 {
+		threshold = ^uint64(0)
+	}
+	return func(node graph.NodeID, seq uint64, e graph.EdgeID) bool {
+		return hash3(seed, node, seq, e) <= threshold
+	}
+}
+
+// DropEdge filters everything on one specific edge while passing all
+// others: the adversarial one-sided behavior of Fig. 2 (node A starves its
+// chord channel while flooding the long path).
+func DropEdge(drop graph.EdgeID) FilterFunc {
+	return func(_ graph.NodeID, _ uint64, e graph.EdgeID) bool {
+		return e != drop
+	}
+}
+
+// Periodic forwards every k-th sequence number on every edge (seq % k == 0)
+// and filters the rest; k ≤ 1 passes everything.
+func Periodic(k uint64) FilterFunc {
+	return func(_ graph.NodeID, seq uint64, _ graph.EdgeID) bool {
+		return k <= 1 || seq%k == 0
+	}
+}
+
+// Bursty alternates windows: for each edge it passes `on` sequence numbers
+// then filters `off`, with per-edge phase offsets, modeling stages whose
+// selectivity varies over time (e.g. a recognizer that fires on scene
+// changes).
+func Bursty(on, off uint64, seed uint64) FilterFunc {
+	if on == 0 {
+		on = 1
+	}
+	period := on + off
+	return func(node graph.NodeID, seq uint64, e graph.EdgeID) bool {
+		phase := hash3(seed, node, 0, e) % period
+		return (seq+phase)%period < on
+	}
+}
+
+// PerInputBernoulli filters whole inputs: a node either forwards seq on
+// every out-edge or on none, with pass probability p.  This all-or-nothing
+// behavior is the natural model for pass-through stages (a recognizer
+// fires or stays silent) and is the class for which the Propagation
+// protocol's cascade rule restores the paper's refresh invariant at
+// interior nodes; see DESIGN.md, "Protocol soundness".
+func PerInputBernoulli(p float64, seed uint64) FilterFunc {
+	edgeless := Bernoulli(p, seed)
+	return func(node graph.NodeID, seq uint64, _ graph.EdgeID) bool {
+		return edgeless(node, seq, graph.EdgeID(0))
+	}
+}
+
+// SourceRouting applies per-edge filter atSource at the given node and the
+// all-or-nothing filter elsewhere: the filtering class under which the
+// Propagation protocol is proven safe in our runtime (per-output routing
+// decisions at the split that owns the dummy intervals, whole-input
+// filtering at interior stages).
+func SourceRouting(src graph.NodeID, atSource, elsewhere FilterFunc) FilterFunc {
+	return func(node graph.NodeID, seq uint64, e graph.EdgeID) bool {
+		if node == src {
+			return atSource(node, seq, e)
+		}
+		return elsewhere(node, seq, e)
+	}
+}
+
+// Compose AND-combines filters: a message is forwarded only if every
+// filter passes it.
+func Compose(fs ...FilterFunc) FilterFunc {
+	return func(node graph.NodeID, seq uint64, e graph.EdgeID) bool {
+		for _, f := range fs {
+			if !f(node, seq, e) {
+				return false
+			}
+		}
+		return true
+	}
+}

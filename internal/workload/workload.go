@@ -1,0 +1,360 @@
+// Package workload generates streaming topologies and filtering behaviors
+// for tests, benchmarks, and the experiment harness: the paper's named
+// figures, random members of each graph family (SP-DAG, SP-ladder, CS4,
+// general DAG), and classic shapes (pipelines, split-joins, butterflies).
+//
+// All generators are deterministic functions of the supplied *rand.Rand, so
+// experiments are reproducible from a seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streamdag/internal/graph"
+)
+
+// Fig1SplitJoin returns the split/join topology of Fig. 1 with the given
+// uniform buffer capacity: A → {B, C} → D.
+func Fig1SplitJoin(buf int) *graph.Graph {
+	g := graph.New()
+	a := g.AddNode("A")
+	b := g.AddNode("B")
+	c := g.AddNode("C")
+	d := g.AddNode("D")
+	g.AddEdge(a, b, buf)
+	g.AddEdge(a, c, buf)
+	g.AddEdge(b, d, buf)
+	g.AddEdge(c, d, buf)
+	return g
+}
+
+// Fig2Triangle returns the deadlock example of Fig. 2: A → B → C plus the
+// chord A → C, with the given uniform buffer capacity.
+func Fig2Triangle(buf int) *graph.Graph {
+	g := graph.New()
+	a := g.AddNode("A")
+	b := g.AddNode("B")
+	c := g.AddNode("C")
+	g.AddEdge(a, b, buf)
+	g.AddEdge(b, c, buf)
+	g.AddEdge(a, c, buf)
+	return g
+}
+
+// Fig3Cycle returns the worked example of Fig. 3: two directed three-hop
+// paths a→b→e→f (buffers 2,5,1) and a→c→d→f (buffers 3,1,2).
+func Fig3Cycle() *graph.Graph {
+	g, err := graph.ParseString("a b 2\nb e 5\ne f 1\na c 3\nc d 1\nd f 2")
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Fig4CrossedSplitJoin returns the left graph of Fig. 4: a split/join
+// X → {a, b} → Y augmented with the cross channel a → b.  It is the
+// simplest DAG that is CS4 but not series-parallel.
+func Fig4CrossedSplitJoin(buf int) *graph.Graph {
+	g := graph.New()
+	x := g.AddNode("X")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	y := g.AddNode("Y")
+	g.AddEdge(x, a, buf)
+	g.AddEdge(x, b, buf)
+	g.AddEdge(a, y, buf)
+	g.AddEdge(b, y, buf)
+	g.AddEdge(a, b, buf)
+	return g
+}
+
+// Fig4Butterfly returns the right graph of Fig. 4: the FFT-style butterfly
+// whose cycle a–A–b–B has two sources and two sinks, so it is not CS4.
+func Fig4Butterfly(buf int) *graph.Graph {
+	g := graph.New()
+	x := g.AddNode("X")
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	ca := g.AddNode("A")
+	cb := g.AddNode("B")
+	y := g.AddNode("Y")
+	g.AddEdge(x, a, buf)
+	g.AddEdge(x, b, buf)
+	g.AddEdge(a, ca, buf)
+	g.AddEdge(a, cb, buf)
+	g.AddEdge(b, ca, buf)
+	g.AddEdge(b, cb, buf)
+	g.AddEdge(ca, y, buf)
+	g.AddEdge(cb, y, buf)
+	return g
+}
+
+// Pipeline returns a linear pipeline of n nodes (n-1 edges) with uniform
+// buffers.
+func Pipeline(n, buf int) *graph.Graph {
+	if n < 2 {
+		panic("workload: pipeline needs ≥ 2 nodes")
+	}
+	g := graph.New()
+	prev := g.AddNode("s0")
+	for i := 1; i < n; i++ {
+		cur := g.AddNode(fmt.Sprintf("s%d", i))
+		g.AddEdge(prev, cur, buf)
+		prev = cur
+	}
+	return g
+}
+
+// SplitJoin returns a one-level split/join with the given fan-out width.
+func SplitJoin(width, buf int) *graph.Graph {
+	if width < 1 {
+		panic("workload: width ≥ 1")
+	}
+	g := graph.New()
+	src := g.AddNode("split")
+	snk := g.AddNode("join")
+	for i := 0; i < width; i++ {
+		w := g.AddNode(fmt.Sprintf("w%d", i))
+		g.AddEdge(src, w, buf)
+		g.AddEdge(w, snk, buf)
+	}
+	return g
+}
+
+// spShape is a size-labelled recursive SP construction plan.
+type spShape struct {
+	leaves int
+	series bool // composition kind when leaves > 1
+	l, r   *spShape
+}
+
+func randShape(rng *rand.Rand, leaves int) *spShape {
+	s := &spShape{leaves: leaves}
+	if leaves == 1 {
+		return s
+	}
+	s.series = rng.Intn(2) == 0
+	k := 1 + rng.Intn(leaves-1)
+	s.l = randShape(rng, k)
+	s.r = randShape(rng, leaves-k)
+	return s
+}
+
+// RandomSP returns a uniformly shaped random series-parallel DAG with the
+// given number of leaf edges and buffer capacities drawn from [1, maxBuf].
+func RandomSP(rng *rand.Rand, leaves, maxBuf int) *graph.Graph {
+	if leaves < 1 || maxBuf < 1 {
+		panic("workload: leaves ≥ 1, maxBuf ≥ 1")
+	}
+	g := graph.New()
+	src := g.AddNode("src")
+	snk := g.AddNode("snk")
+	emitSP(rng, g, randShape(rng, leaves), src, snk, maxBuf)
+	return g
+}
+
+// emitSP realizes a shape between the terminals src and snk.
+func emitSP(rng *rand.Rand, g *graph.Graph, s *spShape, src, snk graph.NodeID, maxBuf int) {
+	if s.leaves == 1 {
+		g.AddEdge(src, snk, 1+rng.Intn(maxBuf))
+		return
+	}
+	if s.series {
+		mid := g.AddNode(fmt.Sprintf("n%d", g.NumNodes()))
+		emitSP(rng, g, s.l, src, mid, maxBuf)
+		emitSP(rng, g, s.r, mid, snk, maxBuf)
+		return
+	}
+	emitSP(rng, g, s.l, src, snk, maxBuf)
+	emitSP(rng, g, s.r, src, snk, maxBuf)
+}
+
+// LadderSpec describes one rung of a generated SP-ladder.
+type LadderSpec struct {
+	LeftToRight bool // rung direction
+}
+
+// RandomLadder returns a random SP-ladder with the given number of rungs
+// (cross-links).  Each side segment and each rung is either a single edge
+// or a small random SP fragment.  shareProb is the probability that
+// consecutive rungs share their left or right endpoint (the Fig. 6 special
+// case); fragProb is the probability a skeleton position expands to an SP
+// fragment instead of a single edge.
+func RandomLadder(rng *rand.Rand, rungs, maxBuf int, shareProb, fragProb float64) *graph.Graph {
+	if rungs < 1 {
+		panic("workload: ladder needs ≥ 1 rung")
+	}
+	g := graph.New()
+	x := g.AddNode("X")
+	y := g.AddNode("Y")
+
+	// Choose, per rung i, whether u_{i+1} (v_{i+1}) is a fresh vertex or
+	// shared with u_i (v_i).  The first rung endpoints are always fresh
+	// (cross-links may not touch X or Y).
+	uu := make([]graph.NodeID, rungs) // left endpoint of rung i
+	vv := make([]graph.NodeID, rungs) // right endpoint of rung i
+	for i := 0; i < rungs; i++ {
+		if i > 0 && rng.Float64() < shareProb {
+			uu[i] = uu[i-1]
+		} else {
+			uu[i] = g.AddNode(fmt.Sprintf("u%d", i+1))
+		}
+		// Never share both endpoints: that would duplicate the rung slot
+		// into a parallel pair, which is fine for the model but collapses
+		// two rungs into an SP fragment; keep the generator canonical.
+		if i > 0 && uu[i] != uu[i-1] && rng.Float64() < shareProb {
+			vv[i] = vv[i-1]
+		} else {
+			vv[i] = g.AddNode(fmt.Sprintf("v%d", i+1))
+		}
+	}
+
+	frag := func(from, to graph.NodeID) {
+		if rng.Float64() < fragProb {
+			emitSP(rng, g, randShape(rng, 2+rng.Intn(3)), from, to, maxBuf)
+		} else {
+			g.AddEdge(from, to, 1+rng.Intn(maxBuf))
+		}
+	}
+	// Left side: X → u1 ... u_rungs → Y, skipping shared vertices.
+	prev := x
+	for i := 0; i < rungs; i++ {
+		if uu[i] != prev {
+			frag(prev, uu[i])
+			prev = uu[i]
+		}
+	}
+	frag(prev, y)
+	// Right side.
+	prev = x
+	for i := 0; i < rungs; i++ {
+		if vv[i] != prev {
+			frag(prev, vv[i])
+			prev = vv[i]
+		}
+	}
+	frag(prev, y)
+	// Rungs.  Directions are free except when consecutive rungs share an
+	// endpoint: a left-to-right rung followed by a right-to-left rung at the
+	// same left vertex u (or the mirror case at a shared right vertex v)
+	// would close a directed cycle u→v_i→…→v_{i+1}→u, so force the second
+	// rung to repeat the first one's direction in those cases.
+	leftToRight := make([]bool, rungs)
+	for i := 0; i < rungs; i++ {
+		leftToRight[i] = rng.Intn(2) == 0
+		if i > 0 {
+			if uu[i] == uu[i-1] && leftToRight[i-1] {
+				leftToRight[i] = true
+			}
+			if vv[i] == vv[i-1] && !leftToRight[i-1] {
+				leftToRight[i] = false
+			}
+		}
+	}
+	for i := 0; i < rungs; i++ {
+		if leftToRight[i] {
+			frag(uu[i], vv[i])
+		} else {
+			frag(vv[i], uu[i])
+		}
+	}
+	return g
+}
+
+// RandomCS4 returns a serial composition of random SP-DAGs and SP-ladders
+// (Theorem V.7 form): parts components, each a ladder with probability
+// ladderProb.
+func RandomCS4(rng *rand.Rand, parts, maxBuf int, ladderProb float64) *graph.Graph {
+	if parts < 1 {
+		panic("workload: parts ≥ 1")
+	}
+	g := graph.New()
+	join := g.AddNode("t0")
+	for p := 0; p < parts; p++ {
+		next := g.AddNode(fmt.Sprintf("t%d", p+1))
+		if rng.Float64() < ladderProb {
+			appendLadder(rng, g, join, next, 1+rng.Intn(3), maxBuf)
+		} else {
+			emitSP(rng, g, randShape(rng, 1+rng.Intn(6)), join, next, maxBuf)
+		}
+		join = next
+	}
+	return g
+}
+
+// appendLadder emits a small ladder between the given terminals.
+func appendLadder(rng *rand.Rand, g *graph.Graph, x, y graph.NodeID, rungs, maxBuf int) {
+	base := g.NumNodes()
+	uu := make([]graph.NodeID, rungs)
+	vv := make([]graph.NodeID, rungs)
+	for i := 0; i < rungs; i++ {
+		uu[i] = g.AddNode(fmt.Sprintf("lu%d_%d", base, i))
+		vv[i] = g.AddNode(fmt.Sprintf("lv%d_%d", base, i))
+	}
+	eb := func(a, b graph.NodeID) { g.AddEdge(a, b, 1+rng.Intn(maxBuf)) }
+	prev := x
+	for i := 0; i < rungs; i++ {
+		eb(prev, uu[i])
+		prev = uu[i]
+	}
+	eb(prev, y)
+	prev = x
+	for i := 0; i < rungs; i++ {
+		eb(prev, vv[i])
+		prev = vv[i]
+	}
+	eb(prev, y)
+	for i := 0; i < rungs; i++ {
+		if rng.Intn(2) == 0 {
+			eb(uu[i], vv[i])
+		} else {
+			eb(vv[i], uu[i])
+		}
+	}
+}
+
+// RandomLayeredDAG returns a general layered DAG: layers of the given width
+// with every consecutive-layer pair connected with probability p (plus a
+// guaranteed path to keep it connected), a single source, and a single
+// sink.  Dense layered DAGs have exponentially many undirected cycles and
+// exercise the exhaustive baseline.
+func RandomLayeredDAG(rng *rand.Rand, layers, width, maxBuf int, p float64) *graph.Graph {
+	if layers < 1 || width < 1 {
+		panic("workload: layers, width ≥ 1")
+	}
+	g := graph.New()
+	src := g.AddNode("src")
+	snk := g.AddNode("snk")
+	prev := []graph.NodeID{src}
+	for l := 0; l < layers; l++ {
+		cur := make([]graph.NodeID, width)
+		for w := 0; w < width; w++ {
+			cur[w] = g.AddNode(fmt.Sprintf("l%dw%d", l, w))
+		}
+		for _, a := range prev {
+			connected := false
+			for _, b := range cur {
+				if rng.Float64() < p {
+					g.AddEdge(a, b, 1+rng.Intn(maxBuf))
+					connected = true
+				}
+			}
+			if !connected {
+				g.AddEdge(a, cur[rng.Intn(width)], 1+rng.Intn(maxBuf))
+			}
+		}
+		// Every layer node needs an input; wire orphans from a random
+		// predecessor.
+		for _, b := range cur {
+			if g.InDegree(b) == 0 {
+				g.AddEdge(prev[rng.Intn(len(prev))], b, 1+rng.Intn(maxBuf))
+			}
+		}
+		prev = cur
+	}
+	for _, a := range prev {
+		g.AddEdge(a, snk, 1+rng.Intn(maxBuf))
+	}
+	return g
+}

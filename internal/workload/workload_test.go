@@ -1,0 +1,227 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"streamdag/internal/cycles"
+	"streamdag/internal/graph"
+	"streamdag/internal/sp"
+)
+
+func TestNamedTopologies(t *testing.T) {
+	cases := []struct {
+		name         string
+		g            *graph.Graph
+		nodes, edges int
+	}{
+		{"fig1", Fig1SplitJoin(2), 4, 4},
+		{"fig2", Fig2Triangle(2), 3, 3},
+		{"fig3", Fig3Cycle(), 6, 6},
+		{"fig4-cross", Fig4CrossedSplitJoin(1), 4, 5},
+		{"fig4-butterfly", Fig4Butterfly(1), 6, 8},
+		{"pipeline", Pipeline(7, 1), 7, 6},
+		{"splitjoin", SplitJoin(5, 2), 7, 10},
+	}
+	for _, c := range cases {
+		if err := c.g.Validate(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+		if c.g.NumNodes() != c.nodes || c.g.NumEdges() != c.edges {
+			t.Errorf("%s: %d nodes %d edges, want %d/%d",
+				c.name, c.g.NumNodes(), c.g.NumEdges(), c.nodes, c.edges)
+		}
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	rng := rand.New(rand.NewSource(1))
+	mustPanic("pipeline", func() { Pipeline(1, 1) })
+	mustPanic("splitjoin", func() { SplitJoin(0, 1) })
+	mustPanic("randomsp", func() { RandomSP(rng, 0, 1) })
+	mustPanic("ladder", func() { RandomLadder(rng, 0, 1, 0, 0) })
+	mustPanic("cs4", func() { RandomCS4(rng, 0, 1, 0) })
+	mustPanic("layered", func() { RandomLayeredDAG(rng, 0, 1, 1, 0.5) })
+}
+
+// TestRandomSPIsSP: every generated SP graph must be recognized by the
+// reduction algorithm — the generators and recognizer validate each other.
+func TestRandomSPIsSP(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		g := RandomSP(rng, 1+rng.Intn(50), 9)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !sp.IsSP(g) {
+			t.Fatalf("trial %d: not recognized as SP:\n%s", trial, g)
+		}
+	}
+}
+
+// TestRandomLadderIsNonSPCS4: ladders must be valid DAGs, CS4, and (having
+// at least one cross-link) not series-parallel.
+func TestRandomLadderIsNonSPCS4(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		g := RandomLadder(rng, 1+rng.Intn(4), 6, 0.3, 0.3)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, g)
+		}
+		if sp.IsSP(g) {
+			t.Fatalf("trial %d: ladder is SP:\n%s", trial, g)
+		}
+		if ok, w := cycles.IsCS4(g); !ok {
+			t.Fatalf("trial %d: not CS4, witness %s:\n%s", trial, w.Describe(g), g)
+		}
+	}
+}
+
+func TestRandomCS4Valid(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 60; trial++ {
+		g := RandomCS4(rng, 1+rng.Intn(5), 6, 0.5)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if ok, w := cycles.IsCS4(g); !ok {
+			t.Fatalf("trial %d: not CS4, witness %s", trial, w.Describe(g))
+		}
+	}
+}
+
+func TestRandomLayeredDAGValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		g := RandomLayeredDAG(rng, 1+rng.Intn(4), 1+rng.Intn(4), 5, 0.4)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, g)
+		}
+	}
+}
+
+func TestFilterDeterminism(t *testing.T) {
+	f := Bernoulli(0.5, 99)
+	check := func(node uint8, seq uint32, edge uint8) bool {
+		n, s, e := graph.NodeID(node), uint64(seq), graph.EdgeID(edge)
+		return f(n, s, e) == f(n, s, e)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	always := Bernoulli(1.0, 1)
+	never := Bernoulli(0.0, 1)
+	clampedHi := Bernoulli(2.0, 1)
+	clampedLo := Bernoulli(-1.0, 1)
+	for seq := uint64(0); seq < 300; seq++ {
+		if !always(0, seq, 0) || !clampedHi(0, seq, 0) {
+			t.Fatal("p=1 filtered a message")
+		}
+		if never(0, seq, 0) || clampedLo(0, seq, 0) {
+			t.Fatal("p=0 passed a message")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	f := Bernoulli(0.3, 12345)
+	pass := 0
+	const n = 20000
+	for seq := uint64(0); seq < n; seq++ {
+		if f(1, seq, 2) {
+			pass++
+		}
+	}
+	rate := float64(pass) / n
+	if rate < 0.27 || rate > 0.33 {
+		t.Errorf("empirical rate = %.3f, want ≈ 0.30", rate)
+	}
+}
+
+func TestPerInputIgnoresEdge(t *testing.T) {
+	f := PerInputBernoulli(0.5, 8)
+	for seq := uint64(0); seq < 200; seq++ {
+		if f(3, seq, 0) != f(3, seq, 17) {
+			t.Fatalf("per-input filter differs across edges at seq %d", seq)
+		}
+	}
+}
+
+func TestPeriodicAndDrop(t *testing.T) {
+	p := Periodic(4)
+	for seq := uint64(0); seq < 20; seq++ {
+		if p(0, seq, 0) != (seq%4 == 0) {
+			t.Fatalf("periodic wrong at %d", seq)
+		}
+	}
+	if !Periodic(0)(0, 5, 0) || !Periodic(1)(0, 5, 0) {
+		t.Error("k ≤ 1 should pass everything")
+	}
+	d := DropEdge(3)
+	if d(0, 0, 3) || !d(0, 0, 2) {
+		t.Error("DropEdge wrong")
+	}
+}
+
+func TestBurstyWindows(t *testing.T) {
+	f := Bursty(3, 2, 7)
+	// Period 5: exactly 3 of any 5 consecutive seqs pass, for each edge.
+	for e := graph.EdgeID(0); e < 4; e++ {
+		pass := 0
+		for seq := uint64(0); seq < 5; seq++ {
+			if f(1, seq, e) {
+				pass++
+			}
+		}
+		if pass != 3 {
+			t.Errorf("edge %d: %d of 5 pass, want 3", e, pass)
+		}
+	}
+	// on = 0 must not panic (clamped to 1).
+	if Bursty(0, 4, 1)(0, 0, 0) {
+		_ = 0 // any result fine; just exercising the clamp
+	}
+}
+
+func TestComposeAndSourceRouting(t *testing.T) {
+	odd := func(_ graph.NodeID, seq uint64, _ graph.EdgeID) bool { return seq%2 == 1 }
+	big := func(_ graph.NodeID, seq uint64, _ graph.EdgeID) bool { return seq >= 10 }
+	c := Compose(odd, big)
+	if c(0, 11, 0) != true || c(0, 12, 0) != false || c(0, 9, 0) != false {
+		t.Error("Compose wrong")
+	}
+	sr := SourceRouting(graph.NodeID(5), odd, big)
+	if sr(5, 11, 0) != true || sr(5, 12, 0) != false {
+		t.Error("SourceRouting at source wrong")
+	}
+	if sr(6, 12, 0) != true || sr(6, 9, 0) != false {
+		t.Error("SourceRouting elsewhere wrong")
+	}
+}
+
+// TestQuickSPShapes: the SP generator must respect the leaf budget for
+// arbitrary sizes.
+func TestQuickSPShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	check := func(leaves8 uint8) bool {
+		leaves := int(leaves8%60) + 1
+		g := RandomSP(rng, leaves, 4)
+		return g.NumEdges() == leaves && g.Validate() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
