@@ -1,0 +1,3 @@
+module streamdag
+
+go 1.22

@@ -1,0 +1,229 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+
+	"streamdag/internal/graph"
+	"streamdag/internal/stream"
+)
+
+// Wire format: every frame is a 4-byte big-endian length followed by a
+// body.  The first body byte is the frame type:
+//
+//	'H' hello  — magic "SDG1" + sender worker name; first frame on every
+//	             connection.
+//	'M' msg    — edge uint32, seq uint64, kind byte, then (Data only) an
+//	             encoded payload.  One per protocol message on a cross
+//	             edge; the sender holds a flow-control credit for it.
+//	'C' credit — edge uint32.  Returned by the consumer of a cross edge
+//	             when a message leaves the edge's buffer, releasing one
+//	             window slot at the sender.
+//	'D' done   — the sending worker's nodes have all terminated.
+//
+// Edge IDs are global (both sides build them from the same topology), so
+// frames need no further addressing.
+const (
+	frameHello  byte = 'H'
+	frameMsg    byte = 'M'
+	frameCredit byte = 'C'
+	frameDone   byte = 'D'
+)
+
+const helloMagic = "SDG1"
+
+// maxFrame bounds a frame body; larger announcements indicate a corrupt
+// or hostile stream.
+const maxFrame = 1 << 26
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("dist: bad frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+func frameFor(body []byte) []byte {
+	f := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(f, uint32(len(body)))
+	copy(f[4:], body)
+	return f
+}
+
+func helloBody(name string) []byte {
+	b := make([]byte, 0, 1+len(helloMagic)+len(name))
+	b = append(b, frameHello)
+	b = append(b, helloMagic...)
+	return append(b, name...)
+}
+
+func parseHello(body []byte) (string, error) {
+	if len(body) < 1+len(helloMagic) || body[0] != frameHello ||
+		string(body[1:1+len(helloMagic)]) != helloMagic {
+		return "", fmt.Errorf("dist: bad hello frame")
+	}
+	return string(body[1+len(helloMagic):]), nil
+}
+
+func creditBody(e graph.EdgeID) []byte {
+	b := make([]byte, 5)
+	b[0] = frameCredit
+	binary.BigEndian.PutUint32(b[1:], uint32(e))
+	return b
+}
+
+func msgBody(e graph.EdgeID, m stream.Message) ([]byte, error) {
+	b := make([]byte, 0, 16)
+	b = append(b, frameMsg)
+	b = binary.BigEndian.AppendUint32(b, uint32(e))
+	b = binary.BigEndian.AppendUint64(b, m.Seq)
+	b = append(b, byte(m.Kind))
+	if m.Kind == stream.Data {
+		var err error
+		b, err = appendPayload(b, m.Payload)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+func parseMsg(body []byte) (graph.EdgeID, stream.Message, error) {
+	if len(body) < 14 {
+		return 0, stream.Message{}, fmt.Errorf("dist: short msg frame (%d bytes)", len(body))
+	}
+	e := graph.EdgeID(binary.BigEndian.Uint32(body[1:]))
+	m := stream.Message{
+		Seq:  binary.BigEndian.Uint64(body[5:]),
+		Kind: stream.Kind(body[13]),
+	}
+	if m.Kind == stream.Data {
+		var err error
+		m.Payload, err = decodePayload(body[14:])
+		if err != nil {
+			return 0, stream.Message{}, err
+		}
+	}
+	return e, m, nil
+}
+
+func parseCredit(body []byte) (graph.EdgeID, error) {
+	if len(body) != 5 {
+		return 0, fmt.Errorf("dist: bad credit frame (%d bytes)", len(body))
+	}
+	return graph.EdgeID(binary.BigEndian.Uint32(body[1:])), nil
+}
+
+// Payload encoding: one type byte plus a fixed or length-delimited value.
+// The common scalar payloads round-trip to the same concrete Go type;
+// everything else falls back to gob, which requires the concrete type to
+// be registered with gob.Register by the application.
+const (
+	pNil byte = iota
+	pUint64
+	pInt64
+	pInt
+	pFloat64
+	pString
+	pBytes
+	pBool
+	pGob
+)
+
+func appendPayload(b []byte, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(b, pNil), nil
+	case uint64:
+		return binary.BigEndian.AppendUint64(append(b, pUint64), x), nil
+	case int64:
+		return binary.BigEndian.AppendUint64(append(b, pInt64), uint64(x)), nil
+	case int:
+		return binary.BigEndian.AppendUint64(append(b, pInt), uint64(x)), nil
+	case float64:
+		return binary.BigEndian.AppendUint64(append(b, pFloat64), math.Float64bits(x)), nil
+	case string:
+		return append(append(b, pString), x...), nil
+	case []byte:
+		return append(append(b, pBytes), x...), nil
+	case bool:
+		n := byte(0)
+		if x {
+			n = 1
+		}
+		return append(b, pBool, n), nil
+	default:
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+			return nil, fmt.Errorf("dist: payload %T not encodable (register it with gob.Register): %w", v, err)
+		}
+		return append(append(b, pGob), buf.Bytes()...), nil
+	}
+}
+
+func decodePayload(b []byte) (any, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("dist: empty payload")
+	}
+	t, rest := b[0], b[1:]
+	fixed := func(n int) error {
+		if len(rest) != n {
+			return fmt.Errorf("dist: payload type %d wants %d bytes, got %d", t, n, len(rest))
+		}
+		return nil
+	}
+	switch t {
+	case pNil:
+		return nil, fixed(0)
+	case pUint64:
+		if err := fixed(8); err != nil {
+			return nil, err
+		}
+		return binary.BigEndian.Uint64(rest), nil
+	case pInt64:
+		if err := fixed(8); err != nil {
+			return nil, err
+		}
+		return int64(binary.BigEndian.Uint64(rest)), nil
+	case pInt:
+		if err := fixed(8); err != nil {
+			return nil, err
+		}
+		return int(binary.BigEndian.Uint64(rest)), nil
+	case pFloat64:
+		if err := fixed(8); err != nil {
+			return nil, err
+		}
+		return math.Float64frombits(binary.BigEndian.Uint64(rest)), nil
+	case pString:
+		return string(rest), nil
+	case pBytes:
+		return append([]byte(nil), rest...), nil
+	case pBool:
+		if err := fixed(1); err != nil {
+			return nil, err
+		}
+		return rest[0] == 1, nil
+	case pGob:
+		var v any
+		if err := gob.NewDecoder(bytes.NewReader(rest)).Decode(&v); err != nil {
+			return nil, fmt.Errorf("dist: payload not decodable (register its type with gob.Register): %w", err)
+		}
+		return v, nil
+	default:
+		return nil, fmt.Errorf("dist: unknown payload type %d", t)
+	}
+}

@@ -1,0 +1,303 @@
+package dist
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"streamdag/internal/cs4"
+	"streamdag/internal/graph"
+	"streamdag/internal/sim"
+	"streamdag/internal/stream"
+	"streamdag/internal/workload"
+)
+
+// fig2 builds the paper's Fig. 2 triangle: A→B→C plus the chord A→C,
+// every channel with capacity buf.
+func fig2(buf int) (*graph.Graph, graph.EdgeID) {
+	g := graph.New()
+	a := g.AddNode("A")
+	b := g.AddNode("B")
+	c := g.AddNode("C")
+	g.AddEdge(a, b, buf)
+	g.AddEdge(b, c, buf)
+	ac := g.AddEdge(a, c, buf)
+	return g, ac
+}
+
+// routeKernels mirrors the root package's RouteKernels: forward the first
+// present payload (the sequence number at the source) on the out-edges
+// the filter selects.
+func routeKernels(g *graph.Graph, f workload.FilterFunc) map[graph.NodeID]stream.Kernel {
+	ks := make(map[graph.NodeID]stream.Kernel, g.NumNodes())
+	for n := 0; n < g.NumNodes(); n++ {
+		id := graph.NodeID(n)
+		out := g.Out(id)
+		ks[id] = stream.KernelFunc(func(seq uint64, in []stream.Input) map[int]any {
+			var payload any = seq
+			for _, i := range in {
+				if i.Present {
+					payload = i.Payload
+					break
+				}
+			}
+			outs := make(map[int]any, len(out))
+			for i, e := range out {
+				if f(id, seq, e) {
+					outs[i] = payload
+				}
+			}
+			return outs
+		})
+	}
+	return ks
+}
+
+// launch builds, listens, and runs one worker per name concurrently,
+// returning each worker's stats and error.
+func launch(t *testing.T, g *graph.Graph, part Partition, names []string,
+	kernels map[graph.NodeID]stream.Kernel, cfg Config) ([]*Stats, []error) {
+	t.Helper()
+	addrs := make(map[string]string, len(names))
+	for _, n := range names {
+		addrs[n] = "127.0.0.1:0"
+	}
+	workers := make([]*Worker, len(names))
+	for i, n := range names {
+		w, err := NewWorker(g, n, part, addrs, kernels, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = w
+	}
+	for _, w := range workers {
+		if err := w.Listen(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := make([]*Stats, len(workers))
+	errs := make([]error, len(workers))
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		wg.Add(1)
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			stats[i], errs[i] = w.Run()
+		}(i, w)
+	}
+	wg.Wait()
+	return stats, errs
+}
+
+// TestFig2DeadlockWithoutIntervals reproduces the paper's Fig. 2 failure
+// over loopback TCP: with A starving the chord A→C and no dummy
+// intervals, the join wedges and every worker's watchdog fires.
+func TestFig2DeadlockWithoutIntervals(t *testing.T) {
+	g, ac := fig2(2)
+	part := Partition{g.MustNode("A"): "splitter", g.MustNode("B"): "backend", g.MustNode("C"): "backend"}
+	kernels := routeKernels(g, workload.DropEdge(ac))
+	_, errs := launch(t, g, part, []string{"splitter", "backend"}, kernels, Config{
+		Inputs:          1000,
+		WatchdogTimeout: 300 * time.Millisecond,
+	})
+	sawDeadlock := false
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("worker %d completed; want deadlock", i)
+		}
+		var derr *DeadlockError
+		if errors.As(err, &derr) {
+			sawDeadlock = true
+		}
+	}
+	if !sawDeadlock {
+		t.Fatalf("no worker reported DeadlockError; got %v", errs)
+	}
+}
+
+// TestFig2CompletesWithPropagation runs the same adversarial filtering
+// with Propagation intervals: the run completes, and the combined
+// per-edge traffic matches the deterministic simulator exactly — the two
+// backends share one protocol engine, so their message counts must agree.
+func TestFig2CompletesWithPropagation(t *testing.T) {
+	g, ac := fig2(2)
+	dec, err := cs4.Classify(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := dec.Intervals(cs4.Propagation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const inputs = 2000
+	filter := workload.DropEdge(ac)
+	part := Partition{g.MustNode("A"): "splitter", g.MustNode("B"): "backend", g.MustNode("C"): "backend"}
+	stats, errs := launch(t, g, part, []string{"splitter", "backend"}, routeKernels(g, filter), Config{
+		Inputs:          inputs,
+		Algorithm:       cs4.Propagation,
+		Intervals:       iv,
+		WatchdogTimeout: 5 * time.Second,
+	})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+
+	oracle := sim.Run(g, sim.Filter(filter), sim.Config{
+		Inputs:    inputs,
+		Algorithm: cs4.Propagation,
+		Intervals: iv,
+	})
+	if !oracle.Completed {
+		t.Fatalf("simulator deadlocked: %v", oracle.Blocked)
+	}
+	var sinkData int64
+	data := make(map[graph.EdgeID]int64)
+	dummies := make(map[graph.EdgeID]int64)
+	for _, s := range stats {
+		sinkData += s.SinkData
+		for e, n := range s.Data {
+			data[e] += n
+		}
+		for e, n := range s.Dummies {
+			dummies[e] += n
+		}
+	}
+	for e := graph.EdgeID(0); int(e) < g.NumEdges(); e++ {
+		if data[e] != oracle.DataMsgs[e] {
+			t.Errorf("edge %d: %d data msgs over TCP, simulator says %d", e, data[e], oracle.DataMsgs[e])
+		}
+		if dummies[e] != oracle.DummyMsgs[e] {
+			t.Errorf("edge %d: %d dummies over TCP, simulator says %d", e, dummies[e], oracle.DummyMsgs[e])
+		}
+	}
+	if sinkData != oracle.SinkData {
+		t.Errorf("sink consumed %d data msgs, simulator says %d", sinkData, oracle.SinkData)
+	}
+	if sinkData != inputs {
+		t.Errorf("sink consumed %d data msgs, want %d (nothing is filtered on the surviving path)", sinkData, inputs)
+	}
+}
+
+// TestThreeWorkerPartition splits a diamond across three workers, with
+// cross edges in every direction of the partition graph.
+func TestThreeWorkerPartition(t *testing.T) {
+	g := graph.New()
+	s := g.AddNode("S")
+	l := g.AddNode("L")
+	r := g.AddNode("R")
+	k := g.AddNode("K")
+	g.AddEdge(s, l, 2)
+	g.AddEdge(s, r, 2)
+	g.AddEdge(l, k, 2)
+	g.AddEdge(r, k, 2)
+	part := Partition{s: "w0", l: "w1", r: "w2", k: "w0"}
+	stats, errs := launch(t, g, part, []string{"w0", "w1", "w2"}, nil, Config{
+		Inputs:          500,
+		WatchdogTimeout: 5 * time.Second,
+	})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	var sinkData int64
+	for _, s := range stats {
+		sinkData += s.SinkData
+	}
+	if sinkData != 500 {
+		t.Errorf("sink consumed %d, want 500", sinkData)
+	}
+}
+
+// TestWindowExhaustion is the flow-control unit test: a window of n
+// credits admits exactly n sends, blocks the n+1st until a credit is
+// returned, and rejects credits beyond its capacity.
+func TestWindowExhaustion(t *testing.T) {
+	const n = 3
+	win := newWindow(n)
+	for i := 0; i < n; i++ {
+		if !win.tryAcquire() {
+			t.Fatalf("acquire %d/%d failed with credits available", i+1, n)
+		}
+	}
+	if win.tryAcquire() {
+		t.Fatal("acquired beyond the window capacity")
+	}
+	if win.available() != 0 {
+		t.Fatalf("available = %d, want 0", win.available())
+	}
+
+	// A blocked acquire resumes when a credit is returned…
+	abort := make(chan struct{})
+	got := make(chan bool, 1)
+	go func() { got <- win.acquire(abort) }()
+	select {
+	case <-got:
+		t.Fatal("acquire returned with the window exhausted")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if !win.release() {
+		t.Fatal("release into exhausted window failed")
+	}
+	if ok := <-got; !ok {
+		t.Fatal("acquire failed after credit return")
+	}
+
+	// …and abort unblocks a send that would otherwise wait forever.
+	go func() { got <- win.acquire(abort) }()
+	close(abort)
+	if ok := <-got; ok {
+		t.Fatal("acquire succeeded after abort")
+	}
+
+	// Returning more credits than were consumed is a protocol violation.
+	win.release() // the one taken by the successful blocked acquire
+	if !win.release() || !win.release() {
+		t.Fatal("legitimate credit returns rejected")
+	}
+	if win.release() {
+		t.Fatal("window accepted a credit beyond its capacity")
+	}
+}
+
+// TestNewWorkerValidation checks partition/address validation.
+func TestNewWorkerValidation(t *testing.T) {
+	g, _ := fig2(2)
+	addrs := map[string]string{"w": "127.0.0.1:0"}
+	full := Partition{g.MustNode("A"): "w", g.MustNode("B"): "w", g.MustNode("C"): "w"}
+	if _, err := NewWorker(g, "w", Partition{g.MustNode("A"): "w"}, addrs, nil, Config{}); err == nil {
+		t.Error("partial partition accepted")
+	}
+	if _, err := NewWorker(g, "w", Partition{g.MustNode("A"): "w", g.MustNode("B"): "ghost", g.MustNode("C"): "w"},
+		addrs, nil, Config{}); err == nil {
+		t.Error("partition onto unknown worker accepted")
+	}
+	if _, err := NewWorker(g, "ghost", full, addrs, nil, Config{}); err == nil {
+		t.Error("worker without a listen address accepted")
+	}
+	if _, err := NewWorker(g, "w", full, addrs, nil, Config{}); err != nil {
+		t.Errorf("valid single-worker setup rejected: %v", err)
+	}
+}
+
+// TestSingleWorkerNoPeers runs a whole topology on one worker: the
+// distributed runtime degenerates to the in-process one.
+func TestSingleWorkerNoPeers(t *testing.T) {
+	g, ac := fig2(2)
+	dec, _ := cs4.Classify(g)
+	iv, _ := dec.Intervals(cs4.Propagation)
+	part := Partition{g.MustNode("A"): "solo", g.MustNode("B"): "solo", g.MustNode("C"): "solo"}
+	stats, errs := launch(t, g, part, []string{"solo"}, routeKernels(g, workload.DropEdge(ac)), Config{
+		Inputs: 300, Algorithm: cs4.Propagation, Intervals: iv,
+		WatchdogTimeout: 5 * time.Second,
+	})
+	if errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	if stats[0].SinkData != 300 {
+		t.Errorf("sink consumed %d, want 300", stats[0].SinkData)
+	}
+}

@@ -1,0 +1,64 @@
+package dist
+
+// window is the sender half of per-edge credit-based flow control.  A
+// cross edge with buffer capacity n starts with n credits; the sender
+// takes one credit per message frame and the consumer returns one credit
+// frame per message it pops from the edge's buffer.  The invariant
+//
+//	credits held here + messages in flight or queued at the receiver = n
+//
+// makes the remote edge behave exactly like a bounded FIFO channel of
+// capacity n: a sender with no credits blocks, just as a goroutine blocks
+// on a full Go channel.  The deadlock-avoidance intervals were computed
+// against these capacities, so preserving them over the wire is what
+// keeps the protocol's safety guarantee across machines.
+type window struct {
+	tokens chan struct{}
+}
+
+func newWindow(n int) *window {
+	w := &window{tokens: make(chan struct{}, n)}
+	for i := 0; i < n; i++ {
+		w.tokens <- struct{}{}
+	}
+	return w
+}
+
+// acquire takes one credit, blocking until one is available or abort is
+// closed; it reports whether a credit was taken.
+func (w *window) acquire(abort <-chan struct{}) bool {
+	select {
+	case <-w.tokens:
+		return true
+	case <-abort:
+		return false
+	}
+}
+
+// tryAcquire takes a credit only if one is immediately available.
+func (w *window) tryAcquire() bool {
+	select {
+	case <-w.tokens:
+		return true
+	default:
+		return false
+	}
+}
+
+// release returns one credit; it reports false if the window would exceed
+// its capacity, which means the peer returned a credit it never consumed
+// (a protocol violation).
+func (w *window) release() bool {
+	select {
+	case w.tokens <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// available returns the number of credits currently held.
+func (w *window) available() int { return len(w.tokens) }
+
+// capacity returns the window size.
+func (w *window) capacity() int { return cap(w.tokens) }

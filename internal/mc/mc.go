@@ -295,8 +295,12 @@ func (m *machine) consume(s *state, id graph.NodeID) (*state, bool) {
 	return ns, true
 }
 
-// emit mirrors sim's protocol wrapper exactly (sequence-distance timers,
-// Propagation cascade on data-free firings).
+// emit mirrors the protocol wrapper exactly (sequence-distance timers,
+// Propagation cascade on data-free firings).  It deliberately does NOT
+// reuse internal/proto: mc is the independent re-implementation whose
+// agreement with the engine-driven backends guards against drift in the
+// shared code (see the package comment).  Keep this copy hand-written;
+// "unifying" it onto proto.Engine would make the cross-check vacuous.
 func (m *machine) emit(s *state, id graph.NodeID, seq uint64, haveData bool) {
 	out := m.g.Out(id)
 	dummies := m.cfg.Intervals != nil

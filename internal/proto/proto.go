@@ -1,0 +1,180 @@
+// Package proto is the transport-agnostic core of the dummy-message
+// deadlock-avoidance protocols of Buhler et al.: the per-node state and
+// decision rules that every execution backend — the goroutine runtime
+// (internal/stream), the deterministic simulator (internal/sim), and the
+// TCP-distributed runtime (internal/dist) — applies around user kernels.
+//
+// The engine is pure state-machine logic: node state in, firing decision
+// out.  It owns the three pieces the backends previously each implemented:
+//
+//   - interval integerization (Integerize): converting the analysis's
+//     exact rational intervals into integer send gaps;
+//   - input alignment (MinSeq): the minimum-sequence-number firing rule
+//     that merges the heads of a node's in-channels;
+//   - the per-firing emission decision (Engine.Fire): per-edge dummy
+//     timers plus the Propagation cascade rule.
+//
+// Backends own everything the engine does not: channels or sockets,
+// scheduling, kernels and payloads, and message delivery.  Because the
+// engine is deterministic and shared, any two backends run with the same
+// topology, filter, and configuration produce identical per-edge message
+// counts (see the equivalence tests in the root package).
+package proto
+
+import (
+	"math"
+
+	"streamdag/internal/cs4"
+	"streamdag/internal/graph"
+	"streamdag/internal/ival"
+)
+
+// EOSSeq is the sequence number carried by end-of-stream markers; it
+// compares greater than every data sequence number, so EOS heads never
+// win the minimum-sequence alignment while data remains.
+const EOSSeq = math.MaxUint64
+
+// Kind discriminates protocol messages.
+type Kind uint8
+
+const (
+	// Data is an ordinary message with a payload.
+	Data Kind = iota
+	// Dummy is a content-free deadlock-avoidance message.
+	Dummy
+	// EOS is the end-of-stream marker, broadcast on every channel after
+	// the last input so nodes drain and terminate.  Kernels never see it.
+	EOS
+)
+
+// Rounding is the policy for integerizing rational intervals.
+type Rounding int
+
+const (
+	// Ceil rounds intervals up (the paper's published Fig. 3 policy).
+	Ceil Rounding = iota
+	// Floor rounds intervals down (strictly more conservative).
+	Floor
+)
+
+// Config selects the protocol an Engine applies.
+type Config struct {
+	// Algorithm selects the dummy protocol used when Intervals != nil.
+	Algorithm cs4.Algorithm
+	// Intervals are the per-edge dummy intervals; nil disables dummy
+	// messages entirely (the unsafe baseline).  +∞ entries never send.
+	Intervals map[graph.EdgeID]ival.Interval
+	// Rounding converts rational intervals to integer send gaps.
+	// Defaults to ceiling.
+	Rounding Rounding
+}
+
+// Integerize converts the configured interval of e into an integer send
+// gap; 0 disables dummies on e (∞, or avoidance disabled).  Sub-unit
+// intervals clamp to 1: "send a dummy with every message".
+func Integerize(cfg Config, e graph.EdgeID) uint64 {
+	if cfg.Intervals == nil {
+		return 0
+	}
+	iv, ok := cfg.Intervals[e]
+	if !ok || iv.IsInf() {
+		return 0
+	}
+	var n int64
+	if cfg.Rounding == Floor {
+		n = iv.Floor()
+	} else {
+		n = iv.Ceil()
+	}
+	if n < 1 {
+		n = 1
+	}
+	return uint64(n)
+}
+
+// MinSeq returns the smallest sequence number among the heads of a node's
+// in-channels — the alignment rule: a node fires for the minimum sequence
+// number visible across its inputs, consuming exactly the heads that
+// carry it.  EOSSeq means every input has reached end-of-stream.
+func MinSeq(heads []uint64) uint64 {
+	min := uint64(EOSSeq)
+	for _, h := range heads {
+		if h < min {
+			min = h
+		}
+	}
+	return min
+}
+
+// Engine is the per-node protocol state: one dummy timer per out-edge.
+// It is not safe for concurrent use; each node owns one engine.
+type Engine struct {
+	// lastSent[i] is the sequence number of the last message (data or
+	// dummy) sent on out-edge i, or -1.  Timers measure distance in
+	// SEQUENCE NUMBERS, not in consumed inputs: a node fed sparse
+	// (upstream-filtered) traffic advances many sequence numbers per
+	// consume and would otherwise starve its successors beyond the
+	// interval bound (DESIGN.md, "Fidelity notes").
+	lastSent []int64
+	// sendAt[i] is the integerized dummy interval for out-edge i; 0 means
+	// "never" (∞ or dummies disabled).
+	sendAt []uint64
+	// cascade is whether the Propagation cascade rule is active.
+	cascade bool
+	// dummy is the reusable result mask returned by Fire.
+	dummy []bool
+}
+
+// NewEngine returns the protocol engine for a node with the given
+// out-edges (in the backend's out-edge order, which indexes Fire's masks).
+func NewEngine(out []graph.EdgeID, cfg Config) *Engine {
+	e := &Engine{
+		lastSent: make([]int64, len(out)),
+		sendAt:   make([]uint64, len(out)),
+		cascade:  cfg.Intervals != nil && cfg.Algorithm == cs4.Propagation,
+		dummy:    make([]bool, len(out)),
+	}
+	for i, edge := range out {
+		e.lastSent[i] = -1
+		e.sendAt[i] = Integerize(cfg, edge)
+	}
+	return e
+}
+
+// Fire records one firing at sequence number seq and decides the protocol
+// messages that must accompany it.  emitted[i] reports whether the node
+// sends a data message on out-edge i this firing (the kernel's or
+// filter's choice).  Fire refreshes the timers of the data-carrying edges
+// and returns the mask of remaining out-edges that must carry a dummy,
+// either because the edge's timer expired or because the Propagation
+// cascade applies: a firing that emits no data anywhere is
+// informationally identical to a dummy — sequence number seq happened and
+// nothing follows — and must refresh every output ("dummy messages may
+// not be filtered").  The returned mask is reused by the next Fire; the
+// caller must not retain it.
+func (e *Engine) Fire(seq uint64, emitted []bool) (dummy []bool) {
+	anyData := false
+	for i, em := range emitted {
+		if em {
+			e.lastSent[i] = int64(seq)
+			anyData = true
+		}
+	}
+	cascade := e.cascade && !anyData
+	for i := range e.dummy {
+		e.dummy[i] = false
+		if emitted[i] {
+			continue
+		}
+		timerDue := e.sendAt[i] != 0 && int64(seq)-e.lastSent[i] >= int64(e.sendAt[i])
+		if cascade || timerDue {
+			e.dummy[i] = true
+			e.lastSent[i] = int64(seq)
+		}
+	}
+	return e.dummy
+}
+
+// Gap returns the integerized send gap of out-edge i (0 = never), for
+// diagnostics and tests.
+func (e *Engine) Gap(i int) uint64 { return e.sendAt[i] }

@@ -1,0 +1,118 @@
+package proto
+
+import (
+	"testing"
+
+	"streamdag/internal/cs4"
+	"streamdag/internal/graph"
+	"streamdag/internal/ival"
+)
+
+func TestIntegerize(t *testing.T) {
+	iv := map[graph.EdgeID]ival.Interval{
+		0: ival.FromRatio(8, 3),
+		1: ival.Inf(),
+		2: ival.FromRatio(1, 3),
+	}
+	cases := []struct {
+		cfg  Config
+		e    graph.EdgeID
+		want uint64
+	}{
+		{Config{Intervals: iv}, 0, 3},                  // ceil(8/3)
+		{Config{Intervals: iv, Rounding: Floor}, 0, 2}, // floor(8/3)
+		{Config{Intervals: iv}, 1, 0},                  // ∞ never sends
+		{Config{}, 0, 0},                               // avoidance disabled
+		{Config{Intervals: iv, Rounding: Floor}, 2, 1}, // sub-unit clamps
+		{Config{Intervals: iv}, 3, 0},                  // absent edge
+	}
+	for _, c := range cases {
+		if got := Integerize(c.cfg, c.e); got != c.want {
+			t.Errorf("Integerize(%v, %d) = %d, want %d", c.cfg.Intervals[c.e], c.e, got, c.want)
+		}
+	}
+}
+
+func TestMinSeq(t *testing.T) {
+	if got := MinSeq([]uint64{7, 3, EOSSeq}); got != 3 {
+		t.Errorf("MinSeq = %d, want 3", got)
+	}
+	if got := MinSeq([]uint64{EOSSeq, EOSSeq}); got != EOSSeq {
+		t.Errorf("MinSeq of all-EOS = %d, want EOSSeq", got)
+	}
+	if got := MinSeq(nil); got != EOSSeq {
+		t.Errorf("MinSeq of no inputs = %d, want EOSSeq", got)
+	}
+}
+
+// TestFireTimers checks the per-edge timer: with a gap of 3 on edge 0 and
+// data flowing only on edge 1, edge 0 receives a dummy every 3 sequence
+// numbers.
+func TestFireTimers(t *testing.T) {
+	iv := map[graph.EdgeID]ival.Interval{0: ival.FromInt(3)}
+	e := NewEngine([]graph.EdgeID{0, 1}, Config{Algorithm: cs4.NonPropagation, Intervals: iv})
+	var dummySeqs []uint64
+	for seq := uint64(0); seq < 10; seq++ {
+		dummy := e.Fire(seq, []bool{false, true})
+		if dummy[1] {
+			t.Fatalf("seq %d: dummy on the data-carrying edge", seq)
+		}
+		if dummy[0] {
+			dummySeqs = append(dummySeqs, seq)
+		}
+	}
+	// lastSent starts at -1, so the first dummy is due when seq-(-1) >= 3.
+	want := []uint64{2, 5, 8}
+	if len(dummySeqs) != len(want) {
+		t.Fatalf("dummies at %v, want %v", dummySeqs, want)
+	}
+	for i := range want {
+		if dummySeqs[i] != want[i] {
+			t.Fatalf("dummies at %v, want %v", dummySeqs, want)
+		}
+	}
+}
+
+// TestFireCascade checks the Propagation cascade: a firing with no data on
+// any output refreshes every out-edge, even timerless (∞) ones.
+func TestFireCascade(t *testing.T) {
+	iv := map[graph.EdgeID]ival.Interval{0: ival.Inf(), 1: ival.Inf()}
+	e := NewEngine([]graph.EdgeID{0, 1}, Config{Algorithm: cs4.Propagation, Intervals: iv})
+
+	dummy := e.Fire(0, []bool{true, false})
+	if dummy[0] || dummy[1] {
+		t.Fatalf("data firing with ∞ timers produced dummies: %v", dummy)
+	}
+	dummy = e.Fire(1, []bool{false, false})
+	if !dummy[0] || !dummy[1] {
+		t.Fatalf("fully filtered firing must cascade on every output, got %v", dummy)
+	}
+	// NonPropagation never cascades.
+	ne := NewEngine([]graph.EdgeID{0, 1}, Config{Algorithm: cs4.NonPropagation, Intervals: iv})
+	dummy = ne.Fire(0, []bool{false, false})
+	if dummy[0] || dummy[1] {
+		t.Fatalf("Non-Propagation cascaded: %v", dummy)
+	}
+	// Avoidance disabled: no cascade either.
+	off := NewEngine([]graph.EdgeID{0, 1}, Config{Algorithm: cs4.Propagation})
+	dummy = off.Fire(0, []bool{false, false})
+	if dummy[0] || dummy[1] {
+		t.Fatalf("disabled avoidance produced dummies: %v", dummy)
+	}
+}
+
+// TestFireDataRefreshesTimer checks that data messages refresh the timer,
+// so a dummy is only due after a gap-long silence.
+func TestFireDataRefreshesTimer(t *testing.T) {
+	iv := map[graph.EdgeID]ival.Interval{0: ival.FromInt(2)}
+	e := NewEngine([]graph.EdgeID{0}, Config{Algorithm: cs4.NonPropagation, Intervals: iv})
+	if d := e.Fire(0, []bool{true}); d[0] {
+		t.Fatal("dummy alongside data")
+	}
+	if d := e.Fire(1, []bool{false}); d[0] {
+		t.Fatal("dummy one step after data with gap 2")
+	}
+	if d := e.Fire(2, []bool{false}); !d[0] {
+		t.Fatal("no dummy two steps after data with gap 2")
+	}
+}

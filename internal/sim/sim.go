@@ -21,6 +21,7 @@ import (
 	"streamdag/internal/cs4"
 	"streamdag/internal/graph"
 	"streamdag/internal/ival"
+	"streamdag/internal/proto"
 )
 
 // Filter decides routing: whether node emits a data message for sequence
@@ -32,20 +33,20 @@ type Filter func(node graph.NodeID, seq uint64, e graph.EdgeID) bool
 // EmitAll never filters.
 func EmitAll(graph.NodeID, uint64, graph.EdgeID) bool { return true }
 
-// Kind discriminates simulated messages.
-type Kind uint8
+// Kind discriminates simulated messages; it is the protocol engine's Kind.
+type Kind = proto.Kind
 
 const (
 	// Data is an ordinary message.
-	Data Kind = iota
+	Data = proto.Data
 	// Dummy is a content-free deadlock-avoidance message.
-	Dummy
+	Dummy = proto.Dummy
 	// EOS is the end-of-stream marker, broadcast on every channel after
 	// the last input so nodes can drain and terminate.
-	EOS
+	EOS = proto.EOS
 )
 
-// message is a simulated message; EOS uses seq = math.MaxUint64.
+// message is a simulated message; EOS uses seq = proto.EOSSeq.
 type message struct {
 	seq  uint64
 	kind Kind
@@ -72,14 +73,15 @@ type Config struct {
 	Trace func(string)
 }
 
-// Rounding is the policy for integerizing rational intervals.
-type Rounding int
+// Rounding is the policy for integerizing rational intervals; it is the
+// protocol engine's Rounding.
+type Rounding = proto.Rounding
 
 const (
 	// Ceil rounds intervals up (the paper's published policy).
-	Ceil Rounding = iota
+	Ceil = proto.Ceil
 	// Floor rounds intervals down (strictly more conservative).
-	Floor
+	Floor = proto.Floor
 )
 
 // Result summarizes a run.
@@ -91,6 +93,10 @@ type Result struct {
 	// DataMsgs and DummyMsgs count messages delivered per edge.
 	DataMsgs  map[graph.EdgeID]int64
 	DummyMsgs map[graph.EdgeID]int64
+	// SinkData counts data-carrying firings at the sink — the simulated
+	// counterpart of stream.Stats.SinkData, for runtime/simulator
+	// equivalence checks.
+	SinkData int64
 	// Blocked describes the stuck configuration on deadlock: for each
 	// node, what it is waiting for.
 	Blocked []string
@@ -127,15 +133,14 @@ type node struct {
 	// on its first undeliverable send, like a goroutine on a full
 	// channel).
 	pending []pendingMsg
-	// lastSent[i] is the sequence number of the last message (data or
-	// dummy) sent on out[i], or -1; dummy timers measure distance in
-	// sequence numbers, not in consumed inputs, because upstream
-	// filtering makes sequence numbers advance faster than consumes.
-	lastSent []int64
-	// sendAt[i] is the integerized dummy interval for out[i]; 0 means
-	// "never" (∞ or dummies disabled).
-	sendAt []uint64
-	done   bool
+	// engine holds the per-edge dummy timers and the cascade rule; all
+	// protocol decisions live in internal/proto, shared with the
+	// goroutine and distributed runtimes.
+	engine *proto.Engine
+	// emitted and seqs are per-firing scratch masks for engine calls.
+	emitted []bool
+	seqs    []uint64
+	done    bool
 }
 
 type pendingMsg struct {
@@ -168,40 +173,28 @@ func Run(g *graph.Graph, filter Filter, cfg Config) *Result {
 	topo, _ := g.TopoOrder()
 	for _, n := range topo {
 		nd := &node{id: n, in: g.In(n), out: g.Out(n)}
-		nd.lastSent = make([]int64, len(nd.out))
-		for i := range nd.lastSent {
-			nd.lastSent[i] = -1
-		}
-		nd.sendAt = make([]uint64, len(nd.out))
-		for i, e := range nd.out {
-			nd.sendAt[i] = integerize(cfg, e)
-		}
+		nd.engine = proto.NewEngine(nd.out, protoConfig(cfg))
+		nd.emitted = make([]bool, len(nd.out))
+		nd.seqs = make([]uint64, len(nd.in))
 		s.nodes = append(s.nodes, nd)
 	}
 	s.run()
 	return s.res
 }
 
+// protoConfig converts a simulator Config into the shared engine's.
+func protoConfig(cfg Config) proto.Config {
+	return proto.Config{
+		Algorithm: cfg.Algorithm,
+		Intervals: cfg.Intervals,
+		Rounding:  cfg.Rounding,
+	}
+}
+
 // integerize converts the configured interval of e into a send gap; 0
-// disables dummies on e.
+// disables dummies on e.  It delegates to the shared engine.
 func integerize(cfg Config, e graph.EdgeID) uint64 {
-	if cfg.Intervals == nil {
-		return 0
-	}
-	iv, ok := cfg.Intervals[e]
-	if !ok || iv.IsInf() {
-		return 0
-	}
-	var n int64
-	if cfg.Rounding == Floor {
-		n = iv.Floor()
-	} else {
-		n = iv.Ceil()
-	}
-	if n < 1 {
-		n = 1 // an interval below one message means "send every time"
-	}
-	return uint64(n)
+	return proto.Integerize(protoConfig(cfg), e)
 }
 
 type chanState struct {
@@ -297,17 +290,15 @@ func (s *state) step(nd *node) bool {
 		return s.stepSource(nd)
 	}
 	// Consume: every in-channel must be non-empty.
-	minSeq := uint64(math.MaxUint64)
-	for _, e := range nd.in {
+	for i, e := range nd.in {
 		ch := &s.chans[e]
 		if ch.empty() {
 			return false
 		}
-		if h := ch.buf[0].seq; h < minSeq {
-			minSeq = h
-		}
+		nd.seqs[i] = ch.buf[0].seq
 	}
-	if minSeq == math.MaxUint64 {
+	minSeq := proto.MinSeq(nd.seqs)
+	if minSeq == proto.EOSSeq {
 		// All heads are EOS: drain them, broadcast EOS, finish.
 		for _, e := range nd.in {
 			ch := &s.chans[e]
@@ -373,27 +364,19 @@ func (s *state) stepSource(nd *node) bool {
 //     outputs are covered by timers: in a CS4 graph every out-edge of a
 //     node with two or more out-edges has a finite Propagation interval.
 func (s *state) emit(nd *node, seq uint64, haveData bool) {
-	dummies := s.cfg.Intervals != nil
-	emitted := make([]bool, len(nd.out))
-	anyData := false
+	if haveData && len(nd.out) == 0 {
+		s.res.SinkData++
+	}
 	for i, e := range nd.out {
-		if haveData && s.filter(nd.id, seq, e) {
+		nd.emitted[i] = haveData && s.filter(nd.id, seq, e)
+		if nd.emitted[i] {
 			nd.pending = append(nd.pending, pendingMsg{e, message{seq, Data}})
-			nd.lastSent[i] = int64(seq)
-			emitted[i] = true
-			anyData = true
 		}
 	}
-	cascade := dummies && s.cfg.Algorithm == cs4.Propagation && !anyData
+	dummy := nd.engine.Fire(seq, nd.emitted)
 	for i, e := range nd.out {
-		if emitted[i] {
-			continue
-		}
-		timerDue := dummies && nd.sendAt[i] != 0 &&
-			int64(seq)-nd.lastSent[i] >= int64(nd.sendAt[i])
-		if cascade || timerDue {
+		if dummy[i] {
 			nd.pending = append(nd.pending, pendingMsg{e, message{seq, Dummy}})
-			nd.lastSent[i] = int64(seq)
 		}
 	}
 	if s.cfg.Trace != nil {

@@ -1,0 +1,167 @@
+package stream
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"streamdag/internal/proto"
+)
+
+// Ports is the transport a NodeLoop drives: per-edge receive and send
+// primitives addressed by in-/out-edge position.  The goroutine runtime
+// backs them with buffered Go channels; the distributed runtime
+// (internal/dist) backs cross-worker edges with credit-gated TCP frames.
+// Send may be called concurrently for distinct out positions (one
+// firing's sends are issued in parallel; see DESIGN.md, "Protocol
+// soundness" note 2).
+type Ports interface {
+	// Recv blocks for the next message on in-edge position i, returning
+	// ok=false when the run is aborted.
+	Recv(i int) (Message, bool)
+	// Send delivers m on out-edge position i, blocking on backpressure
+	// and returning false when the run is aborted.
+	Send(i int, m Message) bool
+	// Consumed reports that one message was popped from in-edge
+	// position i (the distributed runtime returns a flow-control credit
+	// here); false aborts the node.
+	Consumed(i int) bool
+	// SinkData notes one data-carrying firing at a sink node.
+	SinkData()
+}
+
+// NodeLoop runs one node to completion: input alignment, kernel
+// invocation, and the shared protocol engine, over the given ports.  It
+// is the single node semantics all channel-based backends execute — the
+// transport is the only thing that varies.  nIn and nOut are the node's
+// in- and out-degree; a node with nIn == 0 is a source and generates
+// inputs sequence numbers.
+func NodeLoop(nIn, nOut int, kernel Kernel, engine *proto.Engine, inputs uint64, p Ports) {
+	heads := make([]*Message, nIn)
+	seqs := make([]uint64, nIn)
+	emitted := make([]bool, nOut)
+
+	if nIn == 0 {
+		// Source: generate inputs sequence numbers, then EOS.
+		for seq := uint64(0); seq < inputs; seq++ {
+			outs := kernel.Process(seq, nil)
+			if !deliver(p, engine, emitted, seq, outs) {
+				return
+			}
+		}
+		broadcastEOS(p, nOut)
+		return
+	}
+
+	for {
+		// Fill head slots (input alignment).
+		for i := range heads {
+			if heads[i] != nil {
+				continue
+			}
+			m, ok := p.Recv(i)
+			if !ok {
+				return
+			}
+			heads[i] = &m
+		}
+		for i, h := range heads {
+			seqs[i] = h.Seq
+		}
+		minSeq := proto.MinSeq(seqs)
+		if minSeq == proto.EOSSeq {
+			// All EOS: drain, forward, finish.
+			for i := range heads {
+				heads[i] = nil
+				if !p.Consumed(i) {
+					return
+				}
+			}
+			broadcastEOS(p, nOut)
+			return
+		}
+		inputs := make([]Input, nIn)
+		anyData := false
+		for i, h := range heads {
+			if h.Seq == minSeq {
+				if h.Kind == Data {
+					inputs[i] = Input{Present: true, Payload: h.Payload}
+					anyData = true
+				}
+				heads[i] = nil
+				if !p.Consumed(i) {
+					return
+				}
+			}
+		}
+		var outs map[int]any
+		if anyData {
+			outs = kernel.Process(minSeq, inputs)
+			if nOut == 0 {
+				p.SinkData()
+			}
+		}
+		if !deliver(p, engine, emitted, minSeq, outs) {
+			return
+		}
+	}
+}
+
+// deliver sends one firing's messages — data per the kernel's choices
+// plus the engine's protocol dummies — concurrently to their ports,
+// returning false if aborted.
+func deliver(p Ports, engine *proto.Engine, emitted []bool, seq uint64, outs map[int]any) bool {
+	for i := range emitted {
+		_, emitted[i] = outs[i]
+	}
+	dummy := engine.Fire(seq, emitted)
+	msgs := make([]Message, 0, len(emitted))
+	targets := make([]int, 0, len(emitted))
+	for i := range emitted {
+		switch {
+		case emitted[i]:
+			msgs = append(msgs, Message{Seq: seq, Kind: Data, Payload: outs[i]})
+			targets = append(targets, i)
+		case dummy[i]:
+			msgs = append(msgs, Message{Seq: seq, Kind: Dummy})
+			targets = append(targets, i)
+		}
+	}
+	return sendAll(p, targets, msgs)
+}
+
+// broadcastEOS sends EOS on every out-edge.
+func broadcastEOS(p Ports, nOut int) {
+	targets := make([]int, nOut)
+	msgs := make([]Message, nOut)
+	for i := 0; i < nOut; i++ {
+		targets[i] = i
+		msgs[i] = Message{Seq: proto.EOSSeq, Kind: EOS}
+	}
+	sendAll(p, targets, msgs)
+}
+
+// sendAll delivers the firing's messages concurrently and waits for all
+// of them (or abort).  Concurrent sends avoid head-of-line blocking
+// across channels (DESIGN.md, "Protocol soundness" note 2).
+func sendAll(p Ports, targets []int, msgs []Message) bool {
+	if len(msgs) == 0 {
+		return true
+	}
+	if len(msgs) == 1 {
+		return p.Send(targets[0], msgs[0])
+	}
+	var wg sync.WaitGroup
+	ok := atomic.Bool{}
+	ok.Store(true)
+	for j := range msgs {
+		wg.Add(1)
+		go func(i int, m Message) {
+			defer wg.Done()
+			if !p.Send(i, m) {
+				ok.Store(false)
+			}
+		}(targets[j], msgs[j])
+	}
+	wg.Wait()
+	return ok.Load()
+}

@@ -14,7 +14,6 @@ package stream
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -24,20 +23,21 @@ import (
 	"streamdag/internal/cs4"
 	"streamdag/internal/graph"
 	"streamdag/internal/ival"
+	"streamdag/internal/proto"
 )
 
-// Kind discriminates runtime messages.
-type Kind uint8
+// Kind discriminates runtime messages; it is the protocol engine's Kind.
+type Kind = proto.Kind
 
 const (
 	// Data is an ordinary message with a payload.
-	Data Kind = iota
+	Data = proto.Data
 	// Dummy is a content-free deadlock-avoidance message.
-	Dummy
+	Dummy = proto.Dummy
 	// EOS is the end-of-stream marker; the wrapper broadcasts it after the
 	// last input so nodes drain and terminate.  Kernels never see it; it is
 	// exported for the distributed transport (internal/dist).
-	EOS
+	EOS = proto.EOS
 )
 
 // Message is one item on a channel.
@@ -229,8 +229,9 @@ func Run(g *graph.Graph, kernels map[graph.NodeID]Kernel, cfg Config) (*Stats, e
 	}
 }
 
-// worker is the per-node goroutine: input alignment, kernel invocation,
-// and the dummy-protocol wrapper.
+// worker is the per-node goroutine.  It implements Ports over buffered
+// Go channels; the node semantics themselves live in NodeLoop, shared
+// with the distributed runtime.
 type worker struct {
 	g        *graph.Graph
 	id       graph.NodeID
@@ -240,153 +241,42 @@ type worker struct {
 	progress *atomic.Int64
 	abort    chan struct{}
 
+	in, out []graph.EdgeID
+
 	dataCounts  []atomic.Int64
 	dummyCounts []atomic.Int64
 	sinkData    *atomic.Int64
 }
 
 func (w *worker) run() {
-	in := w.g.In(w.id)
-	out := w.g.Out(w.id)
-	lastSent := make([]int64, len(out))
-	sendAt := make([]uint64, len(out))
-	for i := range lastSent {
-		lastSent[i] = -1
-		sendAt[i] = integerize(w.cfg, out[i])
-	}
-	heads := make([]*Message, len(in))
+	w.in = w.g.In(w.id)
+	w.out = w.g.Out(w.id)
+	engine := proto.NewEngine(w.out, proto.Config{
+		Algorithm: w.cfg.Algorithm,
+		Intervals: w.cfg.Intervals,
+	})
+	NodeLoop(len(w.in), len(w.out), w.kernel, engine, w.cfg.Inputs, w)
+}
 
-	if len(in) == 0 {
-		// Source: generate Inputs sequence numbers, then EOS.
-		for seq := uint64(0); seq < w.cfg.Inputs; seq++ {
-			outs := w.kernel.Process(seq, nil)
-			if !w.deliver(out, lastSent, sendAt, seq, true, outs) {
-				return
-			}
-		}
-		w.broadcast(out, Message{Seq: math.MaxUint64, Kind: EOS})
-		return
-	}
-
-	for {
-		// Fill head slots (input alignment).
-		for i, e := range in {
-			if heads[i] != nil {
-				continue
-			}
-			select {
-			case m := <-w.chans[e]:
-				heads[i] = &m
-				w.progress.Add(1)
-			case <-w.abort:
-				return
-			}
-		}
-		minSeq := uint64(math.MaxUint64)
-		for _, h := range heads {
-			if h.Seq < minSeq {
-				minSeq = h.Seq
-			}
-		}
-		if minSeq == math.MaxUint64 {
-			// All EOS: drain, forward, finish.
-			w.broadcast(out, Message{Seq: math.MaxUint64, Kind: EOS})
-			return
-		}
-		inputs := make([]Input, len(in))
-		anyData := false
-		for i, h := range heads {
-			if h.Seq == minSeq {
-				if h.Kind == Data {
-					inputs[i] = Input{Present: true, Payload: h.Payload}
-					anyData = true
-				}
-				heads[i] = nil
-			}
-		}
-		var outs map[int]any
-		if anyData {
-			outs = w.kernel.Process(minSeq, inputs)
-			if len(out) == 0 {
-				w.sinkData.Add(1)
-			}
-		}
-		if !w.deliver(out, lastSent, sendAt, minSeq, anyData, outs) {
-			return
-		}
+// Recv implements Ports over the in-edge's buffered channel.
+func (w *worker) Recv(i int) (Message, bool) {
+	select {
+	case m := <-w.chans[w.in[i]]:
+		w.progress.Add(1)
+		return m, true
+	case <-w.abort:
+		return Message{}, false
 	}
 }
 
-// deliver sends one firing's messages — data per the kernel's choices plus
-// protocol dummies — concurrently to their channels, returning false if
-// aborted.  Concurrent sends avoid head-of-line blocking across channels
-// (DESIGN.md, "Protocol soundness" note 2).
-func (w *worker) deliver(out []graph.EdgeID, lastSent []int64, sendAt []uint64,
-	seq uint64, anyData bool, outs map[int]any) bool {
+// Send implements Ports over the out-edge's buffered channel.
+func (w *worker) Send(i int, m Message) bool { return w.sendOne(w.out[i], m) }
 
-	emittedAny := false
-	for i := range out {
-		if _, ok := outs[i]; ok {
-			emittedAny = true
-		}
-	}
-	cascade := w.cfg.Intervals != nil && w.cfg.Algorithm == cs4.Propagation &&
-		!(anyData && emittedAny)
-	msgs := make([]Message, 0, len(out))
-	targets := make([]int, 0, len(out))
-	for i := range out {
-		if payload, ok := outs[i]; ok {
-			msgs = append(msgs, Message{Seq: seq, Kind: Data, Payload: payload})
-			targets = append(targets, i)
-			lastSent[i] = int64(seq)
-			continue
-		}
-		timerDue := w.cfg.Intervals != nil && sendAt[i] != 0 &&
-			int64(seq)-lastSent[i] >= int64(sendAt[i])
-		if cascade || timerDue {
-			msgs = append(msgs, Message{Seq: seq, Kind: Dummy})
-			targets = append(targets, i)
-			lastSent[i] = int64(seq)
-		}
-	}
-	return w.sendAll(out, targets, msgs)
-}
+// Consumed implements Ports; in-process channels need no acknowledgment.
+func (w *worker) Consumed(int) bool { return true }
 
-// broadcast sends m on every out-edge (used for EOS).
-func (w *worker) broadcast(out []graph.EdgeID, m Message) {
-	targets := make([]int, len(out))
-	msgs := make([]Message, len(out))
-	for i := range out {
-		targets[i] = i
-		msgs[i] = m
-	}
-	w.sendAll(out, targets, msgs)
-}
-
-// sendAll delivers the firing's messages concurrently and waits for all of
-// them (or abort).
-func (w *worker) sendAll(out []graph.EdgeID, targets []int, msgs []Message) bool {
-	if len(msgs) == 0 {
-		return true
-	}
-	if len(msgs) == 1 {
-		return w.sendOne(out[targets[0]], msgs[0])
-	}
-	var wg sync.WaitGroup
-	ok := atomic.Bool{}
-	ok.Store(true)
-	for j := range msgs {
-		wg.Add(1)
-		go func(e graph.EdgeID, m Message) {
-			defer wg.Done()
-			if !w.sendOne(e, m) {
-				ok.Store(false)
-			}
-		}(out[targets[j]], msgs[j])
-	}
-	wg.Wait()
-	return ok.Load()
-}
+// SinkData implements Ports.
+func (w *worker) SinkData() { w.sinkData.Add(1) }
 
 func (w *worker) sendOne(e graph.EdgeID, m Message) bool {
 	select {
@@ -402,21 +292,4 @@ func (w *worker) sendOne(e graph.EdgeID, m Message) bool {
 	case <-w.abort:
 		return false
 	}
-}
-
-// integerize converts the configured interval of e into a send gap; 0
-// disables dummies on e.  The ceiling is the paper's Fig. 3 policy.
-func integerize(cfg Config, e graph.EdgeID) uint64 {
-	if cfg.Intervals == nil {
-		return 0
-	}
-	iv, ok := cfg.Intervals[e]
-	if !ok || iv.IsInf() {
-		return 0
-	}
-	n := iv.Ceil()
-	if n < 1 {
-		n = 1
-	}
-	return uint64(n)
 }
