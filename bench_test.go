@@ -343,3 +343,48 @@ func BenchmarkRuntimeThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(items*b.N)/b.Elapsed().Seconds(), "msgs/s")
 }
+
+// BenchmarkReplicatedThroughput measures the replication subsystem end to
+// end: the same protected pipeline with its middle stage expanded into k
+// replicas behind the round-robin splitter and ordered merger.  With a
+// free-running stage this prices the transform's overhead (splitter,
+// bundling, merger); a stage that blocks or burns CPU scales with k
+// instead (see cmd/benchtopo -family throughput).
+func BenchmarkReplicatedThroughput(b *testing.B) {
+	const items = 20000
+	for _, k := range []int{1, 4} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			topo := NewTopology()
+			topo.Channel("s0", "s1", 64)
+			topo.Channel("s1", "s2", 64)
+			topo.Channel("s2", "s3", 64)
+			rep, err := Replicate(topo, ReplicationPlan{"s1": k})
+			if err != nil {
+				b.Fatal(err)
+			}
+			a, err := Analyze(rep.Topology())
+			if err != nil {
+				b.Fatal(err)
+			}
+			iv, err := a.Intervals(NonPropagation)
+			if err != nil {
+				b.Fatal(err)
+			}
+			kernels := rep.Kernels(nil)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stats, err := Run(rep.Topology(), kernels, RunConfig{
+					Inputs: items, Algorithm: NonPropagation, Intervals: iv,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.SinkData != items {
+					b.Fatalf("sink saw %d", stats.SinkData)
+				}
+			}
+			b.ReportMetric(float64(items*b.N)/b.Elapsed().Seconds(), "msgs/s")
+		})
+	}
+}

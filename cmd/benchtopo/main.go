@@ -1,21 +1,39 @@
-// Benchtopo regenerates the paper's complexity results as CSV: wall-clock
+// Benchtopo regenerates the paper's complexity results as CSV — wall-clock
 // time of each dummy-interval algorithm versus topology size, for random
 // SP-DAGs, random SP-ladders, and (small) general DAGs under the
-// exponential baseline.  Plot time against edges to see the O(|G|),
-// O(|G|²), O(|G|³), and exponential shapes of §IV and §VI.
+// exponential baseline (plot time against edges to see the O(|G|),
+// O(|G|²), O(|G|³), and exponential shapes of §IV and §VI) — and
+// benchmarks end-to-end runtime throughput, including data-parallel node
+// replication of a hot stage (streamdag.Replicate).
 //
 // Usage:
 //
 //	benchtopo [-family sp|ladder|general|all] [-reps 5] > scaling.csv
+//	benchtopo -family throughput [-replicate 1,2,4] [-stage block|spin]
+//	          [-cost 100] [-inputs 20000] [-json BENCH_replication.json]
+//
+// The throughput family runs a three-stage pipeline gen → work → out on
+// the goroutine runtime with the Propagation protocol, expanding the hot
+// "work" stage into k replicas per -replicate.  -stage selects the hot
+// kernel's cost model: "spin" burns CPU (scales with spare cores) and
+// "block" sleeps (models an offload/IO-bound stage; scales with k on any
+// machine).  -json additionally writes the machine-readable records
+// (topology, backend, msgs/sec, dummy overhead %, …) that seed the
+// repo's BENCH_*.json performance trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
+	"streamdag"
 	"streamdag/internal/cs4"
 	"streamdag/internal/cycles"
 	"streamdag/internal/graph"
@@ -26,12 +44,20 @@ import (
 )
 
 func main() {
-	family := flag.String("family", "all", "sp, ladder, general, or all")
+	family := flag.String("family", "all", "sp, ladder, general, all, or throughput")
 	reps := flag.Int("reps", 5, "repetitions per point (minimum time reported)")
 	seed := flag.Int64("seed", 1, "generator seed")
+	replicate := flag.String("replicate", "1,2,4", "comma-separated replica counts for the hot stage (throughput family)")
+	stage := flag.String("stage", "block", "hot-stage cost model: block (sleep) or spin (CPU) (throughput family)")
+	cost := flag.Int("cost", 100, "hot-stage cost per message: µs for block, thousands of iterations for spin")
+	inputs := flag.Uint64("inputs", 20_000, "inputs to stream (throughput family)")
+	jsonOut := flag.String("json", "", "write throughput records as JSON to this file (- for stdout)")
 	flag.Parse()
 
-	fmt.Println("family,algorithm,nodes,edges,cycles,seconds")
+	switch *family {
+	case "sp", "ladder", "general", "all":
+		fmt.Println("family,algorithm,nodes,edges,cycles,seconds")
+	}
 	switch *family {
 	case "sp":
 		runSP(*seed, *reps)
@@ -43,10 +69,177 @@ func main() {
 		runSP(*seed, *reps)
 		runLadder(*seed, *reps)
 		runGeneral(*seed, *reps)
+	case "throughput":
+		runThroughput(*replicate, *stage, *cost, *inputs, *jsonOut)
 	default:
 		fmt.Fprintf(os.Stderr, "benchtopo: unknown family %q\n", *family)
 		os.Exit(2)
 	}
+}
+
+// throughputRecord is one machine-readable benchmark result, the unit of
+// the repo's BENCH_*.json performance trajectory.
+type throughputRecord struct {
+	Topology         string  `json:"topology"`
+	Backend          string  `json:"backend"`
+	Algorithm        string  `json:"algorithm"`
+	Stage            string  `json:"stage"`
+	StageCost        string  `json:"stage_cost"`
+	Replicate        int     `json:"replicate"`
+	Inputs           uint64  `json:"inputs"`
+	Cores            int     `json:"cores"`
+	ElapsedSec       float64 `json:"elapsed_sec"`
+	MsgsPerSec       float64 `json:"msgs_per_sec"`
+	DataMsgs         int64   `json:"data_msgs"`
+	DummyMsgs        int64   `json:"dummy_msgs"`
+	DummyOverheadPct float64 `json:"dummy_overhead_pct"`
+	SinkData         int64   `json:"sink_data"`
+}
+
+// runThroughput streams inputs through gen → work → out for each replica
+// count, with the hot "work" stage expanded by streamdag.Replicate.
+func runThroughput(replicate, stage string, cost int, inputs uint64, jsonOut string) {
+	var ks []int
+	for _, part := range strings.Split(replicate, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || k < 1 {
+			fmt.Fprintf(os.Stderr, "benchtopo: bad -replicate %q\n", part)
+			os.Exit(2)
+		}
+		ks = append(ks, k)
+	}
+	hot, desc := stageKernel(stage, cost)
+
+	// With -json - the records own stdout; keep it parseable by routing
+	// the human-readable CSV to stderr.
+	csv := os.Stdout
+	if jsonOut == "-" {
+		csv = os.Stderr
+	}
+	fmt.Fprintln(csv, "topology,backend,algorithm,stage,replicate,inputs,seconds,msgs_per_sec,data_msgs,dummy_msgs,dummy_overhead_pct")
+	var records []throughputRecord
+	for _, k := range ks {
+		rec := runPipeline(k, hot, stage, desc, inputs)
+		records = append(records, rec)
+		fmt.Fprintf(csv, "%s,%s,%s,%s,%d,%d,%.4f,%.1f,%d,%d,%.2f\n",
+			rec.Topology, rec.Backend, rec.Algorithm, rec.Stage, rec.Replicate,
+			rec.Inputs, rec.ElapsedSec, rec.MsgsPerSec, rec.DataMsgs, rec.DummyMsgs,
+			rec.DummyOverheadPct)
+	}
+	if jsonOut == "" {
+		return
+	}
+	enc, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtopo: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if jsonOut == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(jsonOut, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchtopo: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// stageKernel builds the hot stage's kernel: a passthrough that pays the
+// configured cost per message.
+func stageKernel(stage string, cost int) (streamdag.Kernel, string) {
+	switch stage {
+	case "block":
+		d := time.Duration(cost) * time.Microsecond
+		return streamdag.KernelFunc(func(_ uint64, in []streamdag.Input) map[int]any {
+			if !in[0].Present {
+				return nil
+			}
+			time.Sleep(d)
+			return map[int]any{0: in[0].Payload}
+		}), d.String()
+	case "spin":
+		iters := cost * 1000
+		return streamdag.KernelFunc(func(seq uint64, in []streamdag.Input) map[int]any {
+			if !in[0].Present {
+				return nil
+			}
+			x := seq | 1
+			for i := 0; i < iters; i++ {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+			}
+			return map[int]any{0: x}
+		}), fmt.Sprintf("%dk iters", cost)
+	default:
+		fmt.Fprintf(os.Stderr, "benchtopo: unknown -stage %q\n", stage)
+		os.Exit(2)
+		return nil, ""
+	}
+}
+
+func runPipeline(k int, hot streamdag.Kernel, stage, desc string, inputs uint64) throughputRecord {
+	rep, err := streamdag.BuildReplicated(fmt.Sprintf(`
+topology hotstage {
+  buffer 64
+  gen -> work*%d -> out
+}`, k))
+	if err != nil {
+		fatal(err)
+	}
+	topo := rep.Topology()
+	analysis, err := streamdag.Analyze(topo)
+	if err != nil {
+		fatal(err)
+	}
+	iv, err := analysis.Intervals(streamdag.Propagation)
+	if err != nil {
+		fatal(err)
+	}
+	kernels := rep.Kernels(map[streamdag.NodeID]streamdag.Kernel{
+		rep.Original().Node("work"): hot,
+	})
+	stats, err := streamdag.Run(topo, kernels, streamdag.RunConfig{
+		Inputs:          inputs,
+		Algorithm:       streamdag.Propagation,
+		Intervals:       iv,
+		WatchdogTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	var data int64
+	for _, n := range stats.Data {
+		data += n
+	}
+	dummies := stats.TotalDummies()
+	secs := stats.Elapsed.Seconds()
+	overhead := 0.0
+	if data > 0 {
+		overhead = 100 * float64(dummies) / float64(data)
+	}
+	return throughputRecord{
+		Topology:         "hotstage",
+		Backend:          "runtime",
+		Algorithm:        "propagation",
+		Stage:            stage,
+		StageCost:        desc,
+		Replicate:        k,
+		Inputs:           inputs,
+		Cores:            runtime.NumCPU(),
+		ElapsedSec:       secs,
+		MsgsPerSec:       float64(inputs) / secs,
+		DataMsgs:         data,
+		DummyMsgs:        dummies,
+		DummyOverheadPct: overhead,
+		SinkData:         stats.SinkData,
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchtopo: %v\n", err)
+	os.Exit(1)
 }
 
 func timeIt(reps int, f func()) float64 {

@@ -15,12 +15,30 @@ import (
 //	  segment -> (faces, plates, motion) ->[4] fuse
 //	  fuse -> archive
 //	}
+//
+// Replication annotations ("replicate segment 4", or inline
+// "segment*4") are applied: the returned topology is the expanded one.
+// Use BuildReplicated when you also need the replication mapping to
+// carry kernels or filters across the expansion.
 func BuildTopology(src string) (*Topology, error) {
-	g, err := lang.Build(src)
+	r, err := BuildReplicated(src)
 	if err != nil {
 		return nil, err
 	}
-	return &Topology{g: g}, nil
+	return r.Topology(), nil
+}
+
+// BuildReplicated compiles topology-language source and applies its
+// replication annotations, returning the expanded topology together
+// with the kernel/filter mappings (an identity mapping when the source
+// has no annotations).  Sources with annotations must describe a valid
+// two-terminal DAG and may not replicate its source or sink.
+func BuildReplicated(src string) (*Replicated, error) {
+	g, plan, err := lang.BuildPlan(src)
+	if err != nil {
+		return nil, err
+	}
+	return Replicate(&Topology{g: g}, ReplicationPlan(plan))
 }
 
 // LooksLikeDSL reports whether src appears to be topology-language source

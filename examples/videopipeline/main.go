@@ -6,6 +6,11 @@
 //
 // The program first demonstrates the deadlock (watchdog report), then the
 // protected run, and compares dummy traffic for the two algorithms.
+// Finally it scales out the pipeline's hottest stage: segmentation
+// dominates per-frame cost, so the segment node is expanded into four
+// replicas with streamdag.Replicate — the transform keeps the topology
+// series-parallel, so the recomputed dummy intervals protect the
+// replicated run exactly as they protect the original.
 //
 //	go run ./examples/videopipeline
 package main
@@ -44,7 +49,7 @@ func main() {
 	}
 	fmt.Printf("class: %v (split/join with pipeline stages)\n", analysis.Class())
 
-	kernels := buildKernels(topo)
+	kernels := buildKernels(topo, 0)
 
 	// Unprotected run: the recognizers' filtering wedges the join.
 	fmt.Println("\n--- run without deadlock avoidance ---")
@@ -70,7 +75,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		stats, err := streamdag.Run(topo, buildKernels(topo), streamdag.RunConfig{
+		stats, err := streamdag.Run(topo, buildKernels(topo, 0), streamdag.RunConfig{
 			Inputs:    5_000,
 			Algorithm: alg,
 			Intervals: iv,
@@ -83,21 +88,67 @@ func main() {
 			stats.SinkData, stats.TotalDummies(),
 			float64(stats.TotalDummies())/5000, float64(stats.Elapsed.Microseconds())/1000)
 	}
+
+	// Scale-out: segmentation is the hottest stage (simulated here as
+	// 100µs per frame).  Replicate it into four data-parallel workers —
+	// the expanded topology stays series-parallel, so the recomputed
+	// intervals keep the run deadlock-free, and the sequence-ordered
+	// merger keeps downstream counts identical.
+	fmt.Println("\n--- scaling out the segment stage ---")
+	const frames, segCost = 2_000, 100 * time.Microsecond
+	var base float64
+	for _, k := range []int{1, 4} {
+		rep, err := streamdag.Replicate(topo, streamdag.ReplicationPlan{"segment": k})
+		if err != nil {
+			log.Fatal(err)
+		}
+		scaled, err := streamdag.Analyze(rep.Topology())
+		if err != nil {
+			log.Fatal(err)
+		}
+		iv, err := scaled.Intervals(streamdag.Propagation)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats, err := streamdag.Run(rep.Topology(), rep.Kernels(buildKernels(topo, segCost)),
+			streamdag.RunConfig{
+				Inputs:    frames,
+				Algorithm: streamdag.Propagation,
+				Intervals: iv,
+			})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fps := float64(frames) / stats.Elapsed.Seconds()
+		if k == 1 {
+			base = fps
+			fmt.Printf("segment ×1 (class %v): %.0f frames/sec\n", scaled.Class(), fps)
+		} else {
+			fmt.Printf("segment ×%d (class %v): %.0f frames/sec (%.1fx)\n",
+				k, scaled.Class(), fps, fps/base)
+		}
+	}
 }
 
 // buildKernels wires the application logic: real kernels with payloads,
-// written with no knowledge of dummy messages.
-func buildKernels(topo *streamdag.Topology) map[streamdag.NodeID]streamdag.Kernel {
+// written with no knowledge of dummy messages.  segCost simulates the
+// per-frame segmentation work; the kernels are stateless closures, so
+// they are safe to share across the replicas of a scaled-out stage.
+func buildKernels(topo *streamdag.Topology, segCost time.Duration) map[streamdag.NodeID]streamdag.Kernel {
 	ks := map[streamdag.NodeID]streamdag.Kernel{}
 
 	// capture synthesizes frames.
 	ks[topo.Node("capture")] = streamdag.KernelFunc(func(seq uint64, _ []streamdag.Input) map[int]any {
 		return map[int]any{0: frame{id: seq, luma: uint8(seq * 2654435761 % 251)}}
 	})
-	// segment broadcasts every frame to the three recognizers.
+	// segment broadcasts every frame to the three recognizers, paying
+	// the (simulated) segmentation cost first.
 	ks[topo.Node("segment")] = streamdag.KernelFunc(func(_ uint64, in []streamdag.Input) map[int]any {
 		if !in[0].Present {
 			return nil
+		}
+		if segCost > 0 {
+			time.Sleep(segCost)
 		}
 		f := in[0].Payload.(frame)
 		return map[int]any{0: f, 1: f, 2: f}

@@ -200,16 +200,31 @@ func (g *Graph) Validate() error {
 	if _, err := g.TopoOrder(); err != nil {
 		return err
 	}
-	if !g.WeaklyConnected() {
-		return fmt.Errorf("graph: not weakly connected")
+	if sep := g.disconnectedFrom(0); sep != -1 {
+		return fmt.Errorf("graph: not weakly connected: no undirected path between %q and %q",
+			g.names[0], g.names[sep])
 	}
 	if s := g.Sources(); len(s) != 1 {
-		return fmt.Errorf("graph: %d sources, want 1", len(s))
+		return fmt.Errorf("graph: %d sources (%s), want exactly 1", len(s), g.nameList(s))
 	}
 	if s := g.Sinks(); len(s) != 1 {
-		return fmt.Errorf("graph: %d sinks, want 1", len(s))
+		return fmt.Errorf("graph: %d sinks (%s), want exactly 1", len(s), g.nameList(s))
 	}
 	return nil
+}
+
+// nameList renders node names for diagnostics, eliding long lists.
+func (g *Graph) nameList(ns []NodeID) string {
+	const max = 5
+	parts := make([]string, 0, max+1)
+	for i, n := range ns {
+		if i == max {
+			parts = append(parts, fmt.Sprintf("… %d more", len(ns)-max))
+			break
+		}
+		parts = append(parts, g.names[n])
+	}
+	return strings.Join(parts, ", ")
 }
 
 // Source returns the unique source.  Call only after Validate.
@@ -224,9 +239,15 @@ func (g *Graph) WeaklyConnected() bool {
 	if len(g.names) == 0 {
 		return false
 	}
+	return g.disconnectedFrom(0) == -1
+}
+
+// disconnectedFrom returns a node with no undirected path from start,
+// or -1 when the graph is weakly connected.
+func (g *Graph) disconnectedFrom(start NodeID) NodeID {
 	seen := make([]bool, len(g.names))
-	stack := []NodeID{0}
-	seen[0] = true
+	stack := []NodeID{start}
+	seen[start] = true
 	count := 1
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
@@ -245,7 +266,15 @@ func (g *Graph) WeaklyConnected() bool {
 			visit(g.edges[e].From)
 		}
 	}
-	return count == len(g.names)
+	if count == len(g.names) {
+		return -1
+	}
+	for n := range g.names {
+		if !seen[n] {
+			return NodeID(n)
+		}
+	}
+	return -1
 }
 
 // Clone returns a deep copy of g.

@@ -99,8 +99,36 @@ func TestValidateRejectsMultiTerminal(t *testing.T) {
 	c := g.AddNode("c")
 	g.AddEdge(a, c, 1)
 	g.AddEdge(b, c, 1)
-	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "sources") {
+	err := g.Validate()
+	if err == nil || !strings.Contains(err.Error(), "sources") {
 		t.Errorf("Validate = %v, want sources error", err)
+	}
+	// The error names the offending nodes.
+	if !strings.Contains(err.Error(), `a, b`) {
+		t.Errorf("Validate = %v, want the source names a, b", err)
+	}
+
+	g2 := New()
+	s := g2.AddNode("s")
+	x := g2.AddNode("x")
+	y := g2.AddNode("y")
+	g2.AddEdge(s, x, 1)
+	g2.AddEdge(s, y, 1)
+	err = g2.Validate()
+	if err == nil || !strings.Contains(err.Error(), "sinks") || !strings.Contains(err.Error(), "x, y") {
+		t.Errorf("Validate = %v, want sinks error naming x, y", err)
+	}
+}
+
+func TestValidateNamesElideLongLists(t *testing.T) {
+	g := New()
+	snk := g.AddNode("snk")
+	for i := 0; i < 8; i++ {
+		g.AddEdge(g.AddNode(string(rune('a'+i))), snk, 1)
+	}
+	err := g.Validate()
+	if err == nil || !strings.Contains(err.Error(), "… 3 more") {
+		t.Errorf("Validate = %v, want elided list", err)
 	}
 }
 
@@ -110,8 +138,12 @@ func TestValidateRejectsDisconnected(t *testing.T) {
 	b := g.AddNode("b")
 	g.AddEdge(a, b, 1)
 	g.AddNode("lonely")
-	if err := g.Validate(); err == nil {
+	err := g.Validate()
+	if err == nil {
 		t.Error("Validate accepted disconnected graph")
+	}
+	if !strings.Contains(err.Error(), `"lonely"`) {
+		t.Errorf("Validate = %v, want the disconnected node named", err)
 	}
 	if g.WeaklyConnected() {
 		t.Error("WeaklyConnected true for disconnected graph")

@@ -3,10 +3,14 @@ package lang
 import (
 	"strings"
 	"testing"
+
+	"streamdag/internal/graph"
+	"streamdag/internal/replicate"
 )
 
-// FuzzBuild checks the DSL pipeline never panics and that accepted
-// programs compile to structurally sane graphs.
+// FuzzBuild checks the DSL pipeline — lexer, parser, compiler, and the
+// replication transform driven by the new annotations — never panics,
+// and that accepted programs produce structurally sane graphs.
 func FuzzBuild(f *testing.F) {
 	seeds := []string{
 		videoSrc,
@@ -20,25 +24,69 @@ func FuzzBuild(f *testing.F) {
 		"# just a comment",
 		"topology t { a -> b -> a }",
 		strings.Repeat("topology t { a -> b }\n", 3),
+		// Replication syntax: statement, inline, and malformed variants.
+		"topology t { a -> seg -> b\n replicate seg 4 }",
+		"topology t { a -> seg*3 -> b }",
+		"topology t { a -> (x*2, y) -> b }",
+		"topology t { node seg*2\n a -> seg -> b }",
+		"topology t { a -> b*0 }",
+		"topology t { a -> b* }",
+		"topology t { replicate a 2\n a -> b }",
+		"topology t { a*9 -> b }",
+		"topology t { a -> seg*2 -> b\n replicate seg 5 }",
 	}
 	for _, s := range seeds {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, src string) {
-		g, err := Build(src)
+		g, plan, err := BuildPlan(src)
 		if err != nil {
 			return
 		}
-		if g.NumNodes() == 0 {
-			t.Fatal("accepted empty graph")
+		checkSane(t, g)
+		if len(plan) == 0 {
+			return
 		}
-		if !g.IsDAG() {
-			t.Fatal("accepted cyclic graph")
+		// Apply the replication transform the way the public API does;
+		// it may reject (non-two-terminal base, source/sink annotation),
+		// but must not panic, and accepted results must stay sane.
+		p := make(replicate.Plan, len(plan))
+		expands := false
+		for name, k := range plan {
+			id, ok := g.NodeByName(name)
+			if !ok {
+				t.Fatalf("plan names unknown node %q", name)
+			}
+			p[id] = k
+			expands = expands || k > 1
 		}
-		for _, e := range g.Edges() {
-			if e.Buf < 1 {
-				t.Fatalf("accepted buffer %d", e.Buf)
+		r, err := replicate.Apply(g, p)
+		if err != nil {
+			return
+		}
+		checkSane(t, r.Graph())
+		// A plan that expanded something required a valid two-terminal
+		// base, and the transform must preserve that; an all-ones plan is
+		// an identity copy of a possibly non-two-terminal graph.
+		if expands {
+			if err := r.Graph().Validate(); err != nil {
+				t.Fatalf("expanded graph invalid: %v", err)
 			}
 		}
 	})
+}
+
+func checkSane(t *testing.T, g *graph.Graph) {
+	t.Helper()
+	if g.NumNodes() == 0 {
+		t.Fatal("accepted empty graph")
+	}
+	if !g.IsDAG() {
+		t.Fatal("accepted cyclic graph")
+	}
+	for _, e := range g.Edges() {
+		if e.Buf < 1 {
+			t.Fatalf("accepted buffer %d", e.Buf)
+		}
+	}
 }

@@ -101,6 +101,66 @@ topology lad {
 	}
 }
 
+func TestReplicateStatement(t *testing.T) {
+	g, plan, err := BuildPlan(`
+topology t {
+  a -> seg -> b
+  replicate seg 4
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 {
+		t.Fatalf("base nodes = %d, want 3 (plan is not applied by lang)", g.NumNodes())
+	}
+	if len(plan) != 1 || plan["seg"] != 4 {
+		t.Fatalf("plan = %v, want map[seg:4]", plan)
+	}
+}
+
+func TestReplicateInline(t *testing.T) {
+	cases := map[string]map[string]int{
+		"topology t { a -> seg*4 -> b }":                                {"seg": 4},
+		"topology t { a -> (x*2, y) -> b }":                             {"x": 2},
+		"topology t { node seg*3\n a -> seg -> b }":                     {"seg": 3},
+		"topology t { a -> seg*2 -> b\n seg*2 -> c\n b -> d\n c -> d }": {"seg": 2}, // repeated, same k
+		"topology t { a -> b }":                                         nil,
+	}
+	for src, want := range cases {
+		_, plan, err := BuildPlan(src)
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		if len(plan) != len(want) {
+			t.Errorf("%q: plan = %v, want %v", src, plan, want)
+			continue
+		}
+		for n, k := range want {
+			if plan[n] != k {
+				t.Errorf("%q: plan[%s] = %d, want %d", src, n, plan[n], k)
+			}
+		}
+	}
+}
+
+func TestReplicateErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown node":   "topology t { a -> b\n replicate c 4 }",
+		"zero count":     "topology t { a -> b\n replicate b 0 }",
+		"inline zero":    "topology t { a -> b*0 }",
+		"conflicting k":  "topology t { a -> seg*2 -> b\n replicate seg 3 }",
+		"missing count":  "topology t { a -> b\n replicate b }",
+		"reserved":       "topology t { a -> replicate }",
+		"star no number": "topology t { a -> b* }",
+	}
+	for name, src := range cases {
+		if _, _, err := BuildPlan(src); err == nil {
+			t.Errorf("%s: accepted %q", name, src)
+		}
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	cases := map[string]string{
 		"missing keyword":   "network x { a -> b }",

@@ -9,16 +9,26 @@
 // Grammar (line comments with #):
 //
 //	file     := "topology" IDENT "{" stmt* "}"
-//	stmt     := "buffer" NUMBER            default channel capacity
-//	          | "node" IDENT ("," IDENT)*  explicit declaration
+//	stmt     := "buffer" NUMBER              default channel capacity
+//	          | "node" decl ("," decl)*     explicit declaration
+//	          | "replicate" IDENT NUMBER    data-parallel replication
 //	          | chain
 //	chain    := group (arrow group)+
 //	arrow    := "->" | "->" "[" NUMBER "]"
-//	group    := IDENT | "(" IDENT ("," IDENT)* ")"
+//	group    := decl | "(" decl ("," decl)* ")"
+//	decl     := IDENT | IDENT "*" NUMBER
 //
 // A chain connects consecutive groups completely (every member of the
 // left group to every member of the right); an arrow's bracketed number
 // overrides the default buffer for the channels it creates.
+//
+// Replication: "replicate segment 4" (or the inline form "segment*4")
+// marks a node for data-parallel expansion into k replicas behind a
+// round-robin splitter and a sequence-ordered merger (see
+// internal/replicate).  The compiler returns the annotations as a plan;
+// the public API (streamdag.BuildTopology / BuildReplicated) applies the
+// expansion, which requires a two-terminal DAG and rejects replicating
+// its source or sink.
 package lang
 
 import (
@@ -42,6 +52,7 @@ const (
 	tokLBrack // [
 	tokRBrack // ]
 	tokComma  // ,
+	tokStar   // *
 )
 
 func (k tokKind) String() string {
@@ -68,6 +79,8 @@ func (k tokKind) String() string {
 		return "']'"
 	case tokComma:
 		return "','"
+	case tokStar:
+		return "'*'"
 	}
 	return "?"
 }
@@ -146,6 +159,9 @@ func lex(src string) ([]token, error) {
 		case c == ',':
 			toks = append(toks, token{tokComma, ",", line, col})
 			advance(1)
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", line, col})
+			advance(1)
 		case unicode.IsDigit(rune(c)):
 			start, l0, c0 := i, line, col
 			for i < len(src) && unicode.IsDigit(rune(src[i])) {
@@ -175,6 +191,6 @@ func isIdentPart(r rune) bool {
 }
 
 // reserved words may not be used as node names.
-var reserved = map[string]bool{"topology": true, "buffer": true, "node": true}
+var reserved = map[string]bool{"topology": true, "buffer": true, "node": true, "replicate": true}
 
 func isReserved(s string) bool { return reserved[strings.ToLower(s)] }

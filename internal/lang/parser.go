@@ -12,10 +12,23 @@ import (
 type File struct {
 	Name  string
 	Stmts []Stmt
+	// Replicas are the replication annotations, both statement form
+	// ("replicate segment 4") and inline form ("segment*4"), in source
+	// order.  CompilePlan validates and deduplicates them.
+	Replicas []ReplicaSpec
+}
+
+// ReplicaSpec marks one node for data-parallel replication into K
+// replicas (see internal/replicate).
+type ReplicaSpec struct {
+	Node string
+	K    int
+	Line int
 }
 
 // Stmt is one statement: a default-buffer setting, node declarations, or
-// a chain of connections.
+// a chain of connections.  Replication annotations (statement and inline
+// forms alike) are collected in File.Replicas, not here.
 type Stmt struct {
 	// Exactly one of the following is meaningful.
 	DefaultBuf int      // > 0 for "buffer N"
@@ -35,6 +48,7 @@ type Chain struct {
 type parser struct {
 	toks []token
 	pos  int
+	reps []ReplicaSpec
 }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
@@ -85,40 +99,45 @@ func ParseString(src string) (*File, error) {
 		if p.peek().kind == tokEOF {
 			return nil, errAt(p.peek(), "unterminated topology block")
 		}
-		st, err := p.stmt()
+		st, ok, err := p.stmt()
 		if err != nil {
 			return nil, err
 		}
-		f.Stmts = append(f.Stmts, st)
+		if ok {
+			f.Stmts = append(f.Stmts, st)
+		}
 	}
 	p.next() // }
 	if t := p.peek(); t.kind != tokEOF {
 		return nil, errAt(t, "trailing input after topology block")
 	}
+	f.Replicas = p.reps
 	return f, nil
 }
 
-func (p *parser) stmt() (Stmt, error) {
+// stmt parses one statement; ok = false for replication annotations,
+// which land in parser.reps instead of the statement list.
+func (p *parser) stmt() (st Stmt, ok bool, err error) {
 	t := p.peek()
 	switch {
 	case t.kind == tokIdent && t.text == "buffer":
 		p.next()
 		num, err := p.expect(tokNumber)
 		if err != nil {
-			return Stmt{}, err
+			return Stmt{}, false, err
 		}
 		n, err := strconv.Atoi(num.text)
 		if err != nil || n < 1 {
-			return Stmt{}, errAt(num, "buffer capacity must be a positive integer")
+			return Stmt{}, false, errAt(num, "buffer capacity must be a positive integer")
 		}
-		return Stmt{DefaultBuf: n, line: t.line}, nil
+		return Stmt{DefaultBuf: n, line: t.line}, true, nil
 	case t.kind == tokIdent && t.text == "node":
 		p.next()
 		var names []string
 		for {
-			id, err := p.ident()
+			id, err := p.decl()
 			if err != nil {
-				return Stmt{}, err
+				return Stmt{}, false, err
 			}
 			names = append(names, id)
 			if p.peek().kind != tokComma {
@@ -126,13 +145,29 @@ func (p *parser) stmt() (Stmt, error) {
 			}
 			p.next()
 		}
-		return Stmt{Nodes: names, line: t.line}, nil
+		return Stmt{Nodes: names, line: t.line}, true, nil
+	case t.kind == tokIdent && t.text == "replicate":
+		p.next()
+		id, err := p.ident()
+		if err != nil {
+			return Stmt{}, false, err
+		}
+		num, err := p.expect(tokNumber)
+		if err != nil {
+			return Stmt{}, false, err
+		}
+		k, err := strconv.Atoi(num.text)
+		if err != nil || k < 1 {
+			return Stmt{}, false, errAt(num, "replica count must be a positive integer")
+		}
+		p.reps = append(p.reps, ReplicaSpec{Node: id, K: k, Line: t.line})
+		return Stmt{}, false, nil
 	default:
 		c, err := p.chain()
 		if err != nil {
-			return Stmt{}, err
+			return Stmt{}, false, err
 		}
-		return Stmt{Chain: c, line: t.line}, nil
+		return Stmt{Chain: c, line: t.line}, true, nil
 	}
 }
 
@@ -147,12 +182,34 @@ func (p *parser) ident() (string, error) {
 	return t.text, nil
 }
 
+// decl parses an identifier with an optional inline replication suffix
+// ("segment*4"), recording the annotation.
+func (p *parser) decl() (string, error) {
+	id, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	if p.peek().kind == tokStar {
+		star := p.next()
+		num, err := p.expect(tokNumber)
+		if err != nil {
+			return "", err
+		}
+		k, err := strconv.Atoi(num.text)
+		if err != nil || k < 1 {
+			return "", errAt(num, "replica count must be a positive integer")
+		}
+		p.reps = append(p.reps, ReplicaSpec{Node: id, K: k, Line: star.line})
+	}
+	return id, nil
+}
+
 func (p *parser) group() ([]string, error) {
 	if p.peek().kind == tokLParen {
 		p.next()
 		var names []string
 		for {
-			id, err := p.ident()
+			id, err := p.decl()
 			if err != nil {
 				return nil, err
 			}
@@ -168,7 +225,7 @@ func (p *parser) group() ([]string, error) {
 		}
 		return names, nil
 	}
-	id, err := p.ident()
+	id, err := p.decl()
 	if err != nil {
 		return nil, err
 	}
@@ -212,10 +269,20 @@ func (p *parser) chain() (*Chain, error) {
 	return c, nil
 }
 
-// Compile elaborates a parsed file into a graph: groups connect
-// completely, buffers default as declared (or 1 if never declared), and
-// nodes appear in declaration/first-use order.
+// Compile elaborates a parsed file into a graph, discarding replication
+// annotations; see CompilePlan.
 func Compile(f *File) (*graph.Graph, error) {
+	g, _, err := CompilePlan(f)
+	return g, err
+}
+
+// CompilePlan elaborates a parsed file into a graph: groups connect
+// completely, buffers default as declared (or 1 if never declared), and
+// nodes appear in declaration/first-use order.  The returned plan maps
+// annotated node names to replica counts (nil when the file has no
+// replication annotations); applying it is the caller's business (the
+// streamdag package runs internal/replicate over it).
+func CompilePlan(f *File) (*graph.Graph, map[string]int, error) {
 	g := graph.New()
 	defaultBuf := 0
 	ensure := func(name string) graph.NodeID {
@@ -228,13 +295,13 @@ func Compile(f *File) (*graph.Graph, error) {
 		switch {
 		case st.DefaultBuf > 0:
 			if defaultBuf > 0 {
-				return nil, fmt.Errorf("lang: line %d: duplicate buffer declaration", st.line)
+				return nil, nil, fmt.Errorf("lang: line %d: duplicate buffer declaration", st.line)
 			}
 			defaultBuf = st.DefaultBuf
 		case len(st.Nodes) > 0:
 			for _, n := range st.Nodes {
 				if _, dup := g.NodeByName(n); dup {
-					return nil, fmt.Errorf("lang: line %d: node %q already declared", st.line, n)
+					return nil, nil, fmt.Errorf("lang: line %d: node %q already declared", st.line, n)
 				}
 				g.AddNode(n)
 			}
@@ -256,19 +323,41 @@ func Compile(f *File) (*graph.Graph, error) {
 		}
 	}
 	if g.NumNodes() == 0 {
-		return nil, fmt.Errorf("lang: topology %q declares no nodes", f.Name)
+		return nil, nil, fmt.Errorf("lang: topology %q declares no nodes", f.Name)
 	}
 	if !g.IsDAG() {
-		return nil, fmt.Errorf("lang: topology %q contains a directed cycle", f.Name)
+		return nil, nil, fmt.Errorf("lang: topology %q contains a directed cycle", f.Name)
 	}
-	return g, nil
+	var plan map[string]int
+	for _, r := range f.Replicas {
+		if _, ok := g.NodeByName(r.Node); !ok {
+			return nil, nil, fmt.Errorf("lang: line %d: replicate names unknown node %q", r.Line, r.Node)
+		}
+		if prev, dup := plan[r.Node]; dup && prev != r.K {
+			return nil, nil, fmt.Errorf("lang: line %d: node %q replicated as both %d and %d",
+				r.Line, r.Node, prev, r.K)
+		}
+		if plan == nil {
+			plan = make(map[string]int)
+		}
+		plan[r.Node] = r.K
+	}
+	return g, plan, nil
 }
 
-// Build parses and compiles in one step.
+// Build parses and compiles in one step, discarding replication
+// annotations; see BuildPlan.
 func Build(src string) (*graph.Graph, error) {
+	g, _, err := BuildPlan(src)
+	return g, err
+}
+
+// BuildPlan parses and compiles in one step, returning the base graph
+// and the replication plan.
+func BuildPlan(src string) (*graph.Graph, map[string]int, error) {
 	f, err := ParseString(src)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return Compile(f)
+	return CompilePlan(f)
 }
