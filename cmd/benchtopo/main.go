@@ -9,20 +9,25 @@
 // Usage:
 //
 //	benchtopo [-family sp|ladder|general|all] [-reps 5] > scaling.csv
-//	benchtopo -family throughput [-replicate 1,2,4] [-stage block|spin]
+//	benchtopo -family throughput [-api legacy|pipeline|both]
+//	          [-replicate 1,2,4] [-stage block|spin]
 //	          [-cost 100] [-inputs 20000] [-json BENCH_replication.json]
 //
 // The throughput family runs a three-stage pipeline gen → work → out on
 // the goroutine runtime with the Propagation protocol, expanding the hot
-// "work" stage into k replicas per -replicate.  -stage selects the hot
+// "work" stage into k replicas per -replicate.  -api selects the entry
+// point: "legacy" drives the deprecated Run/RunConfig path, "pipeline"
+// drives streamdag.Build + Pipeline.Run with a real Source, and "both"
+// interleaves them for a regression comparison.  -stage selects the hot
 // kernel's cost model: "spin" burns CPU (scales with spare cores) and
 // "block" sleeps (models an offload/IO-bound stage; scales with k on any
 // machine).  -json additionally writes the machine-readable records
-// (topology, backend, msgs/sec, dummy overhead %, …) that seed the
+// (topology, backend, api, msgs/sec, dummy overhead %, …) that seed the
 // repo's BENCH_*.json performance trajectory.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -47,6 +52,7 @@ func main() {
 	family := flag.String("family", "all", "sp, ladder, general, all, or throughput")
 	reps := flag.Int("reps", 5, "repetitions per point (minimum time reported)")
 	seed := flag.Int64("seed", 1, "generator seed")
+	api := flag.String("api", "legacy", "throughput entry point: legacy, pipeline, or both")
 	replicate := flag.String("replicate", "1,2,4", "comma-separated replica counts for the hot stage (throughput family)")
 	stage := flag.String("stage", "block", "hot-stage cost model: block (sleep) or spin (CPU) (throughput family)")
 	cost := flag.Int("cost", 100, "hot-stage cost per message: µs for block, thousands of iterations for spin")
@@ -70,7 +76,7 @@ func main() {
 		runLadder(*seed, *reps)
 		runGeneral(*seed, *reps)
 	case "throughput":
-		runThroughput(*replicate, *stage, *cost, *inputs, *jsonOut)
+		runThroughput(*api, *replicate, *stage, *cost, *inputs, *jsonOut)
 	default:
 		fmt.Fprintf(os.Stderr, "benchtopo: unknown family %q\n", *family)
 		os.Exit(2)
@@ -82,6 +88,7 @@ func main() {
 type throughputRecord struct {
 	Topology         string  `json:"topology"`
 	Backend          string  `json:"backend"`
+	API              string  `json:"api"`
 	Algorithm        string  `json:"algorithm"`
 	Stage            string  `json:"stage"`
 	StageCost        string  `json:"stage_cost"`
@@ -97,8 +104,9 @@ type throughputRecord struct {
 }
 
 // runThroughput streams inputs through gen → work → out for each replica
-// count, with the hot "work" stage expanded by streamdag.Replicate.
-func runThroughput(replicate, stage string, cost int, inputs uint64, jsonOut string) {
+// count, with the hot "work" stage expanded by streamdag.Replicate —
+// through the legacy Run entry point, the Pipeline API, or both.
+func runThroughput(api, replicate, stage string, cost int, inputs uint64, jsonOut string) {
 	var ks []int
 	for _, part := range strings.Split(replicate, ",") {
 		k, err := strconv.Atoi(strings.TrimSpace(part))
@@ -108,6 +116,16 @@ func runThroughput(replicate, stage string, cost int, inputs uint64, jsonOut str
 		}
 		ks = append(ks, k)
 	}
+	var apis []string
+	switch api {
+	case "legacy", "pipeline":
+		apis = []string{api}
+	case "both":
+		apis = []string{"legacy", "pipeline"}
+	default:
+		fmt.Fprintf(os.Stderr, "benchtopo: unknown -api %q\n", api)
+		os.Exit(2)
+	}
 	hot, desc := stageKernel(stage, cost)
 
 	// With -json - the records own stdout; keep it parseable by routing
@@ -116,15 +134,22 @@ func runThroughput(replicate, stage string, cost int, inputs uint64, jsonOut str
 	if jsonOut == "-" {
 		csv = os.Stderr
 	}
-	fmt.Fprintln(csv, "topology,backend,algorithm,stage,replicate,inputs,seconds,msgs_per_sec,data_msgs,dummy_msgs,dummy_overhead_pct")
+	fmt.Fprintln(csv, "topology,backend,api,algorithm,stage,replicate,inputs,seconds,msgs_per_sec,data_msgs,dummy_msgs,dummy_overhead_pct")
 	var records []throughputRecord
 	for _, k := range ks {
-		rec := runPipeline(k, hot, stage, desc, inputs)
-		records = append(records, rec)
-		fmt.Fprintf(csv, "%s,%s,%s,%s,%d,%d,%.4f,%.1f,%d,%d,%.2f\n",
-			rec.Topology, rec.Backend, rec.Algorithm, rec.Stage, rec.Replicate,
-			rec.Inputs, rec.ElapsedSec, rec.MsgsPerSec, rec.DataMsgs, rec.DummyMsgs,
-			rec.DummyOverheadPct)
+		for _, a := range apis {
+			var rec throughputRecord
+			if a == "pipeline" {
+				rec = runPipelineAPI(k, hot, stage, desc, inputs)
+			} else {
+				rec = runPipeline(k, hot, stage, desc, inputs)
+			}
+			records = append(records, rec)
+			fmt.Fprintf(csv, "%s,%s,%s,%s,%s,%d,%d,%.4f,%.1f,%d,%d,%.2f\n",
+				rec.Topology, rec.Backend, rec.API, rec.Algorithm, rec.Stage, rec.Replicate,
+				rec.Inputs, rec.ElapsedSec, rec.MsgsPerSec, rec.DataMsgs, rec.DummyMsgs,
+				rec.DummyOverheadPct)
+		}
 	}
 	if jsonOut == "" {
 		return
@@ -222,6 +247,58 @@ topology hotstage {
 	return throughputRecord{
 		Topology:         "hotstage",
 		Backend:          "runtime",
+		API:              "legacy",
+		Algorithm:        "propagation",
+		Stage:            stage,
+		StageCost:        desc,
+		Replicate:        k,
+		Inputs:           inputs,
+		Cores:            runtime.NumCPU(),
+		ElapsedSec:       secs,
+		MsgsPerSec:       float64(inputs) / secs,
+		DataMsgs:         data,
+		DummyMsgs:        dummies,
+		DummyOverheadPct: overhead,
+		SinkData:         stats.SinkData,
+	}
+}
+
+// runPipelineAPI is runPipeline through the new surface: one Build call
+// (replication, classification, and intervals in one step) and one
+// Pipeline.Run with a real Source — the ingestion path the legacy
+// entry point never exercises.
+func runPipelineAPI(k int, hot streamdag.Kernel, stage, desc string, inputs uint64) throughputRecord {
+	topo := streamdag.NewTopology()
+	topo.Channel("gen", "work", 64)
+	topo.Channel("work", "out", 64)
+	pipe, err := streamdag.Build(topo,
+		streamdag.WithAlgorithm(streamdag.Propagation),
+		streamdag.WithReplication(streamdag.ReplicationPlan{"work": k}),
+		streamdag.WithKernel("work", hot),
+		streamdag.WithWatchdog(30*time.Second),
+	)
+	if err != nil {
+		fatal(err)
+	}
+	stats, err := pipe.Run(context.Background(),
+		streamdag.CountingSource(inputs), streamdag.DiscardSink())
+	if err != nil {
+		fatal(err)
+	}
+	var data int64
+	for _, n := range stats.Data {
+		data += n
+	}
+	dummies := stats.TotalDummies()
+	secs := stats.Elapsed.Seconds()
+	overhead := 0.0
+	if data > 0 {
+		overhead = 100 * float64(dummies) / float64(data)
+	}
+	return throughputRecord{
+		Topology:         "hotstage",
+		Backend:          "runtime",
+		API:              "pipeline",
 		Algorithm:        "propagation",
 		Stage:            stage,
 		StageCost:        desc,

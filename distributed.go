@@ -25,6 +25,11 @@ type DistWorker = dist.Worker
 // topology.  addrs maps every worker name to a TCP listen address
 // ("host:port"; port 0 allocates — the bound address is visible via
 // Addr after Listen).  Call Listen on every worker before Run on any.
+//
+// For a single-process run, prefer Build with
+// WithBackend(Distributed(assign)), which wires the workers, listeners,
+// and Source/Sink endpoints for you; NewDistWorker remains the entry
+// point for workers in separate processes.
 func NewDistWorker(t *Topology, name string, partition Partition,
 	addrs map[string]string, kernels map[NodeID]Kernel, cfg DistConfig) (*DistWorker, error) {
 	ks := make(map[graph.NodeID]Kernel, len(kernels))

@@ -3,12 +3,14 @@
 // matcher feeds two parallel scoring paths, with a one-way hint channel
 // linking them.  The hint channel makes the topology CS4 but not
 // series-parallel (the paper's Fig. 4 left), exercising the SP-ladder
-// algorithms of §VI.
+// algorithms of §VI.  Reads stream in through a Source; reported
+// alignments stream out through a Sink.
 //
 //	go run ./examples/bioinformatics
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,53 +38,63 @@ func main() {
 	topo.Channel("ungapped", "gapped", 4) // the cross-link
 	topo.Channel("reporter", "results", 16)
 
-	analysis, err := streamdag.Analyze(topo)
+	pipe, err := streamdag.Build(topo,
+		append(kernelOptions(),
+			streamdag.WithAlgorithm(streamdag.NonPropagation))...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("class: %v\n", analysis.Class())
-	for _, c := range analysis.Components() {
+	fmt.Printf("class: %v\n", pipe.Class())
+	for _, c := range pipe.Analysis().Components() {
 		fmt.Printf("  component: %s\n", c)
 	}
-
-	iv, err := analysis.Intervals(streamdag.NonPropagation)
-	if err != nil {
-		log.Fatal(err)
-	}
 	fmt.Println("non-propagation intervals on the ladder:")
-	for e := range iv {
+	for e, iv := range pipe.Intervals() {
 		from, to, _ := topo.Edge(e)
-		fmt.Printf("  [%s→%s] = %v\n", from, to, iv[e])
+		fmt.Printf("  [%s→%s] = %v\n", from, to, iv)
 	}
 
-	ks := kernels(topo)
-	stats, err := streamdag.Run(topo, ks, streamdag.RunConfig{
-		Inputs:    20_000,
-		Algorithm: streamdag.NonPropagation,
-		Intervals: iv,
+	// Stream 20k reads; count the alignments the sink reports.
+	const reads = 20_000
+	var next uint64
+	source := streamdag.SourceFunc(func(context.Context) (any, bool, error) {
+		if next >= reads {
+			return nil, false, nil
+		}
+		c := candidate{query: next}
+		next++
+		return c, true, nil
 	})
+	var reported int
+	sink := streamdag.SinkFunc(func(_ context.Context, _ uint64, payload any) error {
+		if _, ok := payload.(candidate); ok {
+			reported++
+		}
+		return nil
+	})
+	stats, err := pipe.Run(context.Background(), source, sink)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nprocessed 20000 reads: %d alignments reported, %d dummies (%.3f/read), %.1fms\n",
-		stats.SinkData, stats.TotalDummies(),
-		float64(stats.TotalDummies())/20000, float64(stats.Elapsed.Microseconds())/1000)
+	fmt.Printf("\nprocessed %d reads: %d alignments reported, %d dummies (%.3f/read), %.1fms\n",
+		reads, reported, stats.TotalDummies(),
+		float64(stats.TotalDummies())/reads, float64(stats.Elapsed.Microseconds())/1000)
 }
 
-func kernels(topo *streamdag.Topology) map[streamdag.NodeID]streamdag.Kernel {
-	ks := map[streamdag.NodeID]streamdag.Kernel{}
+func kernelOptions() []streamdag.Option {
 	hash := func(x uint64) uint64 {
 		x ^= x >> 33
 		x *= 0xff51afd7ed558ccd
 		x ^= x >> 33
 		return x
 	}
-	ks[topo.Node("reads")] = streamdag.KernelFunc(func(seq uint64, _ []streamdag.Input) map[int]any {
-		return map[int]any{0: candidate{query: seq}}
+	// reads forwards each ingested candidate into the accelerator.
+	readsK := streamdag.KernelFunc(func(_ uint64, in []streamdag.Input) map[int]any {
+		return map[int]any{0: in[0].Payload}
 	})
 	// The seeder filters ~85% of reads (no seed hit) — the paper's
 	// headline filtering behavior — and routes survivors to both paths.
-	ks[topo.Node("seeder")] = streamdag.KernelFunc(func(_ uint64, in []streamdag.Input) map[int]any {
+	seeder := streamdag.KernelFunc(func(_ uint64, in []streamdag.Input) map[int]any {
 		if !in[0].Present {
 			return nil
 		}
@@ -94,7 +106,7 @@ func kernels(topo *streamdag.Topology) map[streamdag.NodeID]streamdag.Kernel {
 	})
 	// Ungapped extension: scores quickly; ~half die.  High scorers also
 	// emit a hint on the cross-link.
-	ks[topo.Node("ungapped")] = streamdag.KernelFunc(func(_ uint64, in []streamdag.Input) map[int]any {
+	ungapped := streamdag.KernelFunc(func(_ uint64, in []streamdag.Input) map[int]any {
 		if !in[0].Present {
 			return nil
 		}
@@ -113,7 +125,7 @@ func kernels(topo *streamdag.Topology) map[streamdag.NodeID]streamdag.Kernel {
 		return out
 	})
 	// Gapped alignment: consumes seeds and hints (aligned by read id).
-	ks[topo.Node("gapped")] = streamdag.KernelFunc(func(_ uint64, in []streamdag.Input) map[int]any {
+	gapped := streamdag.KernelFunc(func(_ uint64, in []streamdag.Input) map[int]any {
 		var c candidate
 		have := false
 		for _, i := range in {
@@ -137,7 +149,7 @@ func kernels(topo *streamdag.Topology) map[streamdag.NodeID]streamdag.Kernel {
 		}
 		return map[int]any{0: c}
 	})
-	ks[topo.Node("reporter")] = streamdag.KernelFunc(func(_ uint64, in []streamdag.Input) map[int]any {
+	reporter := streamdag.KernelFunc(func(_ uint64, in []streamdag.Input) map[int]any {
 		best := candidate{score: -1}
 		have := false
 		for _, i := range in {
@@ -154,8 +166,11 @@ func kernels(topo *streamdag.Topology) map[streamdag.NodeID]streamdag.Kernel {
 		}
 		return map[int]any{0: best}
 	})
-	ks[topo.Node("results")] = streamdag.KernelFunc(func(uint64, []streamdag.Input) map[int]any {
-		return nil
-	})
-	return ks
+	return []streamdag.Option{
+		streamdag.WithKernel("reads", readsK),
+		streamdag.WithKernel("seeder", seeder),
+		streamdag.WithKernel("ungapped", ungapped),
+		streamdag.WithKernel("gapped", gapped),
+		streamdag.WithKernel("reporter", reporter),
+	}
 }

@@ -2,12 +2,16 @@
 // butterfly topology of Fig. 4 is not CS4 (it has a cycle with two
 // sources and two sinks), so the efficient interval algorithms do not
 // apply; re-routing one crossing channel through an extra hop turns it
-// into an SP-ladder where they do.
+// into an SP-ladder where they do.  Both the exhaustive fallback and the
+// rewritten ladder run through the Pipeline API — the butterfly on the
+// general-DAG (exponential) interval path, the ladder on the efficient
+// one and the deterministic Simulator backend.
 //
 //	go run ./examples/butterfly
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,22 +29,18 @@ func main() {
 	topo.Channel("c", "Y", 2)
 	topo.Channel("d", "Y", 2)
 
-	analysis, err := streamdag.Analyze(topo)
+	// The exhaustive (exponential) fallback still works at this size:
+	// Build computes intervals even for a general-class topology.
+	pipe, err := streamdag.Build(topo)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("butterfly class: %v\n", analysis.Class())
-	fmt.Printf("witness cycle with multiple sources: %s\n", analysis.Witness())
-
-	// The exhaustive (exponential) fallback still works at this size.
-	iv, err := analysis.Intervals(streamdag.Propagation)
-	if err != nil {
-		log.Fatal(err)
-	}
+	fmt.Printf("butterfly class: %v\n", pipe.Class())
+	fmt.Printf("witness cycle with multiple sources: %s\n", pipe.Analysis().Witness())
 	fmt.Println("exhaustive propagation intervals:")
-	for e := range iv {
+	for e, iv := range pipe.Intervals() {
 		from, to, _ := topo.Edge(e)
-		fmt.Printf("  [%s→%s] = %v\n", from, to, iv[e])
+		fmt.Printf("  [%s→%s] = %v\n", from, to, iv)
 	}
 
 	// Conclusion's rewrite: route one crossing channel via the opposite
@@ -50,30 +50,37 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nrewrite: %s\n", desc)
-	la, err := streamdag.Analyze(ladder)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("rewritten class: %v\n", la.Class())
-	for _, c := range la.Components() {
-		fmt.Printf("  component: %s\n", c)
-	}
-	liv, err := la.Intervals(streamdag.Propagation)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("efficient propagation intervals on the ladder:")
-	for e := range liv {
-		from, to, _ := ladder.Edge(e)
-		fmt.Printf("  [%s→%s] = %v\n", from, to, liv[e])
-	}
 
-	// Run the rewritten topology under adversarial routing at the source.
+	// Run the rewritten topology under adversarial routing at the
+	// source, on the deterministic simulator backend.
 	filter := streamdag.SourceRouting(ladder.Node("X"),
 		streamdag.Bernoulli(0.5, 7), streamdag.PerInputBernoulli(0.8, 7))
-	res := streamdag.Simulate(ladder, filter, streamdag.SimConfig{
-		Inputs: 50_000, Algorithm: streamdag.Propagation, Intervals: liv,
-	})
-	fmt.Printf("\nsimulated 50000 inputs on the rewritten ladder: completed=%v, dummy overhead=%.3f\n",
-		res.Completed, res.Overhead())
+	lp, err := streamdag.Build(ladder,
+		streamdag.WithRouting(filter),
+		streamdag.WithBackend(streamdag.Simulator()),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rewritten class: %v\n", lp.Class())
+	for _, c := range lp.Analysis().Components() {
+		fmt.Printf("  component: %s\n", c)
+	}
+	fmt.Println("efficient propagation intervals on the ladder:")
+	for e, iv := range lp.Intervals() {
+		from, to, _ := ladder.Edge(e)
+		fmt.Printf("  [%s→%s] = %v\n", from, to, iv)
+	}
+
+	stats, err := lp.Run(context.Background(), streamdag.CountingSource(50_000), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var data, dummies int64
+	for _, n := range stats.Data {
+		data += n
+	}
+	dummies = stats.TotalDummies()
+	fmt.Printf("\nsimulated 50000 inputs on the rewritten ladder: sink received %d, dummy overhead=%.3f\n",
+		stats.SinkData, float64(dummies)/float64(data))
 }

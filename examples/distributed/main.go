@@ -1,16 +1,19 @@
-// Distributed runs the Fig. 2 scenario across two TCP-connected workers:
-// node A (the filtering split) on one worker, B and C on the other.  The
-// finite channel buffers — and therefore the deadlock-avoidance intervals
-// — are preserved across the wire by credit-based flow control, so the
-// same protection that works in-process works across machines.
+// Distributed runs the Fig. 2 scenario across two TCP-connected workers
+// through the Pipeline API: node A (the filtering split) on one worker,
+// B and C on the other.  The finite channel buffers — and therefore the
+// deadlock-avoidance intervals — are preserved across the wire by
+// credit-based flow control, so the same protection that works
+// in-process works across machines.  The Source is pulled by the worker
+// hosting A and the Sink is fed by the worker hosting C; payloads cross
+// the wire with the messages.
 //
 //	go run ./examples/distributed
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"sync"
 	"time"
 
 	"streamdag"
@@ -26,20 +29,6 @@ topology fig2 {
 	if err != nil {
 		log.Fatal(err)
 	}
-	analysis, err := streamdag.Analyze(topo)
-	if err != nil {
-		log.Fatal(err)
-	}
-	iv, err := analysis.Intervals(streamdag.Propagation)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("class: %v; intervals:", analysis.Class())
-	for e := range iv {
-		from, to, _ := topo.Edge(e)
-		fmt.Printf(" [%s→%s]=%v", from, to, iv[e])
-	}
-	fmt.Println()
 
 	// A filters everything toward C (the Fig. 2 adversary); dummies on
 	// A→C keep the join alive.
@@ -50,64 +39,39 @@ topology fig2 {
 			ac = e
 		}
 	}
-	kernels := streamdag.RouteKernels(topo, streamdag.DropEdge(ac))
 
-	partition := streamdag.Partition{
-		topo.Node("A"): "splitter",
-		topo.Node("B"): "backend",
-		topo.Node("C"): "backend",
+	pipe, err := streamdag.Build(topo,
+		streamdag.WithAlgorithm(streamdag.Propagation),
+		streamdag.WithRouting(streamdag.DropEdge(ac)),
+		streamdag.WithBackend(streamdag.Distributed(map[string]string{
+			"A": "splitter",
+			"B": "backend",
+			"C": "backend",
+		})),
+		streamdag.WithWatchdog(10*time.Second),
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
-	addrs := map[string]string{
-		"splitter": "127.0.0.1:0",
-		"backend":  "127.0.0.1:0",
+	fmt.Printf("class: %v; intervals:", pipe.Class())
+	for e, iv := range pipe.Intervals() {
+		from, to, _ := topo.Edge(e)
+		fmt.Printf(" [%s→%s]=%v", from, to, iv)
 	}
-	cfg := streamdag.DistConfig{
-		Inputs:          50_000,
-		Algorithm:       streamdag.Propagation,
-		Intervals:       iv,
-		WatchdogTimeout: 10 * time.Second,
-	}
-	var workers []*streamdag.DistWorker
-	for _, name := range []string{"splitter", "backend"} {
-		w, err := streamdag.NewDistWorker(topo, name, partition, addrs, kernels, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		workers = append(workers, w)
-	}
-	for _, w := range workers {
-		if err := w.Listen(); err != nil {
-			log.Fatal(err)
-		}
-	}
-	fmt.Printf("workers listening: splitter=%s backend=%s\n",
-		workers[0].Addr(), workers[1].Addr())
+	fmt.Println()
 
 	start := time.Now()
-	var wg sync.WaitGroup
-	stats := make([]*streamdag.DistStats, len(workers))
-	for i, w := range workers {
-		wg.Add(1)
-		go func(i int, w *streamdag.DistWorker) {
-			defer wg.Done()
-			s, err := w.Run()
-			if err != nil {
-				log.Fatalf("worker %d: %v", i, err)
-			}
-			stats[i] = s
-		}(i, w)
+	stats, err := pipe.Run(context.Background(),
+		streamdag.CountingSource(50_000), streamdag.DiscardSink())
+	if err != nil {
+		log.Fatal(err)
 	}
-	wg.Wait()
 
 	var data, dummies int64
-	for _, s := range stats {
-		for _, n := range s.Data {
-			data += n
-		}
-		for _, n := range s.Dummies {
-			dummies += n
-		}
+	for _, n := range stats.Data {
+		data += n
 	}
+	dummies = stats.TotalDummies()
 	fmt.Printf("streamed 50000 inputs over TCP in %v: %d data msgs, %d dummies — no deadlock\n",
 		time.Since(start).Round(time.Millisecond), data, dummies)
 }

@@ -1,11 +1,12 @@
-// Quickstart: build the split/join topology of the paper's Fig. 1,
-// classify it, compute dummy intervals for both avoidance algorithms, and
-// run it safely under filtering.
+// Quickstart: build the split/join topology of the paper's Fig. 1 into a
+// Pipeline, inspect its classification and dummy intervals, and stream
+// real payloads through it safely under filtering.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -22,14 +23,27 @@ func main() {
 	topo.Channel("B", "D", 4)
 	topo.Channel("C", "D", 4)
 
-	analysis, err := streamdag.Analyze(topo)
+	// Recognizer-style filtering: B fires on every frame, C on ~20% of
+	// them, and A routes every frame to both.
+	filter := streamdag.SourceRouting(topo.Node("A"),
+		streamdag.PassAll,
+		streamdag.PerInputBernoulli(0.2, 42),
+	)
+
+	// Build performs validate → classify → interval computation in one
+	// step; the same Pipeline also runs on the Simulator() and
+	// Distributed(...) backends.
+	pipe, err := streamdag.Build(topo,
+		streamdag.WithAlgorithm(streamdag.Propagation),
+		streamdag.WithRouting(filter),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("topology class: %v\n", analysis.Class())
+	fmt.Printf("topology class: %v\n", pipe.Class())
 
 	for _, alg := range []streamdag.Algorithm{streamdag.Propagation, streamdag.NonPropagation} {
-		iv, err := analysis.Intervals(alg)
+		iv, err := pipe.Analysis().Intervals(alg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -45,24 +59,25 @@ func main() {
 		}
 	}
 
-	// Run 10k frames with recognizer-style filtering: B fires on 10% of
-	// frames, C on 30%, and A routes every frame to both.
-	filter := streamdag.SourceRouting(topo.Node("A"),
-		streamdag.PassAll,
-		streamdag.PerInputBernoulli(0.2, 42),
-	)
-	iv, err := analysis.Intervals(streamdag.Propagation)
-	if err != nil {
-		log.Fatal(err)
-	}
-	stats, err := streamdag.Run(topo, streamdag.RouteKernels(topo, filter), streamdag.RunConfig{
-		Inputs:    10_000,
-		Algorithm: streamdag.Propagation,
-		Intervals: iv,
+	// Stream 10k frames through the pipeline: payloads in through a
+	// Source, the join's verdicts out through a Sink, both cancellable.
+	frames := make(chan any, 64)
+	go func() {
+		defer close(frames)
+		for i := 0; i < 10_000; i++ {
+			frames <- fmt.Sprintf("frame-%d", i)
+		}
+	}()
+	var last streamdag.Emission
+	sink := streamdag.SinkFunc(func(_ context.Context, seq uint64, payload any) error {
+		last = streamdag.Emission{Seq: seq, Payload: payload}
+		return nil
 	})
+	stats, err := pipe.Run(context.Background(), streamdag.ChannelSource(frames), sink)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nran 10000 frames: sink consumed %d data messages, %d dummies sent, %.1fms\n",
-		stats.SinkData, stats.TotalDummies(), float64(stats.Elapsed.Microseconds())/1000)
+	fmt.Printf("\nran 10000 frames: sink consumed %d data messages (last %q @%d), %d dummies sent, %.1fms\n",
+		stats.SinkData, last.Payload, last.Seq, stats.TotalDummies(),
+		float64(stats.Elapsed.Microseconds())/1000)
 }

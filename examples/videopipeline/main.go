@@ -4,18 +4,20 @@
 // message toward the fusion stage.  With finite channel buffers this
 // filtering deadlocks; with the computed dummy intervals it does not.
 //
-// The program first demonstrates the deadlock (watchdog report), then the
-// protected run, and compares dummy traffic for the two algorithms.
-// Finally it scales out the pipeline's hottest stage: segmentation
-// dominates per-frame cost, so the segment node is expanded into four
-// replicas with streamdag.Replicate — the transform keeps the topology
-// series-parallel, so the recomputed dummy intervals protect the
-// replicated run exactly as they protect the original.
+// The program first demonstrates the deadlock (a pipeline built
+// WithoutAvoidance and its watchdog report), then the protected run, and
+// compares dummy traffic for the two algorithms.  Finally it scales out
+// the pipeline's hottest stage: segmentation dominates per-frame cost,
+// so the segment node is expanded into four replicas with
+// WithReplication — the transform keeps the topology series-parallel,
+// so the recomputed dummy intervals protect the replicated run exactly
+// as they protect the original.
 //
 //	go run ./examples/videopipeline
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -32,31 +34,31 @@ type frame struct {
 }
 
 func main() {
-	topo := streamdag.NewTopology()
-	// capture → segment → {faces, plates, motion} → fuse → archive
-	topo.Channel("capture", "segment", 8)
-	topo.Channel("segment", "faces", 8)
-	topo.Channel("segment", "plates", 8)
-	topo.Channel("segment", "motion", 8)
-	topo.Channel("faces", "fuse", 8)
-	topo.Channel("plates", "fuse", 8)
-	topo.Channel("motion", "fuse", 8)
-	topo.Channel("fuse", "archive", 8)
+	topo := buildTopo()
+	// frames supplies a fresh Source per run (Sources are single-use).
+	frames := func(n uint64) streamdag.Source {
+		var next uint64
+		return streamdag.SourceFunc(func(context.Context) (any, bool, error) {
+			if next >= n {
+				return nil, false, nil
+			}
+			f := frame{id: next, luma: uint8(next * 2654435761 % 251)}
+			next++
+			return f, true, nil
+		})
+	}
 
-	analysis, err := streamdag.Analyze(topo)
+	// Unprotected run: the recognizers' filtering wedges the join.
+	fmt.Println("--- run without deadlock avoidance ---")
+	unsafe, err := streamdag.Build(topo,
+		append(kernelOptions(topo, 0),
+			streamdag.WithoutAvoidance(),
+			streamdag.WithWatchdog(250*time.Millisecond))...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("class: %v (split/join with pipeline stages)\n", analysis.Class())
-
-	kernels := buildKernels(topo, 0)
-
-	// Unprotected run: the recognizers' filtering wedges the join.
-	fmt.Println("\n--- run without deadlock avoidance ---")
-	_, err = streamdag.Run(topo, kernels, streamdag.RunConfig{
-		Inputs:          5_000,
-		WatchdogTimeout: 250 * time.Millisecond,
-	})
+	fmt.Printf("class: %v (split/join with pipeline stages)\n", unsafe.Class())
+	_, err = unsafe.Run(context.Background(), frames(5_000), nil)
 	var derr *streamdag.DeadlockError
 	if errors.As(err, &derr) {
 		fmt.Println("deadlock detected, channel occupancy:")
@@ -71,15 +73,12 @@ func main() {
 
 	// Protected runs.
 	for _, alg := range []streamdag.Algorithm{streamdag.Propagation, streamdag.NonPropagation} {
-		iv, err := analysis.Intervals(alg)
+		pipe, err := streamdag.Build(topo,
+			append(kernelOptions(topo, 0), streamdag.WithAlgorithm(alg))...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		stats, err := streamdag.Run(topo, buildKernels(topo, 0), streamdag.RunConfig{
-			Inputs:    5_000,
-			Algorithm: alg,
-			Intervals: iv,
-		})
+		stats, err := pipe.Run(context.Background(), frames(5_000), nil)
 		if err != nil {
 			log.Fatalf("%v: %v", alg, err)
 		}
@@ -90,60 +89,62 @@ func main() {
 	}
 
 	// Scale-out: segmentation is the hottest stage (simulated here as
-	// 100µs per frame).  Replicate it into four data-parallel workers —
-	// the expanded topology stays series-parallel, so the recomputed
-	// intervals keep the run deadlock-free, and the sequence-ordered
-	// merger keeps downstream counts identical.
+	// 100µs per frame).  WithReplication expands it into four
+	// data-parallel workers — the expanded topology stays
+	// series-parallel, so the recomputed intervals keep the run
+	// deadlock-free, and the sequence-ordered merger keeps downstream
+	// counts identical.
 	fmt.Println("\n--- scaling out the segment stage ---")
-	const frames, segCost = 2_000, 100 * time.Microsecond
+	const nframes, segCost = 2_000, 100 * time.Microsecond
 	var base float64
 	for _, k := range []int{1, 4} {
-		rep, err := streamdag.Replicate(topo, streamdag.ReplicationPlan{"segment": k})
+		pipe, err := streamdag.Build(topo,
+			append(kernelOptions(topo, segCost),
+				streamdag.WithReplication(streamdag.ReplicationPlan{"segment": k}))...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		scaled, err := streamdag.Analyze(rep.Topology())
+		stats, err := pipe.Run(context.Background(), frames(nframes), nil)
 		if err != nil {
 			log.Fatal(err)
 		}
-		iv, err := scaled.Intervals(streamdag.Propagation)
-		if err != nil {
-			log.Fatal(err)
-		}
-		stats, err := streamdag.Run(rep.Topology(), rep.Kernels(buildKernels(topo, segCost)),
-			streamdag.RunConfig{
-				Inputs:    frames,
-				Algorithm: streamdag.Propagation,
-				Intervals: iv,
-			})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fps := float64(frames) / stats.Elapsed.Seconds()
+		fps := float64(nframes) / stats.Elapsed.Seconds()
 		if k == 1 {
 			base = fps
-			fmt.Printf("segment ×1 (class %v): %.0f frames/sec\n", scaled.Class(), fps)
+			fmt.Printf("segment ×1 (class %v): %.0f frames/sec\n", pipe.Class(), fps)
 		} else {
 			fmt.Printf("segment ×%d (class %v): %.0f frames/sec (%.1fx)\n",
-				k, scaled.Class(), fps, fps/base)
+				k, pipe.Class(), fps, fps/base)
 		}
 	}
 }
 
-// buildKernels wires the application logic: real kernels with payloads,
+func buildTopo() *streamdag.Topology {
+	topo := streamdag.NewTopology()
+	// capture → segment → {faces, plates, motion} → fuse → archive
+	topo.Channel("capture", "segment", 8)
+	topo.Channel("segment", "faces", 8)
+	topo.Channel("segment", "plates", 8)
+	topo.Channel("segment", "motion", 8)
+	topo.Channel("faces", "fuse", 8)
+	topo.Channel("plates", "fuse", 8)
+	topo.Channel("motion", "fuse", 8)
+	topo.Channel("fuse", "archive", 8)
+	return topo
+}
+
+// kernelOptions wires the application logic: real kernels with payloads,
 // written with no knowledge of dummy messages.  segCost simulates the
 // per-frame segmentation work; the kernels are stateless closures, so
 // they are safe to share across the replicas of a scaled-out stage.
-func buildKernels(topo *streamdag.Topology, segCost time.Duration) map[streamdag.NodeID]streamdag.Kernel {
-	ks := map[streamdag.NodeID]streamdag.Kernel{}
-
-	// capture synthesizes frames.
-	ks[topo.Node("capture")] = streamdag.KernelFunc(func(seq uint64, _ []streamdag.Input) map[int]any {
-		return map[int]any{0: frame{id: seq, luma: uint8(seq * 2654435761 % 251)}}
+func kernelOptions(topo *streamdag.Topology, segCost time.Duration) []streamdag.Option {
+	// capture forwards the ingested frame downstream.
+	capture := streamdag.KernelFunc(func(_ uint64, in []streamdag.Input) map[int]any {
+		return map[int]any{0: in[0].Payload}
 	})
 	// segment broadcasts every frame to the three recognizers, paying
 	// the (simulated) segmentation cost first.
-	ks[topo.Node("segment")] = streamdag.KernelFunc(func(_ uint64, in []streamdag.Input) map[int]any {
+	segment := streamdag.KernelFunc(func(_ uint64, in []streamdag.Input) map[int]any {
 		if !in[0].Present {
 			return nil
 		}
@@ -156,7 +157,7 @@ func buildKernels(topo *streamdag.Topology, segCost time.Duration) map[streamdag
 	// Recognizers fire on content-dependent subsets of frames: all-or-
 	// nothing per input, exactly the class the Propagation protocol
 	// supports (DESIGN.md, "Protocol soundness").
-	recognizer := func(name string, fires func(frame) bool) streamdag.Kernel {
+	recognizer := func(fires func(frame) bool) streamdag.Kernel {
 		return streamdag.KernelFunc(func(_ uint64, in []streamdag.Input) map[int]any {
 			if !in[0].Present {
 				return nil
@@ -169,14 +170,8 @@ func buildKernels(topo *streamdag.Topology, segCost time.Duration) map[streamdag
 			return map[int]any{0: f}
 		})
 	}
-	ks[topo.Node("faces")] = recognizer("faces", func(f frame) bool { return f.luma < 25 })
-	ks[topo.Node("plates")] = recognizer("plates", func(f frame) bool { return f.luma%7 == 0 })
-	// motion fires on ~0.4% of frames: its success-message gaps far
-	// exceed the 8-slot buffers, which is what wedges the join.
-	ks[topo.Node("motion")] = recognizer("motion", func(f frame) bool { return f.luma == 13 })
-
 	// fuse merges whatever verdicts arrived for a frame.
-	ks[topo.Node("fuse")] = streamdag.KernelFunc(func(_ uint64, in []streamdag.Input) map[int]any {
+	fuse := streamdag.KernelFunc(func(_ uint64, in []streamdag.Input) map[int]any {
 		total := frame{}
 		gotAny := false
 		for _, i := range in {
@@ -192,9 +187,14 @@ func buildKernels(topo *streamdag.Topology, segCost time.Duration) map[streamdag
 		}
 		return map[int]any{0: total}
 	})
-	// archive is the sink; returning nil emits nothing.
-	ks[topo.Node("archive")] = streamdag.KernelFunc(func(uint64, []streamdag.Input) map[int]any {
-		return nil
-	})
-	return ks
+	return []streamdag.Option{
+		streamdag.WithKernel("capture", capture),
+		streamdag.WithKernel("segment", segment),
+		streamdag.WithKernel("faces", recognizer(func(f frame) bool { return f.luma < 25 })),
+		streamdag.WithKernel("plates", recognizer(func(f frame) bool { return f.luma%7 == 0 })),
+		// motion fires on ~0.4% of frames: its success-message gaps far
+		// exceed the 8-slot buffers, which is what wedges the join.
+		streamdag.WithKernel("motion", recognizer(func(f frame) bool { return f.luma == 13 })),
+		streamdag.WithKernel("fuse", fuse),
+	}
 }

@@ -17,6 +17,7 @@
 package dist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -38,8 +39,18 @@ type Partition map[graph.NodeID]string
 
 // Config parameterizes a distributed run (mirrors stream.Config).
 type Config struct {
-	// Inputs is the number of sequence numbers generated at the source.
+	// Inputs is the number of sequence numbers generated at the source
+	// when Source is nil (the legacy synthetic arrangement).
 	Inputs uint64
+	// Source, when non-nil, supplies the payloads injected at the
+	// topology's source node; only the worker hosting the source uses
+	// it, and Inputs is then ignored.  Payloads must round-trip the wire
+	// codec (scalar fast paths, or gob-registered types).
+	Source stream.SourceFunc
+	// Sink, when non-nil, receives the sink node's data-carrying
+	// firings in ascending sequence order; only the worker hosting the
+	// sink uses it.
+	Sink stream.SinkFunc
 	// Algorithm selects the dummy protocol when Intervals != nil.
 	Algorithm cs4.Algorithm
 	// Intervals are per-edge dummy intervals (nil disables avoidance).
@@ -103,6 +114,21 @@ func (e *DeadlockError) Error() string {
 	}
 	return b.String()
 }
+
+// CallbackError reports a failure raised by the application's Source or
+// Sink callback.  It is a distinct type so multi-worker supervisors can
+// prefer it over the secondary connection-teardown errors that ripple
+// through the peers once the failing worker closes its links.
+type CallbackError struct {
+	// Op is "source" or "sink".
+	Op  string
+	Err error
+}
+
+func (e *CallbackError) Error() string { return fmt.Sprintf("dist: %s: %v", e.Op, e.Err) }
+
+// Unwrap exposes the callback's error for errors.Is/As.
+func (e *CallbackError) Unwrap() error { return e.Err }
 
 // doneSignal is a close-once notification that a peer's nodes finished.
 type doneSignal struct {
@@ -172,7 +198,17 @@ type Worker struct {
 	abort     chan struct{}
 	abortOnce sync.Once
 	progress  atomic.Int64
-	connWG    sync.WaitGroup
+	// external counts in-flight Source/Sink callbacks; the watchdog
+	// treats time blocked in user code as progress (a quiet source or a
+	// backpressuring sink is not a wedged network).
+	external atomic.Int64
+	connWG   sync.WaitGroup
+
+	// runCtx/runCancel are set by RunContext for the run's duration;
+	// cancelling unblocks Source/Sink callbacks on teardown.
+	runCtx    context.Context
+	runCancel context.CancelFunc
+	source    stream.SourceFunc
 
 	dataCounts  []atomic.Int64
 	dummyCounts []atomic.Int64
@@ -286,10 +322,26 @@ func (w *Worker) Addr() string {
 	return w.ln.Addr().String()
 }
 
+// Close releases the worker's listener without running it, for
+// supervisors whose multi-worker setup fails partway: a worker that
+// never reaches Run would otherwise leak its bound listener.  A worker
+// that has Run tears itself down; Close is then redundant but harmless.
+func (w *Worker) Close() error {
+	if w.ln != nil {
+		return w.ln.Close()
+	}
+	return nil
+}
+
 // Run executes this worker's nodes until the stream drains on every
 // worker or the progress watchdog detects deadlock.  All workers must
 // Run concurrently.
-func (w *Worker) Run() (*Stats, error) {
+func (w *Worker) Run() (*Stats, error) { return w.RunContext(context.Background()) }
+
+// RunContext is Run with cancellation: when ctx is cancelled the worker
+// fails with ctx.Err(), aborts its nodes, and tears down its
+// connections (which in turn unwedges its peers).
+func (w *Worker) RunContext(ctx context.Context) (*Stats, error) {
 	if w.ln == nil {
 		return nil, errors.New("dist: Run before Listen")
 	}
@@ -297,6 +349,21 @@ func (w *Worker) Run() (*Stats, error) {
 		w.cfg.WatchdogTimeout = time.Second
 	}
 	start := time.Now()
+	w.runCtx, w.runCancel = context.WithCancel(ctx)
+	defer w.runCancel()
+	w.source = w.cfg.Source
+	if w.source == nil {
+		w.source = stream.SyntheticSource(w.cfg.Inputs)
+	}
+	ctxDone := make(chan struct{})
+	defer close(ctxDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			w.fail(ctx.Err())
+		case <-ctxDone:
+		}
+	}()
 	go w.acceptLoop()
 	for _, p := range w.peerNames {
 		link, err := w.dial(p)
@@ -393,7 +460,7 @@ func (w *Worker) supervise(nodesDone chan struct{}) error {
 			}
 		}
 		cur := w.progress.Load()
-		if cur != last {
+		if cur != last || w.external.Load() != 0 {
 			last = cur
 			quietTicks = 0
 			continue
@@ -554,8 +621,14 @@ func (w *Worker) fail(err error) {
 	if w.runErr == nil {
 		w.runErr = err
 	}
+	cancel := w.runCancel
 	w.mu.Unlock()
-	w.abortOnce.Do(func() { close(w.abort) })
+	w.abortOnce.Do(func() {
+		close(w.abort)
+		if cancel != nil {
+			cancel()
+		}
+	})
 }
 
 func (w *Worker) err() error {
@@ -597,7 +670,7 @@ func (w *Worker) nodeLoop(id graph.NodeID) {
 		Algorithm: w.cfg.Algorithm,
 		Intervals: w.cfg.Intervals,
 	})
-	stream.NodeLoop(len(in), len(out), kernel, engine, w.cfg.Inputs,
+	stream.NodeLoop(len(in), len(out), kernel, engine,
 		&nodePorts{w: w, in: in, out: out})
 }
 
@@ -626,8 +699,44 @@ func (p *nodePorts) Send(i int, m stream.Message) bool { return p.w.sendOne(p.ou
 // cross edge returns a flow-control credit to the sending worker.
 func (p *nodePorts) Consumed(i int) bool { return p.w.returnCredit(p.in[i]) }
 
-// SinkData implements stream.Ports.
-func (p *nodePorts) SinkData() { p.w.sinkData.Add(1) }
+// Ingest implements stream.Ports: the worker hosting the source node
+// pulls the next payload from the run's source.
+func (p *nodePorts) Ingest() (any, bool) {
+	select {
+	case <-p.w.abort:
+		return nil, false
+	default:
+	}
+	p.w.external.Add(1)
+	payload, ok, err := p.w.source(p.w.runCtx)
+	p.w.external.Add(-1)
+	if err != nil {
+		p.w.fail(&CallbackError{Op: "source", Err: err})
+		return nil, false
+	}
+	if ok {
+		p.w.progress.Add(1)
+	}
+	return payload, ok
+}
+
+// SinkEmit implements stream.Ports: the worker hosting the sink node
+// counts the firing and hands it to the run's sink.
+func (p *nodePorts) SinkEmit(seq uint64, payload any) bool {
+	p.w.sinkData.Add(1)
+	p.w.progress.Add(1)
+	if p.w.cfg.Sink == nil {
+		return true
+	}
+	p.w.external.Add(1)
+	err := p.w.cfg.Sink(p.w.runCtx, seq, payload)
+	p.w.external.Add(-1)
+	if err != nil {
+		p.w.fail(&CallbackError{Op: "sink", Err: err})
+		return false
+	}
+	return true
+}
 
 // returnCredit acknowledges consumption of one message on an inbound
 // cross edge, releasing a window slot at the sending worker.

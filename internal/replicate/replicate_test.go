@@ -1,6 +1,7 @@
 package replicate
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -298,7 +299,7 @@ func TestMergerEmitsInSequenceOrder(t *testing.T) {
 		}),
 	}
 	alg := cs4.Propagation
-	_, err = stream.Run(r.Graph(), r.Kernels(orig), stream.Config{
+	_, err = stream.Run(context.Background(), r.Graph(), r.Kernels(orig), stream.Config{
 		Inputs: inputs, Algorithm: alg,
 		Intervals:       intervalsFor(t, r.Graph(), alg),
 		WatchdogTimeout: 5 * time.Second,
@@ -391,7 +392,7 @@ func TestKernelsBundleRoundTrip(t *testing.T) {
 			return outs
 		})
 	}
-	runRes, err := stream.Run(r.Graph(), r.Kernels(orig), stream.Config{
+	runRes, err := stream.Run(context.Background(), r.Graph(), r.Kernels(orig), stream.Config{
 		Inputs: inputs, Algorithm: alg, Intervals: iv,
 		WatchdogTimeout: 5 * time.Second,
 	})

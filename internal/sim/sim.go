@@ -14,6 +14,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -22,6 +23,7 @@ import (
 	"streamdag/internal/graph"
 	"streamdag/internal/ival"
 	"streamdag/internal/proto"
+	"streamdag/internal/stream"
 )
 
 // Filter decides routing: whether node emits a data message for sequence
@@ -46,10 +48,12 @@ const (
 	EOS = proto.EOS
 )
 
-// message is a simulated message; EOS uses seq = proto.EOSSeq.
+// message is a simulated message; EOS uses seq = proto.EOSSeq.  payload
+// is carried only in kernel mode (Config.Kernels != nil).
 type message struct {
-	seq  uint64
-	kind Kind
+	seq     uint64
+	kind    Kind
+	payload any
 }
 
 // Config parameterizes a simulation run.
@@ -63,8 +67,26 @@ type Config struct {
 	// send gaps.  The paper rounds up (Fig. 3); see EXPERIMENTS.md E10.
 	// Defaults to ceiling.
 	Rounding Rounding
-	// Inputs is the number of sequence numbers injected at the source.
+	// Inputs is the number of sequence numbers injected at the source
+	// when Source is nil.
 	Inputs uint64
+	// Kernels switches the simulator into kernel mode: instead of the
+	// payload-less Filter, every node runs its stream.Kernel — the exact
+	// contract of the goroutine and distributed runtimes — and messages
+	// carry payloads.  Kernels must be pure for the confluence argument
+	// (and therefore the deadlock oracle) to hold.  Missing entries
+	// default to stream.Passthrough.
+	Kernels map[graph.NodeID]stream.Kernel
+	// Source, when non-nil, supplies the payloads injected at the source
+	// node (kernel mode); Inputs is then ignored.
+	Source stream.SourceFunc
+	// Sink, when non-nil, receives the sink node's data-carrying firings
+	// in ascending sequence order (kernel mode).
+	Sink stream.SinkFunc
+	// Ctx, when non-nil, is polled between scheduler steps; cancellation
+	// stops the run with Reason "canceled" and Err = Ctx.Err().  It is
+	// also the context passed to Source and Sink.
+	Ctx context.Context
 	// MaxSteps bounds the scheduler; 0 means no bound.  Runs exceeding
 	// the bound report Completed=false with Reason "step budget".
 	MaxSteps int64
@@ -87,9 +109,13 @@ const (
 // Result summarizes a run.
 type Result struct {
 	Completed bool
-	// Reason is empty on success, otherwise "deadlock" or "step budget".
+	// Reason is empty on success, otherwise "deadlock", "step budget",
+	// "canceled", "source error", or "sink error".
 	Reason string
-	Steps  int64
+	// Err carries the underlying error for the "canceled", "source
+	// error", and "sink error" reasons.
+	Err   error
+	Steps int64
 	// DataMsgs and DummyMsgs count messages delivered per edge.
 	DataMsgs  map[graph.EdgeID]int64
 	DummyMsgs map[graph.EdgeID]int64
@@ -137,9 +163,14 @@ type node struct {
 	// protocol decisions live in internal/proto, shared with the
 	// goroutine and distributed runtimes.
 	engine *proto.Engine
-	// emitted and seqs are per-firing scratch masks for engine calls.
+	// kernel is the node's compute code in kernel mode; nil in filter
+	// mode.
+	kernel stream.Kernel
+	// emitted and seqs are per-firing scratch masks for engine calls;
+	// ins is the kernel-mode aligned-input scratch.
 	emitted []bool
 	seqs    []uint64
+	ins     []stream.Input
 	done    bool
 }
 
@@ -149,7 +180,8 @@ type pendingMsg struct {
 }
 
 // Run simulates the streaming computation defined by g and filter under
-// cfg.  g must be a validated two-terminal DAG.
+// cfg.  g must be a validated two-terminal DAG.  When cfg.Kernels is
+// non-nil the simulator runs in kernel mode and filter is ignored.
 func Run(g *graph.Graph, filter Filter, cfg Config) *Result {
 	if err := g.Validate(); err != nil {
 		panic(fmt.Sprintf("sim: invalid graph: %v", err))
@@ -157,11 +189,19 @@ func Run(g *graph.Graph, filter Filter, cfg Config) *Result {
 	if filter == nil {
 		filter = EmitAll
 	}
+	if cfg.Ctx == nil {
+		cfg.Ctx = context.Background()
+	}
+	kernelMode := cfg.Kernels != nil
+	if kernelMode && cfg.Source == nil {
+		cfg.Source = stream.SyntheticSource(cfg.Inputs)
+	}
 	s := &state{
-		g:      g,
-		filter: filter,
-		cfg:    cfg,
-		chans:  make([]chanState, g.NumEdges()),
+		g:          g,
+		filter:     filter,
+		cfg:        cfg,
+		kernelMode: kernelMode,
+		chans:      make([]chanState, g.NumEdges()),
 		res: &Result{
 			DataMsgs:  make(map[graph.EdgeID]int64, g.NumEdges()),
 			DummyMsgs: make(map[graph.EdgeID]int64, g.NumEdges()),
@@ -176,6 +216,13 @@ func Run(g *graph.Graph, filter Filter, cfg Config) *Result {
 		nd.engine = proto.NewEngine(nd.out, protoConfig(cfg))
 		nd.emitted = make([]bool, len(nd.out))
 		nd.seqs = make([]uint64, len(nd.in))
+		if kernelMode {
+			nd.kernel = cfg.Kernels[n]
+			if nd.kernel == nil {
+				nd.kernel = stream.Passthrough(len(nd.out))
+			}
+			nd.ins = make([]stream.Input, len(nd.in))
+		}
 		s.nodes = append(s.nodes, nd)
 	}
 	s.run()
@@ -206,18 +253,25 @@ func (c *chanState) full() bool  { return len(c.buf) >= c.cap }
 func (c *chanState) empty() bool { return len(c.buf) == 0 }
 
 type state struct {
-	g      *graph.Graph
-	filter Filter
-	cfg    Config
-	nodes  []*node
-	chans  []chanState
-	res    *Result
-	nextIn uint64 // next external input seq at the source
-	srcEOS bool
+	g          *graph.Graph
+	filter     Filter
+	cfg        Config
+	kernelMode bool
+	nodes      []*node
+	chans      []chanState
+	res        *Result
+	nextIn     uint64 // next external input seq at the source
+	srcEOS     bool
+	failed     bool // a source/sink error already set res.Reason/Err
 }
 
 func (s *state) run() {
 	for {
+		if err := s.cfg.Ctx.Err(); err != nil {
+			s.res.Reason = "canceled"
+			s.res.Err = err
+			return
+		}
 		progress := false
 		for _, nd := range s.nodes {
 			for s.step(nd) {
@@ -227,6 +281,16 @@ func (s *state) run() {
 					s.res.Reason = "step budget"
 					return
 				}
+				if s.res.Steps%1024 == 0 {
+					if err := s.cfg.Ctx.Err(); err != nil {
+						s.res.Reason = "canceled"
+						s.res.Err = err
+						return
+					}
+				}
+			}
+			if s.failed {
+				return
 			}
 		}
 		if s.allDone() {
@@ -241,6 +305,18 @@ func (s *state) run() {
 	}
 }
 
+// fail records the first source/sink failure and stops the scheduler
+// (later failures are consequences of the first and do not overwrite
+// it).
+func (s *state) fail(reason string, err error) {
+	if s.failed {
+		return
+	}
+	s.res.Reason = reason
+	s.res.Err = err
+	s.failed = true
+}
+
 func (s *state) allDone() bool {
 	for _, nd := range s.nodes {
 		if !nd.done || len(nd.pending) > 0 {
@@ -252,6 +328,11 @@ func (s *state) allDone() bool {
 
 // step attempts one unit of work for nd; it returns whether any was done.
 func (s *state) step(nd *node) bool {
+	if s.failed {
+		// A source/sink error aborted the run: no further firings (in
+		// particular, no further Sink invocations).
+		return false
+	}
 	// Deliver pending sends first (even after EOS).  A firing produces at
 	// most one message per out-channel and sends to distinct channels
 	// proceed independently — the node waits on the set of full channels,
@@ -305,34 +386,78 @@ func (s *state) step(nd *node) bool {
 			ch.buf = ch.buf[1:]
 		}
 		for _, e := range nd.out {
-			nd.pending = append(nd.pending, pendingMsg{e, message{math.MaxUint64, EOS}})
+			nd.pending = append(nd.pending, pendingMsg{e, message{seq: math.MaxUint64, kind: EOS}})
 		}
 		nd.done = true
 		return true
 	}
-	// Pop all heads with seq == minSeq; note whether any carried data.
+	// Pop all heads with seq == minSeq; note whether any carried data
+	// (capturing the aligned inputs in kernel mode).
 	anyData := false
-	for _, e := range nd.in {
+	for i, e := range nd.in {
 		ch := &s.chans[e]
+		if s.kernelMode {
+			nd.ins[i] = stream.Input{}
+		}
 		if ch.buf[0].seq == minSeq {
 			if ch.buf[0].kind == Data {
 				anyData = true
+				if s.kernelMode {
+					nd.ins[i] = stream.Input{Present: true, Payload: ch.buf[0].payload}
+				}
 			}
 			ch.buf = ch.buf[1:]
 		}
 	}
-	s.emit(nd, minSeq, anyData)
+	if s.kernelMode {
+		s.emitKernel(nd, minSeq, anyData)
+	} else {
+		s.emit(nd, minSeq, anyData)
+	}
 	return true
 }
 
-// stepSource injects external inputs at the source node.
+// stepSource injects external inputs at the source node: synthetic
+// sequence numbers in filter mode, ingested payloads in kernel mode.
 func (s *state) stepSource(nd *node) bool {
 	if s.srcEOS {
 		return false
 	}
+	if s.kernelMode {
+		payload, ok, err := s.cfg.Source(s.cfg.Ctx)
+		if err != nil {
+			s.fail("source error", fmt.Errorf("sim: source: %w", err))
+			return false
+		}
+		if !ok {
+			for _, e := range nd.out {
+				nd.pending = append(nd.pending, pendingMsg{e, message{seq: math.MaxUint64, kind: EOS}})
+			}
+			s.srcEOS = true
+			nd.done = true
+			return true
+		}
+		seq := s.nextIn
+		s.nextIn++
+		ins := []stream.Input{{Present: true, Payload: payload}}
+		outs := nd.kernel.Process(seq, ins)
+		if len(nd.out) == 0 {
+			// Degenerate single-node topology: the source is the sink.
+			s.res.SinkData++
+			if s.cfg.Sink != nil {
+				if err := s.cfg.Sink(s.cfg.Ctx, seq, stream.SinkPayload(ins, outs)); err != nil {
+					s.fail("sink error", fmt.Errorf("sim: sink: %w", err))
+					return false
+				}
+			}
+		}
+		s.deliverKernel(nd, seq, outs)
+		s.trace(nd, seq, true)
+		return true
+	}
 	if s.nextIn >= s.cfg.Inputs {
 		for _, e := range nd.out {
-			nd.pending = append(nd.pending, pendingMsg{e, message{math.MaxUint64, EOS}})
+			nd.pending = append(nd.pending, pendingMsg{e, message{seq: math.MaxUint64, kind: EOS}})
 		}
 		s.srcEOS = true
 		nd.done = true
@@ -370,26 +495,71 @@ func (s *state) emit(nd *node, seq uint64, haveData bool) {
 	for i, e := range nd.out {
 		nd.emitted[i] = haveData && s.filter(nd.id, seq, e)
 		if nd.emitted[i] {
-			nd.pending = append(nd.pending, pendingMsg{e, message{seq, Data}})
+			nd.pending = append(nd.pending, pendingMsg{e, message{seq: seq, kind: Data}})
 		}
 	}
 	dummy := nd.engine.Fire(seq, nd.emitted)
 	for i, e := range nd.out {
 		if dummy[i] {
-			nd.pending = append(nd.pending, pendingMsg{e, message{seq, Dummy}})
+			nd.pending = append(nd.pending, pendingMsg{e, message{seq: seq, kind: Dummy}})
 		}
 	}
-	if s.cfg.Trace != nil {
-		desc := fmt.Sprintf("%s consumes %d (data=%v):", s.g.Name(nd.id), seq, haveData)
-		for _, p := range nd.pending {
-			kind := "data"
-			if p.msg.kind == Dummy {
-				kind = "dummy"
+	s.trace(nd, seq, haveData)
+}
+
+// emitKernel is emit's kernel-mode counterpart: it mirrors the runtime's
+// NodeLoop firing exactly — kernel invocation on the aligned inputs,
+// sink delivery, then data and protocol dummies per the shared engine.
+func (s *state) emitKernel(nd *node, seq uint64, anyData bool) {
+	var outs map[int]any
+	if anyData {
+		outs = nd.kernel.Process(seq, nd.ins)
+		if len(nd.out) == 0 {
+			s.res.SinkData++
+			if s.cfg.Sink != nil {
+				if err := s.cfg.Sink(s.cfg.Ctx, seq, stream.SinkPayload(nd.ins, outs)); err != nil {
+					s.fail("sink error", fmt.Errorf("sim: sink: %w", err))
+					return
+				}
 			}
-			desc += fmt.Sprintf(" %s(%d)→%s", kind, p.msg.seq, s.g.Name(s.g.Edge(p.edge).To))
 		}
-		s.cfg.Trace(desc)
 	}
+	s.deliverKernel(nd, seq, outs)
+	s.trace(nd, seq, anyData)
+}
+
+// deliverKernel queues one kernel-mode firing's messages: data where the
+// kernel emitted, dummies where the engine requires them.
+func (s *state) deliverKernel(nd *node, seq uint64, outs map[int]any) {
+	for i := range nd.out {
+		_, nd.emitted[i] = outs[i]
+	}
+	dummy := nd.engine.Fire(seq, nd.emitted)
+	for i, e := range nd.out {
+		switch {
+		case nd.emitted[i]:
+			nd.pending = append(nd.pending, pendingMsg{e, message{seq: seq, kind: Data, payload: outs[i]}})
+		case dummy[i]:
+			nd.pending = append(nd.pending, pendingMsg{e, message{seq: seq, kind: Dummy}})
+		}
+	}
+}
+
+// trace reports one firing's queued messages (pending is empty when a
+// firing begins, so the queue is exactly this firing's output).
+func (s *state) trace(nd *node, seq uint64, haveData bool) {
+	if s.cfg.Trace == nil {
+		return
+	}
+	desc := fmt.Sprintf("%s consumes %d (data=%v):", s.g.Name(nd.id), seq, haveData)
+	for _, p := range nd.pending {
+		kind := "data"
+		if p.msg.kind == Dummy {
+			kind = "dummy"
+		}
+		desc += fmt.Sprintf(" %s(%d)→%s", kind, p.msg.seq, s.g.Name(s.g.Edge(p.edge).To))
+	}
+	s.cfg.Trace(desc)
 }
 
 // describeBlocked renders the stuck configuration (the full/empty pattern

@@ -1,11 +1,14 @@
-package stream
+package stream_test
 
 import (
+	"context"
+
 	"testing"
 
 	"streamdag/internal/cs4"
 	"streamdag/internal/graph"
 	"streamdag/internal/sim"
+	"streamdag/internal/stream"
 	"streamdag/internal/workload"
 )
 
@@ -18,12 +21,12 @@ func TestParallelEdgesRuntime(t *testing.T) {
 		t.Fatal(err)
 	}
 	var pairs int
-	ks := map[graph.NodeID]Kernel{
-		g.MustNode("a"): KernelFunc(func(seq uint64, _ []Input) map[int]any {
+	ks := map[graph.NodeID]stream.Kernel{
+		g.MustNode("a"): stream.KernelFunc(func(seq uint64, _ []stream.Input) map[int]any {
 			// Send distinct payloads on the two parallel channels.
 			return map[int]any{0: seq * 2, 1: seq*2 + 1}
 		}),
-		g.MustNode("b"): KernelFunc(func(seq uint64, in []Input) map[int]any {
+		g.MustNode("b"): stream.KernelFunc(func(seq uint64, in []stream.Input) map[int]any {
 			if in[0].Present && in[1].Present {
 				if in[0].Payload.(uint64) == seq*2 && in[1].Payload.(uint64) == seq*2+1 {
 					pairs++
@@ -32,7 +35,7 @@ func TestParallelEdgesRuntime(t *testing.T) {
 			return map[int]any{0: seq}
 		}),
 	}
-	if _, err := Run(g, ks, Config{Inputs: 64}); err != nil {
+	if _, err := stream.Run(context.Background(), g, ks, stream.Config{Inputs: 64}); err != nil {
 		t.Fatal(err)
 	}
 	if pairs != 64 {
@@ -69,11 +72,11 @@ func TestParallelEdgeDeadlockAvoidance(t *testing.T) {
 		t.Fatalf("protected simulator run deadlocked: %v", r.Blocked)
 	}
 	// Runtime agrees.
-	ks := make(map[graph.NodeID]Kernel)
+	ks := make(map[graph.NodeID]stream.Kernel)
 	for n := 0; n < g.NumNodes(); n++ {
 		id := graph.NodeID(n)
 		out := g.Out(id)
-		ks[id] = KernelFunc(func(seq uint64, in []Input) map[int]any {
+		ks[id] = stream.KernelFunc(func(seq uint64, in []stream.Input) map[int]any {
 			outs := make(map[int]any, len(out))
 			for i, e := range out {
 				if drop(id, seq, e) {
@@ -83,7 +86,7 @@ func TestParallelEdgeDeadlockAvoidance(t *testing.T) {
 			return outs
 		})
 	}
-	if _, err := Run(g, ks, Config{
+	if _, err := stream.Run(context.Background(), g, ks, stream.Config{
 		Inputs: 100, Algorithm: cs4.NonPropagation, Intervals: iv,
 	}); err != nil {
 		t.Fatalf("protected runtime run failed: %v", err)

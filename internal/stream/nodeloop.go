@@ -8,8 +8,9 @@ import (
 )
 
 // Ports is the transport a NodeLoop drives: per-edge receive and send
-// primitives addressed by in-/out-edge position.  The goroutine runtime
-// backs them with buffered Go channels; the distributed runtime
+// primitives addressed by in-/out-edge position, plus the stream's
+// ingestion and delivery endpoints.  The goroutine runtime backs the
+// edge primitives with buffered Go channels; the distributed runtime
 // (internal/dist) backs cross-worker edges with credit-gated TCP frames.
 // Send may be called concurrently for distinct out positions (one
 // firing's sends are issued in parallel; see DESIGN.md, "Protocol
@@ -25,25 +26,46 @@ type Ports interface {
 	// position i (the distributed runtime returns a flow-control credit
 	// here); false aborts the node.
 	Consumed(i int) bool
-	// SinkData notes one data-carrying firing at a sink node.
-	SinkData()
+	// Ingest returns the next payload to inject at a source node;
+	// ok=false ends the stream (EOS follows) or signals an abort.  Only
+	// source nodes (no in-edges) call Ingest.
+	Ingest() (payload any, ok bool)
+	// SinkEmit delivers one data-carrying firing at a sink node —
+	// emissions arrive in ascending sequence order — blocking on sink
+	// backpressure and returning false when the run is aborted.  Only
+	// sink nodes (no out-edges) call SinkEmit.
+	SinkEmit(seq uint64, payload any) bool
 }
 
 // NodeLoop runs one node to completion: input alignment, kernel
 // invocation, and the shared protocol engine, over the given ports.  It
-// is the single node semantics all channel-based backends execute — the
-// transport is the only thing that varies.  nIn and nOut are the node's
-// in- and out-degree; a node with nIn == 0 is a source and generates
-// inputs sequence numbers.
-func NodeLoop(nIn, nOut int, kernel Kernel, engine *proto.Engine, inputs uint64, p Ports) {
+// is the single node semantics all backends execute — the transport is
+// the only thing that varies.  nIn and nOut are the node's in- and
+// out-degree.  A node with nIn == 0 is a source: it pulls payloads from
+// p.Ingest and hands each to its kernel as one synthetic present Input
+// (sequence numbers are assigned here, in ingestion order).  A node with
+// nOut == 0 is a sink: each data-carrying firing is delivered through
+// p.SinkEmit — the kernel's output for key 0 when it returns one, the
+// first present input payload otherwise.
+func NodeLoop(nIn, nOut int, kernel Kernel, engine *proto.Engine, p Ports) {
 	heads := make([]*Message, nIn)
 	seqs := make([]uint64, nIn)
 	emitted := make([]bool, nOut)
 
 	if nIn == 0 {
-		// Source: generate inputs sequence numbers, then EOS.
-		for seq := uint64(0); seq < inputs; seq++ {
-			outs := kernel.Process(seq, nil)
+		// Source: ingest payloads until the stream drains, then EOS.
+		for seq := uint64(0); ; seq++ {
+			payload, ok := p.Ingest()
+			if !ok {
+				break
+			}
+			in := []Input{{Present: true, Payload: payload}}
+			outs := kernel.Process(seq, in)
+			if nOut == 0 {
+				if !p.SinkEmit(seq, SinkPayload(in, outs)) {
+					return
+				}
+			}
 			if !deliver(p, engine, emitted, seq, outs) {
 				return
 			}
@@ -97,13 +119,31 @@ func NodeLoop(nIn, nOut int, kernel Kernel, engine *proto.Engine, inputs uint64,
 		if anyData {
 			outs = kernel.Process(minSeq, inputs)
 			if nOut == 0 {
-				p.SinkData()
+				if !p.SinkEmit(minSeq, SinkPayload(inputs, outs)) {
+					return
+				}
 			}
 		}
 		if !deliver(p, engine, emitted, minSeq, outs) {
 			return
 		}
 	}
+}
+
+// SinkPayload selects what a sink firing delivers: the kernel's output
+// for key 0 when it chose to return one (a sink node has no out-edges,
+// so key 0 is a transformation hook, not a channel), otherwise the first
+// present input payload.
+func SinkPayload(in []Input, outs map[int]any) any {
+	if v, ok := outs[0]; ok {
+		return v
+	}
+	for _, i := range in {
+		if i.Present {
+			return i.Payload
+		}
+	}
+	return nil
 }
 
 // deliver sends one firing's messages — data per the kernel's choices

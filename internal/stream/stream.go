@@ -10,9 +10,17 @@
 // progress watchdog turns a wedged network into a diagnosable
 // DeadlockError instead of a hung process; the deterministic oracle lives
 // in package sim.
+//
+// Payloads enter through Config.Source (pulled by the topology's source
+// node, one sequence number per payload) and sink-node firings leave
+// through Config.Sink in ascending sequence order; both default to the
+// legacy synthetic arrangement (sequence-number payloads counted by
+// Config.Inputs, sink firings merely counted).  Cancelling the run's
+// context tears the node goroutines down and returns ctx.Err().
 package stream
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -59,8 +67,9 @@ type Input struct {
 // for sequence number seq — one entry per in-edge, in the edge order of
 // graph.Graph.In — and returns the outputs keyed by out-edge position
 // (graph.Graph.Out order).  Absent keys mean the input is filtered with
-// respect to that channel.  Sources (no in-edges) receive an empty slice
-// and are invoked once per generated sequence number.
+// respect to that channel.  Sources (no in-edges) receive a single
+// synthetic present Input carrying the ingested payload and are invoked
+// once per payload, in ingestion order.
 type Kernel interface {
 	Process(seq uint64, in []Input) map[int]any
 }
@@ -93,10 +102,43 @@ func Passthrough(outs int) Kernel {
 	})
 }
 
+// SourceFunc supplies the stream's payloads: each call returns the next
+// payload, ok=false for end of stream, or an error that aborts the run.
+// The context is the run's (cancelled on abort, deadlock, or parent
+// cancellation), so a blocked source unblocks when the run dies.
+type SourceFunc func(ctx context.Context) (payload any, ok bool, err error)
+
+// SinkFunc receives sink-node emissions in ascending sequence order; a
+// non-nil error aborts the run.  The context is the run's, so a blocked
+// sink (backpressure) unblocks when the run dies.
+type SinkFunc func(ctx context.Context, seq uint64, payload any) error
+
+// SyntheticSource is the legacy ingestion arrangement: n payloads that
+// are the sequence numbers 0..n-1 themselves (as uint64).
+func SyntheticSource(n uint64) SourceFunc {
+	var next uint64
+	return func(context.Context) (any, bool, error) {
+		if next >= n {
+			return nil, false, nil
+		}
+		v := next
+		next++
+		return v, true, nil
+	}
+}
+
 // Config parameterizes Run.
 type Config struct {
-	// Inputs is the number of sequence numbers generated at the source.
+	// Inputs is the number of sequence numbers generated at the source
+	// when Source is nil (the legacy synthetic arrangement).
 	Inputs uint64
+	// Source, when non-nil, supplies the payloads injected at the
+	// topology's source node; Inputs is then ignored.
+	Source SourceFunc
+	// Sink, when non-nil, receives the sink node's data-carrying firings
+	// in ascending sequence order; they are counted in Stats.SinkData
+	// either way.
+	Sink SinkFunc
 	// Algorithm selects the dummy protocol when Intervals != nil.
 	Algorithm cs4.Algorithm
 	// Intervals are per-edge dummy intervals (nil disables avoidance).
@@ -144,29 +186,71 @@ func (e *DeadlockError) Error() string {
 	return b.String()
 }
 
+// runState is the teardown rendezvous shared by a run's workers: the
+// first failure (deadlock, cancellation, source/sink error) is recorded,
+// the abort channel closes, and the run context is cancelled so blocked
+// Source/Sink callbacks unblock.
+type runState struct {
+	abort     chan struct{}
+	abortOnce sync.Once
+	cancel    context.CancelFunc
+
+	// external counts in-flight Source/Sink callbacks.  Time spent blocked
+	// in user code — a quiet source, a backpressuring sink — is the
+	// outside world's pace, not a wedged network, so the watchdog treats
+	// it as progress.
+	external atomic.Int64
+
+	mu  sync.Mutex
+	err error
+}
+
+func (s *runState) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+	s.abortOnce.Do(func() {
+		close(s.abort)
+		s.cancel()
+	})
+}
+
+func (s *runState) failure() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
 // Run executes the topology with the given kernels (keyed by node) until
-// the stream drains or the watchdog detects deadlock.  Kernels default to
-// Passthrough.  g must be a validated two-terminal DAG.
-func Run(g *graph.Graph, kernels map[graph.NodeID]Kernel, cfg Config) (*Stats, error) {
+// the stream drains, ctx is cancelled, or the watchdog detects deadlock.
+// Kernels default to Passthrough.  g must be a validated two-terminal
+// DAG.
+func Run(ctx context.Context, g *graph.Graph, kernels map[graph.NodeID]Kernel, cfg Config) (*Stats, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	if cfg.WatchdogTimeout == 0 {
 		cfg.WatchdogTimeout = time.Second
 	}
+	if cfg.Source == nil {
+		cfg.Source = SyntheticSource(cfg.Inputs)
+	}
 	start := time.Now()
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	st := &runState{abort: make(chan struct{}), cancel: cancel}
+
 	chans := make([]chan Message, g.NumEdges())
 	for i := range chans {
 		chans[i] = make(chan Message, g.Edge(graph.EdgeID(i)).Buf)
 	}
 	var progress atomic.Int64
-	var dataCounts, dummyCounts []atomic.Int64
-	dataCounts = make([]atomic.Int64, g.NumEdges())
-	dummyCounts = make([]atomic.Int64, g.NumEdges())
+	dataCounts := make([]atomic.Int64, g.NumEdges())
+	dummyCounts := make([]atomic.Int64, g.NumEdges())
 	var sinkData atomic.Int64
 
-	abort := make(chan struct{})
-	var abortOnce sync.Once
 	var wg sync.WaitGroup
 	for n := 0; n < g.NumNodes(); n++ {
 		id := graph.NodeID(n)
@@ -175,8 +259,8 @@ func Run(g *graph.Graph, kernels map[graph.NodeID]Kernel, cfg Config) (*Stats, e
 			k = Passthrough(g.OutDegree(id))
 		}
 		w := &worker{
-			g: g, id: id, kernel: k, cfg: cfg,
-			chans: chans, progress: &progress, abort: abort,
+			g: g, id: id, kernel: k, cfg: cfg, ctx: runCtx, st: st,
+			chans: chans, progress: &progress,
 			dataCounts: dataCounts, dummyCounts: dummyCounts, sinkData: &sinkData,
 		}
 		wg.Add(1)
@@ -191,6 +275,13 @@ func Run(g *graph.Graph, kernels map[graph.NodeID]Kernel, cfg Config) (*Stats, e
 		wg.Wait()
 		close(done)
 	}()
+	go func() {
+		select {
+		case <-ctx.Done():
+			st.fail(ctx.Err())
+		case <-done:
+		}
+	}()
 
 	ticker := time.NewTicker(cfg.WatchdogTimeout)
 	defer ticker.Stop()
@@ -198,6 +289,9 @@ func Run(g *graph.Graph, kernels map[graph.NodeID]Kernel, cfg Config) (*Stats, e
 	for {
 		select {
 		case <-done:
+			if err := st.failure(); err != nil {
+				return nil, err
+			}
 			stats := &Stats{
 				Data:     make(map[graph.EdgeID]int64, g.NumEdges()),
 				Dummies:  make(map[graph.EdgeID]int64, g.NumEdges()),
@@ -211,7 +305,7 @@ func Run(g *graph.Graph, kernels map[graph.NodeID]Kernel, cfg Config) (*Stats, e
 			return stats, nil
 		case <-ticker.C:
 			cur := progress.Load()
-			if cur == last {
+			if cur == last && st.external.Load() == 0 {
 				// No progress for a full watchdog period: snapshot and
 				// abort.  Channel lengths are racy but indicative.
 				derr := &DeadlockError{Channels: make(map[string]string, len(chans))}
@@ -220,9 +314,9 @@ func Run(g *graph.Graph, kernels map[graph.NodeID]Kernel, cfg Config) (*Stats, e
 					derr.Channels[fmt.Sprintf("%s→%s", g.Name(e.From), g.Name(e.To))] =
 						fmt.Sprintf("%d/%d", len(ch), cap(ch))
 				}
-				abortOnce.Do(func() { close(abort) })
+				st.fail(derr)
 				<-done
-				return nil, derr
+				return nil, st.failure()
 			}
 			last = cur
 		}
@@ -237,9 +331,10 @@ type worker struct {
 	id       graph.NodeID
 	kernel   Kernel
 	cfg      Config
+	ctx      context.Context
+	st       *runState
 	chans    []chan Message
 	progress *atomic.Int64
-	abort    chan struct{}
 
 	in, out []graph.EdgeID
 
@@ -255,7 +350,7 @@ func (w *worker) run() {
 		Algorithm: w.cfg.Algorithm,
 		Intervals: w.cfg.Intervals,
 	})
-	NodeLoop(len(w.in), len(w.out), w.kernel, engine, w.cfg.Inputs, w)
+	NodeLoop(len(w.in), len(w.out), w.kernel, engine, w)
 }
 
 // Recv implements Ports over the in-edge's buffered channel.
@@ -264,7 +359,7 @@ func (w *worker) Recv(i int) (Message, bool) {
 	case m := <-w.chans[w.in[i]]:
 		w.progress.Add(1)
 		return m, true
-	case <-w.abort:
+	case <-w.st.abort:
 		return Message{}, false
 	}
 }
@@ -275,8 +370,44 @@ func (w *worker) Send(i int, m Message) bool { return w.sendOne(w.out[i], m) }
 // Consumed implements Ports; in-process channels need no acknowledgment.
 func (w *worker) Consumed(int) bool { return true }
 
-// SinkData implements Ports.
-func (w *worker) SinkData() { w.sinkData.Add(1) }
+// Ingest implements Ports: it pulls the next payload from the run's
+// source, failing the run on source error.
+func (w *worker) Ingest() (any, bool) {
+	select {
+	case <-w.st.abort:
+		return nil, false
+	default:
+	}
+	w.st.external.Add(1)
+	payload, ok, err := w.cfg.Source(w.ctx)
+	w.st.external.Add(-1)
+	if err != nil {
+		w.st.fail(fmt.Errorf("stream: source: %w", err))
+		return nil, false
+	}
+	if ok {
+		w.progress.Add(1)
+	}
+	return payload, ok
+}
+
+// SinkEmit implements Ports: it counts the firing and hands it to the
+// run's sink, failing the run on sink error.
+func (w *worker) SinkEmit(seq uint64, payload any) bool {
+	w.sinkData.Add(1)
+	w.progress.Add(1)
+	if w.cfg.Sink == nil {
+		return true
+	}
+	w.st.external.Add(1)
+	err := w.cfg.Sink(w.ctx, seq, payload)
+	w.st.external.Add(-1)
+	if err != nil {
+		w.st.fail(fmt.Errorf("stream: sink: %w", err))
+		return false
+	}
+	return true
+}
 
 func (w *worker) sendOne(e graph.EdgeID, m Message) bool {
 	select {
@@ -289,7 +420,7 @@ func (w *worker) sendOne(e graph.EdgeID, m Message) bool {
 		}
 		w.progress.Add(1)
 		return true
-	case <-w.abort:
+	case <-w.st.abort:
 		return false
 	}
 }

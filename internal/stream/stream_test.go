@@ -1,6 +1,8 @@
-package stream
+package stream_test
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 	"time"
@@ -8,6 +10,7 @@ import (
 	"streamdag/internal/cs4"
 	"streamdag/internal/graph"
 	"streamdag/internal/sim"
+	"streamdag/internal/stream"
 	"streamdag/internal/workload"
 )
 
@@ -26,12 +29,12 @@ func edgeByNames(t testing.TB, g *graph.Graph, from, to string) graph.EdgeID {
 // filterKernels builds, for every node, a kernel that forwards its first
 // present payload (or the sequence number, at the source) on the out-edges
 // selected by f.
-func filterKernels(g *graph.Graph, f workload.FilterFunc) map[graph.NodeID]Kernel {
-	ks := make(map[graph.NodeID]Kernel, g.NumNodes())
+func filterKernels(g *graph.Graph, f workload.FilterFunc) map[graph.NodeID]stream.Kernel {
+	ks := make(map[graph.NodeID]stream.Kernel, g.NumNodes())
 	for n := 0; n < g.NumNodes(); n++ {
 		id := graph.NodeID(n)
 		out := g.Out(id)
-		ks[id] = KernelFunc(func(seq uint64, in []Input) map[int]any {
+		ks[id] = stream.KernelFunc(func(seq uint64, in []stream.Input) map[int]any {
 			var payload any = seq
 			for _, i := range in {
 				if i.Present {
@@ -56,13 +59,13 @@ func TestPipelinePayloadIntegrity(t *testing.T) {
 	var got []uint64
 	sinkID := g.MustNode("s3")
 	ks := filterKernels(g, workload.PassAll)
-	ks[sinkID] = KernelFunc(func(seq uint64, in []Input) map[int]any {
+	ks[sinkID] = stream.KernelFunc(func(seq uint64, in []stream.Input) map[int]any {
 		if in[0].Present {
 			got = append(got, in[0].Payload.(uint64))
 		}
 		return nil
 	})
-	stats, err := Run(g, ks, Config{Inputs: 50})
+	stats, err := stream.Run(context.Background(), g, ks, stream.Config{Inputs: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,13 +88,13 @@ func TestPipelinePayloadIntegrity(t *testing.T) {
 func TestFig2DeadlockWatchdog(t *testing.T) {
 	g := workload.Fig2Triangle(2)
 	drop := workload.DropEdge(edgeByNames(t, g, "A", "C"))
-	_, err := Run(g, filterKernels(g, drop), Config{
+	_, err := stream.Run(context.Background(), g, filterKernels(g, drop), stream.Config{
 		Inputs:          100,
 		WatchdogTimeout: 100 * time.Millisecond,
 	})
-	derr, ok := err.(*DeadlockError)
+	derr, ok := err.(*stream.DeadlockError)
 	if !ok {
-		t.Fatalf("err = %v, want DeadlockError", err)
+		t.Fatalf("err = %v, want stream.DeadlockError", err)
 	}
 	if derr.Channels["A→C"] != "0/2" {
 		t.Errorf("A→C occupancy = %s, want 0/2 (empty)", derr.Channels["A→C"])
@@ -113,7 +116,7 @@ func TestFig2AvoidanceRuntime(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		stats, err := Run(g, filterKernels(g, drop), Config{
+		stats, err := stream.Run(context.Background(), g, filterKernels(g, drop), stream.Config{
 			Inputs: 300, Algorithm: alg, Intervals: iv,
 			WatchdogTimeout: 2 * time.Second,
 		})
@@ -144,7 +147,7 @@ func TestRuntimeMatchesSimulator(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		stats, err := Run(g, filterKernels(g, filter), Config{
+		stats, err := stream.Run(context.Background(), g, filterKernels(g, filter), stream.Config{
 			Inputs: 80, Algorithm: cs4.Propagation, Intervals: iv,
 			WatchdogTimeout: 5 * time.Second,
 		})
@@ -172,7 +175,7 @@ func TestRuntimeMatchesSimulator(t *testing.T) {
 
 func TestDefaultKernelsPassthrough(t *testing.T) {
 	g := workload.Fig1SplitJoin(2)
-	stats, err := Run(g, nil, Config{Inputs: 40})
+	stats, err := stream.Run(context.Background(), g, nil, stream.Config{Inputs: 40})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +194,7 @@ func TestRunRejectsInvalidGraph(t *testing.T) {
 	c := g.AddNode("c")
 	g.AddEdge(a, c, 1)
 	g.AddEdge(b, c, 1) // two sources
-	if _, err := Run(g, nil, Config{Inputs: 1}); err == nil {
+	if _, err := stream.Run(context.Background(), g, nil, stream.Config{Inputs: 1}); err == nil {
 		t.Error("two-source graph accepted")
 	}
 }
@@ -201,25 +204,25 @@ func TestTransformingKernels(t *testing.T) {
 	// not just route it.
 	g := workload.Pipeline(3, 2)
 	var got []int
-	ks := map[graph.NodeID]Kernel{
-		g.MustNode("s0"): KernelFunc(func(seq uint64, _ []Input) map[int]any {
+	ks := map[graph.NodeID]stream.Kernel{
+		g.MustNode("s0"): stream.KernelFunc(func(seq uint64, _ []stream.Input) map[int]any {
 			return map[int]any{0: int(seq)}
 		}),
-		g.MustNode("s1"): KernelFunc(func(_ uint64, in []Input) map[int]any {
+		g.MustNode("s1"): stream.KernelFunc(func(_ uint64, in []stream.Input) map[int]any {
 			if !in[0].Present {
 				return nil
 			}
 			v := in[0].Payload.(int)
 			return map[int]any{0: v * v}
 		}),
-		g.MustNode("s2"): KernelFunc(func(_ uint64, in []Input) map[int]any {
+		g.MustNode("s2"): stream.KernelFunc(func(_ uint64, in []stream.Input) map[int]any {
 			if in[0].Present {
 				got = append(got, in[0].Payload.(int))
 			}
 			return nil
 		}),
 	}
-	if _, err := Run(g, ks, Config{Inputs: 5}); err != nil {
+	if _, err := stream.Run(context.Background(), g, ks, stream.Config{Inputs: 5}); err != nil {
 		t.Fatal(err)
 	}
 	want := []int{0, 1, 4, 9, 16}

@@ -1,0 +1,485 @@
+package streamdag
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"streamdag/internal/dist"
+	"streamdag/internal/graph"
+	"streamdag/internal/sim"
+	"streamdag/internal/stream"
+)
+
+// This file is the Pipeline API: one build-and-run surface over the
+// whole library.  Build performs validate → (optional) replicate →
+// classify → interval computation in one step; the resulting Pipeline
+// executes with real user payloads — Pipeline.Run(ctx, source, sink)
+// pulls payloads from a Source, streams them through the topology under
+// the chosen dummy protocol, and delivers sink-node emissions to a Sink
+// in sequence order — on any of the three backends (goroutine runtime,
+// deterministic simulator, distributed TCP workers), selected with
+// WithBackend.  The legacy Run / Simulate / NewDistWorker entry points
+// survive as thin wrappers.
+
+// Pipeline is a built streaming computation: a validated (and possibly
+// replicated) topology together with its classification, its dummy
+// intervals, its kernels, and the backend that will execute it.  Build
+// once, then Run; a Pipeline is reusable across Runs as long as its
+// kernels are stateless (the library's own synthetic kernels are).
+type Pipeline struct {
+	orig      *Topology
+	topo      *Topology // expanded topology; == orig without replication
+	rep       *Replicated
+	analysis  *Analysis
+	intervals map[EdgeID]Interval
+	kernels   map[NodeID]Kernel // keyed by expanded-topology IDs
+	backend   Backend
+	alg       Algorithm
+	watchdog  time.Duration
+	avoidance bool
+}
+
+// buildConfig accumulates Build's functional options.
+type buildConfig struct {
+	alg        Algorithm
+	backend    Backend
+	watchdog   time.Duration
+	cycleLimit int
+	plan       ReplicationPlan
+	kernels    map[NodeID]Kernel
+	named      []namedKernel
+	routing    Filter
+	avoidance  bool
+}
+
+type namedKernel struct {
+	name string
+	k    Kernel
+}
+
+// Option configures Build.
+type Option func(*buildConfig)
+
+// WithAlgorithm selects the dummy protocol (default Propagation).
+func WithAlgorithm(alg Algorithm) Option {
+	return func(c *buildConfig) { c.alg = alg }
+}
+
+// WithReplication expands the named nodes into data-parallel replicas
+// (see Replicate); kernels and routing filters given by other options
+// are written against the original topology and carried across the
+// expansion automatically.
+func WithReplication(plan ReplicationPlan) Option {
+	return func(c *buildConfig) { c.plan = plan }
+}
+
+// WithBackend selects the execution backend (default Goroutines).
+func WithBackend(b Backend) Option {
+	return func(c *buildConfig) { c.backend = b }
+}
+
+// WithWatchdog sets how long the runtime backends wait without progress
+// before reporting deadlock (default one second).  Time spent blocked
+// in Source or Sink callbacks does not count as stalled.
+func WithWatchdog(d time.Duration) Option {
+	return func(c *buildConfig) { c.watchdog = d }
+}
+
+// WithCycleLimit bounds the exhaustive interval fallback used for
+// general (non-CS4) topologies (default DefaultCycleLimit).
+func WithCycleLimit(n int) Option {
+	return func(c *buildConfig) { c.cycleLimit = n }
+}
+
+// WithKernel assigns node name's compute kernel.  Names refer to the
+// original (pre-replication) topology.
+func WithKernel(name string, k Kernel) Option {
+	return func(c *buildConfig) { c.named = append(c.named, namedKernel{name, k}) }
+}
+
+// WithKernels assigns kernels keyed by original-topology node IDs — the
+// shape RouteKernels produces.  Later WithKernel options override.
+func WithKernels(ks map[NodeID]Kernel) Option {
+	return func(c *buildConfig) {
+		if c.kernels == nil {
+			c.kernels = make(map[NodeID]Kernel, len(ks))
+		}
+		for id, k := range ks {
+			c.kernels[id] = k
+		}
+	}
+}
+
+// WithRouting installs forwarding kernels driven by f (see
+// RouteKernels) for every node the other kernel options leave unset:
+// each node forwards its first present payload on the out-edges f
+// selects.  f is written against the original topology.
+func WithRouting(f Filter) Option {
+	return func(c *buildConfig) { c.routing = f }
+}
+
+// WithoutAvoidance disables the dummy protocol: no intervals are
+// computed and no dummies are sent.  Runs may then deadlock under
+// filtering — this exists to demonstrate exactly that.
+func WithoutAvoidance() Option {
+	return func(c *buildConfig) { c.avoidance = false }
+}
+
+// Build compiles a topology into a runnable Pipeline in one step:
+// validate, apply any replication, classify (SP / CS4 / general), and
+// compute the per-edge dummy intervals for the chosen protocol.
+func Build(t *Topology, opts ...Option) (*Pipeline, error) {
+	cfg := buildConfig{
+		alg:        Propagation,
+		backend:    Goroutines(),
+		cycleLimit: DefaultCycleLimit,
+		avoidance:  true,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Resolve kernels against the original topology: routing first, then
+	// ID-keyed maps, then named assignments.
+	kernels := make(map[NodeID]Kernel)
+	if cfg.routing != nil {
+		kernels = RouteKernels(t, cfg.routing)
+	}
+	for id, k := range cfg.kernels {
+		if int(id) >= t.g.NumNodes() {
+			return nil, fmt.Errorf("streamdag: build: kernel for unknown node id %d", id)
+		}
+		kernels[id] = k
+	}
+	for _, nk := range cfg.named {
+		id, ok := t.g.NodeByName(nk.name)
+		if !ok {
+			return nil, fmt.Errorf("streamdag: build: no node %q in the topology", nk.name)
+		}
+		kernels[id] = nk.k
+	}
+
+	p := &Pipeline{
+		orig: t, topo: t,
+		backend: cfg.backend, alg: cfg.alg,
+		watchdog: cfg.watchdog, avoidance: cfg.avoidance,
+	}
+	if len(cfg.plan) > 0 {
+		rep, err := Replicate(t, cfg.plan)
+		if err != nil {
+			return nil, err
+		}
+		p.rep = rep
+		p.topo = rep.Topology()
+		kernels = rep.Kernels(kernels)
+	}
+	p.kernels = kernels
+
+	a, err := Analyze(p.topo)
+	if err != nil {
+		return nil, err
+	}
+	a.ExhaustiveCycleLimit = cfg.cycleLimit
+	p.analysis = a
+	if cfg.avoidance {
+		iv, err := a.Intervals(cfg.alg)
+		if err != nil {
+			return nil, err
+		}
+		p.intervals = iv
+	}
+	return p, nil
+}
+
+// Topology returns the topology the pipeline executes — the expanded one
+// when replication was requested.
+func (p *Pipeline) Topology() *Topology { return p.topo }
+
+// Analysis returns the pipeline's classification.
+func (p *Pipeline) Analysis() *Analysis { return p.analysis }
+
+// Class returns the topology family (SP, CS4, or General).
+func (p *Pipeline) Class() Class { return p.analysis.Class() }
+
+// Algorithm returns the dummy protocol the pipeline runs under.
+func (p *Pipeline) Algorithm() Algorithm { return p.alg }
+
+// Intervals returns the computed per-edge dummy intervals, keyed by the
+// executed (expanded) topology's edges; nil when built
+// WithoutAvoidance.
+func (p *Pipeline) Intervals() map[EdgeID]Interval { return p.intervals }
+
+// Replication returns the replication mapping, or nil when the pipeline
+// was built without WithReplication.
+func (p *Pipeline) Replication() *Replicated { return p.rep }
+
+// Run executes the pipeline on its backend: payloads pulled from source
+// flow through the topology under the dummy protocol, and sink-node
+// emissions are delivered to sink in ascending sequence order.  Run
+// returns when the source ends and the stream drains, when ctx is
+// cancelled (ctx.Err() is returned), when source or sink returns an
+// error, or when deadlock is detected.  A nil sink discards emissions
+// (they are still counted).
+func (p *Pipeline) Run(ctx context.Context, source Source, sink Sink) (*RunStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if source == nil {
+		return nil, errors.New("streamdag: Pipeline.Run: nil Source (use CountingSource for synthetic sequence numbers)")
+	}
+	if sink == nil {
+		sink = DiscardSink()
+	}
+	return p.backend.run(ctx, p, source, sink)
+}
+
+// Backend executes a built Pipeline.  The three implementations —
+// Goroutines, Simulator, and Distributed — run the identical
+// ingestion/delivery contract: same node semantics, same protocol
+// engine, same Source/Sink endpoints; only the transport differs.  The
+// interface is sealed; pick an implementation with its constructor.
+type Backend interface {
+	// String names the backend for diagnostics and benchmarks.
+	String() string
+
+	run(ctx context.Context, p *Pipeline, source Source, sink Sink) (*RunStats, error)
+}
+
+// sourceFunc adapts the public Source to the internal callback shape.
+func sourceFunc(s Source) stream.SourceFunc {
+	return func(ctx context.Context) (any, bool, error) { return s.Next(ctx) }
+}
+
+// sinkFunc adapts the public Sink to the internal callback shape.
+func sinkFunc(s Sink) stream.SinkFunc {
+	return func(ctx context.Context, seq uint64, payload any) error {
+		return s.Emit(ctx, seq, payload)
+	}
+}
+
+// goroutineBackend executes on the in-process concurrent runtime.
+type goroutineBackend struct{}
+
+// Goroutines is the default backend: one goroutine per node, buffered
+// Go channels for the topology's channels, and a progress watchdog for
+// deadlock detection.
+func Goroutines() Backend { return goroutineBackend{} }
+
+func (goroutineBackend) String() string { return "goroutines" }
+
+func (goroutineBackend) run(ctx context.Context, p *Pipeline, source Source, sink Sink) (*RunStats, error) {
+	return stream.Run(ctx, p.topo.g, p.kernels, stream.Config{
+		Source:          sourceFunc(source),
+		Sink:            sinkFunc(sink),
+		Algorithm:       p.alg,
+		Intervals:       p.intervals,
+		WatchdogTimeout: p.watchdog,
+	})
+}
+
+// simulatorBackend executes on the deterministic discrete-step
+// simulator.
+type simulatorBackend struct{}
+
+// Simulator is the deterministic backend: the same kernels and protocol
+// run under a sequential round-robin scheduler with exact deadlock
+// detection — results are schedule-independent, making it the oracle
+// the concurrent backends are tested against.  Kernels must be pure.
+func Simulator() Backend { return simulatorBackend{} }
+
+func (simulatorBackend) String() string { return "simulator" }
+
+func (simulatorBackend) run(ctx context.Context, p *Pipeline, source Source, sink Sink) (*RunStats, error) {
+	start := time.Now()
+	res := sim.Run(p.topo.g, nil, sim.Config{
+		Kernels:   p.kernels,
+		Source:    sourceFunc(source),
+		Sink:      sinkFunc(sink),
+		Algorithm: p.alg,
+		Intervals: p.intervals,
+		Ctx:       ctx,
+	})
+	if !res.Completed {
+		if res.Err != nil {
+			return nil, res.Err
+		}
+		return nil, fmt.Errorf("streamdag: simulator %s: %s",
+			res.Reason, strings.Join(res.Blocked, "; "))
+	}
+	stats := &RunStats{
+		Data:     make(map[EdgeID]int64, len(res.DataMsgs)),
+		Dummies:  make(map[EdgeID]int64, len(res.DummyMsgs)),
+		SinkData: res.SinkData,
+		Elapsed:  time.Since(start),
+	}
+	for e, n := range res.DataMsgs {
+		stats.Data[e] = n
+	}
+	for e, n := range res.DummyMsgs {
+		stats.Dummies[e] = n
+	}
+	return stats, nil
+}
+
+// pickWorkerError selects the root cause from a distributed run's
+// per-worker errors.  When one worker fails, its teardown ripples
+// through the peers as secondary connection errors, and goroutine
+// scheduling decides which lands first — so prefer the caller's
+// cancellation, then application Source/Sink failures, then deadlock
+// reports, and only then whatever remains.
+func pickWorkerError(ctx context.Context, errs []error) error {
+	var first, callback, deadlock error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		var cb *dist.CallbackError
+		if callback == nil && errors.As(err, &cb) {
+			callback = err
+		}
+		var dl *dist.DeadlockError
+		if deadlock == nil && errors.As(err, &dl) {
+			deadlock = err
+		}
+	}
+	switch {
+	case first == nil:
+		return nil
+	case ctx.Err() != nil:
+		return ctx.Err()
+	case callback != nil:
+		return callback
+	case deadlock != nil:
+		return deadlock
+	default:
+		return first
+	}
+}
+
+// distributedBackend executes across TCP-connected workers hosted in
+// this process.
+type distributedBackend struct {
+	assign map[string]string
+	addrs  map[string]string
+}
+
+// Distributed executes the pipeline across TCP-connected workers, all
+// hosted in the calling process on loopback listeners: assign maps every
+// node name (of the executed topology — expanded names like "work.1"
+// when replicating) to a worker name.  Cross-worker channels keep their
+// finite capacities over the wire via credit-based flow control, so the
+// dummy intervals protect the distributed run exactly as they protect
+// the in-process one.  The Source is pulled by the worker hosting the
+// topology's source node and the Sink fed by the worker hosting the
+// sink; payloads crossing workers must round-trip the wire codec
+// (scalars, strings, []byte natively; other types via gob.Register).
+// For workers in separate processes, use NewDistWorker directly.
+func Distributed(assign map[string]string) Backend {
+	return distributedBackend{assign: assign}
+}
+
+func (b distributedBackend) String() string { return "distributed" }
+
+func (b distributedBackend) run(ctx context.Context, p *Pipeline, source Source, sink Sink) (*RunStats, error) {
+	start := time.Now()
+	g := p.topo.g
+	part := make(dist.Partition, g.NumNodes())
+	workerSet := make(map[string]bool)
+	for n := 0; n < g.NumNodes(); n++ {
+		id := graph.NodeID(n)
+		w, ok := b.assign[g.Name(id)]
+		if !ok {
+			return nil, fmt.Errorf("streamdag: distributed backend: node %q not assigned to a worker", g.Name(id))
+		}
+		part[id] = w
+		workerSet[w] = true
+	}
+	names := make([]string, 0, len(workerSet))
+	for w := range workerSet {
+		names = append(names, w)
+	}
+	sort.Strings(names)
+	addrs := make(map[string]string, len(names))
+	for _, w := range names {
+		addrs[w] = "127.0.0.1:0"
+	}
+	cfg := dist.Config{
+		Source:          sourceFunc(source),
+		Sink:            sinkFunc(sink),
+		Algorithm:       p.alg,
+		Intervals:       p.intervals,
+		WatchdogTimeout: p.watchdog,
+	}
+	workers := make([]*dist.Worker, 0, len(names))
+	closeAll := func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}
+	for _, name := range names {
+		w, err := dist.NewWorker(g, name, part, addrs, p.kernels, cfg)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		workers = append(workers, w)
+	}
+	for _, w := range workers {
+		if err := w.Listen(); err != nil {
+			closeAll() // release the listeners bound so far
+			return nil, err
+		}
+	}
+
+	// Run every worker concurrently; the first failure cancels the rest.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg    sync.WaitGroup
+		errs  = make([]error, len(workers))
+		stats = make([]*dist.Stats, len(workers))
+	)
+	for i, w := range workers {
+		wg.Add(1)
+		go func(i int, w *dist.Worker) {
+			defer wg.Done()
+			s, err := w.RunContext(runCtx)
+			if err != nil {
+				errs[i] = err
+				cancel()
+				return
+			}
+			stats[i] = s
+		}(i, w)
+	}
+	wg.Wait()
+	if err := pickWorkerError(ctx, errs); err != nil {
+		return nil, err
+	}
+	merged := &RunStats{
+		Data:    make(map[EdgeID]int64, g.NumEdges()),
+		Dummies: make(map[EdgeID]int64, g.NumEdges()),
+		Elapsed: time.Since(start),
+	}
+	for _, s := range stats {
+		for e, n := range s.Data {
+			merged.Data[e] += n
+		}
+		for e, n := range s.Dummies {
+			merged.Dummies[e] += n
+		}
+		merged.SinkData += s.SinkData
+	}
+	return merged, nil
+}

@@ -1,6 +1,7 @@
 package streamdag
 
 import (
+	"context"
 	"time"
 
 	"streamdag/internal/graph"
@@ -44,8 +45,12 @@ type DeadlockError = stream.DeadlockError
 
 // Run executes the topology on goroutines and buffered channels.  Nodes
 // without kernels forward their first present input on every output.
+//
+// Deprecated: Run survives as a thin wrapper over the Pipeline API.  New
+// code should Build the topology and call Pipeline.Run with a real
+// Source and Sink (and a cancellable context).
 func Run(t *Topology, kernels map[NodeID]Kernel, cfg RunConfig) (*RunStats, error) {
-	return stream.Run(t.g, kernels, stream.Config{
+	return stream.Run(context.Background(), t.g, kernels, stream.Config{
 		Inputs:          cfg.Inputs,
 		Algorithm:       cfg.Algorithm,
 		Intervals:       cfg.Intervals,
@@ -102,6 +107,10 @@ type SimResult = sim.Result
 
 // Simulate runs the deterministic simulator: exact deadlock detection,
 // schedule-independent results.
+//
+// Deprecated: Simulate survives as a thin wrapper over the Pipeline
+// API.  New code should Build the topology with
+// WithBackend(Simulator()) and call Pipeline.Run.
 func Simulate(t *Topology, f Filter, cfg SimConfig) *SimResult {
 	return sim.Run(t.g, sim.Filter(f), sim.Config{
 		Inputs:    cfg.Inputs,

@@ -1,0 +1,140 @@
+package streamdag
+
+import (
+	"context"
+	"sync"
+)
+
+// This file defines the ingestion and delivery endpoints of the Pipeline
+// API: a Source supplies the payloads injected at the topology's source
+// node, and a Sink receives the sink node's data-carrying firings in
+// ascending sequence order.  Constructors cover the common shapes —
+// channels, slices, callbacks, a collector — plus the synthetic
+// sequence-number source the legacy entry points used.
+
+// Source supplies the stream's payloads: Pipeline.Run pulls from it at
+// the topology's source node, assigning consecutive sequence numbers in
+// ingestion order.  Next returns ok=false to end the stream; a non-nil
+// error aborts the run.  The context passed in is the run's — it is
+// cancelled when the run dies, so a blocked Source must select on
+// ctx.Done().  Sources are generally stateful: use one per Run.
+type Source interface {
+	Next(ctx context.Context) (payload any, ok bool, err error)
+}
+
+// SourceFunc adapts a function to Source.
+type SourceFunc func(ctx context.Context) (payload any, ok bool, err error)
+
+// Next implements Source.
+func (f SourceFunc) Next(ctx context.Context) (any, bool, error) { return f(ctx) }
+
+// ChannelSource ingests payloads from ch until it is closed.  A blocked
+// receive unblocks (and the run winds down) when the run's context is
+// cancelled.
+func ChannelSource(ch <-chan any) Source {
+	return SourceFunc(func(ctx context.Context) (any, bool, error) {
+		select {
+		case v, ok := <-ch:
+			return v, ok, nil
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	})
+}
+
+// SliceSource ingests the given payloads in order, then ends the stream.
+func SliceSource(payloads ...any) Source {
+	i := 0
+	return SourceFunc(func(context.Context) (any, bool, error) {
+		if i >= len(payloads) {
+			return nil, false, nil
+		}
+		v := payloads[i]
+		i++
+		return v, true, nil
+	})
+}
+
+// CountingSource is the legacy synthetic arrangement: n payloads that
+// are the sequence numbers 0..n-1 themselves (as uint64) — what
+// RunConfig.Inputs used to generate.
+func CountingSource(n uint64) Source {
+	var next uint64
+	return SourceFunc(func(context.Context) (any, bool, error) {
+		if next >= n {
+			return nil, false, nil
+		}
+		v := next
+		next++
+		return v, true, nil
+	})
+}
+
+// Emission is one sink-node delivery: the firing's sequence number and
+// the payload that reached (or was produced at) the sink.
+type Emission struct {
+	Seq     uint64
+	Payload any
+}
+
+// Sink receives the sink node's data-carrying firings in ascending
+// sequence order.  A non-nil error aborts the run.  Emit may block —
+// that is sink backpressure, and it propagates through the topology's
+// finite buffers back to the Source — but a blocked Emit must select on
+// ctx.Done() so cancellation can tear the run down.
+type Sink interface {
+	Emit(ctx context.Context, seq uint64, payload any) error
+}
+
+// SinkFunc adapts a function to Sink.
+type SinkFunc func(ctx context.Context, seq uint64, payload any) error
+
+// Emit implements Sink.
+func (f SinkFunc) Emit(ctx context.Context, seq uint64, payload any) error {
+	return f(ctx, seq, payload)
+}
+
+// ChannelSink delivers emissions into ch.  A full channel blocks the
+// sink node — backpressure — until the run's context is cancelled.  The
+// channel is not closed when the stream ends; the Run call returning is
+// the end-of-stream signal.
+func ChannelSink(ch chan<- Emission) Sink {
+	return SinkFunc(func(ctx context.Context, seq uint64, payload any) error {
+		select {
+		case ch <- Emission{Seq: seq, Payload: payload}:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
+}
+
+// DiscardSink drops every emission (they are still counted in
+// RunStats.SinkData).
+func DiscardSink() Sink {
+	return SinkFunc(func(context.Context, uint64, any) error { return nil })
+}
+
+// Collector is a Sink that accumulates every emission in memory, for
+// tests and small runs.  It is safe for concurrent use and may be read
+// once Run returns.
+type Collector struct {
+	mu        sync.Mutex
+	emissions []Emission
+}
+
+// Emit implements Sink.
+func (c *Collector) Emit(_ context.Context, seq uint64, payload any) error {
+	c.mu.Lock()
+	c.emissions = append(c.emissions, Emission{Seq: seq, Payload: payload})
+	c.mu.Unlock()
+	return nil
+}
+
+// Emissions returns the collected emissions in delivery order (which is
+// ascending sequence order).
+func (c *Collector) Emissions() []Emission {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Emission(nil), c.emissions...)
+}

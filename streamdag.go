@@ -19,8 +19,14 @@
 //   - dummy-interval computation for the paper's Propagation and
 //     Non-Propagation algorithms (efficient on SP and CS4 topologies,
 //     exhaustive fallback elsewhere), and
-//   - execution: a goroutine runtime (Run) and a deterministic simulator
-//     (Simulate) that both apply the chosen protocol transparently.
+//   - execution through the Pipeline API: Build validates, classifies,
+//     and computes intervals in one step, and Pipeline.Run streams user
+//     payloads from a Source to a Sink — applying the chosen protocol
+//     transparently — on any of three backends (the goroutine runtime,
+//     the deterministic simulator, or TCP-distributed workers).
+//
+// The pre-Pipeline entry points (Run, Simulate, NewDistWorker) remain
+// as deprecated wrappers.
 package streamdag
 
 import (
