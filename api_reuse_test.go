@@ -1,0 +1,171 @@
+package streamdag
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Tests pinning Build's kernel-conflict detection, Pipeline reuse across
+// sequential Runs, and Collector safety under concurrent Emit.
+
+func conflictTopo() *Topology {
+	topo := NewTopology()
+	topo.Channel("a", "b", 4)
+	topo.Channel("b", "c", 4)
+	return topo
+}
+
+func noopKernel() Kernel {
+	return KernelFunc(func(_ uint64, in []Input) map[int]any {
+		return map[int]any{0: in[0].Payload}
+	})
+}
+
+func TestBuildKernelConflictNamed(t *testing.T) {
+	_, err := Build(conflictTopo(),
+		WithKernel("b", noopKernel()),
+		WithKernel("b", noopKernel()),
+	)
+	var cerr *KernelConflictError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("err = %v, want *KernelConflictError", err)
+	}
+	if cerr.Node != "b" {
+		t.Fatalf("conflict names node %q, want \"b\"", cerr.Node)
+	}
+}
+
+func TestBuildKernelConflictMapAndNamed(t *testing.T) {
+	topo := conflictTopo()
+	_, err := Build(topo,
+		WithKernels(map[NodeID]Kernel{topo.Node("c"): noopKernel()}),
+		WithKernel("c", noopKernel()),
+	)
+	var cerr *KernelConflictError
+	if !errors.As(err, &cerr) || cerr.Node != "c" {
+		t.Fatalf("err = %v, want *KernelConflictError for node \"c\"", err)
+	}
+}
+
+func TestBuildKernelConflictAcrossMaps(t *testing.T) {
+	topo := conflictTopo()
+	_, err := Build(topo,
+		WithKernels(map[NodeID]Kernel{topo.Node("b"): noopKernel()}),
+		WithKernels(map[NodeID]Kernel{topo.Node("b"): noopKernel()}),
+	)
+	var cerr *KernelConflictError
+	if !errors.As(err, &cerr) || cerr.Node != "b" {
+		t.Fatalf("err = %v, want *KernelConflictError for node \"b\"", err)
+	}
+}
+
+// Routing is the documented fallback for unset nodes, so combining it
+// with explicit kernels is not a conflict.
+func TestBuildRoutingIsNotAConflict(t *testing.T) {
+	pipe, err := Build(conflictTopo(),
+		WithRouting(PassAll),
+		WithKernel("b", noopKernel()),
+	)
+	if err != nil {
+		t.Fatalf("routing + explicit kernel should not conflict: %v", err)
+	}
+	if _, err := pipe.Run(context.Background(), CountingSource(50), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithReplicationMergesAndConflicts(t *testing.T) {
+	topo := conflictTopo()
+	if _, err := Build(topo,
+		WithReplication(ReplicationPlan{"b": 2}),
+		WithReplication(ReplicationPlan{"b": 3}),
+	); err == nil {
+		t.Fatal("conflicting replica counts accepted")
+	}
+	pipe, err := Build(topo,
+		WithReplication(ReplicationPlan{"b": 2}),
+		WithReplication(ReplicationPlan{"b": 2}),
+	)
+	if err != nil {
+		t.Fatalf("agreeing replica counts rejected: %v", err)
+	}
+	if g := pipe.Topology().Graph(); g.NumNodes() != 3+3 {
+		t.Fatalf("expanded topology has %d nodes, want 6", g.NumNodes())
+	}
+}
+
+// A Pipeline is reusable across sequential Runs: same topology, same
+// kernels, fresh Source each time — identical counts and emissions.
+func TestPipelineRunTwice(t *testing.T) {
+	topo := conflictTopo()
+	pipe, err := Build(topo,
+		WithKernel("b", KernelFunc(func(_ uint64, in []Input) map[int]any {
+			if v := in[0].Payload.(uint64); v%4 == 0 {
+				return nil // filter
+			}
+			return map[int]any{0: in[0].Payload}
+		})),
+		WithWatchdog(5*time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first *RunStats
+	var firstEmissions []Emission
+	for run := 0; run < 2; run++ {
+		var col Collector
+		stats, err := pipe.Run(context.Background(), CountingSource(200), &col)
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if run == 0 {
+			first, firstEmissions = stats, col.Emissions()
+			continue
+		}
+		for e, n := range first.Data {
+			if stats.Data[e] != n {
+				t.Errorf("edge %d: second run sent %d data msgs, first %d", e, stats.Data[e], n)
+			}
+			if stats.Dummies[e] != first.Dummies[e] {
+				t.Errorf("edge %d: second run sent %d dummies, first %d", e, stats.Dummies[e], first.Dummies[e])
+			}
+		}
+		if stats.SinkData != first.SinkData {
+			t.Errorf("second run SinkData = %d, first %d", stats.SinkData, first.SinkData)
+		}
+		got := col.Emissions()
+		if len(got) != len(firstEmissions) {
+			t.Fatalf("second run delivered %d emissions, first %d", len(got), len(firstEmissions))
+		}
+		for i := range got {
+			if got[i] != firstEmissions[i] {
+				t.Fatalf("emission %d differs across runs: %+v vs %+v", i, got[i], firstEmissions[i])
+			}
+		}
+	}
+}
+
+func TestCollectorConcurrentEmit(t *testing.T) {
+	const workers, perWorker = 8, 1000
+	var col Collector
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if err := col.Emit(context.Background(), uint64(w*perWorker+i), w); err != nil {
+					t.Errorf("Emit: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(col.Emissions()); got != workers*perWorker {
+		t.Fatalf("collected %d emissions, want %d", got, workers*perWorker)
+	}
+}

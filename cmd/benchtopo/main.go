@@ -9,7 +9,7 @@
 // Usage:
 //
 //	benchtopo [-family sp|ladder|general|all] [-reps 5] > scaling.csv
-//	benchtopo -family throughput [-api legacy|pipeline|both]
+//	benchtopo -family throughput [-api legacy|pipeline|typed|both|all|<list>]
 //	          [-replicate 1,2,4] [-stage block|spin]
 //	          [-cost 100] [-inputs 20000] [-json BENCH_replication.json]
 //
@@ -17,8 +17,12 @@
 // the goroutine runtime with the Propagation protocol, expanding the hot
 // "work" stage into k replicas per -replicate.  -api selects the entry
 // point: "legacy" drives the deprecated Run/RunConfig path, "pipeline"
-// drives streamdag.Build + Pipeline.Run with a real Source, and "both"
-// interleaves them for a regression comparison.  -stage selects the hot
+// drives streamdag.Build + Pipeline.Run with a real Source, "typed"
+// drives the Flow builder (NewFlow + Stage.Replicate + Compile) over the
+// same shape, and "both" ("legacy,pipeline") / "all" / any comma list
+// interleave them for regression comparisons — BENCH_typed.json records
+// the typed-vs-kernel comparison from "-api pipeline,typed".  -stage
+// selects the hot
 // kernel's cost model: "spin" burns CPU (scales with spare cores) and
 // "block" sleeps (models an offload/IO-bound stage; scales with k on any
 // machine).  -json additionally writes the machine-readable records
@@ -52,7 +56,7 @@ func main() {
 	family := flag.String("family", "all", "sp, ladder, general, all, or throughput")
 	reps := flag.Int("reps", 5, "repetitions per point (minimum time reported)")
 	seed := flag.Int64("seed", 1, "generator seed")
-	api := flag.String("api", "legacy", "throughput entry point: legacy, pipeline, or both")
+	api := flag.String("api", "legacy", "throughput entry points: legacy, pipeline, typed, both, all, or a comma list")
 	replicate := flag.String("replicate", "1,2,4", "comma-separated replica counts for the hot stage (throughput family)")
 	stage := flag.String("stage", "block", "hot-stage cost model: block (sleep) or spin (CPU) (throughput family)")
 	cost := flag.Int("cost", 100, "hot-stage cost per message: µs for block, thousands of iterations for spin")
@@ -118,15 +122,24 @@ func runThroughput(api, replicate, stage string, cost int, inputs uint64, jsonOu
 	}
 	var apis []string
 	switch api {
-	case "legacy", "pipeline":
-		apis = []string{api}
 	case "both":
 		apis = []string{"legacy", "pipeline"}
+	case "all":
+		apis = []string{"legacy", "pipeline", "typed"}
 	default:
-		fmt.Fprintf(os.Stderr, "benchtopo: unknown -api %q\n", api)
-		os.Exit(2)
+		for _, part := range strings.Split(api, ",") {
+			part = strings.TrimSpace(part)
+			switch part {
+			case "legacy", "pipeline", "typed":
+				apis = append(apis, part)
+			default:
+				fmt.Fprintf(os.Stderr, "benchtopo: unknown -api %q\n", part)
+				os.Exit(2)
+			}
+		}
 	}
 	hot, desc := stageKernel(stage, cost)
+	hotTyped := typedStageFn(stage, cost)
 
 	// With -json - the records own stdout; keep it parseable by routing
 	// the human-readable CSV to stderr.
@@ -139,9 +152,12 @@ func runThroughput(api, replicate, stage string, cost int, inputs uint64, jsonOu
 	for _, k := range ks {
 		for _, a := range apis {
 			var rec throughputRecord
-			if a == "pipeline" {
+			switch a {
+			case "pipeline":
 				rec = runPipelineAPI(k, hot, stage, desc, inputs)
-			} else {
+			case "typed":
+				rec = runTypedAPI(k, hotTyped, stage, desc, inputs)
+			default:
 				rec = runPipeline(k, hot, stage, desc, inputs)
 			}
 			records = append(records, rec)
@@ -170,37 +186,112 @@ func runThroughput(api, replicate, stage string, cost int, inputs uint64, jsonOu
 	}
 }
 
-// stageKernel builds the hot stage's kernel: a passthrough that pays the
-// configured cost per message.
+// stageKernel builds the hot stage's kernel by wrapping the typed cost
+// model, so the legacy/pipeline and typed entry points pay the identical
+// per-message cost and the BENCH_typed.json comparison measures API
+// overhead only.
 func stageKernel(stage string, cost int) (streamdag.Kernel, string) {
+	fn := typedStageFn(stage, cost)
+	var desc string
+	switch stage {
+	case "block":
+		desc = (time.Duration(cost) * time.Microsecond).String()
+	case "spin":
+		desc = fmt.Sprintf("%dk iters", cost)
+	}
+	return streamdag.KernelFunc(func(_ uint64, in []streamdag.Input) map[int]any {
+		if !in[0].Present {
+			return nil
+		}
+		return map[int]any{0: fn(in[0].Payload.(uint64))}
+	}), desc
+}
+
+// typedStageFn is the hot stage's cost model as a plain typed function
+// — the single definition both stageKernel and the Flow builder path
+// share.
+func typedStageFn(stage string, cost int) func(uint64) uint64 {
 	switch stage {
 	case "block":
 		d := time.Duration(cost) * time.Microsecond
-		return streamdag.KernelFunc(func(_ uint64, in []streamdag.Input) map[int]any {
-			if !in[0].Present {
-				return nil
-			}
+		return func(v uint64) uint64 {
 			time.Sleep(d)
-			return map[int]any{0: in[0].Payload}
-		}), d.String()
+			return v
+		}
 	case "spin":
 		iters := cost * 1000
-		return streamdag.KernelFunc(func(seq uint64, in []streamdag.Input) map[int]any {
-			if !in[0].Present {
-				return nil
-			}
-			x := seq | 1
+		return func(v uint64) uint64 {
+			x := v | 1
 			for i := 0; i < iters; i++ {
 				x ^= x << 13
 				x ^= x >> 7
 				x ^= x << 17
 			}
-			return map[int]any{0: x}
-		}), fmt.Sprintf("%dk iters", cost)
+			return x
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "benchtopo: unknown -stage %q\n", stage)
 		os.Exit(2)
-		return nil, ""
+		return nil
+	}
+}
+
+// runTypedAPI is runPipelineAPI through the Flow builder: the same
+// three-node shape (source → work → sink) described as typed stages,
+// with the hot stage replicated via Stage.Replicate — measuring what the
+// generics-based surface costs over hand-wired kernels.
+func runTypedAPI(k int, hot func(uint64) uint64, stage, desc string, inputs uint64) throughputRecord {
+	work := streamdag.Map("work", hot)
+	if k > 1 {
+		work = work.Replicate(k)
+	}
+	pipe, err := streamdag.NewFlow[uint64, uint64]().Buffer(64).
+		Then(work).
+		Compile(
+			streamdag.WithAlgorithm(streamdag.Propagation),
+			streamdag.WithWatchdog(30*time.Second),
+		)
+	if err != nil {
+		fatal(err)
+	}
+	stats, err := pipe.Run(context.Background(),
+		streamdag.CountingSource(inputs), streamdag.DiscardSink())
+	if err != nil {
+		fatal(err)
+	}
+	return makeThroughputRecord("typed", k, stage, desc, inputs, stats)
+}
+
+// makeThroughputRecord derives the machine-readable record from a run's
+// stats — one definition, so the legacy/pipeline/typed records that
+// BENCH_*.json compares are computed identically.
+func makeThroughputRecord(api string, k int, stage, desc string, inputs uint64, stats *streamdag.RunStats) throughputRecord {
+	var data int64
+	for _, n := range stats.Data {
+		data += n
+	}
+	dummies := stats.TotalDummies()
+	secs := stats.Elapsed.Seconds()
+	overhead := 0.0
+	if data > 0 {
+		overhead = 100 * float64(dummies) / float64(data)
+	}
+	return throughputRecord{
+		Topology:         "hotstage",
+		Backend:          "runtime",
+		API:              api,
+		Algorithm:        "propagation",
+		Stage:            stage,
+		StageCost:        desc,
+		Replicate:        k,
+		Inputs:           inputs,
+		Cores:            runtime.NumCPU(),
+		ElapsedSec:       secs,
+		MsgsPerSec:       float64(inputs) / secs,
+		DataMsgs:         data,
+		DummyMsgs:        dummies,
+		DummyOverheadPct: overhead,
+		SinkData:         stats.SinkData,
 	}
 }
 
@@ -234,33 +325,7 @@ topology hotstage {
 	if err != nil {
 		fatal(err)
 	}
-	var data int64
-	for _, n := range stats.Data {
-		data += n
-	}
-	dummies := stats.TotalDummies()
-	secs := stats.Elapsed.Seconds()
-	overhead := 0.0
-	if data > 0 {
-		overhead = 100 * float64(dummies) / float64(data)
-	}
-	return throughputRecord{
-		Topology:         "hotstage",
-		Backend:          "runtime",
-		API:              "legacy",
-		Algorithm:        "propagation",
-		Stage:            stage,
-		StageCost:        desc,
-		Replicate:        k,
-		Inputs:           inputs,
-		Cores:            runtime.NumCPU(),
-		ElapsedSec:       secs,
-		MsgsPerSec:       float64(inputs) / secs,
-		DataMsgs:         data,
-		DummyMsgs:        dummies,
-		DummyOverheadPct: overhead,
-		SinkData:         stats.SinkData,
-	}
+	return makeThroughputRecord("legacy", k, stage, desc, inputs, stats)
 }
 
 // runPipelineAPI is runPipeline through the new surface: one Build call
@@ -285,33 +350,7 @@ func runPipelineAPI(k int, hot streamdag.Kernel, stage, desc string, inputs uint
 	if err != nil {
 		fatal(err)
 	}
-	var data int64
-	for _, n := range stats.Data {
-		data += n
-	}
-	dummies := stats.TotalDummies()
-	secs := stats.Elapsed.Seconds()
-	overhead := 0.0
-	if data > 0 {
-		overhead = 100 * float64(dummies) / float64(data)
-	}
-	return throughputRecord{
-		Topology:         "hotstage",
-		Backend:          "runtime",
-		API:              "pipeline",
-		Algorithm:        "propagation",
-		Stage:            stage,
-		StageCost:        desc,
-		Replicate:        k,
-		Inputs:           inputs,
-		Cores:            runtime.NumCPU(),
-		ElapsedSec:       secs,
-		MsgsPerSec:       float64(inputs) / secs,
-		DataMsgs:         data,
-		DummyMsgs:        dummies,
-		DummyOverheadPct: overhead,
-		SinkData:         stats.SinkData,
-	}
+	return makeThroughputRecord("pipeline", k, stage, desc, inputs, stats)
 }
 
 func fatal(err error) {

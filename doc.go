@@ -1,0 +1,45 @@
+// Package streamdag is a library for building and safely executing
+// streaming computations with filtering, reproducing
+//
+//	Buhler, Agrawal, Li, Chamberlain:
+//	"Efficient Deadlock Avoidance for Streaming Computation with
+//	Filtering" (PPoPP 2012 / WUCSE-2011-59).
+//
+// A streaming application is a DAG of compute nodes joined by bounded
+// FIFO channels.  Nodes may filter — drop an input with respect to any
+// subset of their output channels — and with finite buffers that freedom
+// can deadlock even an acyclic topology.  The paper's remedy is dummy
+// messages sent at per-edge intervals computable in polynomial time for
+// series-parallel DAGs and, more generally, CS4 DAGs (every undirected
+// cycle has one source and one sink).  The library owns that reasoning
+// entirely: no user code ever sees a dummy message.
+//
+// # The two API tiers
+//
+// The Flow builder is the high-level, typed surface.  Stages are plain
+// Go functions composed with generics — Map, FilterStage, FilterMap,
+// Stateful, and Split/Merge for fan-out/fan-in — and Flow.Compile lowers
+// the stage graph to a topology, classifies it, computes the dummy
+// intervals, and returns a runnable Pipeline.  Filtering — the paper's
+// key feature — is a first-class typed operation: a FilterStage (or any
+// false-returning stage function) compiles to a kernel that filters with
+// respect to every output, and the computed intervals keep the run
+// deadlock-free.  Any stage scales out with Replicate(k); payload type
+// mismatches at stage boundaries surface as a *StageTypeError naming the
+// stage, never a panic.  See ExampleNewFlow.
+//
+// The kernel tier is the explicit surface underneath: construct a
+// Topology channel by channel, implement Kernel (positional inputs in,
+// out-edge-keyed outputs, absent keys filter), and Build it with
+// WithKernel / WithRouting options.  It expresses irregular shapes the
+// stage vocabulary cannot — cross-links, SP-ladders, butterflies — and
+// is what Flow.Compile itself targets.  See ExampleBuild.
+//
+// Both tiers produce the same Pipeline type, run on the same three
+// backends (the goroutine runtime, the deterministic simulator,
+// TCP-distributed workers), and may be mixed: a Flow-compiled pipeline
+// accepts the ordinary Build options.
+//
+// The pre-Pipeline entry points (Run, Simulate, NewDistWorker) remain
+// as deprecated wrappers.
+package streamdag

@@ -1,10 +1,22 @@
 // Bioinformatics models a BLAST-style sequence-search accelerator in the
-// style of the authors' Mercury BLAST work: a heavily filtering seed
-// matcher feeds two parallel scoring paths, with a one-way hint channel
-// linking them.  The hint channel makes the topology CS4 but not
-// series-parallel (the paper's Fig. 4 left), exercising the SP-ladder
-// algorithms of §VI.  Reads stream in through a Source; reported
-// alignments stream out through a Sink.
+// style of the authors' Mercury BLAST work, and demonstrates where the
+// two API tiers meet:
+//
+//  1. The typed Flow builder expresses the accelerator's series-parallel
+//     core — a heavily filtering seed matcher feeding two parallel
+//     scoring paths that rejoin at a reporter — with the ungapped score
+//     riding inside the candidate, so the "hint" is local to the
+//     payload.
+//
+//  2. The kernel tier expresses what the stage vocabulary cannot: the
+//     real accelerator's one-way hint channel linking the two scoring
+//     paths.  That cross-link makes the topology CS4 but not
+//     series-parallel (the paper's Fig. 4 left), exercising the
+//     SP-ladder algorithms of §VI — exactly the irregular-topology case
+//     the kernel API remains for.
+//
+// Reads stream in through a typed Source; reported alignments stream out
+// through a Sink.
 //
 //	go run ./examples/bioinformatics
 package main
@@ -23,7 +35,98 @@ type candidate struct {
 	hinted bool
 }
 
+func hash(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+const reads = 20_000
+
 func main() {
+	flowTier()
+	kernelTier()
+}
+
+// reader supplies a fresh typed Source per run.
+func reader() streamdag.Source {
+	var next uint64
+	return streamdag.TypedSource(func(context.Context) (candidate, bool, error) {
+		if next >= reads {
+			return candidate{}, false, nil
+		}
+		c := candidate{query: next}
+		next++
+		return c, true, nil
+	})
+}
+
+// flowTier builds the series-parallel core with typed stages: seeder →
+// ungapped scorer → {report path, gapped path} → reporter.
+func flowTier() {
+	// The seeder filters ~85% of reads (no seed hit) — the paper's
+	// headline filtering behavior.
+	seeder := streamdag.FilterStage("seeder", func(c candidate) bool {
+		return hash(c.query)%100 >= 85
+	})
+	// Ungapped extension scores every surviving read; the score rides in
+	// the candidate, so the downstream gapped stage sees its "hint"
+	// without a cross-link.
+	ungapped := streamdag.Map("ungapped", func(c candidate) candidate {
+		c.score = int(hash(c.query^0xbeef) % 100)
+		return c
+	})
+	// Fast path: report strong ungapped hits directly.
+	report := streamdag.FilterStage("ungapped.report", func(c candidate) bool {
+		return c.score >= 50
+	})
+	// Slow path: gapped alignment; hinted queries always align, others
+	// rarely do.
+	gapped := streamdag.FilterMap("gapped", func(c candidate) (candidate, bool) {
+		c.hinted = c.score >= 90
+		if !c.hinted && hash(c.query^0xfeed)%100 < 70 {
+			return candidate{}, false
+		}
+		return c, true
+	})
+	reporter := streamdag.Merge2("reporter",
+		func(u streamdag.Maybe[candidate], g streamdag.Maybe[candidate]) (candidate, bool) {
+			switch {
+			case u.OK && g.OK && g.Value.score > u.Value.score:
+				return g.Value, true
+			case u.OK:
+				return u.Value, true
+			case g.OK:
+				return g.Value, true
+			}
+			return candidate{}, false
+		})
+
+	flow := streamdag.NewFlow[candidate, candidate]().Buffer(16).
+		Then(seeder).
+		Then(ungapped).
+		Then(streamdag.Split(reporter, report, gapped))
+	pipe, err := flow.Compile(streamdag.WithAlgorithm(streamdag.Propagation))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("--- Flow tier (typed stages) ---\nclass: %v\n", pipe.Class())
+
+	var col streamdag.TypedCollector[candidate]
+	stats, err := pipe.Run(context.Background(), reader(), &col)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("processed %d reads: %d alignments reported, %d dummies (%.3f/read), %.1fms\n\n",
+		reads, len(col.Emissions()), stats.TotalDummies(),
+		float64(stats.TotalDummies())/reads, float64(stats.Elapsed.Microseconds())/1000)
+}
+
+// kernelTier wires the real accelerator shape by hand: the hint channel
+// ungapped → gapped is a cross-link no split/merge vocabulary expresses,
+// and it turns the topology into an SP-ladder (CS4 but not SP).
+func kernelTier() {
 	topo := streamdag.NewTopology()
 	// reads → seeder, then two scoring paths that rejoin at the reporter:
 	//   seeder → ungapped → reporter        (fast path)
@@ -44,7 +147,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("class: %v\n", pipe.Class())
+	fmt.Printf("--- kernel tier (hand-wired hint cross-link) ---\nclass: %v\n", pipe.Class())
 	for _, c := range pipe.Analysis().Components() {
 		fmt.Printf("  component: %s\n", c)
 	}
@@ -54,17 +157,6 @@ func main() {
 		fmt.Printf("  [%s→%s] = %v\n", from, to, iv)
 	}
 
-	// Stream 20k reads; count the alignments the sink reports.
-	const reads = 20_000
-	var next uint64
-	source := streamdag.SourceFunc(func(context.Context) (any, bool, error) {
-		if next >= reads {
-			return nil, false, nil
-		}
-		c := candidate{query: next}
-		next++
-		return c, true, nil
-	})
 	var reported int
 	sink := streamdag.SinkFunc(func(_ context.Context, _ uint64, payload any) error {
 		if _, ok := payload.(candidate); ok {
@@ -72,7 +164,7 @@ func main() {
 		}
 		return nil
 	})
-	stats, err := pipe.Run(context.Background(), source, sink)
+	stats, err := pipe.Run(context.Background(), reader(), sink)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,18 +174,12 @@ func main() {
 }
 
 func kernelOptions() []streamdag.Option {
-	hash := func(x uint64) uint64 {
-		x ^= x >> 33
-		x *= 0xff51afd7ed558ccd
-		x ^= x >> 33
-		return x
-	}
 	// reads forwards each ingested candidate into the accelerator.
 	readsK := streamdag.KernelFunc(func(_ uint64, in []streamdag.Input) map[int]any {
 		return map[int]any{0: in[0].Payload}
 	})
-	// The seeder filters ~85% of reads (no seed hit) — the paper's
-	// headline filtering behavior — and routes survivors to both paths.
+	// The seeder filters ~85% of reads (no seed hit) and routes survivors
+	// to both paths.
 	seeder := streamdag.KernelFunc(func(_ uint64, in []streamdag.Input) map[int]any {
 		if !in[0].Present {
 			return nil

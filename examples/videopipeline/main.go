@@ -1,17 +1,20 @@
-// Videopipeline reproduces the paper's motivating scenario (§I): an
-// object-recognition system where a segmenter forwards each video frame
-// to dedicated recognizers, each of which may or may not emit a success
-// message toward the fusion stage.  With finite channel buffers this
-// filtering deadlocks; with the computed dummy intervals it does not.
+// Videopipeline reproduces the paper's motivating scenario (§I) with the
+// typed Flow builder: an object-recognition system where a segmenter
+// forwards each video frame to dedicated recognizers, each of which may
+// or may not emit a success message toward the fusion stage.  With
+// finite channel buffers this filtering deadlocks; with the computed
+// dummy intervals it does not.  Each recognizer is a typed FilterMap —
+// the paper's filtering as a first-class stage — and the fusion join is
+// a Merge3.
 //
-// The program first demonstrates the deadlock (a pipeline built
+// The program first demonstrates the deadlock (a flow compiled
 // WithoutAvoidance and its watchdog report), then the protected run, and
 // compares dummy traffic for the two algorithms.  Finally it scales out
 // the pipeline's hottest stage: segmentation dominates per-frame cost,
-// so the segment node is expanded into four replicas with
-// WithReplication — the transform keeps the topology series-parallel,
-// so the recomputed dummy intervals protect the replicated run exactly
-// as they protect the original.
+// so the segment stage is expanded into four replicas with Replicate(4)
+// — the lowering keeps the topology series-parallel, so the recomputed
+// dummy intervals protect the replicated run exactly as they protect the
+// original.
 //
 //	go run ./examples/videopipeline
 package main
@@ -33,27 +36,79 @@ type frame struct {
 	verdicts int
 }
 
-func main() {
-	topo := buildTopo()
-	// frames supplies a fresh Source per run (Sources are single-use).
-	frames := func(n uint64) streamdag.Source {
-		var next uint64
-		return streamdag.SourceFunc(func(context.Context) (any, bool, error) {
-			if next >= n {
-				return nil, false, nil
+// frames supplies a fresh typed Source per run (Sources are single-use).
+func frames(n uint64) streamdag.Source {
+	var next uint64
+	return streamdag.TypedSource(func(context.Context) (frame, bool, error) {
+		if next >= n {
+			return frame{}, false, nil
+		}
+		f := frame{id: next, luma: uint8(next * 2654435761 % 251)}
+		next++
+		return f, true, nil
+	})
+}
+
+// buildFlow assembles the stage graph: capture → segment →
+// {faces, plates, motion} → fuse, with the sink playing the archive.
+// segCost simulates the per-frame segmentation work; segReplicas > 1
+// scales the segment stage out.  The stage functions are pure, so they
+// are safe to share across the replicas of a scaled-out stage, and they
+// are written with no knowledge of dummy messages.
+func buildFlow(segCost time.Duration, segReplicas int) *streamdag.Flow[frame, frame] {
+	segment := streamdag.Map("segment", func(f frame) frame {
+		if segCost > 0 {
+			time.Sleep(segCost)
+		}
+		return f
+	})
+	if segReplicas > 1 {
+		segment = segment.Replicate(segReplicas)
+	}
+	// Recognizers fire on content-dependent subsets of frames: all-or-
+	// nothing per input, exactly the class the Propagation protocol
+	// supports (DESIGN.md, "Protocol soundness").
+	recognizer := func(name string, fires func(frame) bool) streamdag.Stage {
+		return streamdag.FilterMap(name, func(f frame) (frame, bool) {
+			if !fires(f) {
+				return frame{}, false // filtered: no success message for this frame
 			}
-			f := frame{id: next, luma: uint8(next * 2654435761 % 251)}
-			next++
-			return f, true, nil
+			f.verdicts = 1
+			return f, true
 		})
 	}
+	// fuse merges whatever verdicts arrived for a frame; it fires
+	// whenever at least one recognizer did.
+	fuse := streamdag.Merge3("fuse", func(a, b, c streamdag.Maybe[frame]) (frame, bool) {
+		total := frame{}
+		gotAny := false
+		for _, m := range []streamdag.Maybe[frame]{a, b, c} {
+			if m.OK {
+				total.id = m.Value.id
+				total.verdicts += m.Value.verdicts
+				gotAny = true
+			}
+		}
+		return total, gotAny
+	})
+	return streamdag.NewFlow[frame, frame]().Buffer(8).
+		Then(streamdag.Map("capture", func(f frame) frame { return f })).
+		Then(segment).
+		Then(streamdag.Split(fuse,
+			recognizer("faces", func(f frame) bool { return f.luma < 25 }),
+			recognizer("plates", func(f frame) bool { return f.luma%7 == 0 }),
+			// motion fires on ~0.4% of frames: its success-message gaps far
+			// exceed the 8-slot buffers, which is what wedges the join.
+			recognizer("motion", func(f frame) bool { return f.luma == 13 }),
+		))
+}
 
+func main() {
 	// Unprotected run: the recognizers' filtering wedges the join.
 	fmt.Println("--- run without deadlock avoidance ---")
-	unsafe, err := streamdag.Build(topo,
-		append(kernelOptions(topo, 0),
-			streamdag.WithoutAvoidance(),
-			streamdag.WithWatchdog(250*time.Millisecond))...)
+	unsafe, err := buildFlow(0, 1).Compile(
+		streamdag.WithoutAvoidance(),
+		streamdag.WithWatchdog(250*time.Millisecond))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,8 +128,7 @@ func main() {
 
 	// Protected runs.
 	for _, alg := range []streamdag.Algorithm{streamdag.Propagation, streamdag.NonPropagation} {
-		pipe, err := streamdag.Build(topo,
-			append(kernelOptions(topo, 0), streamdag.WithAlgorithm(alg))...)
+		pipe, err := buildFlow(0, 1).Compile(streamdag.WithAlgorithm(alg))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -89,18 +143,15 @@ func main() {
 	}
 
 	// Scale-out: segmentation is the hottest stage (simulated here as
-	// 100µs per frame).  WithReplication expands it into four
-	// data-parallel workers — the expanded topology stays
-	// series-parallel, so the recomputed intervals keep the run
-	// deadlock-free, and the sequence-ordered merger keeps downstream
-	// counts identical.
+	// 100µs per frame).  Replicate(4) expands it into four data-parallel
+	// workers — the lowered topology stays series-parallel, so the
+	// recomputed intervals keep the run deadlock-free, and the
+	// sequence-ordered merger keeps downstream counts identical.
 	fmt.Println("\n--- scaling out the segment stage ---")
 	const nframes, segCost = 2_000, 100 * time.Microsecond
 	var base float64
 	for _, k := range []int{1, 4} {
-		pipe, err := streamdag.Build(topo,
-			append(kernelOptions(topo, segCost),
-				streamdag.WithReplication(streamdag.ReplicationPlan{"segment": k}))...)
+		pipe, err := buildFlow(segCost, k).Compile()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -116,85 +167,5 @@ func main() {
 			fmt.Printf("segment ×%d (class %v): %.0f frames/sec (%.1fx)\n",
 				k, pipe.Class(), fps, fps/base)
 		}
-	}
-}
-
-func buildTopo() *streamdag.Topology {
-	topo := streamdag.NewTopology()
-	// capture → segment → {faces, plates, motion} → fuse → archive
-	topo.Channel("capture", "segment", 8)
-	topo.Channel("segment", "faces", 8)
-	topo.Channel("segment", "plates", 8)
-	topo.Channel("segment", "motion", 8)
-	topo.Channel("faces", "fuse", 8)
-	topo.Channel("plates", "fuse", 8)
-	topo.Channel("motion", "fuse", 8)
-	topo.Channel("fuse", "archive", 8)
-	return topo
-}
-
-// kernelOptions wires the application logic: real kernels with payloads,
-// written with no knowledge of dummy messages.  segCost simulates the
-// per-frame segmentation work; the kernels are stateless closures, so
-// they are safe to share across the replicas of a scaled-out stage.
-func kernelOptions(topo *streamdag.Topology, segCost time.Duration) []streamdag.Option {
-	// capture forwards the ingested frame downstream.
-	capture := streamdag.KernelFunc(func(_ uint64, in []streamdag.Input) map[int]any {
-		return map[int]any{0: in[0].Payload}
-	})
-	// segment broadcasts every frame to the three recognizers, paying
-	// the (simulated) segmentation cost first.
-	segment := streamdag.KernelFunc(func(_ uint64, in []streamdag.Input) map[int]any {
-		if !in[0].Present {
-			return nil
-		}
-		if segCost > 0 {
-			time.Sleep(segCost)
-		}
-		f := in[0].Payload.(frame)
-		return map[int]any{0: f, 1: f, 2: f}
-	})
-	// Recognizers fire on content-dependent subsets of frames: all-or-
-	// nothing per input, exactly the class the Propagation protocol
-	// supports (DESIGN.md, "Protocol soundness").
-	recognizer := func(fires func(frame) bool) streamdag.Kernel {
-		return streamdag.KernelFunc(func(_ uint64, in []streamdag.Input) map[int]any {
-			if !in[0].Present {
-				return nil
-			}
-			f := in[0].Payload.(frame)
-			if !fires(f) {
-				return nil // filtered: no success message for this frame
-			}
-			f.verdicts = 1
-			return map[int]any{0: f}
-		})
-	}
-	// fuse merges whatever verdicts arrived for a frame.
-	fuse := streamdag.KernelFunc(func(_ uint64, in []streamdag.Input) map[int]any {
-		total := frame{}
-		gotAny := false
-		for _, i := range in {
-			if i.Present {
-				f := i.Payload.(frame)
-				total.id = f.id
-				total.verdicts += f.verdicts
-				gotAny = true
-			}
-		}
-		if !gotAny {
-			return nil
-		}
-		return map[int]any{0: total}
-	})
-	return []streamdag.Option{
-		streamdag.WithKernel("capture", capture),
-		streamdag.WithKernel("segment", segment),
-		streamdag.WithKernel("faces", recognizer(func(f frame) bool { return f.luma < 25 })),
-		streamdag.WithKernel("plates", recognizer(func(f frame) bool { return f.luma%7 == 0 })),
-		// motion fires on ~0.4% of frames: its success-message gaps far
-		// exceed the 8-slot buffers, which is what wedges the join.
-		streamdag.WithKernel("motion", recognizer(func(f frame) bool { return f.luma == 13 })),
-		streamdag.WithKernel("fuse", fuse),
 	}
 }

@@ -1,0 +1,164 @@
+package streamdag
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// The Flow builder is a lowering, not a new runtime: a flow-built
+// pipeline must be indistinguishable on the wire from the hand-wired
+// kernel pipeline it lowers to.  This test pins that parity on all three
+// backends for a flow exercising the two features the acceptance
+// criteria call out — a FilterStage and a Replicate(4) stage: identical
+// per-edge data counts, identical per-edge dummy counts, and identical
+// sink payload sequences.
+
+const (
+	parityInputs = 1500
+	parityBuf    = 8
+)
+
+func parityKeep(v uint64) bool { return v%3 != 1 }
+
+// parityFlow builds source → pre → work(×4) → keep → sink with the Flow
+// builder.
+func parityFlow(t *testing.T) *Pipeline {
+	t.Helper()
+	pipe, err := NewFlow[uint64, uint64]().Buffer(parityBuf).
+		Then(Map("pre", func(v uint64) uint64 { return 3 * v })).
+		Then(Map("work", func(v uint64) uint64 { return v + 7 }).Replicate(4)).
+		Then(FilterStage("keep", parityKeep)).
+		Compile(WithWatchdog(10 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pipe
+}
+
+// parityHand wires the identical topology and kernels by hand, creating
+// nodes and channels in the flow lowering's order so edge IDs align.
+func parityHand(t *testing.T) *Pipeline {
+	t.Helper()
+	topo := NewTopology()
+	topo.Channel("source", "pre", parityBuf)
+	topo.Channel("pre", "work", parityBuf)
+	topo.Channel("work", "keep", parityBuf)
+	topo.Channel("keep", "sink", parityBuf)
+	pipe, err := Build(topo,
+		WithReplication(ReplicationPlan{"work": 4}),
+		WithKernel("pre", KernelFunc(func(_ uint64, in []Input) map[int]any {
+			return map[int]any{0: 3 * in[0].Payload.(uint64)}
+		})),
+		WithKernel("work", KernelFunc(func(_ uint64, in []Input) map[int]any {
+			return map[int]any{0: in[0].Payload.(uint64) + 7}
+		})),
+		WithKernel("keep", KernelFunc(func(_ uint64, in []Input) map[int]any {
+			if v := in[0].Payload.(uint64); parityKeep(v) {
+				return map[int]any{0: v}
+			}
+			return nil
+		})),
+		WithWatchdog(10*time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pipe
+}
+
+// parityBackends returns each backend for the given (expanded) pipeline
+// topology; the distributed backend partitions nodes across two workers
+// deterministically by node index, so both pipelines get the same
+// assignment.
+func parityBackends(p *Pipeline) map[string]Backend {
+	assign := make(map[string]string)
+	g := p.Topology().Graph()
+	for n := 0; n < g.NumNodes(); n++ {
+		assign[g.Name(NodeID(n))] = fmt.Sprintf("w%d", n%2)
+	}
+	return map[string]Backend{
+		"goroutines":  Goroutines(),
+		"simulator":   Simulator(),
+		"distributed": Distributed(assign),
+	}
+}
+
+type parityResult struct {
+	stats     *RunStats
+	emissions []Emission
+}
+
+func runParity(t *testing.T, build func(*testing.T) *Pipeline, backend string) parityResult {
+	t.Helper()
+	pipe := build(t)
+	pipe.backend = parityBackends(pipe)[backend]
+	var col Collector
+	stats, err := pipe.Run(context.Background(), CountingSource(parityInputs), &col)
+	if err != nil {
+		t.Fatalf("%s: %v", backend, err)
+	}
+	return parityResult{stats: stats, emissions: col.Emissions()}
+}
+
+func TestFlowKernelParityAllBackends(t *testing.T) {
+	for _, backend := range []string{"goroutines", "simulator", "distributed"} {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			flow := runParity(t, parityFlow, backend)
+			hand := runParity(t, parityHand, backend)
+
+			nEdges := parityFlow(t).Topology().Graph().NumEdges()
+			for e := EdgeID(0); int(e) < nEdges; e++ {
+				if flow.stats.Data[e] != hand.stats.Data[e] {
+					t.Errorf("edge %d: flow sent %d data msgs, hand-wired %d",
+						e, flow.stats.Data[e], hand.stats.Data[e])
+				}
+				if flow.stats.Dummies[e] != hand.stats.Dummies[e] {
+					t.Errorf("edge %d: flow sent %d dummies, hand-wired %d",
+						e, flow.stats.Dummies[e], hand.stats.Dummies[e])
+				}
+			}
+			if flow.stats.SinkData != hand.stats.SinkData {
+				t.Errorf("sink: flow %d data msgs, hand-wired %d",
+					flow.stats.SinkData, hand.stats.SinkData)
+			}
+			if len(flow.emissions) != len(hand.emissions) {
+				t.Fatalf("flow delivered %d emissions, hand-wired %d",
+					len(flow.emissions), len(hand.emissions))
+			}
+			for i := range flow.emissions {
+				if flow.emissions[i] != hand.emissions[i] {
+					t.Fatalf("emission %d: flow %+v, hand-wired %+v",
+						i, flow.emissions[i], hand.emissions[i])
+				}
+			}
+		})
+	}
+}
+
+// TestFlowParityAcrossBackends pins that the flow pipeline itself is
+// backend-independent: identical per-edge counts and sink sequences on
+// all three backends.
+func TestFlowParityAcrossBackends(t *testing.T) {
+	base := runParity(t, parityFlow, "goroutines")
+	for _, backend := range []string{"simulator", "distributed"} {
+		got := runParity(t, parityFlow, backend)
+		nEdges := parityFlow(t).Topology().Graph().NumEdges()
+		for e := EdgeID(0); int(e) < nEdges; e++ {
+			if got.stats.Data[e] != base.stats.Data[e] || got.stats.Dummies[e] != base.stats.Dummies[e] {
+				t.Errorf("%s edge %d: data %d/dummies %d, goroutines %d/%d", backend, e,
+					got.stats.Data[e], got.stats.Dummies[e], base.stats.Data[e], base.stats.Dummies[e])
+			}
+		}
+		if len(got.emissions) != len(base.emissions) {
+			t.Fatalf("%s delivered %d emissions, goroutines %d", backend, len(got.emissions), len(base.emissions))
+		}
+		for i := range got.emissions {
+			if got.emissions[i] != base.emissions[i] {
+				t.Fatalf("%s emission %d: %+v, goroutines %+v", backend, i, got.emissions[i], base.emissions[i])
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package lang
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -34,6 +35,12 @@ func FuzzBuild(f *testing.F) {
 		"topology t { replicate a 2\n a -> b }",
 		"topology t { a*9 -> b }",
 		"topology t { a -> seg*2 -> b\n replicate seg 5 }",
+		// Comments and blank lines anywhere in the source.
+		"# leading comment\n\ntopology t { a -> b }",
+		"topology t {\n\n  # inner comment\n  a -> b # trailing comment\n\n}",
+		"topology t { a -> b }\n# trailing comment after the block\n",
+		"\n\n# only\n# comments\n",
+		"topology t {\n  a -> b\n  b -> # mid-statement comment\n}",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -41,7 +48,35 @@ func FuzzBuild(f *testing.F) {
 	f.Fuzz(func(t *testing.T, src string) {
 		g, plan, err := BuildPlan(src)
 		if err != nil {
+			var serr *SyntaxError
+			if errors.As(err, &serr) {
+				// Positions are 1-based.
+				if serr.Line < 1 || serr.Col < 1 {
+					t.Fatalf("syntax error with non-1-based position %d:%d: %v", serr.Line, serr.Col, serr)
+				}
+				// Comments and blank lines are transparent: prepending two
+				// of them reproduces the same syntax error, shifted down by
+				// exactly two lines.
+				_, _, err2 := BuildPlan("# prepended comment\n\n" + src)
+				var serr2 *SyntaxError
+				if !errors.As(err2, &serr2) {
+					t.Fatalf("error changed under a leading comment: %v vs %v", err, err2)
+				}
+				if serr2.Line != serr.Line+2 || serr2.Col != serr.Col || serr2.Msg != serr.Msg {
+					t.Fatalf("leading comment mis-shifted the error: %v -> %v", serr, serr2)
+				}
+			}
 			return
+		}
+		// Accepted programs stay accepted — and structurally identical —
+		// when comments and blank lines are inserted.
+		g2, plan2, err := BuildPlan("# prepended comment\n\n" + src)
+		if err != nil {
+			t.Fatalf("leading comment broke an accepted program: %v", err)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() || len(plan2) != len(plan) {
+			t.Fatalf("leading comment changed the graph: %d/%d nodes, %d/%d edges",
+				g.NumNodes(), g2.NumNodes(), g.NumEdges(), g2.NumEdges())
 		}
 		checkSane(t, g)
 		if len(plan) == 0 {

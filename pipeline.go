@@ -42,6 +42,25 @@ type Pipeline struct {
 	alg       Algorithm
 	watchdog  time.Duration
 	avoidance bool
+
+	// Flow-compiled pipelines carry the shared runtime type-error slot
+	// and the per-Run reset hooks (stateful stage state, see stage.go);
+	// both are nil/empty for hand-wired pipelines.
+	flowSlot *stageErrSlot
+	resets   []func()
+}
+
+// KernelConflictError is returned by Build when two kernels are assigned
+// to the same node via the WithKernel / WithKernels options.  (Routing
+// kernels from WithRouting do not conflict: they are the documented
+// fallback for nodes the other options leave unset.)
+type KernelConflictError struct {
+	// Node is the name of the doubly-assigned node.
+	Node string
+}
+
+func (e *KernelConflictError) Error() string {
+	return fmt.Sprintf("streamdag: build: node %q is assigned two kernels", e.Node)
 }
 
 // buildConfig accumulates Build's functional options.
@@ -51,10 +70,11 @@ type buildConfig struct {
 	watchdog   time.Duration
 	cycleLimit int
 	plan       ReplicationPlan
-	kernels    map[NodeID]Kernel
+	kernelMaps []map[NodeID]Kernel
 	named      []namedKernel
 	routing    Filter
 	avoidance  bool
+	err        error // first option error; reported by Build
 }
 
 type namedKernel struct {
@@ -73,9 +93,21 @@ func WithAlgorithm(alg Algorithm) Option {
 // WithReplication expands the named nodes into data-parallel replicas
 // (see Replicate); kernels and routing filters given by other options
 // are written against the original topology and carried across the
-// expansion automatically.
+// expansion automatically.  Multiple WithReplication options merge;
+// naming one node with two different counts is an error.  (Flow.Compile
+// contributes the plan drawn from Stage.Replicate marks the same way.)
 func WithReplication(plan ReplicationPlan) Option {
-	return func(c *buildConfig) { c.plan = plan }
+	return func(c *buildConfig) {
+		if c.plan == nil {
+			c.plan = make(ReplicationPlan, len(plan))
+		}
+		for name, k := range plan {
+			if prev, ok := c.plan[name]; ok && prev != k && c.err == nil {
+				c.err = fmt.Errorf("streamdag: build: node %q replicated as both %d and %d", name, prev, k)
+			}
+			c.plan[name] = k
+		}
+	}
 }
 
 // WithBackend selects the execution backend (default Goroutines).
@@ -97,22 +129,18 @@ func WithCycleLimit(n int) Option {
 }
 
 // WithKernel assigns node name's compute kernel.  Names refer to the
-// original (pre-replication) topology.
+// original (pre-replication) topology.  Assigning a node a kernel twice
+// is a *KernelConflictError.
 func WithKernel(name string, k Kernel) Option {
 	return func(c *buildConfig) { c.named = append(c.named, namedKernel{name, k}) }
 }
 
 // WithKernels assigns kernels keyed by original-topology node IDs — the
-// shape RouteKernels produces.  Later WithKernel options override.
+// shape RouteKernels produces.  Assigning a node a kernel twice (within
+// or across WithKernels and WithKernel options) is a
+// *KernelConflictError.
 func WithKernels(ks map[NodeID]Kernel) Option {
-	return func(c *buildConfig) {
-		if c.kernels == nil {
-			c.kernels = make(map[NodeID]Kernel, len(ks))
-		}
-		for id, k := range ks {
-			c.kernels[id] = k
-		}
-	}
+	return func(c *buildConfig) { c.kernelMaps = append(c.kernelMaps, ks) }
 }
 
 // WithRouting installs forwarding kernels driven by f (see
@@ -143,27 +171,43 @@ func Build(t *Topology, opts ...Option) (*Pipeline, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
 
-	// Resolve kernels against the original topology: routing first, then
-	// ID-keyed maps, then named assignments.
+	// Resolve kernels against the original topology: routing supplies
+	// the fallback for every node, and the explicit assignments (ID-keyed
+	// maps, then named) override it.  Two explicit assignments to one
+	// node conflict — a silent last-writer-wins would hide a wiring bug.
 	kernels := make(map[NodeID]Kernel)
 	if cfg.routing != nil {
 		kernels = RouteKernels(t, cfg.routing)
 	}
-	for id, k := range cfg.kernels {
-		if int(id) >= t.g.NumNodes() {
-			return nil, fmt.Errorf("streamdag: build: kernel for unknown node id %d", id)
+	assigned := make(map[NodeID]bool)
+	for _, ks := range cfg.kernelMaps {
+		for id, k := range ks {
+			if int(id) >= t.g.NumNodes() {
+				return nil, fmt.Errorf("streamdag: build: kernel for unknown node id %d", id)
+			}
+			if assigned[id] {
+				return nil, &KernelConflictError{Node: t.g.Name(id)}
+			}
+			assigned[id] = true
+			kernels[id] = k
 		}
-		kernels[id] = k
 	}
 	for _, nk := range cfg.named {
 		id, ok := t.g.NodeByName(nk.name)
 		if !ok {
 			return nil, fmt.Errorf("streamdag: build: no node %q in the topology", nk.name)
 		}
+		if assigned[id] {
+			return nil, &KernelConflictError{Node: nk.name}
+		}
+		assigned[id] = true
 		kernels[id] = nk.k
 	}
 
@@ -228,6 +272,16 @@ func (p *Pipeline) Replication() *Replicated { return p.rep }
 // cancelled (ctx.Err() is returned), when source or sink returns an
 // error, or when deadlock is detected.  A nil sink discards emissions
 // (they are still counted).
+//
+// A Pipeline is reusable: sequential Runs (with a fresh Source each, as
+// Sources are single-use) behave identically as long as hand-wired
+// kernels are stateless — Flow-compiled pipelines re-initialize their
+// Stateful stages at the start of every Run.  Concurrent Runs of one
+// Pipeline are not supported.
+//
+// For Flow-compiled pipelines, a payload that reached a stage with the
+// wrong dynamic type was filtered at that stage, and the first such
+// mismatch is returned as a *StageTypeError once the run finishes.
 func (p *Pipeline) Run(ctx context.Context, source Source, sink Sink) (*RunStats, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -238,7 +292,22 @@ func (p *Pipeline) Run(ctx context.Context, source Source, sink Sink) (*RunStats
 	if sink == nil {
 		sink = DiscardSink()
 	}
-	return p.backend.run(ctx, p, source, sink)
+	for _, reset := range p.resets {
+		reset()
+	}
+	if p.flowSlot != nil {
+		p.flowSlot.clear()
+	}
+	stats, err := p.backend.run(ctx, p, source, sink)
+	if p.flowSlot != nil {
+		if terr := p.flowSlot.load(); terr != nil {
+			if err != nil {
+				return nil, errors.Join(err, terr)
+			}
+			return nil, terr
+		}
+	}
+	return stats, err
 }
 
 // Backend executes a built Pipeline.  The three implementations —

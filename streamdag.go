@@ -1,32 +1,5 @@
-// Package streamdag is a library for building and safely executing
-// streaming computations with filtering, reproducing
-//
-//	Buhler, Agrawal, Li, Chamberlain:
-//	"Efficient Deadlock Avoidance for Streaming Computation with
-//	Filtering" (PPoPP 2012 / WUCSE-2011-59).
-//
-// A streaming application is a DAG of compute nodes joined by bounded
-// FIFO channels.  Nodes may filter — drop an input with respect to any
-// subset of their output channels — and with finite buffers that freedom
-// can deadlock even an acyclic topology.  The paper's remedy is dummy
-// messages sent at per-edge intervals computable in polynomial time for
-// series-parallel DAGs and, more generally, CS4 DAGs (every undirected
-// cycle has one source and one sink).
-//
-// The package offers three layers:
-//
-//   - Topology construction and classification (SP / CS4 / general),
-//   - dummy-interval computation for the paper's Propagation and
-//     Non-Propagation algorithms (efficient on SP and CS4 topologies,
-//     exhaustive fallback elsewhere), and
-//   - execution through the Pipeline API: Build validates, classifies,
-//     and computes intervals in one step, and Pipeline.Run streams user
-//     payloads from a Source to a Sink — applying the chosen protocol
-//     transparently — on any of three backends (the goroutine runtime,
-//     the deterministic simulator, or TCP-distributed workers).
-//
-// The pre-Pipeline entry points (Run, Simulate, NewDistWorker) remain
-// as deprecated wrappers.
+// This file holds topology construction and classification; the package
+// overview lives in doc.go.
 package streamdag
 
 import (
