@@ -9,8 +9,8 @@
 // Usage:
 //
 //	benchtopo [-family sp|ladder|general|all] [-reps 5] > scaling.csv
-//	benchtopo -family throughput [-api legacy|pipeline|typed|both|all|<list>]
-//	          [-replicate 1,2,4] [-stage block|spin]
+//	benchtopo -family throughput [-api legacy|pipeline|typed|engine|both|all|<list>]
+//	          [-replicate 1,2,4] [-sessions 1,16,64] [-stage block|spin]
 //	          [-cost 100] [-inputs 20000] [-json BENCH_replication.json]
 //
 // The throughput family runs a three-stage pipeline gen → work → out on
@@ -19,15 +19,21 @@
 // point: "legacy" drives the deprecated Run/RunConfig path, "pipeline"
 // drives streamdag.Build + Pipeline.Run with a real Source, "typed"
 // drives the Flow builder (NewFlow + Stage.Replicate + Compile) over the
-// same shape, and "both" ("legacy,pipeline") / "all" / any comma list
-// interleave them for regression comparisons — BENCH_typed.json records
-// the typed-vs-kernel comparison from "-api pipeline,typed".  -stage
-// selects the hot
-// kernel's cost model: "spin" burns CPU (scales with spare cores) and
-// "block" sleeps (models an offload/IO-bound stage; scales with k on any
-// machine).  -json additionally writes the machine-readable records
-// (topology, backend, api, msgs/sec, dummy overhead %, …) that seed the
-// repo's BENCH_*.json performance trajectory.
+// same shape, "engine" drives the long-lived Engine API (one resident
+// engine, streams as concurrent sessions), and "both"
+// ("legacy,pipeline") / "all" / any comma list interleave them for
+// regression comparisons — BENCH_typed.json records the typed-vs-kernel
+// comparison from "-api pipeline,typed".  -sessions multiplies the
+// workload into N streams of -inputs each: the engine api serves them as
+// N concurrent sessions over one resident engine, while the per-run apis
+// execute N fresh runs — the amortized-vs-per-run comparison
+// BENCH_engine.json records from "-api pipeline,engine -sessions
+// 1,16,64".  -stage selects the hot kernel's cost model: "spin" burns
+// CPU (scales with spare cores) and "block" sleeps (models an
+// offload/IO-bound stage; scales with k on any machine).  -json
+// additionally writes the machine-readable records (topology, backend,
+// api, msgs/sec, dummy overhead %, …) that seed the repo's BENCH_*.json
+// performance trajectory.
 package main
 
 import (
@@ -40,6 +46,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"streamdag"
@@ -56,8 +63,9 @@ func main() {
 	family := flag.String("family", "all", "sp, ladder, general, all, or throughput")
 	reps := flag.Int("reps", 5, "repetitions per point (minimum time reported)")
 	seed := flag.Int64("seed", 1, "generator seed")
-	api := flag.String("api", "legacy", "throughput entry points: legacy, pipeline, typed, both, all, or a comma list")
+	api := flag.String("api", "legacy", "throughput entry points: legacy, pipeline, typed, engine, both, all, or a comma list")
 	replicate := flag.String("replicate", "1,2,4", "comma-separated replica counts for the hot stage (throughput family)")
+	sessions := flag.String("sessions", "1", "comma-separated stream counts (throughput family): N streams of -inputs each — concurrent sessions on the engine api, sequential fresh runs elsewhere")
 	stage := flag.String("stage", "block", "hot-stage cost model: block (sleep) or spin (CPU) (throughput family)")
 	cost := flag.Int("cost", 100, "hot-stage cost per message: µs for block, thousands of iterations for spin")
 	inputs := flag.Uint64("inputs", 20_000, "inputs to stream (throughput family)")
@@ -80,7 +88,7 @@ func main() {
 		runLadder(*seed, *reps)
 		runGeneral(*seed, *reps)
 	case "throughput":
-		runThroughput(*api, *replicate, *stage, *cost, *inputs, *jsonOut)
+		runThroughput(*api, *replicate, *sessions, *stage, *cost, *inputs, *reps, *jsonOut)
 	default:
 		fmt.Fprintf(os.Stderr, "benchtopo: unknown family %q\n", *family)
 		os.Exit(2)
@@ -97,6 +105,7 @@ type throughputRecord struct {
 	Stage            string  `json:"stage"`
 	StageCost        string  `json:"stage_cost"`
 	Replicate        int     `json:"replicate"`
+	Sessions         int     `json:"sessions"`
 	Inputs           uint64  `json:"inputs"`
 	Cores            int     `json:"cores"`
 	ElapsedSec       float64 `json:"elapsed_sec"`
@@ -107,30 +116,39 @@ type throughputRecord struct {
 	SinkData         int64   `json:"sink_data"`
 }
 
-// runThroughput streams inputs through gen → work → out for each replica
-// count, with the hot "work" stage expanded by streamdag.Replicate —
-// through the legacy Run entry point, the Pipeline API, or both.
-func runThroughput(api, replicate, stage string, cost int, inputs uint64, jsonOut string) {
-	var ks []int
-	for _, part := range strings.Split(replicate, ",") {
-		k, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || k < 1 {
-			fmt.Fprintf(os.Stderr, "benchtopo: bad -replicate %q\n", part)
-			os.Exit(2)
-		}
-		ks = append(ks, k)
+// runThroughput streams N sessions of `inputs` each through gen → work →
+// out for each replica count, with the hot "work" stage expanded by
+// streamdag.Replicate — through the legacy Run entry point, the Pipeline
+// API, the typed Flow builder, or the long-lived Engine.
+func runThroughput(api, replicate, sessions, stage string, cost int, inputs uint64, reps int, jsonOut string) {
+	if reps < 1 {
+		reps = 1
 	}
+	parseList := func(flagName, s string) []int {
+		var out []int
+		for _, part := range strings.Split(s, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || k < 1 {
+				fmt.Fprintf(os.Stderr, "benchtopo: bad -%s %q\n", flagName, part)
+				os.Exit(2)
+			}
+			out = append(out, k)
+		}
+		return out
+	}
+	ks := parseList("replicate", replicate)
+	ns := parseList("sessions", sessions)
 	var apis []string
 	switch api {
 	case "both":
 		apis = []string{"legacy", "pipeline"}
 	case "all":
-		apis = []string{"legacy", "pipeline", "typed"}
+		apis = []string{"legacy", "pipeline", "typed", "engine"}
 	default:
 		for _, part := range strings.Split(api, ",") {
 			part = strings.TrimSpace(part)
 			switch part {
-			case "legacy", "pipeline", "typed":
+			case "legacy", "pipeline", "typed", "engine":
 				apis = append(apis, part)
 			default:
 				fmt.Fprintf(os.Stderr, "benchtopo: unknown -api %q\n", part)
@@ -147,24 +165,37 @@ func runThroughput(api, replicate, stage string, cost int, inputs uint64, jsonOu
 	if jsonOut == "-" {
 		csv = os.Stderr
 	}
-	fmt.Fprintln(csv, "topology,backend,api,algorithm,stage,replicate,inputs,seconds,msgs_per_sec,data_msgs,dummy_msgs,dummy_overhead_pct")
+	fmt.Fprintln(csv, "topology,backend,api,algorithm,stage,replicate,sessions,inputs,seconds,msgs_per_sec,data_msgs,dummy_msgs,dummy_overhead_pct")
 	var records []throughputRecord
 	for _, k := range ks {
-		for _, a := range apis {
-			var rec throughputRecord
-			switch a {
-			case "pipeline":
-				rec = runPipelineAPI(k, hot, stage, desc, inputs)
-			case "typed":
-				rec = runTypedAPI(k, hotTyped, stage, desc, inputs)
-			default:
-				rec = runPipeline(k, hot, stage, desc, inputs)
+		for _, n := range ns {
+			for _, a := range apis {
+				// Best-of-reps: scheduling and GC noise dominate short
+				// batches, and the fastest repetition is the least-noisy
+				// estimate of each mode's attainable throughput.
+				var rec throughputRecord
+				for r := 0; r < reps; r++ {
+					var cand throughputRecord
+					switch a {
+					case "pipeline":
+						cand = runPipelineAPI(k, n, hot, stage, desc, inputs)
+					case "typed":
+						cand = runTypedAPI(k, n, hotTyped, stage, desc, inputs)
+					case "engine":
+						cand = runEngineAPI(k, n, hot, stage, desc, inputs)
+					default:
+						cand = runPipeline(k, n, hot, stage, desc, inputs)
+					}
+					if r == 0 || cand.MsgsPerSec > rec.MsgsPerSec {
+						rec = cand
+					}
+				}
+				records = append(records, rec)
+				fmt.Fprintf(csv, "%s,%s,%s,%s,%s,%d,%d,%d,%.4f,%.1f,%d,%d,%.2f\n",
+					rec.Topology, rec.Backend, rec.API, rec.Algorithm, rec.Stage, rec.Replicate,
+					rec.Sessions, rec.Inputs, rec.ElapsedSec, rec.MsgsPerSec, rec.DataMsgs,
+					rec.DummyMsgs, rec.DummyOverheadPct)
 			}
-			records = append(records, rec)
-			fmt.Fprintf(csv, "%s,%s,%s,%s,%s,%d,%d,%.4f,%.1f,%d,%d,%.2f\n",
-				rec.Topology, rec.Backend, rec.API, rec.Algorithm, rec.Stage, rec.Replicate,
-				rec.Inputs, rec.ElapsedSec, rec.MsgsPerSec, rec.DataMsgs, rec.DummyMsgs,
-				rec.DummyOverheadPct)
 		}
 	}
 	if jsonOut == "" {
@@ -239,8 +270,9 @@ func typedStageFn(stage string, cost int) func(uint64) uint64 {
 // runTypedAPI is runPipelineAPI through the Flow builder: the same
 // three-node shape (source → work → sink) described as typed stages,
 // with the hot stage replicated via Stage.Replicate — measuring what the
-// generics-based surface costs over hand-wired kernels.
-func runTypedAPI(k int, hot func(uint64) uint64, stage, desc string, inputs uint64) throughputRecord {
+// generics-based surface costs over hand-wired kernels.  The n streams
+// run as sequential Pipeline.Run calls over one compiled flow.
+func runTypedAPI(k, n int, hot func(uint64) uint64, stage, desc string, inputs uint64) throughputRecord {
 	work := streamdag.Map("work", hot)
 	if k > 1 {
 		work = work.Replicate(k)
@@ -254,27 +286,42 @@ func runTypedAPI(k int, hot func(uint64) uint64, stage, desc string, inputs uint
 	if err != nil {
 		fatal(err)
 	}
-	stats, err := pipe.Run(context.Background(),
-		streamdag.CountingSource(inputs), streamdag.DiscardSink())
-	if err != nil {
-		fatal(err)
+	start := time.Now()
+	var agg aggStats
+	for i := 0; i < n; i++ {
+		stats, err := pipe.Run(context.Background(),
+			streamdag.CountingSource(inputs), streamdag.DiscardSink())
+		if err != nil {
+			fatal(err)
+		}
+		agg.add(stats)
 	}
-	return makeThroughputRecord("typed", k, stage, desc, inputs, stats)
+	return makeThroughputRecord("typed", k, n, stage, desc, inputs, agg, time.Since(start))
 }
 
-// makeThroughputRecord derives the machine-readable record from a run's
-// stats — one definition, so the legacy/pipeline/typed records that
-// BENCH_*.json compares are computed identically.
-func makeThroughputRecord(api string, k int, stage, desc string, inputs uint64, stats *streamdag.RunStats) throughputRecord {
-	var data int64
+// aggStats accumulates traffic totals across a batch of streams.
+type aggStats struct {
+	data, dummies, sink int64
+}
+
+func (a *aggStats) add(stats *streamdag.RunStats) {
 	for _, n := range stats.Data {
-		data += n
+		a.data += n
 	}
-	dummies := stats.TotalDummies()
-	secs := stats.Elapsed.Seconds()
+	a.dummies += stats.TotalDummies()
+	a.sink += stats.SinkData
+}
+
+// makeThroughputRecord derives the machine-readable record from a
+// batch's totals — one definition, so the records BENCH_*.json compares
+// are computed identically.  Throughput is the batch's aggregate: all n
+// streams' inputs over the batch's wall-clock time, which is what makes
+// amortized (engine) and per-run (fresh Run) modes directly comparable.
+func makeThroughputRecord(api string, k, n int, stage, desc string, inputs uint64, agg aggStats, elapsed time.Duration) throughputRecord {
+	secs := elapsed.Seconds()
 	overhead := 0.0
-	if data > 0 {
-		overhead = 100 * float64(dummies) / float64(data)
+	if agg.data > 0 {
+		overhead = 100 * float64(agg.dummies) / float64(agg.data)
 	}
 	return throughputRecord{
 		Topology:         "hotstage",
@@ -284,18 +331,19 @@ func makeThroughputRecord(api string, k int, stage, desc string, inputs uint64, 
 		Stage:            stage,
 		StageCost:        desc,
 		Replicate:        k,
+		Sessions:         n,
 		Inputs:           inputs,
 		Cores:            runtime.NumCPU(),
 		ElapsedSec:       secs,
-		MsgsPerSec:       float64(inputs) / secs,
-		DataMsgs:         data,
-		DummyMsgs:        dummies,
+		MsgsPerSec:       float64(inputs) * float64(n) / secs,
+		DataMsgs:         agg.data,
+		DummyMsgs:        agg.dummies,
 		DummyOverheadPct: overhead,
-		SinkData:         stats.SinkData,
+		SinkData:         agg.sink,
 	}
 }
 
-func runPipeline(k int, hot streamdag.Kernel, stage, desc string, inputs uint64) throughputRecord {
+func runPipeline(k, n int, hot streamdag.Kernel, stage, desc string, inputs uint64) throughputRecord {
 	rep, err := streamdag.BuildReplicated(fmt.Sprintf(`
 topology hotstage {
   buffer 64
@@ -316,23 +364,26 @@ topology hotstage {
 	kernels := rep.Kernels(map[streamdag.NodeID]streamdag.Kernel{
 		rep.Original().Node("work"): hot,
 	})
-	stats, err := streamdag.Run(topo, kernels, streamdag.RunConfig{
-		Inputs:          inputs,
-		Algorithm:       streamdag.Propagation,
-		Intervals:       iv,
-		WatchdogTimeout: 30 * time.Second,
-	})
-	if err != nil {
-		fatal(err)
+	start := time.Now()
+	var agg aggStats
+	for i := 0; i < n; i++ {
+		stats, err := streamdag.Run(topo, kernels, streamdag.RunConfig{
+			Inputs:          inputs,
+			Algorithm:       streamdag.Propagation,
+			Intervals:       iv,
+			WatchdogTimeout: 30 * time.Second,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		agg.add(stats)
 	}
-	return makeThroughputRecord("legacy", k, stage, desc, inputs, stats)
+	return makeThroughputRecord("legacy", k, n, stage, desc, inputs, agg, time.Since(start))
 }
 
-// runPipelineAPI is runPipeline through the new surface: one Build call
-// (replication, classification, and intervals in one step) and one
-// Pipeline.Run with a real Source — the ingestion path the legacy
-// entry point never exercises.
-func runPipelineAPI(k int, hot streamdag.Kernel, stage, desc string, inputs uint64) throughputRecord {
+// hotstagePipeline builds the gen → work×k → out pipeline the pipeline
+// and engine entry points share.
+func hotstagePipeline(k int, hot streamdag.Kernel) *streamdag.Pipeline {
 	topo := streamdag.NewTopology()
 	topo.Channel("gen", "work", 64)
 	topo.Channel("work", "out", 64)
@@ -345,12 +396,76 @@ func runPipelineAPI(k int, hot streamdag.Kernel, stage, desc string, inputs uint
 	if err != nil {
 		fatal(err)
 	}
-	stats, err := pipe.Run(context.Background(),
-		streamdag.CountingSource(inputs), streamdag.DiscardSink())
+	return pipe
+}
+
+// runPipelineAPI is runPipeline through the Build + Pipeline.Run
+// surface: the n streams run as n fresh Run calls — each one spins up
+// and tears down a full runtime, which is exactly the per-run cost the
+// engine mode amortizes.
+func runPipelineAPI(k, n int, hot streamdag.Kernel, stage, desc string, inputs uint64) throughputRecord {
+	pipe := hotstagePipeline(k, hot)
+	start := time.Now()
+	var agg aggStats
+	for i := 0; i < n; i++ {
+		stats, err := pipe.Run(context.Background(),
+			streamdag.CountingSource(inputs), streamdag.DiscardSink())
+		if err != nil {
+			fatal(err)
+		}
+		agg.add(stats)
+	}
+	return makeThroughputRecord("pipeline", k, n, stage, desc, inputs, agg, time.Since(start))
+}
+
+// runEngineAPI serves the n streams as concurrent sessions over one
+// resident engine: compile once, spin the workers once, then each
+// stream costs a session.
+func runEngineAPI(k, n int, hot streamdag.Kernel, stage, desc string, inputs uint64) throughputRecord {
+	pipe := hotstagePipeline(k, hot)
+	start := time.Now()
+	eng, err := pipe.Engine()
 	if err != nil {
 		fatal(err)
 	}
-	return makeThroughputRecord("pipeline", k, stage, desc, inputs, stats)
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex
+		agg aggStats
+	)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// DiscardSink, not nil: Pipeline.Run substitutes DiscardSink
+			// for a nil sink, so the engine rows must pay the same
+			// per-emission delivery path for the comparison to be fair.
+			ses, err := eng.Open(context.Background(), streamdag.CountingSource(inputs), streamdag.DiscardSink())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			stats, err := ses.Wait()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			mu.Lock()
+			agg.add(stats)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if err := eng.Close(); err != nil {
+		fatal(err)
+	}
+	return makeThroughputRecord("engine", k, n, stage, desc, inputs, agg, time.Since(start))
 }
 
 func fatal(err error) {

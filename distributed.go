@@ -18,6 +18,11 @@ type DistConfig = dist.Config
 // DistStats is one worker's traffic summary.
 type DistStats = dist.Stats
 
+// DistDeadlockError reports a wedged distributed run or session; like
+// the in-process DeadlockError, it names the wedged session id when the
+// error comes from a multi-session Engine.
+type DistDeadlockError = dist.DeadlockError
+
 // DistWorker hosts a subset of a topology's nodes.
 type DistWorker = dist.Worker
 

@@ -40,6 +40,20 @@
 // TCP-distributed workers), and may be mixed: a Flow-compiled pipeline
 // accepts the ordinary Build options.
 //
+// # Execution: Engine and sessions
+//
+// Execution is engine-shaped: Pipeline.Engine (or Flow.CompileEngine)
+// starts the backend's resident workers once, and Engine.Open starts
+// one logical stream — a Session with its own Source/Sink, sequence
+// space, cancellation, and completion error — multiplexed with any
+// number of concurrent sessions over the shared topology.  The dummy
+// protocol state and the per-edge buffer windows are per session, so
+// the deadlock-freedom guarantee holds for each stream independently,
+// and a wedged session is reported by a DeadlockError naming its id
+// while the others keep streaming.  Pipeline.Run remains as the
+// one-shot wrapper (engine up, one session, engine down); services
+// streaming more than once should hold an Engine.
+//
 // The pre-Pipeline entry points (Run, Simulate, NewDistWorker) remain
 // as deprecated wrappers.
 package streamdag

@@ -1,0 +1,413 @@
+package streamdag
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamdag/internal/dist"
+	"streamdag/internal/graph"
+	"streamdag/internal/proto"
+	"streamdag/internal/sim"
+	"streamdag/internal/stream"
+)
+
+// This file is the Engine API: the long-lived execution surface of the
+// library.  Build (or Flow.Compile) pays the static, per-topology costs
+// once — validation, classification, dummy-interval computation — and
+// Pipeline.Engine pays the per-process costs once: resident node
+// workers, TCP links on the distributed backend.  Engine.Open then
+// starts one logical stream (a Session) in O(1): its own sequence space,
+// Source and Sink, cancellation, and completion error, multiplexed over
+// the shared topology by tagging protocol messages with the session id.
+//
+// The dummy-interval protocol is applied per session — each session owns
+// its per-node protocol state and its per-edge buffer windows — so the
+// deadlock-freedom guarantee holds stream-by-stream: a session behaves
+// exactly as if it ran alone (the parity tests pin this bit-for-bit),
+// and a wedged session is reported by a DeadlockError naming its id
+// while its neighbours keep streaming.
+//
+// Pipeline.Run remains as a compatibility wrapper: open one session,
+// wait, close.
+
+// SessionID identifies one logical stream served by an Engine.
+type SessionID = proto.SessionID
+
+// ErrEngineClosed is returned by Engine.Open after Close, and by the
+// Wait of sessions still active when Close ran.
+var ErrEngineClosed = errors.New("streamdag: engine closed")
+
+// Engine is a Pipeline's resident execution state: node workers stay up
+// across sessions, so serving a stream costs a session, not a runtime.
+// Engines are safe for concurrent Open/Close from multiple goroutines.
+//
+// Kernels are shared by every session (node state is per-session only in
+// the protocol layer), so concurrent sessions require stateless kernels;
+// pipelines compiled from flows with Stateful stages accept one session
+// at a time, re-initializing the stage state per session.  On the
+// Simulator backend, concurrent sessions additionally require
+// non-blocking Sources and Sinks (see Simulator).
+type Engine struct {
+	p    *Pipeline
+	impl backendEngine
+
+	mu       sync.Mutex
+	nextID   uint64
+	active   int
+	sessions map[SessionID]*Session
+	closed   bool
+}
+
+// Engine starts the pipeline's resident runtime on its backend and
+// returns the long-lived Engine.  Close it to reclaim the workers.
+func (p *Pipeline) Engine() (*Engine, error) {
+	impl, err := p.backend.newEngine(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{p: p, impl: impl, nextID: 1, sessions: make(map[SessionID]*Session)}, nil
+}
+
+// Pipeline returns the compiled pipeline the engine serves.
+func (e *Engine) Pipeline() *Pipeline { return e.p }
+
+// Open starts one logical stream: payloads pulled from source flow
+// through the shared topology under the session's own dummy protocol
+// state, and sink-node emissions are delivered to sink in ascending
+// sequence order (a nil sink discards; emissions are still counted).
+// The session ends when the source ends and the stream drains, when ctx
+// is cancelled, when source or sink returns an error, or when the
+// watchdog declares the session deadlocked — collect the outcome with
+// Session.Wait.
+func (e *Engine) Open(ctx context.Context, source Source, sink Sink) (*Session, error) {
+	if source == nil {
+		return nil, errors.New("streamdag: Engine.Open: nil Source (use CountingSource for synthetic sequence numbers)")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrEngineClosed
+	}
+	if len(e.p.resets) > 0 && e.active > 0 {
+		e.mu.Unlock()
+		return nil, errors.New("streamdag: Engine.Open: pipeline has Stateful stages, which sessions would share; wait for the active session before opening another")
+	}
+	if e.active == 0 {
+		// Fresh stream generation: re-initialize Stateful stage state and
+		// clear the stage-type-error slot, exactly as Run used to per
+		// run.  Under the lock, so a concurrently opened session cannot
+		// start streaming (and recording type errors) before the clear.
+		for _, reset := range e.p.resets {
+			reset()
+		}
+		if e.p.flowSlot != nil {
+			e.p.flowSlot.clear()
+		}
+	}
+	e.active++
+	id := SessionID(e.nextID)
+	e.nextID++
+	sctx, cancel := context.WithCancel(ctx)
+	s := &Session{id: id, eng: e, parent: ctx, cancel: cancel, pubDone: make(chan struct{})}
+	// Registered before the backend opens, so a concurrent Close always
+	// sees (and cancels) this session.
+	e.sessions[id] = s
+	e.mu.Unlock()
+
+	bs, err := e.impl.open(sctx, id, source, sink)
+	if err != nil {
+		cancel()
+		s.release()
+		return nil, err
+	}
+	s.bs = bs
+	go func() {
+		<-bs.done()
+		cancel()
+		// Bookkeeping is retired before Done observers wake, so an Open
+		// issued right after <-Done() neither trips the stateful gate nor
+		// skips the fresh-generation resets.
+		s.release()
+		close(s.pubDone)
+	}()
+	return s, nil
+}
+
+// Close fails every active session with ErrEngineClosed and drains the
+// resident workers; idempotent.  The Pipeline stays valid: a fresh
+// Engine (or Run) can follow.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	active := make([]*Session, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		active = append(active, s)
+	}
+	e.mu.Unlock()
+	// Cancel sessions first: the simulator's scheduler may be parked
+	// inside a session's blocking Source/Sink callback, and cancellation
+	// is what returns control so the backend can shut down.
+	for _, s := range active {
+		s.cancel()
+	}
+	return e.impl.close()
+}
+
+func (e *Engine) isClosed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}
+
+// Session is one logical stream being served by an Engine.
+type Session struct {
+	id      SessionID
+	eng     *Engine
+	bs      backendSession
+	parent  context.Context
+	cancel  context.CancelFunc
+	pubDone chan struct{}
+	userCxl atomic.Bool
+	relOnce sync.Once
+	slotErr *StageTypeError
+}
+
+// release retires the session from the engine's bookkeeping exactly
+// once; both Wait and the completion watcher call it, so the stateful
+// single-session gate is already free when Wait returns.  The shared
+// stage-type-error slot is snapshotted first: release is what lets a
+// subsequent Open start a fresh generation (and clear the slot), so the
+// capture happens-before any clear and Wait cannot lose the error.
+func (s *Session) release() {
+	s.relOnce.Do(func() {
+		if s.eng.p.flowSlot != nil {
+			s.slotErr = s.eng.p.flowSlot.load()
+		}
+		s.eng.mu.Lock()
+		s.eng.active--
+		delete(s.eng.sessions, s.id)
+		s.eng.mu.Unlock()
+	})
+}
+
+// ID returns the session's id — the tag its protocol messages carry,
+// and the id a DeadlockError names if the session wedges.
+func (s *Session) ID() SessionID { return s.id }
+
+// Done is closed when the session has resolved (drained, failed, or
+// cancelled) and been retired from the engine's bookkeeping; Wait then
+// returns without blocking, and a fresh Open may follow immediately
+// (even on pipelines with Stateful stages).
+func (s *Session) Done() <-chan struct{} { return s.pubDone }
+
+// Cancel aborts the session; Wait returns context.Canceled.  Other
+// sessions on the engine are unaffected.
+func (s *Session) Cancel() {
+	s.userCxl.Store(true)
+	s.cancel()
+}
+
+// Wait blocks until the session resolves and returns its stats: per-edge
+// data and dummy counts, the sink total, and the session's elapsed time.
+// For flow-compiled pipelines a payload that reached a stage with the
+// wrong dynamic type was filtered there, and the first such mismatch is
+// returned as a *StageTypeError (the error slot is engine-scoped: under
+// concurrent sessions it reports the engine's first mismatch).
+func (s *Session) Wait() (*RunStats, error) {
+	stats, err := s.bs.wait()
+	s.release()
+	if err != nil {
+		switch {
+		case errors.Is(err, stream.ErrEngineClosed),
+			errors.Is(err, sim.ErrEngineClosed),
+			errors.Is(err, dist.ErrEngineClosed):
+			err = ErrEngineClosed
+		case errors.Is(err, context.Canceled) && !s.userCxl.Load() &&
+			s.parent.Err() == nil && s.eng.isClosed():
+			// The cancellation came from Engine.Close, not from the
+			// caller: report the lifecycle error, uniformly across
+			// backends.
+			err = ErrEngineClosed
+		}
+	}
+	if terr := s.slotErr; terr != nil {
+		if err != nil {
+			return nil, errors.Join(err, terr)
+		}
+		return nil, terr
+	}
+	return stats, err
+}
+
+// ---------------------------------------------------------------------
+// Backend engine implementations (sealed, like Backend itself).
+
+// backendEngine is a backend's resident runtime for one pipeline.
+type backendEngine interface {
+	open(ctx context.Context, id SessionID, source Source, sink Sink) (backendSession, error)
+	close() error
+}
+
+// backendSession is one open stream on a backend engine.
+type backendSession interface {
+	wait() (*RunStats, error)
+	done() <-chan struct{}
+}
+
+// goroutineEngine adapts stream.Engine.
+type goroutineEngine struct{ eng *stream.Engine }
+
+func (goroutineBackend) newEngine(p *Pipeline) (backendEngine, error) {
+	eng, err := stream.NewEngine(p.topo.g, p.kernels, stream.Config{
+		Algorithm:       p.alg,
+		Intervals:       p.intervals,
+		WatchdogTimeout: p.watchdog,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &goroutineEngine{eng: eng}, nil
+}
+
+func (g *goroutineEngine) open(ctx context.Context, id SessionID, source Source, sink Sink) (backendSession, error) {
+	cfg := stream.SessionConfig{ID: id, Ctx: ctx, Source: sourceFunc(source)}
+	if sink != nil {
+		cfg.Sink = sinkFunc(sink)
+	}
+	ses, err := g.eng.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return goroutineSession{ses}, nil
+}
+
+func (g *goroutineEngine) close() error { return g.eng.Close() }
+
+type goroutineSession struct{ ses *stream.EngineSession }
+
+func (s goroutineSession) wait() (*RunStats, error) { return s.ses.Wait() }
+func (s goroutineSession) done() <-chan struct{}    { return s.ses.Done() }
+
+// simEngine adapts sim.Engine.
+type simEngine struct{ eng *sim.Engine }
+
+func (simulatorBackend) newEngine(p *Pipeline) (backendEngine, error) {
+	return &simEngine{eng: sim.NewEngine(p.topo.g, sim.Config{
+		Kernels:   p.kernels,
+		Algorithm: p.alg,
+		Intervals: p.intervals,
+	})}, nil
+}
+
+func (se *simEngine) open(ctx context.Context, id SessionID, source Source, sink Sink) (backendSession, error) {
+	io := sim.SessionIO{ID: id, Ctx: ctx, Source: sourceFunc(source)}
+	if sink != nil {
+		io.Sink = sinkFunc(sink)
+	}
+	ses, err := se.eng.Open(io)
+	if err != nil {
+		return nil, err
+	}
+	return &simSession{ses: ses, id: id}, nil
+}
+
+func (se *simEngine) close() error { return se.eng.Close() }
+
+type simSession struct {
+	ses *sim.EngineSession
+	id  SessionID
+}
+
+func (s *simSession) done() <-chan struct{} { return s.ses.Done() }
+
+func (s *simSession) wait() (*RunStats, error) {
+	res := s.ses.Wait()
+	if !res.Completed {
+		if res.Err != nil {
+			return nil, res.Err
+		}
+		return nil, fmt.Errorf("streamdag: simulator session %d %s: %s",
+			s.id, res.Reason, strings.Join(res.Blocked, "; "))
+	}
+	return convertStats(res.DataMsgs, res.DummyMsgs, res.SinkData, res.Elapsed), nil
+}
+
+// convertStats copies a backend's per-edge count maps into a RunStats.
+func convertStats(data, dummies map[EdgeID]int64, sink int64, elapsed time.Duration) *RunStats {
+	stats := &RunStats{
+		Data:     make(map[EdgeID]int64, len(data)),
+		Dummies:  make(map[EdgeID]int64, len(dummies)),
+		SinkData: sink,
+		Elapsed:  elapsed,
+	}
+	for e, n := range data {
+		stats.Data[e] = n
+	}
+	for e, n := range dummies {
+		stats.Dummies[e] = n
+	}
+	return stats
+}
+
+// distEngine adapts dist.Engine.
+type distEngine struct{ eng *dist.Engine }
+
+func (b distributedBackend) newEngine(p *Pipeline) (backendEngine, error) {
+	g := p.topo.g
+	part := make(dist.Partition, g.NumNodes())
+	for n := 0; n < g.NumNodes(); n++ {
+		id := graph.NodeID(n)
+		w, ok := b.assign[g.Name(id)]
+		if !ok {
+			return nil, fmt.Errorf("streamdag: distributed backend: node %q not assigned to a worker", g.Name(id))
+		}
+		part[id] = w
+	}
+	eng, err := dist.NewEngine(g, part, p.kernels, dist.Config{
+		Algorithm:       p.alg,
+		Intervals:       p.intervals,
+		WatchdogTimeout: p.watchdog,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &distEngine{eng: eng}, nil
+}
+
+func (de *distEngine) open(ctx context.Context, id SessionID, source Source, sink Sink) (backendSession, error) {
+	io := dist.SessionIO{ID: id, Ctx: ctx, Source: sourceFunc(source)}
+	if sink != nil {
+		io.Sink = sinkFunc(sink)
+	}
+	ses, err := de.eng.Open(io)
+	if err != nil {
+		return nil, err
+	}
+	return distSession{ses}, nil
+}
+
+func (de *distEngine) close() error { return de.eng.Close() }
+
+type distSession struct{ ses *dist.EngineSession }
+
+func (s distSession) done() <-chan struct{} { return s.ses.Done() }
+
+func (s distSession) wait() (*RunStats, error) {
+	st, err := s.ses.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return convertStats(st.Data, st.Dummies, st.SinkData, st.Elapsed), nil
+}

@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"streamdag/internal/graph"
+	"streamdag/internal/proto"
 	"streamdag/internal/stream"
 )
 
@@ -24,14 +25,26 @@ import (
 //	             when a message leaves the edge's buffer, releasing one
 //	             window slot at the sender.
 //	'D' done   — the sending worker's nodes have all terminated.
+//	'S' smsg   — session uint64, then the msg layout.  The session-
+//	             multiplexed counterpart of 'M', used by the resident
+//	             Engine: the session id routes the message to that
+//	             session's per-edge buffer, and the sender holds one of
+//	             that session's credits for it.
+//	'c' scred  — session uint64, edge uint32: a per-session credit,
+//	             releasing one slot of that session's window for the
+//	             edge.  Per-session windows are what carry the paper's
+//	             finite buffer capacities — and with them the deadlock-
+//	             freedom guarantee — stream-by-stream over a shared wire.
 //
 // Edge IDs are global (both sides build them from the same topology), so
 // frames need no further addressing.
 const (
-	frameHello  byte = 'H'
-	frameMsg    byte = 'M'
-	frameCredit byte = 'C'
-	frameDone   byte = 'D'
+	frameHello      byte = 'H'
+	frameMsg        byte = 'M'
+	frameCredit     byte = 'C'
+	frameDone       byte = 'D'
+	frameSessMsg    byte = 'S'
+	frameSessCredit byte = 'c'
 )
 
 const helloMagic = "SDG1"
@@ -125,6 +138,59 @@ func parseCredit(body []byte) (graph.EdgeID, error) {
 		return 0, fmt.Errorf("dist: bad credit frame (%d bytes)", len(body))
 	}
 	return graph.EdgeID(binary.BigEndian.Uint32(body[1:])), nil
+}
+
+func sessMsgBody(sid proto.SessionID, e graph.EdgeID, m stream.Message) ([]byte, error) {
+	b := make([]byte, 0, 24)
+	b = append(b, frameSessMsg)
+	b = binary.BigEndian.AppendUint64(b, uint64(sid))
+	b = binary.BigEndian.AppendUint32(b, uint32(e))
+	b = binary.BigEndian.AppendUint64(b, m.Seq)
+	b = append(b, byte(m.Kind))
+	if m.Kind == stream.Data {
+		var err error
+		b, err = appendPayload(b, m.Payload)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+func parseSessMsg(body []byte) (proto.SessionID, graph.EdgeID, stream.Message, error) {
+	if len(body) < 22 {
+		return 0, 0, stream.Message{}, fmt.Errorf("dist: short session msg frame (%d bytes)", len(body))
+	}
+	sid := proto.SessionID(binary.BigEndian.Uint64(body[1:]))
+	e := graph.EdgeID(binary.BigEndian.Uint32(body[9:]))
+	m := stream.Message{
+		Seq:  binary.BigEndian.Uint64(body[13:]),
+		Kind: stream.Kind(body[21]),
+	}
+	if m.Kind == stream.Data {
+		var err error
+		m.Payload, err = decodePayload(body[22:])
+		if err != nil {
+			return 0, 0, stream.Message{}, err
+		}
+	}
+	return sid, e, m, nil
+}
+
+func sessCreditBody(sid proto.SessionID, e graph.EdgeID) []byte {
+	b := make([]byte, 13)
+	b[0] = frameSessCredit
+	binary.BigEndian.PutUint64(b[1:], uint64(sid))
+	binary.BigEndian.PutUint32(b[9:], uint32(e))
+	return b
+}
+
+func parseSessCredit(body []byte) (proto.SessionID, graph.EdgeID, error) {
+	if len(body) != 13 {
+		return 0, 0, fmt.Errorf("dist: bad session credit frame (%d bytes)", len(body))
+	}
+	return proto.SessionID(binary.BigEndian.Uint64(body[1:])),
+		graph.EdgeID(binary.BigEndian.Uint32(body[9:])), nil
 }
 
 // Payload encoding: one type byte plus a fixed or length-delimited value.

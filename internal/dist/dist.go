@@ -93,8 +93,14 @@ func (s *Stats) TotalDummies() int64 {
 // DeadlockError reports a wedged worker with a snapshot of its channel
 // and flow-control state.
 type DeadlockError struct {
-	// Worker is the reporting worker's name.
+	// Worker is the reporting worker's name; empty when the resident
+	// Engine reports across all its in-process workers.
 	Worker string
+	// Session is the wedged logical stream when the error comes from the
+	// multi-session Engine; zero for single-stream runs.  Sessions own
+	// their buffers and windows, so a wedge is attributed to the one
+	// stream that stalled, not to the whole engine.
+	Session proto.SessionID
 	// Channels maps "from→to" to "occupied/capacity".  For inbound and
 	// local edges this is buffer occupancy; for outbound cross edges it
 	// is the number of unacknowledged in-flight messages.
@@ -108,7 +114,12 @@ func (e *DeadlockError) Error() string {
 	}
 	sort.Strings(keys)
 	var b strings.Builder
-	fmt.Fprintf(&b, "dist: worker %q deadlock detected; channel occupancy:", e.Worker)
+	switch {
+	case e.Session != 0:
+		fmt.Fprintf(&b, "dist: session %d deadlock detected; channel occupancy:", e.Session)
+	default:
+		fmt.Fprintf(&b, "dist: worker %q deadlock detected; channel occupancy:", e.Worker)
+	}
 	for _, k := range keys {
 		fmt.Fprintf(&b, " %s=%s", k, e.Channels[k])
 	}

@@ -1,0 +1,748 @@
+package dist
+
+// This file is the resident multi-session distributed runtime: an Engine
+// keeps a set of in-process workers — listeners, dialed peer links, frame
+// readers — alive across unboundedly many logical streams, so the
+// per-run costs of the one-shot Worker lifecycle (binding listeners,
+// dialing peers, tearing both down) are paid once per topology.
+//
+// Sessions are multiplexed over the shared TCP links by tagging message
+// and credit frames with the session id ('S'/'c' frames).  Everything
+// that carries the protocol's safety argument is per session: each
+// session gets its own per-edge buffers, its own credit windows sized to
+// the edges' capacities, and its own node goroutines running the shared
+// stream.NodeLoop — so each session is, protocol-wise, exactly a
+// single-stream distributed run, and the dummy intervals protect it
+// independently of its neighbours.  The transport (connections, frame
+// readers) is the only shared layer, and it never blocks on a session:
+// inbound frames land in per-session buffers whose space is guaranteed
+// by that session's credits.
+//
+// The Engine hosts all workers in the calling process (the arrangement
+// the public Distributed backend uses); cross-worker traffic still
+// round-trips real TCP frames and per-session credit windows, so the
+// wire protocol is exercised end to end.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamdag/internal/graph"
+	"streamdag/internal/proto"
+	"streamdag/internal/stream"
+)
+
+// ErrEngineClosed is returned by Engine.Open after Close, and is the
+// failure recorded against sessions still active when Close runs.
+var ErrEngineClosed = errors.New("dist: engine closed")
+
+// SessionIO parameterizes one Engine.Open.
+type SessionIO struct {
+	// ID tags the session's frames; nonzero and unique per engine.
+	ID proto.SessionID
+	// Source supplies the session's payloads (pulled by the worker
+	// hosting the topology's source node); required.
+	Source stream.SourceFunc
+	// Sink receives the session's sink-node data firings in ascending
+	// sequence order; nil discards (firings are still counted).
+	Sink stream.SinkFunc
+	// Ctx cancels the session; nil means Background.
+	Ctx context.Context
+}
+
+// Engine is the resident distributed runtime for one topology.
+type Engine struct {
+	g       *graph.Graph
+	part    Partition
+	cfg     Config
+	workers []*engineWorker
+
+	mu       sync.Mutex
+	sessions map[proto.SessionID]*EngineSession
+	closed   bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup // watchdog
+}
+
+// NewEngine builds the resident workers (one per distinct partition
+// name), binds their listeners, and connects the peer mesh.  The Config
+// fields Source, Sink, and Inputs are ignored — ingestion and delivery
+// are per session.
+func NewEngine(g *graph.Graph, partition Partition, kernels map[graph.NodeID]stream.Kernel, cfg Config) (*Engine, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.WatchdogTimeout == 0 {
+		cfg.WatchdogTimeout = time.Second
+	}
+	names := make(map[string]bool)
+	for n := 0; n < g.NumNodes(); n++ {
+		owner, ok := partition[graph.NodeID(n)]
+		if !ok {
+			return nil, fmt.Errorf("dist: node %q not assigned to any worker", g.Name(graph.NodeID(n)))
+		}
+		names[owner] = true
+	}
+	ordered := make([]string, 0, len(names))
+	for w := range names {
+		ordered = append(ordered, w)
+	}
+	sort.Strings(ordered)
+	addrs := make(map[string]string, len(ordered))
+	for _, w := range ordered {
+		addrs[w] = "127.0.0.1:0"
+	}
+	e := &Engine{
+		g: g, part: partition, cfg: cfg,
+		sessions: make(map[proto.SessionID]*EngineSession),
+		stop:     make(chan struct{}),
+	}
+	for _, name := range ordered {
+		e.workers = append(e.workers, newEngineWorker(e, name, addrs))
+	}
+	for _, w := range e.workers {
+		w.kernels = kernels
+		if err := w.listen(); err != nil {
+			e.Close()
+			return nil, err
+		}
+	}
+	for _, w := range e.workers {
+		go w.acceptLoop()
+		if err := w.dialPeers(); err != nil {
+			e.Close()
+			return nil, err
+		}
+	}
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		e.watchdog()
+	}()
+	return e, nil
+}
+
+// Open starts one logical stream over the resident workers.  The session
+// is registered on every worker before any of its node goroutines start,
+// so no frame can arrive ahead of its buffers.
+func (e *Engine) Open(io SessionIO) (*EngineSession, error) {
+	if io.Source == nil {
+		return nil, errors.New("dist: engine session requires a Source")
+	}
+	if io.ID == 0 {
+		return nil, errors.New("dist: engine session requires a nonzero id")
+	}
+	ctx := io.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	ses := &EngineSession{
+		id: io.ID, e: e,
+		ctx: sctx, cancel: cancel,
+		source: io.Source, sink: io.Sink,
+		abort:   make(chan struct{}),
+		data:    make([]atomic.Int64, e.g.NumEdges()),
+		dummies: make([]atomic.Int64, e.g.NumEdges()),
+		done:    make(chan struct{}),
+		start:   time.Now(),
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		cancel()
+		return nil, ErrEngineClosed
+	}
+	if _, dup := e.sessions[ses.id]; dup {
+		e.mu.Unlock()
+		cancel()
+		return nil, fmt.Errorf("dist: session id %d already open", ses.id)
+	}
+	e.sessions[ses.id] = ses
+	e.mu.Unlock()
+
+	// Phase 1: every worker allocates the session's buffers and windows.
+	states := make([]*workerSession, len(e.workers))
+	for i, w := range e.workers {
+		states[i] = w.register(ses)
+	}
+	// Phase 2: node goroutines start only once every worker can route
+	// the session's frames.
+	for i, w := range e.workers {
+		w.start(states[i])
+	}
+	go func() {
+		select {
+		case <-ctx.Done():
+			ses.end(ctx.Err(), nil)
+		case <-ses.done:
+		}
+	}()
+	// Sole closer of done: whether the session drained or was aborted,
+	// every node goroutine has exited first, so Wait/Done imply full
+	// quiescence — no kernel runs for this session afterwards.
+	go func() {
+		ses.nodeWG.Wait()
+		ses.finish()
+		close(ses.done)
+	}()
+	return ses, nil
+}
+
+// Close fails every active session with ErrEngineClosed and tears the
+// resident workers down; idempotent.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	active := make([]*EngineSession, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		active = append(active, s)
+	}
+	e.mu.Unlock()
+	for _, s := range active {
+		s.end(ErrEngineClosed, nil)
+	}
+	close(e.stop)
+	for _, w := range e.workers {
+		w.close()
+	}
+	for _, s := range active {
+		<-s.done
+	}
+	e.wg.Wait()
+	return nil
+}
+
+func (e *Engine) unregister(id proto.SessionID) {
+	e.mu.Lock()
+	delete(e.sessions, id)
+	e.mu.Unlock()
+}
+
+// fail is the engine-wide failure path (a torn connection, a protocol
+// violation): every active session dies with the transport error.
+func (e *Engine) fail(err error) {
+	e.mu.Lock()
+	active := make([]*EngineSession, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		active = append(active, s)
+	}
+	e.mu.Unlock()
+	for _, s := range active {
+		s.end(err, nil)
+	}
+}
+
+// watchdog scans the active sessions once per period, as in the stream
+// engine: no progress across a full period with no in-flight Source/Sink
+// callback is a wedge, attributed to the one session that stalled.
+func (e *Engine) watchdog() {
+	ticker := time.NewTicker(e.cfg.WatchdogTimeout)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-ticker.C:
+			e.mu.Lock()
+			active := make([]*EngineSession, 0, len(e.sessions))
+			for _, s := range e.sessions {
+				active = append(active, s)
+			}
+			e.mu.Unlock()
+			for _, ses := range active {
+				cur := ses.progress.Load()
+				if ses.watched && cur == ses.lastProgress && ses.external.Load() == 0 {
+					ses.end(&DeadlockError{Session: ses.id, Channels: e.snapshot(ses)}, nil)
+					continue
+				}
+				ses.lastProgress = cur
+				ses.watched = true
+			}
+		}
+	}
+}
+
+// snapshot renders the session's buffer and window occupancy across all
+// workers.  Reads are racy but indicative.
+func (e *Engine) snapshot(ses *EngineSession) map[string]string {
+	chans := make(map[string]string, e.g.NumEdges())
+	for _, w := range e.workers {
+		ws := w.session(ses.id)
+		if ws == nil {
+			continue
+		}
+		for _, ed := range e.g.Edges() {
+			key := fmt.Sprintf("%s→%s", e.g.Name(ed.From), e.g.Name(ed.To))
+			if ch := ws.inbox[ed.ID]; ch != nil {
+				chans[key] = fmt.Sprintf("%d/%d", len(ch), cap(ch))
+			} else if win := ws.window[ed.ID]; win != nil {
+				chans[key] = fmt.Sprintf("%d/%d in flight",
+					win.capacity()-win.available(), win.capacity())
+			}
+		}
+	}
+	return chans
+}
+
+// EngineSession is one logical stream served by the resident workers.
+type EngineSession struct {
+	id     proto.SessionID
+	e      *Engine
+	ctx    context.Context
+	cancel context.CancelFunc
+	source stream.SourceFunc
+	sink   stream.SinkFunc
+
+	abort  chan struct{} // closed on end: unblocks this session's nodes
+	nodeWG sync.WaitGroup
+
+	progress     atomic.Int64
+	external     atomic.Int64
+	lastProgress int64
+	watched      bool
+
+	data     []atomic.Int64
+	dummies  []atomic.Int64
+	sinkData atomic.Int64
+	start    time.Time
+
+	endOnce sync.Once
+	ended   atomic.Bool
+	err     error
+	stats   *Stats
+	done    chan struct{}
+}
+
+// ID returns the session's id.
+func (s *EngineSession) ID() proto.SessionID { return s.id }
+
+// Done is closed when the session has resolved.
+func (s *EngineSession) Done() <-chan struct{} { return s.done }
+
+// Wait blocks until the session drains or fails and returns its merged
+// cross-worker stats.
+func (s *EngineSession) Wait() (*Stats, error) {
+	<-s.done
+	return s.stats, s.err
+}
+
+// Cancel aborts the session; other sessions are unaffected.
+func (s *EngineSession) Cancel() { s.end(context.Canceled, nil) }
+
+// end records the session's outcome exactly once and tears its node
+// goroutines down (abort unblocks every port); done is closed by the
+// Open watcher once they have all exited.
+func (s *EngineSession) end(err error, stats *Stats) {
+	s.endOnce.Do(func() {
+		s.ended.Store(true)
+		s.err = err
+		s.stats = stats
+		s.cancel()
+		close(s.abort)
+		s.e.unregister(s.id)
+		for _, w := range s.e.workers {
+			w.drop(s.id)
+		}
+	})
+}
+
+// finish resolves a drained session: every node goroutine has returned,
+// which happens-after every send, so the counters are final.
+func (s *EngineSession) finish() {
+	if s.ended.Load() {
+		return
+	}
+	stats := &Stats{
+		Data:     make(map[graph.EdgeID]int64, len(s.data)),
+		Dummies:  make(map[graph.EdgeID]int64, len(s.dummies)),
+		SinkData: s.sinkData.Load(),
+		Elapsed:  time.Since(s.start),
+	}
+	for i := range s.data {
+		stats.Data[graph.EdgeID(i)] = s.data[i].Load()
+		stats.Dummies[graph.EdgeID(i)] = s.dummies[i].Load()
+	}
+	s.end(nil, stats)
+}
+
+// ---------------------------------------------------------------------
+// Resident workers.
+
+// engineWorker is one resident worker: a listener, a set of peer links,
+// and the per-session state of the nodes it hosts.
+type engineWorker struct {
+	e       *Engine
+	name    string
+	addrs   map[string]string
+	kernels map[graph.NodeID]stream.Kernel
+
+	local     []graph.NodeID
+	creditTo  []string // per edge; != "" = inbound cross edge's sender
+	crossOut  []bool   // per edge; true = outbound cross edge
+	peerNames []string
+
+	ln    net.Listener
+	peers map[string]*peerLink
+
+	mu       sync.Mutex
+	sessions map[proto.SessionID]*workerSession
+	accepted []net.Conn
+	closed   bool
+	connWG   sync.WaitGroup
+}
+
+// workerSession is one worker's share of a session: per-edge buffers for
+// the edges it consumes, per-edge windows for the cross edges it sends.
+type workerSession struct {
+	ses    *EngineSession
+	inbox  []chan stream.Message
+	window []*window
+}
+
+func newEngineWorker(e *Engine, name string, addrs map[string]string) *engineWorker {
+	w := &engineWorker{
+		e: e, name: name, addrs: addrs,
+		creditTo: make([]string, e.g.NumEdges()),
+		crossOut: make([]bool, e.g.NumEdges()),
+		peers:    make(map[string]*peerLink),
+		sessions: make(map[proto.SessionID]*workerSession),
+	}
+	for n := 0; n < e.g.NumNodes(); n++ {
+		if e.part[graph.NodeID(n)] == name {
+			w.local = append(w.local, graph.NodeID(n))
+		}
+	}
+	peerSet := make(map[string]bool)
+	for _, ed := range e.g.Edges() {
+		fromOwner, toOwner := e.part[ed.From], e.part[ed.To]
+		if toOwner == name && fromOwner != name {
+			w.creditTo[ed.ID] = fromOwner
+			peerSet[fromOwner] = true
+		}
+		if fromOwner == name && toOwner != name {
+			w.crossOut[ed.ID] = true
+			peerSet[toOwner] = true
+		}
+	}
+	for p := range peerSet {
+		w.peerNames = append(w.peerNames, p)
+	}
+	sort.Strings(w.peerNames)
+	return w
+}
+
+func (w *engineWorker) listen() error {
+	addrsMu.Lock()
+	addr := w.addrs[w.name]
+	addrsMu.Unlock()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	w.ln = ln
+	addrsMu.Lock()
+	w.addrs[w.name] = ln.Addr().String()
+	addrsMu.Unlock()
+	return nil
+}
+
+func (w *engineWorker) dialPeers() error {
+	timeout := w.e.cfg.DialTimeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	for _, p := range w.peerNames {
+		var lastErr error
+		for {
+			addrsMu.Lock()
+			addr := w.addrs[p]
+			addrsMu.Unlock()
+			c, err := net.DialTimeout("tcp", addr, time.Until(deadline))
+			if err == nil {
+				link := &peerLink{name: p, conn: c}
+				if err := link.send(helloBody(w.name)); err != nil {
+					c.Close()
+					return err
+				}
+				w.peers[p] = link
+				break
+			}
+			lastErr = err
+			if time.Now().After(deadline) {
+				return fmt.Errorf("dist: worker %q cannot reach %q at %s: %w", w.name, p, addr, lastErr)
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// register allocates the session's buffers and windows on this worker.
+func (w *engineWorker) register(ses *EngineSession) *workerSession {
+	ws := &workerSession{
+		ses:    ses,
+		inbox:  make([]chan stream.Message, w.e.g.NumEdges()),
+		window: make([]*window, w.e.g.NumEdges()),
+	}
+	for _, ed := range w.e.g.Edges() {
+		if w.e.part[ed.To] == w.name {
+			ws.inbox[ed.ID] = make(chan stream.Message, ed.Buf)
+		}
+		if w.crossOut[ed.ID] {
+			ws.window[ed.ID] = newWindow(ed.Buf)
+		}
+	}
+	w.mu.Lock()
+	w.sessions[ses.id] = ws
+	w.mu.Unlock()
+	return ws
+}
+
+// start launches the session's node goroutines on this worker.
+func (w *engineWorker) start(ws *workerSession) {
+	for _, id := range w.local {
+		ws.ses.nodeWG.Add(1)
+		go func(id graph.NodeID) {
+			defer ws.ses.nodeWG.Done()
+			in := w.e.g.In(id)
+			out := w.e.g.Out(id)
+			kernel := w.kernels[id]
+			if kernel == nil {
+				kernel = stream.Passthrough(len(out))
+			}
+			engine := proto.NewEngine(out, proto.Config{
+				Algorithm: w.e.cfg.Algorithm,
+				Intervals: w.e.cfg.Intervals,
+			})
+			stream.NodeLoop(len(in), len(out), kernel, engine,
+				&sessionPorts{w: w, ws: ws, in: in, out: out})
+		}(id)
+	}
+}
+
+func (w *engineWorker) session(id proto.SessionID) *workerSession {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sessions[id]
+}
+
+func (w *engineWorker) drop(id proto.SessionID) {
+	w.mu.Lock()
+	delete(w.sessions, id)
+	w.mu.Unlock()
+}
+
+func (w *engineWorker) acceptLoop() {
+	for {
+		c, err := w.ln.Accept()
+		if err != nil {
+			return
+		}
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			c.Close()
+			return
+		}
+		w.accepted = append(w.accepted, c)
+		w.connWG.Add(1)
+		w.mu.Unlock()
+		go w.serveConn(c)
+	}
+}
+
+// serveConn demuxes one inbound connection's frames into per-session
+// state.  Frames for unknown sessions are dropped, not errors: a session
+// that failed locally keeps receiving its peers' in-flight frames until
+// they observe the teardown.
+func (w *engineWorker) serveConn(c net.Conn) {
+	defer w.connWG.Done()
+	defer c.Close()
+	hello, err := readFrame(c)
+	if err != nil {
+		return
+	}
+	if _, err := parseHello(hello); err != nil {
+		return // stray client; not a peer
+	}
+	for {
+		body, err := readFrame(c)
+		if err != nil {
+			return
+		}
+		switch body[0] {
+		case frameSessMsg:
+			sid, e, m, err := parseSessMsg(body)
+			if err != nil {
+				w.e.fail(err)
+				return
+			}
+			ws := w.session(sid)
+			if ws == nil {
+				continue
+			}
+			if int(e) >= len(ws.inbox) || ws.inbox[e] == nil {
+				w.e.fail(fmt.Errorf("dist: worker %q received session message for foreign edge %d", w.name, e))
+				return
+			}
+			// The sender holds one of this session's credits, so the
+			// buffer has room; select on abort anyway for teardown races.
+			select {
+			case ws.inbox[e] <- m:
+				ws.ses.progress.Add(1)
+			case <-ws.ses.abort:
+			}
+		case frameSessCredit:
+			sid, e, err := parseSessCredit(body)
+			if err != nil {
+				w.e.fail(err)
+				return
+			}
+			ws := w.session(sid)
+			if ws == nil {
+				continue
+			}
+			if int(e) >= len(ws.window) || ws.window[e] == nil || !ws.window[e].release() {
+				w.e.fail(fmt.Errorf("dist: worker %q received bogus session credit for edge %d", w.name, e))
+				return
+			}
+			ws.ses.progress.Add(1)
+		default:
+			w.e.fail(fmt.Errorf("dist: unknown frame type %q on engine worker %q", body[0], w.name))
+			return
+		}
+	}
+}
+
+func (w *engineWorker) close() {
+	if w.ln != nil {
+		w.ln.Close()
+	}
+	for _, link := range w.peers {
+		link.conn.Close()
+	}
+	w.mu.Lock()
+	conns := w.accepted
+	w.accepted = nil
+	w.closed = true
+	w.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	w.connWG.Wait()
+}
+
+// sessionPorts adapts one hosted node's edges to stream.Ports for one
+// session: local buffers, or session-tagged credit-gated TCP frames.
+type sessionPorts struct {
+	w       *engineWorker
+	ws      *workerSession
+	in, out []graph.EdgeID
+}
+
+func (p *sessionPorts) Recv(i int) (stream.Message, bool) {
+	select {
+	case m := <-p.ws.inbox[p.in[i]]:
+		p.ws.ses.progress.Add(1)
+		return m, true
+	case <-p.ws.ses.abort:
+		return stream.Message{}, false
+	}
+}
+
+func (p *sessionPorts) Send(i int, m stream.Message) bool {
+	e := p.out[i]
+	ses := p.ws.ses
+	if win := p.ws.window[e]; win != nil {
+		if !win.acquire(ses.abort) {
+			return false
+		}
+		body, err := sessMsgBody(ses.id, e, m)
+		if err != nil {
+			ses.end(err, nil)
+			return false
+		}
+		peer := p.w.e.part[p.w.e.g.Edge(e).To]
+		if err := p.w.peers[peer].send(body); err != nil {
+			p.w.e.fail(fmt.Errorf("dist: sending on session %d to %q: %w", ses.id, peer, err))
+			return false
+		}
+	} else {
+		select {
+		case p.ws.inbox[e] <- m:
+		case <-ses.abort:
+			return false
+		}
+	}
+	switch m.Kind {
+	case stream.Data:
+		ses.data[e].Add(1)
+	case stream.Dummy:
+		ses.dummies[e].Add(1)
+	}
+	ses.progress.Add(1)
+	return true
+}
+
+func (p *sessionPorts) Consumed(i int) bool {
+	e := p.in[i]
+	peer := p.w.creditTo[e]
+	if peer == "" {
+		return true
+	}
+	if err := p.w.peers[peer].send(sessCreditBody(p.ws.ses.id, e)); err != nil {
+		p.w.e.fail(fmt.Errorf("dist: returning session %d credit to %q: %w", p.ws.ses.id, peer, err))
+		return false
+	}
+	return true
+}
+
+func (p *sessionPorts) Ingest() (any, bool) {
+	ses := p.ws.ses
+	select {
+	case <-ses.abort:
+		return nil, false
+	default:
+	}
+	ses.external.Add(1)
+	payload, ok, err := ses.source(ses.ctx)
+	ses.external.Add(-1)
+	if err != nil {
+		ses.end(&CallbackError{Op: "source", Err: err}, nil)
+		return nil, false
+	}
+	if ok {
+		ses.progress.Add(1)
+	}
+	return payload, ok
+}
+
+func (p *sessionPorts) SinkEmit(seq uint64, payload any) bool {
+	ses := p.ws.ses
+	ses.sinkData.Add(1)
+	ses.progress.Add(1)
+	if ses.sink == nil {
+		return true
+	}
+	ses.external.Add(1)
+	err := ses.sink(ses.ctx, seq, payload)
+	ses.external.Add(-1)
+	if err != nil {
+		ses.end(&CallbackError{Op: "sink", Err: err}, nil)
+		return false
+	}
+	return true
+}

@@ -1,0 +1,205 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"streamdag/internal/cs4"
+	"streamdag/internal/graph"
+	"streamdag/internal/proto"
+	"streamdag/internal/stream"
+	"streamdag/internal/workload"
+)
+
+func engineKernels(g *graph.Graph, f workload.FilterFunc) map[graph.NodeID]stream.Kernel {
+	ks := make(map[graph.NodeID]stream.Kernel, g.NumNodes())
+	for n := 0; n < g.NumNodes(); n++ {
+		id := graph.NodeID(n)
+		out := g.Out(id)
+		ks[id] = stream.KernelFunc(func(seq uint64, in []stream.Input) map[int]any {
+			var payload any = seq
+			for _, i := range in {
+				if i.Present {
+					payload = i.Payload
+					break
+				}
+			}
+			outs := make(map[int]any, len(out))
+			for i, e := range out {
+				if f(id, seq, e) {
+					outs[i] = payload
+				}
+			}
+			return outs
+		})
+	}
+	return ks
+}
+
+// TestEngineSessionsMatchSoloRuns streams several concurrent sessions
+// over one resident two-worker engine: per-session counts must equal a
+// solo single-stream Worker run, and each session must receive exactly
+// its own payloads in order.
+func TestEngineSessionsMatchSoloRuns(t *testing.T) {
+	g := workload.Fig2Triangle(2)
+	d, err := cs4.Classify(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := d.Intervals(cs4.Propagation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ac graph.EdgeID
+	for _, e := range g.Edges() {
+		if g.Name(e.From) == "A" && g.Name(e.To) == "C" {
+			ac = e.ID
+		}
+	}
+	drop := workload.DropEdge(ac)
+	part := Partition{}
+	for n := 0; n < g.NumNodes(); n++ {
+		if n%2 == 0 {
+			part[graph.NodeID(n)] = "alpha"
+		} else {
+			part[graph.NodeID(n)] = "beta"
+		}
+	}
+	cfg := Config{Algorithm: cs4.Propagation, Intervals: iv, WatchdogTimeout: 5 * time.Second}
+
+	// Solo reference: the legacy one-shot two-worker run.
+	const inputs = 120
+	solo := runPair(t, g, part, engineKernels(g, drop), Config{
+		Inputs: inputs, Algorithm: cs4.Propagation, Intervals: iv,
+		WatchdogTimeout: 5 * time.Second,
+	})
+
+	eng, err := NewEngine(g, part, engineKernels(g, drop), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	const sessions = 4
+	var wg sync.WaitGroup
+	errs := make([]error, sessions)
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			i := 0
+			source := func(context.Context) (any, bool, error) {
+				if i >= inputs {
+					return nil, false, nil
+				}
+				v := fmt.Sprintf("s%d-%d", s, i)
+				i++
+				return v, true, nil
+			}
+			var mu sync.Mutex
+			var seen []string
+			ses, err := eng.Open(SessionIO{
+				ID:     proto.SessionID(s + 1),
+				Source: source,
+				Sink: func(_ context.Context, seq uint64, payload any) error {
+					mu.Lock()
+					seen = append(seen, payload.(string))
+					mu.Unlock()
+					return nil
+				},
+			})
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			stats, err := ses.Wait()
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			if stats.SinkData != solo.SinkData {
+				errs[s] = fmt.Errorf("session %d SinkData = %d, solo %d", s, stats.SinkData, solo.SinkData)
+				return
+			}
+			for e, want := range solo.Data {
+				if stats.Data[e] != want {
+					errs[s] = fmt.Errorf("session %d edge %d data = %d, solo %d", s, e, stats.Data[e], want)
+					return
+				}
+			}
+			for e, want := range solo.Dummies {
+				if stats.Dummies[e] != want {
+					errs[s] = fmt.Errorf("session %d edge %d dummies = %d, solo %d", s, e, stats.Dummies[e], want)
+					return
+				}
+			}
+			prefix := fmt.Sprintf("s%d-", s)
+			last := -1
+			for _, p := range seen {
+				var idx int
+				if _, err := fmt.Sscanf(p, prefix+"%d", &idx); err != nil {
+					errs[s] = fmt.Errorf("session %d saw foreign payload %q", s, p)
+					return
+				}
+				if idx <= last {
+					errs[s] = fmt.Errorf("session %d emissions out of order", s)
+					return
+				}
+				last = idx
+			}
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// runPair runs a one-shot two-worker distributed stream and merges the
+// stats, as the legacy Distributed backend does.
+func runPair(t *testing.T, g *graph.Graph, part Partition, kernels map[graph.NodeID]stream.Kernel, cfg Config) *Stats {
+	t.Helper()
+	addrs := map[string]string{"alpha": "127.0.0.1:0", "beta": "127.0.0.1:0"}
+	wa, err := NewWorker(g, "alpha", part, addrs, kernels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := NewWorker(g, "beta", part, addrs, kernels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wa.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	var (
+		wg     sync.WaitGroup
+		sa, sb *Stats
+		ea, eb error
+	)
+	wg.Add(2)
+	go func() { defer wg.Done(); sa, ea = wa.Run() }()
+	go func() { defer wg.Done(); sb, eb = wb.Run() }()
+	wg.Wait()
+	if ea != nil || eb != nil {
+		t.Fatalf("solo run: %v / %v", ea, eb)
+	}
+	merged := &Stats{Data: map[graph.EdgeID]int64{}, Dummies: map[graph.EdgeID]int64{}}
+	for _, s := range []*Stats{sa, sb} {
+		for e, n := range s.Data {
+			merged.Data[e] += n
+		}
+		for e, n := range s.Dummies {
+			merged.Dummies[e] += n
+		}
+		merged.SinkData += s.SinkData
+	}
+	return merged
+}

@@ -34,6 +34,16 @@ import (
 // win the minimum-sequence alignment while data remains.
 const EOSSeq = math.MaxUint64
 
+// SessionID identifies one logical stream multiplexed over a resident
+// topology.  The protocol state is strictly per session: every session
+// owns its own sequence space, its own Engine instance per node, and its
+// own per-edge buffer window, so the deadlock-freedom guarantee of the
+// dummy intervals applies to each session independently — a message
+// tagged (session, kind, seq) participates only in its session's
+// protocol.  Zero is reserved for "not session-scoped" (the legacy
+// single-stream runtimes).
+type SessionID uint64
+
 // Kind discriminates protocol messages.
 type Kind uint8
 

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 
 	"streamdag/internal/cs4"
 	"streamdag/internal/graph"
@@ -123,6 +124,9 @@ type Result struct {
 	// counterpart of stream.Stats.SinkData, for runtime/simulator
 	// equivalence checks.
 	SinkData int64
+	// Elapsed is wall-clock time from open to resolution for Engine
+	// sessions; Run leaves it zero (callers time Run themselves).
+	Elapsed time.Duration
 	// Blocked describes the stuck configuration on deadlock: for each
 	// node, what it is waiting for.
 	Blocked []string
@@ -183,6 +187,14 @@ type pendingMsg struct {
 // cfg.  g must be a validated two-terminal DAG.  When cfg.Kernels is
 // non-nil the simulator runs in kernel mode and filter is ignored.
 func Run(g *graph.Graph, filter Filter, cfg Config) *Result {
+	s := newState(g, filter, cfg)
+	s.run()
+	return s.res
+}
+
+// newState builds one stream's simulation state; Run drives it to
+// completion in one go, the multi-session Engine interleaves several.
+func newState(g *graph.Graph, filter Filter, cfg Config) *state {
 	if err := g.Validate(); err != nil {
 		panic(fmt.Sprintf("sim: invalid graph: %v", err))
 	}
@@ -225,8 +237,7 @@ func Run(g *graph.Graph, filter Filter, cfg Config) *Result {
 		}
 		s.nodes = append(s.nodes, nd)
 	}
-	s.run()
-	return s.res
+	return s
 }
 
 // protoConfig converts a simulator Config into the shared engine's.
@@ -266,43 +277,52 @@ type state struct {
 }
 
 func (s *state) run() {
-	for {
-		if err := s.cfg.Ctx.Err(); err != nil {
-			s.res.Reason = "canceled"
-			s.res.Err = err
-			return
-		}
-		progress := false
-		for _, nd := range s.nodes {
-			for s.step(nd) {
-				progress = true
-				s.res.Steps++
-				if s.cfg.MaxSteps > 0 && s.res.Steps >= s.cfg.MaxSteps {
-					s.res.Reason = "step budget"
-					return
-				}
-				if s.res.Steps%1024 == 0 {
-					if err := s.cfg.Ctx.Err(); err != nil {
-						s.res.Reason = "canceled"
-						s.res.Err = err
-						return
-					}
+	for !s.advanceOnce() {
+	}
+}
+
+// advanceOnce performs one scheduler round for this stream — a full node
+// sweep plus the completion checks — and reports whether the run
+// resolved (s.res then carries the outcome).  A round with no progress
+// is deadlock: the stream's channels are self-contained, so nothing
+// outside the sweep can unblock it.
+func (s *state) advanceOnce() (done bool) {
+	if err := s.cfg.Ctx.Err(); err != nil {
+		s.res.Reason = "canceled"
+		s.res.Err = err
+		return true
+	}
+	progress := false
+	for _, nd := range s.nodes {
+		for s.step(nd) {
+			progress = true
+			s.res.Steps++
+			if s.cfg.MaxSteps > 0 && s.res.Steps >= s.cfg.MaxSteps {
+				s.res.Reason = "step budget"
+				return true
+			}
+			if s.res.Steps%1024 == 0 {
+				if err := s.cfg.Ctx.Err(); err != nil {
+					s.res.Reason = "canceled"
+					s.res.Err = err
+					return true
 				}
 			}
-			if s.failed {
-				return
-			}
 		}
-		if s.allDone() {
-			s.res.Completed = true
-			return
-		}
-		if !progress {
-			s.res.Reason = "deadlock"
-			s.res.Blocked = s.describeBlocked()
-			return
+		if s.failed {
+			return true
 		}
 	}
+	if s.allDone() {
+		s.res.Completed = true
+		return true
+	}
+	if !progress {
+		s.res.Reason = "deadlock"
+		s.res.Blocked = s.describeBlocked()
+		return true
+	}
+	return false
 }
 
 // fail records the first source/sink failure and stops the scheduler

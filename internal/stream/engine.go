@@ -1,0 +1,982 @@
+package stream
+
+// This file is the resident multi-session runtime: an Engine keeps one
+// event-loop goroutine per node alive across unboundedly many logical
+// streams (sessions), so the per-run costs of the one-shot Run — spawning
+// node goroutines, allocating channels — are paid once per topology
+// instead of once per stream.
+//
+// Session isolation is the load-bearing property.  Every session owns its
+// own sequence space, its own proto.Engine instance per node (dummy
+// timers, cascade state), and its own per-edge credit window sized to the
+// edge's buffer capacity — exactly the capacities the deadlock-avoidance
+// intervals were computed against.  Messages are tagged with their
+// session id, node loops demux them into per-session protocol state, and
+// a send for one session can never block on another session's occupancy,
+// so the paper's deadlock-freedom guarantee holds stream-by-stream: each
+// session behaves as if it ran alone on a dedicated topology (the parity
+// tests in the root package pin this bit-for-bit).
+//
+// To keep cross-session isolation under blocking user code, node loops
+// never block on anything but their own mailbox:
+//
+//   - sends that find a full window park in a per-session pending slot and
+//     retry when the consumer returns a credit (the simulator's pending
+//     semantics — a firing's sends proceed independently per edge, and the
+//     node consumes its next input only when all of them have landed);
+//   - Source.Next and Sink.Emit, which may block indefinitely, run in
+//     per-session pump goroutines that exchange payloads with the source
+//     and sink node loops through grant tokens, so a quiet source or a
+//     backpressuring sink stalls only its own session.
+//
+// A per-engine watchdog watches each session's own progress counter and
+// in-flight Source/Sink callbacks, so a wedged session is reported as a
+// DeadlockError naming that session while its neighbours keep streaming.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamdag/internal/graph"
+	"streamdag/internal/proto"
+)
+
+// ErrEngineClosed is returned by Engine.Open after Close, and is the
+// failure recorded against sessions still active when Close runs.
+var ErrEngineClosed = errors.New("stream: engine closed")
+
+// SessionConfig parameterizes one Engine.Open.
+type SessionConfig struct {
+	// ID tags the session's protocol messages; the caller (the public
+	// Engine) allocates ids, nonzero and unique per engine.
+	ID proto.SessionID
+	// Source supplies the session's payloads; required.
+	Source SourceFunc
+	// Sink receives the session's sink-node data firings in ascending
+	// sequence order; nil discards (firings are still counted).
+	Sink SinkFunc
+	// Ctx cancels the session (not the engine); nil means Background.
+	Ctx context.Context
+}
+
+// Engine is the resident runtime for one compiled topology.  Create it
+// with NewEngine, serve any number of concurrent sessions with Open, and
+// reclaim the node goroutines with Close.
+type Engine struct {
+	g       *graph.Graph
+	kernels map[graph.NodeID]Kernel
+	cfg     Config
+
+	nodes  []*engineNode
+	source *engineNode // the topology's unique source node
+	sink   *engineNode // the topology's unique sink node
+
+	mu       sync.Mutex
+	sessions map[proto.SessionID]*EngineSession
+	// undone tracks every session whose done channel has not closed yet
+	// (a superset of sessions: end() unregisters before the abort acks
+	// finish).  Close force-resolves them once the node loops are gone,
+	// so an end() racing Close's mailbox teardown cannot strand a Wait.
+	undone map[proto.SessionID]*EngineSession
+	closed bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewEngine spins up the resident node loops for g.  The Config fields
+// Source, Sink, and Inputs are ignored — ingestion and delivery are per
+// session.  g must be a validated two-terminal DAG.
+func NewEngine(g *graph.Graph, kernels map[graph.NodeID]Kernel, cfg Config) (*Engine, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.WatchdogTimeout == 0 {
+		cfg.WatchdogTimeout = time.Second
+	}
+	e := &Engine{
+		g:        g,
+		kernels:  kernels,
+		cfg:      cfg,
+		sessions: make(map[proto.SessionID]*EngineSession),
+		undone:   make(map[proto.SessionID]*EngineSession),
+		stop:     make(chan struct{}),
+	}
+	e.nodes = make([]*engineNode, g.NumNodes())
+	for i := range e.nodes {
+		id := graph.NodeID(i)
+		k := kernels[id]
+		if k == nil {
+			k = Passthrough(g.OutDegree(id))
+		}
+		n := &engineNode{
+			e: e, id: id, kernel: k,
+			in:  g.In(id),
+			out: g.Out(id),
+			mb:  newMailbox(),
+		}
+		n.sess = make(map[proto.SessionID]*nodeSession)
+		n.creditAcc = make([]int, len(n.in))
+		n.emitted = make([]bool, len(n.out))
+		n.seqs = make([]uint64, len(n.in))
+		e.nodes[i] = n
+	}
+	// Wire the neighbour tables: who feeds in-position i, who consumes
+	// out-position i, and where each edge sits in the neighbour's order.
+	for _, n := range e.nodes {
+		n.upstream = make([]*engineNode, len(n.in))
+		n.upPos = make([]int, len(n.in))
+		for i, edge := range n.in {
+			up := e.nodes[g.Edge(edge).From]
+			n.upstream[i] = up
+			n.upPos[i] = edgeIndex(up.out, edge)
+		}
+		n.downstream = make([]*engineNode, len(n.out))
+		n.downPos = make([]int, len(n.out))
+		n.outCap = make([]int, len(n.out))
+		for i, edge := range n.out {
+			down := e.nodes[g.Edge(edge).To]
+			n.downstream[i] = down
+			n.downPos[i] = edgeIndex(down.in, edge)
+			n.outCap[i] = g.Edge(edge).Buf
+		}
+	}
+	e.source = e.nodes[g.Source()]
+	e.sink = e.nodes[g.Sink()]
+	for _, n := range e.nodes {
+		e.wg.Add(1)
+		go func(n *engineNode) {
+			defer e.wg.Done()
+			n.run()
+		}(n)
+	}
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		e.watchdog()
+	}()
+	return e, nil
+}
+
+func edgeIndex(edges []graph.EdgeID, e graph.EdgeID) int {
+	for i, x := range edges {
+		if x == e {
+			return i
+		}
+	}
+	panic("stream: edge not in neighbour order")
+}
+
+// Open starts one logical stream over the resident topology and returns
+// immediately; drive it to completion with EngineSession.Wait.
+func (e *Engine) Open(cfg SessionConfig) (*EngineSession, error) {
+	if cfg.Source == nil {
+		return nil, errors.New("stream: engine session requires a Source")
+	}
+	if cfg.ID == 0 {
+		return nil, errors.New("stream: engine session requires a nonzero id")
+	}
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	ses := &EngineSession{
+		id: cfg.ID, e: e,
+		ctx: sctx, cancel: cancel,
+		source: cfg.Source, sink: cfg.Sink,
+		data:      make([]int64, e.g.NumEdges()),
+		dummies:   make([]int64, e.g.NumEdges()),
+		occupancy: make([]atomic.Int64, e.g.NumEdges()),
+		ready:     make(chan struct{}, ingestWindow),
+		done:      make(chan struct{}),
+		start:     time.Now(),
+	}
+	if cfg.Sink != nil {
+		ses.sinkCh = make(chan emission, sinkWindow)
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		cancel()
+		return nil, ErrEngineClosed
+	}
+	if _, dup := e.sessions[ses.id]; dup {
+		e.mu.Unlock()
+		cancel()
+		return nil, fmt.Errorf("stream: session id %d already open", ses.id)
+	}
+	e.sessions[ses.id] = ses
+	e.undone[ses.id] = ses
+	e.mu.Unlock()
+
+	// Every node must learn about the session before its first message
+	// can flow, so the evOpen posts complete before the ingest pump
+	// starts (mailboxes are FIFO, and messages for a session only ever
+	// follow its payloads).
+	for _, n := range e.nodes {
+		n.mb.post(event{kind: evOpen, ses: ses})
+	}
+	go func() {
+		select {
+		case <-ctx.Done():
+			ses.end(ctx.Err(), nil)
+		case <-ses.done:
+		}
+	}()
+	if cfg.Sink != nil {
+		go ses.sinkPump(e.sink)
+	}
+	go ses.ingestPump(e.source)
+	return ses, nil
+}
+
+// Close fails every active session with ErrEngineClosed and drains the
+// resident node goroutines; it is idempotent, and Open fails afterwards.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	active := make([]*EngineSession, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		active = append(active, s)
+	}
+	e.mu.Unlock()
+	for _, s := range active {
+		s.end(ErrEngineClosed, nil)
+	}
+	close(e.stop)
+	for _, n := range e.nodes {
+		n.mb.close()
+	}
+	e.wg.Wait()
+	// The node loops are gone: any session whose abort acks were cut
+	// short by the mailbox teardown resolves here instead of hanging its
+	// Wait (its outcome was already recorded by end()).
+	e.mu.Lock()
+	stranded := make([]*EngineSession, 0, len(e.undone))
+	for _, s := range e.undone {
+		stranded = append(stranded, s)
+	}
+	e.mu.Unlock()
+	for _, s := range stranded {
+		s.closeDone()
+	}
+	return nil
+}
+
+func (e *Engine) unregister(id proto.SessionID) {
+	e.mu.Lock()
+	delete(e.sessions, id)
+	e.mu.Unlock()
+}
+
+// watchdog scans the active sessions once per period: a session with no
+// progress across a full period and no in-flight Source/Sink callback is
+// wedged, and fails with a DeadlockError naming it.  Sessions blocked in
+// user code (a quiet source, a backpressuring sink) are the outside
+// world's pace, not deadlock, exactly as in the one-shot Run.
+func (e *Engine) watchdog() {
+	ticker := time.NewTicker(e.cfg.WatchdogTimeout)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-ticker.C:
+			e.mu.Lock()
+			active := make([]*EngineSession, 0, len(e.sessions))
+			for _, s := range e.sessions {
+				active = append(active, s)
+			}
+			e.mu.Unlock()
+			for _, ses := range active {
+				cur := ses.progress.Load()
+				if ses.watched && cur == ses.lastProgress && ses.external.Load() == 0 {
+					ses.end(&DeadlockError{Session: ses.id, Channels: e.snapshot(ses)}, nil)
+					continue
+				}
+				ses.lastProgress = cur
+				ses.watched = true
+			}
+		}
+	}
+}
+
+// snapshot renders the session's per-edge occupancy (sent, not yet
+// consumed).  Reads are racy but indicative, as in the one-shot Run.
+func (e *Engine) snapshot(ses *EngineSession) map[string]string {
+	chans := make(map[string]string, e.g.NumEdges())
+	for i := 0; i < e.g.NumEdges(); i++ {
+		ed := e.g.Edge(graph.EdgeID(i))
+		chans[fmt.Sprintf("%s→%s", e.g.Name(ed.From), e.g.Name(ed.To))] =
+			fmt.Sprintf("%d/%d", ses.occupancy[i].Load(), ed.Buf)
+	}
+	return chans
+}
+
+// emission is one sink delivery queued for the session's sink pump.
+type emission struct {
+	seq     uint64
+	payload any
+}
+
+// ingestWindow is how many payloads a session's ingest pump may have
+// outstanding (granted or queued at the source node).  One would
+// round-trip a grant per payload; a small window pipelines ingestion
+// while still bounding a session's run-ahead over its own sends.
+const ingestWindow = 16
+
+// sinkWindow is how many emissions a session may have outstanding at
+// its sink pump.  One would round-trip an evSinkDone per firing and
+// serialize the sink; a small window pipelines the handoff while still
+// bounding how far a session can run ahead of a slow Sink.  Order is
+// unaffected (FIFO channel, single pump) and so is the error contract:
+// the pump stops at the first Emit error, so queued emissions behind it
+// are never delivered.
+const sinkWindow = 16
+
+// EngineSession is one logical stream being served by an Engine.
+type EngineSession struct {
+	id     proto.SessionID
+	e      *Engine
+	ctx    context.Context
+	cancel context.CancelFunc
+	source SourceFunc
+	sink   SinkFunc
+
+	// progress counts protocol events for the watchdog; external counts
+	// in-flight Source/Sink callbacks (blocked user code is not a wedge).
+	progress atomic.Int64
+	external atomic.Int64
+	// lastProgress/watched belong to the engine watchdog goroutine.
+	lastProgress int64
+	watched      bool
+
+	// occupancy[e] counts messages sent but not yet consumed on edge e,
+	// for deadlock snapshots (racy reads by the watchdog).
+	occupancy []atomic.Int64
+
+	// data/dummies/sinkData are each written by exactly one node
+	// goroutine and read after completion (the sink node's final EOS
+	// happens-after every send, via the mailbox chain).
+	data     []int64
+	dummies  []int64
+	sinkData int64
+	start    time.Time
+
+	ready  chan struct{} // ingest grant: source node → ingest pump
+	sinkCh chan emission // sink node → sink pump; nil without a Sink
+
+	endOnce sync.Once
+	ended   atomic.Bool
+	err     error
+	stats   *Stats
+	// abortAcks counts nodes that have processed this session's evAbort;
+	// done closes on the last ack, so Wait/Done imply full quiescence: no
+	// node loop will invoke a kernel for this session afterwards (which
+	// is what makes the public layer's Stateful re-initialization safe).
+	abortAcks atomic.Int64
+	doneOnce  sync.Once
+	done      chan struct{}
+}
+
+// closeDone resolves Wait/Done exactly once and retires the session
+// from the engine's undone set.
+func (s *EngineSession) closeDone() {
+	s.doneOnce.Do(func() {
+		close(s.done)
+		s.e.mu.Lock()
+		delete(s.e.undone, s.id)
+		s.e.mu.Unlock()
+	})
+}
+
+// ID returns the session's id.
+func (s *EngineSession) ID() proto.SessionID { return s.id }
+
+// Done is closed when the session has resolved.
+func (s *EngineSession) Done() <-chan struct{} { return s.done }
+
+// Wait blocks until the session drains or fails and returns its stats.
+func (s *EngineSession) Wait() (*Stats, error) {
+	<-s.done
+	return s.stats, s.err
+}
+
+// Cancel aborts the session (its Wait returns context.Canceled); other
+// sessions on the engine are unaffected.
+func (s *EngineSession) Cancel() { s.end(context.Canceled, nil) }
+
+// end resolves the session exactly once: record the outcome, cancel the
+// session context (unblocking the pumps), and post the abort that makes
+// every node drop the session's state.  done closes only when the last
+// node acknowledges the abort (see handle evAbort), so observers of
+// Wait/Done see a fully detached session.
+func (s *EngineSession) end(err error, stats *Stats) {
+	s.endOnce.Do(func() {
+		s.ended.Store(true)
+		s.err = err
+		s.stats = stats
+		s.cancel()
+		s.e.unregister(s.id)
+		for _, n := range s.e.nodes {
+			n.mb.post(event{kind: evAbort, ses: s})
+		}
+	})
+}
+
+// finishFromSink completes the session successfully; only the sink node's
+// goroutine calls it, after consuming EOS on every in-edge — which
+// happens-after every node's last send, so reading the plain counters
+// here is safe.
+func (s *EngineSession) finishFromSink() {
+	stats := &Stats{
+		Data:     make(map[graph.EdgeID]int64, len(s.data)),
+		Dummies:  make(map[graph.EdgeID]int64, len(s.dummies)),
+		SinkData: s.sinkData,
+		Elapsed:  time.Since(s.start),
+	}
+	for i := range s.data {
+		stats.Data[graph.EdgeID(i)] = s.data[i]
+		stats.Dummies[graph.EdgeID(i)] = s.dummies[i]
+	}
+	s.end(nil, stats)
+}
+
+// ingestPump pulls the session's payloads.  Each grant token from the
+// source node loop buys exactly one Source.Next call, and the node
+// keeps up to ingestWindow grants outstanding, so a session's source
+// runs ahead a bounded window and a slow consumer applies backpressure
+// to its own source only.
+func (s *EngineSession) ingestPump(src *engineNode) {
+	for {
+		select {
+		case <-s.ready:
+		case <-s.ctx.Done():
+			return
+		}
+		s.external.Add(1)
+		payload, ok, err := s.source(s.ctx)
+		s.external.Add(-1)
+		if err != nil {
+			s.end(fmt.Errorf("stream: source: %w", err), nil)
+			return
+		}
+		if !ok {
+			src.mb.post(event{kind: evSrcEnd, ses: s})
+			return
+		}
+		src.mb.post(event{kind: evIngest, ses: s, payload: payload})
+	}
+}
+
+// sinkPump delivers the session's emissions in order, draining the
+// window eagerly and acknowledging each drained run with one batched
+// evSinkDone (cnt = count), so a fast sink costs one mailbox round-trip
+// per batch rather than per emission.  The pump stops at the first Emit
+// error; emissions still queued behind it are never delivered.
+func (s *EngineSession) sinkPump(sink *engineNode) {
+	for {
+		select {
+		case em := <-s.sinkCh:
+			acked := 0
+			for {
+				s.external.Add(1)
+				err := s.sink(s.ctx, em.seq, em.payload)
+				s.external.Add(-1)
+				if err != nil {
+					s.end(fmt.Errorf("stream: sink: %w", err), nil)
+					return
+				}
+				acked++
+				more := false
+				select {
+				case em = <-s.sinkCh:
+					more = true
+				default:
+				}
+				if !more {
+					break
+				}
+			}
+			sink.mb.post(event{kind: evSinkDone, ses: s, cnt: acked})
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Node event loops.
+
+type evKind uint8
+
+const (
+	evOpen evKind = iota
+	evMsg
+	evCredit
+	evIngest
+	evSrcEnd
+	evSinkDone
+	evAbort
+)
+
+// event is one unit of work for a node loop.  Carrying the session
+// pointer (not just the id) lets late events for an ended session be
+// dropped without a registry lookup.
+type event struct {
+	kind    evKind
+	ses     *EngineSession
+	pos     int // in-edge position (evMsg), out-edge position (evCredit)
+	cnt     int // batched count (evCredit, evSinkDone)
+	msg     Message
+	payload any
+}
+
+// mailbox is the unbounded MPSC queue feeding one node loop.  Posts
+// never block, which is what keeps the node loops deadlock-free among
+// themselves: all flow control lives in the per-session credit windows.
+// The consumer drains whole batches (takeAll), so the lock is taken once
+// per batch, not once per event, and the two slices ping-pong: memory is
+// bounded by the largest backlog, not by total traffic.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []event
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) post(ev event) {
+	m.mu.Lock()
+	if !m.closed {
+		m.q = append(m.q, ev)
+		m.cond.Signal()
+	}
+	m.mu.Unlock()
+}
+
+// takeAll blocks for the next batch of events, handing ownership of the
+// queued slice to the caller and installing spare (cleared) as the new
+// queue.  It returns ok=false when the mailbox is closed and drained.
+func (m *mailbox) takeAll(spare []event) ([]event, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.q) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.q) == 0 {
+		return nil, false
+	}
+	evs := m.q
+	m.q = spare[:0]
+	return evs, true
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// engineNode is one resident node loop.
+type engineNode struct {
+	e      *Engine
+	id     graph.NodeID
+	kernel Kernel
+	in     []graph.EdgeID
+	out    []graph.EdgeID
+	mb     *mailbox
+
+	upstream   []*engineNode
+	upPos      []int // in-edge i's position in upstream[i].out
+	downstream []*engineNode
+	downPos    []int // out-edge i's position in downstream[i].in
+	outCap     []int
+
+	// sess, the dirty list, and the scratch masks are owned by the node
+	// goroutine.
+	sess      map[proto.SessionID]*nodeSession
+	dirty     []*nodeSession
+	creditAcc []int // per in-pos credits consumed this advance
+	emitted   []bool
+	seqs      []uint64
+}
+
+// nodeSession is one node's protocol state for one session: the demuxed
+// counterpart of what a one-shot NodeLoop keeps on its stack.
+type nodeSession struct {
+	ses *EngineSession
+	// heads[i] is the FIFO of arrived, unconsumed messages on in-pos i.
+	heads [][]Message
+	// engine is this session's dummy-protocol state at this node.
+	engine *proto.Engine
+	// pendingMsg[i]/pendingSet[i] park the firing's message for out-pos i
+	// until the window has room; pendingN counts set slots.  A node fires
+	// only with no pending sends, so at most one message per position.
+	pendingMsg []Message
+	pendingSet []bool
+	pendingN   int
+	// inflight[i] counts messages sent but not yet credited on out-pos i;
+	// the window is full at outCap[i].
+	inflight []int
+
+	nextSeq      uint64 // source only: next ingestion sequence number
+	ingestQ      []any  // source only: granted payloads awaiting firing
+	grants       int    // source only: grant tokens outstanding at the pump
+	srcDone      bool   // source only: the stream's source ended
+	sinkInflight int    // sink only: emissions outstanding at the pump
+	finishOnIdle bool   // sink only: EOS consumed, waiting for the pump
+	done         bool
+	aborted      bool // session ended; state dropped, skip advances
+	dirty        bool // queued in the node's per-batch advance list
+}
+
+func (n *engineNode) run() {
+	var spare []event
+	for {
+		evs, ok := n.mb.takeAll(spare)
+		if !ok {
+			return
+		}
+		// Two-phase batch: absorb every event's state change first, then
+		// advance each touched session once — so a batch of arrivals
+		// costs one fire loop and one batched credit ack per session,
+		// not one per event.
+		for i := range evs {
+			n.absorb(evs[i])
+			evs[i] = event{} // release references before slice reuse
+		}
+		for i, ns := range n.dirty {
+			ns.dirty = false
+			n.advance(ns)
+			n.dirty[i] = nil
+		}
+		n.dirty = n.dirty[:0]
+		spare = evs
+	}
+}
+
+func (n *engineNode) markDirty(ns *nodeSession) {
+	if !ns.dirty {
+		ns.dirty = true
+		n.dirty = append(n.dirty, ns)
+	}
+}
+
+// absorb applies one event's state change and marks the session for the
+// batch's advance pass.
+func (n *engineNode) absorb(ev event) {
+	if ev.kind == evAbort {
+		if ns := n.sess[ev.ses.id]; ns != nil {
+			ns.aborted = true
+			delete(n.sess, ev.ses.id)
+		}
+		if ev.ses.abortAcks.Add(1) == int64(len(n.e.nodes)) {
+			ev.ses.closeDone()
+		}
+		return
+	}
+	// Events queued ahead of an ended session's abort are dead: dropping
+	// them here (not just at the state lookup) stops kernel invocations
+	// for the old stream as soon as end() runs.
+	if ev.ses.ended.Load() {
+		return
+	}
+	if ev.kind == evOpen {
+		ns := &nodeSession{
+			ses:        ev.ses,
+			heads:      make([][]Message, len(n.in)),
+			engine:     proto.NewEngine(n.out, proto.Config{Algorithm: n.e.cfg.Algorithm, Intervals: n.e.cfg.Intervals}),
+			pendingMsg: make([]Message, len(n.out)),
+			pendingSet: make([]bool, len(n.out)),
+			inflight:   make([]int, len(n.out)),
+		}
+		n.sess[ev.ses.id] = ns
+		ev.ses.progress.Add(1)
+		n.markDirty(ns)
+		return
+	}
+	ns := n.sess[ev.ses.id]
+	if ns == nil {
+		return // session ended or drained here; late event
+	}
+	switch ev.kind {
+	case evMsg:
+		ns.heads[ev.pos] = append(ns.heads[ev.pos], ev.msg)
+	case evCredit:
+		ns.inflight[ev.pos] -= ev.cnt
+	case evIngest:
+		ns.grants--
+		ns.ingestQ = append(ns.ingestQ, ev.payload)
+	case evSrcEnd:
+		ns.grants--
+		ns.srcDone = true
+	case evSinkDone:
+		ns.sinkInflight -= ev.cnt
+	}
+	ev.ses.progress.Add(1)
+	n.markDirty(ns)
+}
+
+// advance drives the session's state machine at this node as far as it
+// can go without blocking: flush parked sends, fire while inputs align,
+// re-grant ingest window, ack consumed heads, and reclaim drained state.
+func (n *engineNode) advance(ns *nodeSession) {
+	if ns.aborted {
+		return
+	}
+	n.flush(ns)
+	if len(n.in) == 0 {
+		n.advanceSource(ns)
+	} else {
+		for !ns.done && ns.pendingN == 0 {
+			if !n.fireOnce(ns) {
+				break
+			}
+			n.flush(ns)
+		}
+		n.flushCredits(ns)
+	}
+	// A sink whose EOS arrived while Emits were still at the pump
+	// finishes on the pump's final ack.
+	if ns.done && ns.finishOnIdle && ns.sinkInflight == 0 {
+		n.finishSink(ns)
+		return
+	}
+	// Reclaim drained state — except at a sink still waiting for its
+	// pump's final Emit (finishSink owns that deletion).
+	if ns.done && ns.pendingN == 0 && !ns.finishOnIdle {
+		delete(n.sess, ns.ses.id)
+	}
+}
+
+// advanceSource fires queued payloads while sends land, broadcasts EOS
+// once the source has ended and the queue drained, and keeps the ingest
+// pump granted up to its window.
+func (n *engineNode) advanceSource(ns *nodeSession) {
+	for !ns.done && ns.pendingN == 0 {
+		if len(ns.ingestQ) > 0 {
+			if len(n.out) == 0 && ns.ses.sink != nil && ns.sinkInflight >= sinkWindow {
+				break // degenerate source-sink: pump window full
+			}
+			payload := ns.ingestQ[0]
+			ns.ingestQ[0] = nil
+			ns.ingestQ = ns.ingestQ[1:]
+			if len(ns.ingestQ) == 0 {
+				ns.ingestQ = nil // let the drained backing array go
+			}
+			n.fireSource(ns, payload)
+			continue
+		}
+		if ns.srcDone {
+			ns.done = true
+			if len(n.out) == 0 {
+				// Degenerate single-node topology: the source is the sink.
+				n.finishSink(ns)
+				return
+			}
+			for i := range n.out {
+				n.setPending(ns, i, Message{Seq: proto.EOSSeq, Kind: EOS})
+			}
+			n.flush(ns)
+			return
+		}
+		break
+	}
+	// Keep the pump running ahead, up to ingestWindow outstanding
+	// payloads (granted or queued) — backpressure still propagates once
+	// the queue fills, but a fast source no longer round-trips a grant
+	// per payload.
+	if !ns.done && !ns.srcDone {
+		for ns.grants+len(ns.ingestQ) < ingestWindow {
+			select {
+			case ns.ses.ready <- struct{}{}:
+				ns.grants++
+			default:
+				return
+			}
+		}
+	}
+}
+
+// flushCredits acks this advance's consumed heads upstream, one batched
+// credit event per in-edge.
+func (n *engineNode) flushCredits(ns *nodeSession) {
+	for i, c := range n.creditAcc {
+		if c > 0 {
+			n.creditAcc[i] = 0
+			n.upstream[i].mb.post(event{kind: evCredit, ses: ns.ses, pos: n.upPos[i], cnt: c})
+		}
+	}
+}
+
+// flush delivers parked sends whose windows have room.
+func (n *engineNode) flush(ns *nodeSession) {
+	if ns.pendingN == 0 {
+		return
+	}
+	for i := range ns.pendingSet {
+		if !ns.pendingSet[i] || ns.inflight[i] >= n.outCap[i] {
+			continue
+		}
+		m := ns.pendingMsg[i]
+		ns.pendingSet[i] = false
+		ns.pendingMsg[i] = Message{}
+		ns.pendingN--
+		ns.inflight[i]++
+		edge := n.out[i]
+		switch m.Kind {
+		case Data:
+			ns.ses.data[edge]++
+		case Dummy:
+			ns.ses.dummies[edge]++
+		}
+		ns.ses.occupancy[edge].Add(1)
+		ns.ses.progress.Add(1)
+		n.downstream[i].mb.post(event{kind: evMsg, ses: ns.ses, pos: n.downPos[i], msg: m})
+	}
+}
+
+func (n *engineNode) setPending(ns *nodeSession, pos int, m Message) {
+	ns.pendingMsg[pos] = m
+	ns.pendingSet[pos] = true
+	ns.pendingN++
+}
+
+// fireOnce attempts one aligned firing; it reports whether anything
+// happened.  This is NodeLoop's consume step, demuxed per session.
+func (n *engineNode) fireOnce(ns *nodeSession) bool {
+	for i := range ns.heads {
+		if len(ns.heads[i]) == 0 {
+			return false
+		}
+		n.seqs[i] = ns.heads[i][0].Seq
+	}
+	minSeq := proto.MinSeq(n.seqs)
+	if minSeq == proto.EOSSeq {
+		// All EOS: drain, forward, finish this session at this node.
+		for i := range ns.heads {
+			n.popHead(ns, i)
+		}
+		ns.done = true
+		if len(n.out) == 0 {
+			n.finishSink(ns)
+			return true
+		}
+		for i := range n.out {
+			n.setPending(ns, i, Message{Seq: proto.EOSSeq, Kind: EOS})
+		}
+		return true
+	}
+	anyData := false
+	for i := range ns.heads {
+		h := &ns.heads[i][0]
+		if h.Seq == minSeq && h.Kind == Data {
+			anyData = true
+		}
+	}
+	if len(n.out) == 0 && anyData && ns.sinkInflight >= sinkWindow {
+		return false // the sink pump's window is full
+	}
+	inputs := make([]Input, len(n.in))
+	for i := range ns.heads {
+		h := ns.heads[i][0]
+		if h.Seq != minSeq {
+			continue
+		}
+		if h.Kind == Data {
+			inputs[i] = Input{Present: true, Payload: h.Payload}
+		}
+		n.popHead(ns, i)
+	}
+	var outs map[int]any
+	if anyData {
+		outs = n.kernel.Process(minSeq, inputs)
+		ns.ses.progress.Add(1)
+		if len(n.out) == 0 {
+			n.sinkEmit(ns, minSeq, SinkPayload(inputs, outs))
+		}
+	}
+	n.queueFiring(ns, minSeq, outs)
+	return true
+}
+
+// popHead consumes the head of in-pos i; the credit is accumulated and
+// acked in one batch by flushCredits at the end of the advance.
+func (n *engineNode) popHead(ns *nodeSession, i int) {
+	q := ns.heads[i]
+	copy(q, q[1:])
+	q[len(q)-1] = Message{}
+	ns.heads[i] = q[:len(q)-1]
+	ns.ses.occupancy[n.in[i]].Add(-1)
+	n.creditAcc[i]++
+}
+
+// queueFiring parks the firing's messages — data per the kernel, dummies
+// per the shared protocol engine — and flushes what fits.
+func (n *engineNode) queueFiring(ns *nodeSession, seq uint64, outs map[int]any) {
+	for i := range n.emitted {
+		_, n.emitted[i] = outs[i]
+	}
+	dummy := ns.engine.Fire(seq, n.emitted)
+	for i := range n.emitted {
+		switch {
+		case n.emitted[i]:
+			n.setPending(ns, i, Message{Seq: seq, Kind: Data, Payload: outs[i]})
+		case dummy[i]:
+			n.setPending(ns, i, Message{Seq: seq, Kind: Dummy})
+		}
+	}
+	n.flush(ns)
+}
+
+// fireSource processes one ingested payload at the source node.
+func (n *engineNode) fireSource(ns *nodeSession, payload any) {
+	seq := ns.nextSeq
+	ns.nextSeq++
+	in := []Input{{Present: true, Payload: payload}}
+	outs := n.kernel.Process(seq, in)
+	ns.ses.progress.Add(1)
+	if len(n.out) == 0 {
+		n.sinkEmit(ns, seq, SinkPayload(in, outs))
+	}
+	n.queueFiring(ns, seq, outs)
+}
+
+// sinkEmit counts one sink firing and hands it to the session's pump.
+func (n *engineNode) sinkEmit(ns *nodeSession, seq uint64, payload any) {
+	ns.ses.sinkData++
+	ns.ses.progress.Add(1)
+	if ns.ses.sink == nil {
+		return
+	}
+	// sinkInflight < sinkWindow, so the channel has room: never blocks.
+	ns.ses.sinkCh <- emission{seq: seq, payload: payload}
+	ns.sinkInflight++
+}
+
+// finishSink resolves the session at the sink node: immediately when the
+// pump is idle, or on the final evSinkDone otherwise.
+func (n *engineNode) finishSink(ns *nodeSession) {
+	if ns.sinkInflight > 0 {
+		ns.finishOnIdle = true
+		return
+	}
+	delete(n.sess, ns.ses.id)
+	ns.ses.finishFromSink()
+}

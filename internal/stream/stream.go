@@ -168,6 +168,12 @@ func (s *Stats) TotalDummies() int64 {
 
 // DeadlockError reports a wedged network with a channel-state snapshot.
 type DeadlockError struct {
+	// Session is the wedged logical stream when the error comes from a
+	// multi-session Engine; zero for single-stream runs.  An Engine
+	// serving several sessions wedges stream-by-stream — each session
+	// owns its protocol state and buffer windows — so the error names
+	// the one that stalled rather than blaming the whole engine.
+	Session proto.SessionID
 	// Channels maps "from→to" to "occupied/capacity".
 	Channels map[string]string
 }
@@ -179,7 +185,11 @@ func (e *DeadlockError) Error() string {
 	}
 	sort.Strings(keys)
 	var b strings.Builder
-	b.WriteString("stream: deadlock detected; channel occupancy:")
+	if e.Session != 0 {
+		fmt.Fprintf(&b, "stream: session %d deadlock detected; channel occupancy:", e.Session)
+	} else {
+		b.WriteString("stream: deadlock detected; channel occupancy:")
+	}
 	for _, k := range keys {
 		fmt.Fprintf(&b, " %s=%s", k, e.Channels[k])
 	}

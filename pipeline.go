@@ -4,14 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
-	"strings"
-	"sync"
 	"time"
 
-	"streamdag/internal/dist"
-	"streamdag/internal/graph"
-	"streamdag/internal/sim"
 	"streamdag/internal/stream"
 )
 
@@ -273,41 +267,38 @@ func (p *Pipeline) Replication() *Replicated { return p.rep }
 // error, or when deadlock is detected.  A nil sink discards emissions
 // (they are still counted).
 //
+// Run is a compatibility wrapper over the Engine API — it spins up a
+// resident engine, opens one session, waits, and closes — so every run
+// re-pays the per-process setup the Engine exists to amortize.  Services
+// streaming more than once should hold a Pipeline.Engine and Open a
+// session per stream.
+//
 // A Pipeline is reusable: sequential Runs (with a fresh Source each, as
 // Sources are single-use) behave identically as long as hand-wired
 // kernels are stateless — Flow-compiled pipelines re-initialize their
-// Stateful stages at the start of every Run.  Concurrent Runs of one
-// Pipeline are not supported.
+// Stateful stages at the start of every Run.  For concurrent streams,
+// use Engine.Open; concurrent Runs of one Pipeline are not supported.
 //
 // For Flow-compiled pipelines, a payload that reached a stage with the
 // wrong dynamic type was filtered at that stage, and the first such
 // mismatch is returned as a *StageTypeError once the run finishes.
 func (p *Pipeline) Run(ctx context.Context, source Source, sink Sink) (*RunStats, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	if source == nil {
 		return nil, errors.New("streamdag: Pipeline.Run: nil Source (use CountingSource for synthetic sequence numbers)")
 	}
 	if sink == nil {
 		sink = DiscardSink()
 	}
-	for _, reset := range p.resets {
-		reset()
+	eng, err := p.Engine()
+	if err != nil {
+		return nil, err
 	}
-	if p.flowSlot != nil {
-		p.flowSlot.clear()
+	defer eng.Close()
+	ses, err := eng.Open(ctx, source, sink)
+	if err != nil {
+		return nil, err
 	}
-	stats, err := p.backend.run(ctx, p, source, sink)
-	if p.flowSlot != nil {
-		if terr := p.flowSlot.load(); terr != nil {
-			if err != nil {
-				return nil, errors.Join(err, terr)
-			}
-			return nil, terr
-		}
-	}
-	return stats, err
+	return ses.Wait()
 }
 
 // Backend executes a built Pipeline.  The three implementations —
@@ -319,7 +310,9 @@ type Backend interface {
 	// String names the backend for diagnostics and benchmarks.
 	String() string
 
-	run(ctx context.Context, p *Pipeline, source Source, sink Sink) (*RunStats, error)
+	// newEngine starts the backend's resident runtime for p; all
+	// execution — including Pipeline.Run — flows through it.
+	newEngine(p *Pipeline) (backendEngine, error)
 }
 
 // sourceFunc adapts the public Source to the internal callback shape.
@@ -337,22 +330,12 @@ func sinkFunc(s Sink) stream.SinkFunc {
 // goroutineBackend executes on the in-process concurrent runtime.
 type goroutineBackend struct{}
 
-// Goroutines is the default backend: one goroutine per node, buffered
-// Go channels for the topology's channels, and a progress watchdog for
+// Goroutines is the default backend: resident per-node workers, credit
+// windows sized to the topology's channels, and a progress watchdog for
 // deadlock detection.
 func Goroutines() Backend { return goroutineBackend{} }
 
 func (goroutineBackend) String() string { return "goroutines" }
-
-func (goroutineBackend) run(ctx context.Context, p *Pipeline, source Source, sink Sink) (*RunStats, error) {
-	return stream.Run(ctx, p.topo.g, p.kernels, stream.Config{
-		Source:          sourceFunc(source),
-		Sink:            sinkFunc(sink),
-		Algorithm:       p.alg,
-		Intervals:       p.intervals,
-		WatchdogTimeout: p.watchdog,
-	})
-}
 
 // simulatorBackend executes on the deterministic discrete-step
 // simulator.
@@ -362,79 +345,16 @@ type simulatorBackend struct{}
 // run under a sequential round-robin scheduler with exact deadlock
 // detection — results are schedule-independent, making it the oracle
 // the concurrent backends are tested against.  Kernels must be pure.
+//
+// Because the scheduler is a single goroutine, simulator sessions must
+// use non-blocking Sources and Sinks (SliceSource, CountingSource, a
+// Collector): a callback that blocks — a ChannelSource awaiting a send,
+// a backpressuring ChannelSink — parks the scheduler and stalls every
+// concurrent session (and their Cancels) until it returns.  The
+// concurrent backends have no such restriction.
 func Simulator() Backend { return simulatorBackend{} }
 
 func (simulatorBackend) String() string { return "simulator" }
-
-func (simulatorBackend) run(ctx context.Context, p *Pipeline, source Source, sink Sink) (*RunStats, error) {
-	start := time.Now()
-	res := sim.Run(p.topo.g, nil, sim.Config{
-		Kernels:   p.kernels,
-		Source:    sourceFunc(source),
-		Sink:      sinkFunc(sink),
-		Algorithm: p.alg,
-		Intervals: p.intervals,
-		Ctx:       ctx,
-	})
-	if !res.Completed {
-		if res.Err != nil {
-			return nil, res.Err
-		}
-		return nil, fmt.Errorf("streamdag: simulator %s: %s",
-			res.Reason, strings.Join(res.Blocked, "; "))
-	}
-	stats := &RunStats{
-		Data:     make(map[EdgeID]int64, len(res.DataMsgs)),
-		Dummies:  make(map[EdgeID]int64, len(res.DummyMsgs)),
-		SinkData: res.SinkData,
-		Elapsed:  time.Since(start),
-	}
-	for e, n := range res.DataMsgs {
-		stats.Data[e] = n
-	}
-	for e, n := range res.DummyMsgs {
-		stats.Dummies[e] = n
-	}
-	return stats, nil
-}
-
-// pickWorkerError selects the root cause from a distributed run's
-// per-worker errors.  When one worker fails, its teardown ripples
-// through the peers as secondary connection errors, and goroutine
-// scheduling decides which lands first — so prefer the caller's
-// cancellation, then application Source/Sink failures, then deadlock
-// reports, and only then whatever remains.
-func pickWorkerError(ctx context.Context, errs []error) error {
-	var first, callback, deadlock error
-	for _, err := range errs {
-		if err == nil {
-			continue
-		}
-		if first == nil {
-			first = err
-		}
-		var cb *dist.CallbackError
-		if callback == nil && errors.As(err, &cb) {
-			callback = err
-		}
-		var dl *dist.DeadlockError
-		if deadlock == nil && errors.As(err, &dl) {
-			deadlock = err
-		}
-	}
-	switch {
-	case first == nil:
-		return nil
-	case ctx.Err() != nil:
-		return ctx.Err()
-	case callback != nil:
-		return callback
-	case deadlock != nil:
-		return deadlock
-	default:
-		return first
-	}
-}
 
 // distributedBackend executes across TCP-connected workers hosted in
 // this process.
@@ -459,96 +379,3 @@ func Distributed(assign map[string]string) Backend {
 }
 
 func (b distributedBackend) String() string { return "distributed" }
-
-func (b distributedBackend) run(ctx context.Context, p *Pipeline, source Source, sink Sink) (*RunStats, error) {
-	start := time.Now()
-	g := p.topo.g
-	part := make(dist.Partition, g.NumNodes())
-	workerSet := make(map[string]bool)
-	for n := 0; n < g.NumNodes(); n++ {
-		id := graph.NodeID(n)
-		w, ok := b.assign[g.Name(id)]
-		if !ok {
-			return nil, fmt.Errorf("streamdag: distributed backend: node %q not assigned to a worker", g.Name(id))
-		}
-		part[id] = w
-		workerSet[w] = true
-	}
-	names := make([]string, 0, len(workerSet))
-	for w := range workerSet {
-		names = append(names, w)
-	}
-	sort.Strings(names)
-	addrs := make(map[string]string, len(names))
-	for _, w := range names {
-		addrs[w] = "127.0.0.1:0"
-	}
-	cfg := dist.Config{
-		Source:          sourceFunc(source),
-		Sink:            sinkFunc(sink),
-		Algorithm:       p.alg,
-		Intervals:       p.intervals,
-		WatchdogTimeout: p.watchdog,
-	}
-	workers := make([]*dist.Worker, 0, len(names))
-	closeAll := func() {
-		for _, w := range workers {
-			w.Close()
-		}
-	}
-	for _, name := range names {
-		w, err := dist.NewWorker(g, name, part, addrs, p.kernels, cfg)
-		if err != nil {
-			closeAll()
-			return nil, err
-		}
-		workers = append(workers, w)
-	}
-	for _, w := range workers {
-		if err := w.Listen(); err != nil {
-			closeAll() // release the listeners bound so far
-			return nil, err
-		}
-	}
-
-	// Run every worker concurrently; the first failure cancels the rest.
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	var (
-		wg    sync.WaitGroup
-		errs  = make([]error, len(workers))
-		stats = make([]*dist.Stats, len(workers))
-	)
-	for i, w := range workers {
-		wg.Add(1)
-		go func(i int, w *dist.Worker) {
-			defer wg.Done()
-			s, err := w.RunContext(runCtx)
-			if err != nil {
-				errs[i] = err
-				cancel()
-				return
-			}
-			stats[i] = s
-		}(i, w)
-	}
-	wg.Wait()
-	if err := pickWorkerError(ctx, errs); err != nil {
-		return nil, err
-	}
-	merged := &RunStats{
-		Data:    make(map[EdgeID]int64, g.NumEdges()),
-		Dummies: make(map[EdgeID]int64, g.NumEdges()),
-		Elapsed: time.Since(start),
-	}
-	for _, s := range stats {
-		for e, n := range s.Data {
-			merged.Data[e] += n
-		}
-		for e, n := range s.Dummies {
-			merged.Dummies[e] += n
-		}
-		merged.SinkData += s.SinkData
-	}
-	return merged, nil
-}
