@@ -11,7 +11,9 @@
 //	benchtopo [-family sp|ladder|general|all] [-reps 5] > scaling.csv
 //	benchtopo -family throughput [-api legacy|pipeline|typed|engine|both|all|<list>]
 //	          [-replicate 1,2,4] [-sessions 1,16,64] [-stage block|spin]
-//	          [-cost 100] [-inputs 20000] [-json BENCH_replication.json]
+//	          [-cost 100] [-inputs 20000] [-batch 1,64]
+//	          [-backend runtime,simulator,distributed]
+//	          [-json BENCH_replication.json]
 //
 // The throughput family runs a three-stage pipeline gen → work → out on
 // the goroutine runtime with the Propagation protocol, expanding the hot
@@ -30,10 +32,16 @@
 // BENCH_engine.json records from "-api pipeline,engine -sessions
 // 1,16,64".  -stage selects the hot kernel's cost model: "spin" burns
 // CPU (scales with spare cores) and "block" sleeps (models an
-// offload/IO-bound stage; scales with k on any machine).  -json
-// additionally writes the machine-readable records (topology, backend,
-// api, msgs/sec, dummy overhead %, …) that seed the repo's BENCH_*.json
-// performance trajectory.
+// offload/IO-bound stage; scales with k on any machine).  -batch sweeps
+// the transport batch size (streamdag.WithMaxBatch): each listed size
+// produces its own row, so "-batch 1,64" measures the batched hot path
+// against the per-message baseline — BENCH_batching.json records that
+// sweep.  -backend sweeps the execution backend (runtime, simulator,
+// distributed); the legacy api predates both knobs and is skipped for
+// rows with a batch > 1 or a non-runtime backend.  -json additionally
+// writes the machine-readable records (topology, backend, api, msgs/sec,
+// dummy overhead %, …) that seed the repo's BENCH_*.json performance
+// trajectory.
 package main
 
 import (
@@ -44,6 +52,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -69,8 +78,22 @@ func main() {
 	stage := flag.String("stage", "block", "hot-stage cost model: block (sleep) or spin (CPU) (throughput family)")
 	cost := flag.Int("cost", 100, "hot-stage cost per message: µs for block, thousands of iterations for spin")
 	inputs := flag.Uint64("inputs", 20_000, "inputs to stream (throughput family)")
+	batch := flag.String("batch", "1", "comma-separated transport batch sizes (throughput family; see WithMaxBatch)")
+	backend := flag.String("backend", "runtime", "comma-separated backends (throughput family): runtime, simulator, distributed")
 	jsonOut := flag.String("json", "", "write throughput records as JSON to this file (- for stdout)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	switch *family {
 	case "sp", "ladder", "general", "all":
@@ -88,7 +111,7 @@ func main() {
 		runLadder(*seed, *reps)
 		runGeneral(*seed, *reps)
 	case "throughput":
-		runThroughput(*api, *replicate, *sessions, *stage, *cost, *inputs, *reps, *jsonOut)
+		runThroughput(*api, *replicate, *sessions, *stage, *cost, *inputs, *batch, *backend, *reps, *jsonOut)
 	default:
 		fmt.Fprintf(os.Stderr, "benchtopo: unknown family %q\n", *family)
 		os.Exit(2)
@@ -106,6 +129,7 @@ type throughputRecord struct {
 	StageCost        string  `json:"stage_cost"`
 	Replicate        int     `json:"replicate"`
 	Sessions         int     `json:"sessions"`
+	Batch            int     `json:"batch"`
 	Inputs           uint64  `json:"inputs"`
 	Cores            int     `json:"cores"`
 	ElapsedSec       float64 `json:"elapsed_sec"`
@@ -120,7 +144,7 @@ type throughputRecord struct {
 // out for each replica count, with the hot "work" stage expanded by
 // streamdag.Replicate — through the legacy Run entry point, the Pipeline
 // API, the typed Flow builder, or the long-lived Engine.
-func runThroughput(api, replicate, sessions, stage string, cost int, inputs uint64, reps int, jsonOut string) {
+func runThroughput(api, replicate, sessions, stage string, cost int, inputs uint64, batch, backend string, reps int, jsonOut string) {
 	if reps < 1 {
 		reps = 1
 	}
@@ -138,6 +162,18 @@ func runThroughput(api, replicate, sessions, stage string, cost int, inputs uint
 	}
 	ks := parseList("replicate", replicate)
 	ns := parseList("sessions", sessions)
+	bs := parseList("batch", batch)
+	var backends []string
+	for _, part := range strings.Split(backend, ",") {
+		part = strings.TrimSpace(part)
+		switch part {
+		case "runtime", "simulator", "distributed":
+			backends = append(backends, part)
+		default:
+			fmt.Fprintf(os.Stderr, "benchtopo: unknown -backend %q\n", part)
+			os.Exit(2)
+		}
+	}
 	var apis []string
 	switch api {
 	case "both":
@@ -165,36 +201,43 @@ func runThroughput(api, replicate, sessions, stage string, cost int, inputs uint
 	if jsonOut == "-" {
 		csv = os.Stderr
 	}
-	fmt.Fprintln(csv, "topology,backend,api,algorithm,stage,replicate,sessions,inputs,seconds,msgs_per_sec,data_msgs,dummy_msgs,dummy_overhead_pct")
+	fmt.Fprintln(csv, "topology,backend,api,algorithm,stage,replicate,sessions,batch,inputs,seconds,msgs_per_sec,data_msgs,dummy_msgs,dummy_overhead_pct")
 	var records []throughputRecord
 	for _, k := range ks {
 		for _, n := range ns {
-			for _, a := range apis {
-				// Best-of-reps: scheduling and GC noise dominate short
-				// batches, and the fastest repetition is the least-noisy
-				// estimate of each mode's attainable throughput.
-				var rec throughputRecord
-				for r := 0; r < reps; r++ {
-					var cand throughputRecord
-					switch a {
-					case "pipeline":
-						cand = runPipelineAPI(k, n, hot, stage, desc, inputs)
-					case "typed":
-						cand = runTypedAPI(k, n, hotTyped, stage, desc, inputs)
-					case "engine":
-						cand = runEngineAPI(k, n, hot, stage, desc, inputs)
-					default:
-						cand = runPipeline(k, n, hot, stage, desc, inputs)
-					}
-					if r == 0 || cand.MsgsPerSec > rec.MsgsPerSec {
-						rec = cand
+			for _, be := range backends {
+				for _, b := range bs {
+					for _, a := range apis {
+						if a == "legacy" && (b > 1 || be != "runtime") {
+							continue // the legacy Run path predates both knobs
+						}
+						// Best-of-reps: scheduling and GC noise dominate short
+						// batches, and the fastest repetition is the least-noisy
+						// estimate of each mode's attainable throughput.
+						var rec throughputRecord
+						for r := 0; r < reps; r++ {
+							var cand throughputRecord
+							switch a {
+							case "pipeline":
+								cand = runPipelineAPI(k, n, b, be, hot, stage, desc, inputs)
+							case "typed":
+								cand = runTypedAPI(k, n, b, be, hotTyped, stage, desc, inputs)
+							case "engine":
+								cand = runEngineAPI(k, n, b, be, hot, stage, desc, inputs)
+							default:
+								cand = runPipeline(k, n, hot, stage, desc, inputs)
+							}
+							if r == 0 || cand.MsgsPerSec > rec.MsgsPerSec {
+								rec = cand
+							}
+						}
+						records = append(records, rec)
+						fmt.Fprintf(csv, "%s,%s,%s,%s,%s,%d,%d,%d,%d,%.4f,%.1f,%d,%d,%.2f\n",
+							rec.Topology, rec.Backend, rec.API, rec.Algorithm, rec.Stage, rec.Replicate,
+							rec.Sessions, rec.Batch, rec.Inputs, rec.ElapsedSec, rec.MsgsPerSec, rec.DataMsgs,
+							rec.DummyMsgs, rec.DummyOverheadPct)
 					}
 				}
-				records = append(records, rec)
-				fmt.Fprintf(csv, "%s,%s,%s,%s,%s,%d,%d,%d,%.4f,%.1f,%d,%d,%.2f\n",
-					rec.Topology, rec.Backend, rec.API, rec.Algorithm, rec.Stage, rec.Replicate,
-					rec.Sessions, rec.Inputs, rec.ElapsedSec, rec.MsgsPerSec, rec.DataMsgs,
-					rec.DummyMsgs, rec.DummyOverheadPct)
 			}
 		}
 	}
@@ -230,11 +273,10 @@ func stageKernel(stage string, cost int) (streamdag.Kernel, string) {
 	case "spin":
 		desc = fmt.Sprintf("%dk iters", cost)
 	}
-	return streamdag.KernelFunc(func(_ uint64, in []streamdag.Input) map[int]any {
-		if !in[0].Present {
-			return nil
-		}
-		return map[int]any{0: fn(in[0].Payload.(uint64))}
+	// MapKernel implements SpanKernel, so batched runs vectorize the hot
+	// stage instead of allocating a one-entry output map per element.
+	return streamdag.MapKernel(1, func(v any) any {
+		return fn(v.(uint64))
 	}), desc
 }
 
@@ -267,24 +309,56 @@ func typedStageFn(stage string, cost int) func(uint64) uint64 {
 	}
 }
 
+// benchBackend resolves a -backend name to a Backend for the given
+// (already expanded) pipeline topology; the distributed backend
+// partitions nodes across two loopback workers by node index.
+func benchBackend(name string, pipe *streamdag.Pipeline) streamdag.Backend {
+	switch name {
+	case "simulator":
+		return streamdag.Simulator()
+	case "distributed":
+		assign := make(map[string]string)
+		g := pipe.Topology().Graph()
+		for n := 0; n < g.NumNodes(); n++ {
+			assign[g.Name(streamdag.NodeID(n))] = fmt.Sprintf("w%d", n%2)
+		}
+		return streamdag.Distributed(assign)
+	default:
+		return streamdag.Goroutines()
+	}
+}
+
 // runTypedAPI is runPipelineAPI through the Flow builder: the same
 // three-node shape (source → work → sink) described as typed stages,
 // with the hot stage replicated via Stage.Replicate — measuring what the
 // generics-based surface costs over hand-wired kernels.  The n streams
 // run as sequential Pipeline.Run calls over one compiled flow.
-func runTypedAPI(k, n int, hot func(uint64) uint64, stage, desc string, inputs uint64) throughputRecord {
-	work := streamdag.Map("work", hot)
-	if k > 1 {
-		work = work.Replicate(k)
-	}
-	pipe, err := streamdag.NewFlow[uint64, uint64]().Buffer(64).
-		Then(work).
-		Compile(
+func runTypedAPI(k, n, batch int, backend string, hot func(uint64) uint64, stage, desc string, inputs uint64) throughputRecord {
+	compile := func(extra ...streamdag.Option) *streamdag.Pipeline {
+		work := streamdag.Map("work", hot)
+		if k > 1 {
+			work = work.Replicate(k)
+		}
+		opts := []streamdag.Option{
 			streamdag.WithAlgorithm(streamdag.Propagation),
-			streamdag.WithWatchdog(30*time.Second),
-		)
-	if err != nil {
-		fatal(err)
+			streamdag.WithWatchdog(30 * time.Second),
+		}
+		if batch > 1 {
+			opts = append(opts, streamdag.WithMaxBatch(batch))
+		}
+		pipe, err := streamdag.NewFlow[uint64, uint64]().Buffer(64).
+			Then(work).
+			Compile(append(opts, extra...)...)
+		if err != nil {
+			fatal(err)
+		}
+		return pipe
+	}
+	pipe := compile()
+	if backend != "runtime" {
+		// Recompile with the backend now that the expanded node names
+		// (the distributed assignment's keys) are known.
+		pipe = compile(streamdag.WithBackend(benchBackend(backend, pipe)))
 	}
 	start := time.Now()
 	var agg aggStats
@@ -296,7 +370,7 @@ func runTypedAPI(k, n int, hot func(uint64) uint64, stage, desc string, inputs u
 		}
 		agg.add(stats)
 	}
-	return makeThroughputRecord("typed", k, n, stage, desc, inputs, agg, time.Since(start))
+	return makeThroughputRecord("typed", backend, k, n, batch, stage, desc, inputs, agg, time.Since(start))
 }
 
 // aggStats accumulates traffic totals across a batch of streams.
@@ -317,7 +391,7 @@ func (a *aggStats) add(stats *streamdag.RunStats) {
 // are computed identically.  Throughput is the batch's aggregate: all n
 // streams' inputs over the batch's wall-clock time, which is what makes
 // amortized (engine) and per-run (fresh Run) modes directly comparable.
-func makeThroughputRecord(api string, k, n int, stage, desc string, inputs uint64, agg aggStats, elapsed time.Duration) throughputRecord {
+func makeThroughputRecord(api, backend string, k, n, batch int, stage, desc string, inputs uint64, agg aggStats, elapsed time.Duration) throughputRecord {
 	secs := elapsed.Seconds()
 	overhead := 0.0
 	if agg.data > 0 {
@@ -325,13 +399,14 @@ func makeThroughputRecord(api string, k, n int, stage, desc string, inputs uint6
 	}
 	return throughputRecord{
 		Topology:         "hotstage",
-		Backend:          "runtime",
+		Backend:          backend,
 		API:              api,
 		Algorithm:        "propagation",
 		Stage:            stage,
 		StageCost:        desc,
 		Replicate:        k,
 		Sessions:         n,
+		Batch:            batch,
 		Inputs:           inputs,
 		Cores:            runtime.NumCPU(),
 		ElapsedSec:       secs,
@@ -378,23 +453,41 @@ topology hotstage {
 		}
 		agg.add(stats)
 	}
-	return makeThroughputRecord("legacy", k, n, stage, desc, inputs, agg, time.Since(start))
+	return makeThroughputRecord("legacy", "runtime", k, n, 1, stage, desc, inputs, agg, time.Since(start))
 }
 
 // hotstagePipeline builds the gen → work×k → out pipeline the pipeline
-// and engine entry points share.
-func hotstagePipeline(k int, hot streamdag.Kernel) *streamdag.Pipeline {
-	topo := streamdag.NewTopology()
-	topo.Channel("gen", "work", 64)
-	topo.Channel("work", "out", 64)
-	pipe, err := streamdag.Build(topo,
-		streamdag.WithAlgorithm(streamdag.Propagation),
-		streamdag.WithReplication(streamdag.ReplicationPlan{"work": k}),
-		streamdag.WithKernel("work", hot),
-		streamdag.WithWatchdog(30*time.Second),
-	)
-	if err != nil {
-		fatal(err)
+// and engine entry points share, at the given transport batch size and
+// execution backend.
+func hotstagePipeline(k, batch int, backend string, hot streamdag.Kernel) *streamdag.Pipeline {
+	build := func(extra ...streamdag.Option) *streamdag.Pipeline {
+		topo := streamdag.NewTopology()
+		// 256-deep channels leave room for double buffering at every batch
+		// width in the sweep: a 64-wide span in flight never reduces a hop
+		// to stop-and-wait on its own credits.  The same capacity is used
+		// at batch 1, so every batch size runs the identical topology.
+		topo.Channel("gen", "work", 256)
+		topo.Channel("work", "out", 256)
+		opts := []streamdag.Option{
+			streamdag.WithAlgorithm(streamdag.Propagation),
+			streamdag.WithReplication(streamdag.ReplicationPlan{"work": k}),
+			streamdag.WithKernel("work", hot),
+			streamdag.WithWatchdog(30 * time.Second),
+		}
+		if batch > 1 {
+			opts = append(opts, streamdag.WithMaxBatch(batch))
+		}
+		pipe, err := streamdag.Build(topo, append(opts, extra...)...)
+		if err != nil {
+			fatal(err)
+		}
+		return pipe
+	}
+	pipe := build()
+	if backend != "runtime" {
+		// Rebuild with the backend now that the expanded node names (the
+		// distributed assignment's keys) are known.
+		pipe = build(streamdag.WithBackend(benchBackend(backend, pipe)))
 	}
 	return pipe
 }
@@ -403,8 +496,8 @@ func hotstagePipeline(k int, hot streamdag.Kernel) *streamdag.Pipeline {
 // surface: the n streams run as n fresh Run calls — each one spins up
 // and tears down a full runtime, which is exactly the per-run cost the
 // engine mode amortizes.
-func runPipelineAPI(k, n int, hot streamdag.Kernel, stage, desc string, inputs uint64) throughputRecord {
-	pipe := hotstagePipeline(k, hot)
+func runPipelineAPI(k, n, batch int, backend string, hot streamdag.Kernel, stage, desc string, inputs uint64) throughputRecord {
+	pipe := hotstagePipeline(k, batch, backend, hot)
 	start := time.Now()
 	var agg aggStats
 	for i := 0; i < n; i++ {
@@ -415,14 +508,14 @@ func runPipelineAPI(k, n int, hot streamdag.Kernel, stage, desc string, inputs u
 		}
 		agg.add(stats)
 	}
-	return makeThroughputRecord("pipeline", k, n, stage, desc, inputs, agg, time.Since(start))
+	return makeThroughputRecord("pipeline", backend, k, n, batch, stage, desc, inputs, agg, time.Since(start))
 }
 
 // runEngineAPI serves the n streams as concurrent sessions over one
 // resident engine: compile once, spin the workers once, then each
 // stream costs a session.
-func runEngineAPI(k, n int, hot streamdag.Kernel, stage, desc string, inputs uint64) throughputRecord {
-	pipe := hotstagePipeline(k, hot)
+func runEngineAPI(k, n, batch int, backend string, hot streamdag.Kernel, stage, desc string, inputs uint64) throughputRecord {
+	pipe := hotstagePipeline(k, batch, backend, hot)
 	start := time.Now()
 	eng, err := pipe.Engine()
 	if err != nil {
@@ -465,7 +558,7 @@ func runEngineAPI(k, n int, hot streamdag.Kernel, stage, desc string, inputs uin
 	if err := eng.Close(); err != nil {
 		fatal(err)
 	}
-	return makeThroughputRecord("engine", k, n, stage, desc, inputs, agg, time.Since(start))
+	return makeThroughputRecord("engine", backend, k, n, batch, stage, desc, inputs, agg, time.Since(start))
 }
 
 func fatal(err error) {

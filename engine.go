@@ -266,6 +266,30 @@ type backendSession interface {
 	done() <-chan struct{}
 }
 
+// resolvedNodeBatch maps the pipeline's per-stage Batch marks (keyed by
+// original node name) onto the executed topology's node IDs: under
+// replication every replica of a marked node inherits its batch size.
+func (p *Pipeline) resolvedNodeBatch() map[graph.NodeID]int {
+	if len(p.nodeBatch) == 0 {
+		return nil
+	}
+	out := make(map[graph.NodeID]int, len(p.nodeBatch))
+	for name, b := range p.nodeBatch {
+		if p.rep != nil {
+			if ids, err := p.rep.Replicas(name); err == nil {
+				for _, id := range ids {
+					out[id] = b
+				}
+				continue
+			}
+		}
+		if id, ok := p.topo.g.NodeByName(name); ok {
+			out[id] = b
+		}
+	}
+	return out
+}
+
 // goroutineEngine adapts stream.Engine.
 type goroutineEngine struct{ eng *stream.Engine }
 
@@ -274,6 +298,8 @@ func (goroutineBackend) newEngine(p *Pipeline) (backendEngine, error) {
 		Algorithm:       p.alg,
 		Intervals:       p.intervals,
 		WatchdogTimeout: p.watchdog,
+		MaxBatch:        p.maxBatch,
+		NodeBatch:       p.resolvedNodeBatch(),
 	})
 	if err != nil {
 		return nil, err
@@ -283,8 +309,14 @@ func (goroutineBackend) newEngine(p *Pipeline) (backendEngine, error) {
 
 func (g *goroutineEngine) open(ctx context.Context, id SessionID, source Source, sink Sink) (backendSession, error) {
 	cfg := stream.SessionConfig{ID: id, Ctx: ctx, Source: sourceFunc(source)}
+	if ss, ok := source.(SpanSource); ok {
+		cfg.SpanSource = ss.NextSpan
+	}
 	if sink != nil {
 		cfg.Sink = sinkFunc(sink)
+		if bs, ok := sink.(SpanSink); ok {
+			cfg.SpanSink = bs.EmitSpan
+		}
 	}
 	ses, err := g.eng.Open(cfg)
 	if err != nil {
@@ -308,6 +340,8 @@ func (simulatorBackend) newEngine(p *Pipeline) (backendEngine, error) {
 		Kernels:   p.kernels,
 		Algorithm: p.alg,
 		Intervals: p.intervals,
+		MaxBatch:  p.maxBatch,
+		NodeBatch: p.resolvedNodeBatch(),
 	})}, nil
 }
 
@@ -379,6 +413,7 @@ func (b distributedBackend) newEngine(p *Pipeline) (backendEngine, error) {
 		Algorithm:       p.alg,
 		Intervals:       p.intervals,
 		WatchdogTimeout: p.watchdog,
+		MaxBatch:        p.maxBatch,
 	})
 	if err != nil {
 		return nil, err

@@ -87,6 +87,7 @@ type lowering struct {
 	specs  []nodeSpec
 	names  map[string]bool
 	plan   ReplicationPlan
+	batch  map[string]int // per-stage Batch marks, keyed by node name
 	slot   *stageErrSlot
 	resets []func()
 	defBuf int
@@ -186,6 +187,7 @@ func (f *Flow[In, Out]) Compile(opts ...Option) (*Pipeline, error) {
 		topo:   NewTopology(),
 		names:  make(map[string]bool),
 		plan:   make(ReplicationPlan),
+		batch:  make(map[string]int),
 		slot:   new(stageErrSlot),
 		defBuf: f.buf,
 	}
@@ -214,36 +216,76 @@ func (f *Flow[In, Out]) Compile(opts ...Option) (*Pipeline, error) {
 	}
 	pipe.flowSlot = lw.slot
 	pipe.resets = lw.resets
+	if len(lw.batch) > 0 {
+		pipe.nodeBatch = lw.batch
+	}
 	return pipe, nil
 }
 
 // sourceFactory builds the synthetic source node's kernel: it checks
 // that every ingested payload is the flow's In type (a mismatch is
-// recorded and the payload filtered) and forwards it downstream.
+// recorded and the payload filtered) and forwards it downstream.  The
+// kernel vectorizes (SpanKernel): a span of well-typed payloads passes
+// in one call, and the first mismatch declines to the per-element path
+// that records the error.
 func sourceFactory[In any](slot *stageErrSlot) kernelFactory {
 	return func(nIn, nOut int) Kernel {
-		return KernelFunc(func(seq uint64, in []Input) map[int]any {
-			v, ok := castPayload[In](slot, "source", seq, in[0].Payload)
-			if !ok {
-				return nil
-			}
-			return broadcast(nOut, v)
-		})
+		return flowSourceKernel[In]{nOut: nOut, slot: slot}
 	}
+}
+
+type flowSourceKernel[In any] struct {
+	nOut int
+	slot *stageErrSlot
+}
+
+func (k flowSourceKernel[In]) Process(seq uint64, in []Input) map[int]any {
+	v, ok := castPayload[In](k.slot, "source", seq, in[0].Payload)
+	if !ok {
+		return nil
+	}
+	return broadcast(k.nOut, v)
+}
+
+func (k flowSourceKernel[In]) ProcessSpan(_ uint64, in, out []any) int {
+	for j, p := range in {
+		v, ok := assertAs[In](p)
+		if !ok {
+			return j
+		}
+		out[j] = v
+	}
+	return len(in)
 }
 
 // sinkFactory builds the synthetic sink node's kernel: it enforces the
 // flow's Out type at run time (closing the gap interface-typed upstream
 // boundaries leave open).  A sink node cannot filter — its firing is
 // delivered regardless — so a mismatched payload still reaches the Sink
-// as-is, but the run reports the recorded *StageTypeError.
+// as-is, but the run reports the recorded *StageTypeError.  ProcessSpan
+// mirrors that exactly: it never declines, forwards every payload
+// unchanged, and records the first mismatch.
 func sinkFactory[Out any](slot *stageErrSlot) kernelFactory {
 	return func(nIn, nOut int) Kernel {
-		return KernelFunc(func(seq uint64, in []Input) map[int]any {
-			if p, ok := firstPresent(in); ok {
-				castPayload[Out](slot, "sink", seq, p)
-			}
-			return nil
-		})
+		return flowSinkKernel[Out]{slot: slot}
 	}
+}
+
+type flowSinkKernel[Out any] struct {
+	slot *stageErrSlot
+}
+
+func (k flowSinkKernel[Out]) Process(seq uint64, in []Input) map[int]any {
+	if p, ok := firstPresent(in); ok {
+		castPayload[Out](k.slot, "sink", seq, p)
+	}
+	return nil
+}
+
+func (k flowSinkKernel[Out]) ProcessSpan(seq0 uint64, in, out []any) int {
+	for j, p := range in {
+		castPayload[Out](k.slot, "sink", seq0+uint64(j), p)
+		out[j] = p
+	}
+	return len(in)
 }

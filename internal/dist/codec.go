@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"streamdag/internal/graph"
 	"streamdag/internal/proto"
@@ -35,6 +36,12 @@ import (
 //	             edge.  Per-session windows are what carry the paper's
 //	             finite buffer capacities — and with them the deadlock-
 //	             freedom guarantee — stream-by-stream over a shared wire.
+//	'B' batch  — uint32 count, then count × (uint32 len + sub-body).  A
+//	             transport-level aggregate: the coalescing writer packs
+//	             the frames queued for one peer into a single wire frame
+//	             (one syscall for the lot), and the receiver dispatches
+//	             each sub-body exactly as if it had arrived alone.
+//	             Batches never nest and never arrive empty.
 //
 // Edge IDs are global (both sides build them from the same topology), so
 // frames need no further addressing.
@@ -45,6 +52,7 @@ const (
 	frameDone       byte = 'D'
 	frameSessMsg    byte = 'S'
 	frameSessCredit byte = 'c'
+	frameBatch      byte = 'B'
 )
 
 const helloMagic = "SDG1"
@@ -74,6 +82,97 @@ func frameFor(body []byte) []byte {
 	binary.BigEndian.PutUint32(f, uint32(len(body)))
 	copy(f[4:], body)
 	return f
+}
+
+// readFrameReuse reads one frame into *buf, growing it only when a frame
+// outsizes every previous one; the returned slice aliases *buf and is
+// valid until the next call.  Safe on the resident Engine's read path
+// because every parser copies the bytes it retains past dispatch
+// (decodePayload copies strings, byte slices, and gob values).
+func readFrameReuse(r io.Reader, buf *[]byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("dist: bad frame length %d", n)
+	}
+	if uint32(cap(*buf)) < n {
+		*buf = make([]byte, n)
+	}
+	b := (*buf)[:n]
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// bodyPool recycles frame-body encode buffers on the batched hot path:
+// the session ports draw from it to encode messages and credits, and the
+// coalescing writer returns each body once its bytes are on the wire.
+var bodyPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+func getBody() []byte { return (*bodyPool.Get().(*[]byte))[:0] }
+
+func putBody(b []byte) {
+	// Don't pin oversized buffers (a one-off huge payload) in the pool.
+	if cap(b) == 0 || cap(b) > 1<<16 {
+		return
+	}
+	b = b[:0]
+	bodyPool.Put(&b)
+}
+
+// appendBatchFrame appends one complete batch wire frame — outer length
+// header included — packing bodies in order.
+func appendBatchFrame(dst []byte, bodies [][]byte) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, frameBatch)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(bodies)))
+	for _, b := range bodies {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(b)))
+		dst = append(dst, b...)
+	}
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst
+}
+
+// forEachBatchBody walks a batch frame body, invoking fn on every
+// sub-body in order.  Sub-bodies alias body, which is safe because every
+// parser copies the data it retains.  Empty batches, nested batches,
+// zero-length or truncated sub-bodies, and trailing garbage are all
+// rejected; fn's error aborts the walk.
+func forEachBatchBody(body []byte, fn func([]byte) error) error {
+	if len(body) < 5 || body[0] != frameBatch {
+		return fmt.Errorf("dist: bad batch frame (%d bytes)", len(body))
+	}
+	count := binary.BigEndian.Uint32(body[1:])
+	if count == 0 {
+		return fmt.Errorf("dist: empty batch frame")
+	}
+	rest := body[5:]
+	for i := uint32(0); i < count; i++ {
+		if len(rest) < 4 {
+			return fmt.Errorf("dist: truncated batch frame (sub %d of %d)", i, count)
+		}
+		n := binary.BigEndian.Uint32(rest)
+		rest = rest[4:]
+		if n == 0 || uint64(n) > uint64(len(rest)) {
+			return fmt.Errorf("dist: bad sub-frame length %d in batch", n)
+		}
+		if rest[0] == frameBatch {
+			return fmt.Errorf("dist: nested batch frame")
+		}
+		if err := fn(rest[:n]); err != nil {
+			return err
+		}
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("dist: %d trailing bytes in batch frame", len(rest))
+	}
+	return nil
 }
 
 func helloBody(name string) []byte {
@@ -141,7 +240,12 @@ func parseCredit(body []byte) (graph.EdgeID, error) {
 }
 
 func sessMsgBody(sid proto.SessionID, e graph.EdgeID, m stream.Message) ([]byte, error) {
-	b := make([]byte, 0, 24)
+	return appendSessMsg(make([]byte, 0, 24), sid, e, m)
+}
+
+// appendSessMsg is sessMsgBody into a caller-supplied (typically pooled)
+// buffer.
+func appendSessMsg(b []byte, sid proto.SessionID, e graph.EdgeID, m stream.Message) ([]byte, error) {
 	b = append(b, frameSessMsg)
 	b = binary.BigEndian.AppendUint64(b, uint64(sid))
 	b = binary.BigEndian.AppendUint32(b, uint32(e))
@@ -178,11 +282,15 @@ func parseSessMsg(body []byte) (proto.SessionID, graph.EdgeID, stream.Message, e
 }
 
 func sessCreditBody(sid proto.SessionID, e graph.EdgeID) []byte {
-	b := make([]byte, 13)
-	b[0] = frameSessCredit
-	binary.BigEndian.PutUint64(b[1:], uint64(sid))
-	binary.BigEndian.PutUint32(b[9:], uint32(e))
-	return b
+	return appendSessCredit(make([]byte, 0, 13), sid, e)
+}
+
+// appendSessCredit is sessCreditBody into a caller-supplied (typically
+// pooled) buffer.
+func appendSessCredit(b []byte, sid proto.SessionID, e graph.EdgeID) []byte {
+	b = append(b, frameSessCredit)
+	b = binary.BigEndian.AppendUint64(b, uint64(sid))
+	return binary.BigEndian.AppendUint32(b, uint32(e))
 }
 
 func parseSessCredit(body []byte) (proto.SessionID, graph.EdgeID, error) {

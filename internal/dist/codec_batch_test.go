@@ -1,0 +1,202 @@
+package dist
+
+// Batch ('B') frame codec: round-trips, malformed-frame rejection, the
+// pooled-buffer aliasing contract, and a native fuzz target whose seed
+// corpus runs under plain `go test`.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"strings"
+	"testing"
+
+	"streamdag/internal/stream"
+)
+
+// collectBatch is the test-side inverse of appendBatchFrame: strip the
+// outer length header, then walk the sub-bodies.
+func collectBatch(t *testing.T, frame []byte) [][]byte {
+	t.Helper()
+	read, err := readFrame(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var subs [][]byte
+	if err := forEachBatchBody(read, func(b []byte) error {
+		subs = append(subs, b)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return subs
+}
+
+func TestBatchFrameRoundTrip(t *testing.T) {
+	msgs := []stream.Message{
+		{Seq: 1, Kind: stream.Data, Payload: uint64(7)},
+		{Seq: 2, Kind: stream.Data, Payload: "a string payload"},
+		{Seq: 3, Kind: stream.Data, Payload: []byte{9, 8, 7}},
+		{Seq: 4, Kind: stream.Dummy},
+		{Seq: ^uint64(0), Kind: stream.EOS},
+	}
+	var bodies [][]byte
+	for _, m := range msgs {
+		b, err := appendSessMsg(nil, 42, 3, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies = append(bodies, b)
+	}
+	bodies = append(bodies, appendSessCredit(nil, 42, 5))
+
+	subs := collectBatch(t, appendBatchFrame(nil, bodies))
+	if len(subs) != len(bodies) {
+		t.Fatalf("%d sub-bodies, want %d", len(subs), len(bodies))
+	}
+	for i, m := range msgs {
+		sid, e, got, err := parseSessMsg(subs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sid != 42 || e != 3 || !reflect.DeepEqual(got, m) {
+			t.Errorf("sub %d: (%d, %d, %+v), want (42, 3, %+v)", i, sid, e, got, m)
+		}
+	}
+	sid, e, err := parseSessCredit(subs[len(subs)-1])
+	if err != nil || sid != 42 || e != 5 {
+		t.Errorf("credit sub = (%d, %d, %v), want (42, 5, nil)", sid, e, err)
+	}
+}
+
+// TestBatchFrameLarge packs a payload in the megabyte range and checks
+// the aggregate frame still round-trips under the maxFrame bound.
+func TestBatchFrameLarge(t *testing.T) {
+	big := bytes.Repeat([]byte{0xAB}, 1<<20)
+	body, err := appendSessMsg(nil, 1, 0, stream.Message{Seq: 9, Kind: stream.Data, Payload: big})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := appendSessMsg(nil, 1, 0, stream.Message{Seq: 10, Kind: stream.Data, Payload: uint64(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := appendBatchFrame(nil, [][]byte{body, small})
+	if len(frame)-4 > maxFrame {
+		t.Fatalf("aggregate frame body of %d bytes exceeds maxFrame", len(frame)-4)
+	}
+	subs := collectBatch(t, frame)
+	_, _, m, err := parseSessMsg(subs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m.Payload.([]byte), big) {
+		t.Error("megabyte payload corrupted through batch frame")
+	}
+}
+
+func TestBatchFrameRejectsMalformed(t *testing.T) {
+	okBody := appendSessCredit(nil, 1, 2)
+	cases := []struct {
+		name string
+		body []byte
+		want string
+	}{
+		{"empty batch", []byte{frameBatch, 0, 0, 0, 0}, "empty batch"},
+		{"short header", []byte{frameBatch, 0, 0}, "bad batch frame"},
+		{"truncated sub header", append(binary.BigEndian.AppendUint32([]byte{frameBatch}, 2),
+			append(binary.BigEndian.AppendUint32(nil, uint32(len(okBody))), okBody...)...), "truncated"},
+		{"zero-length sub", binary.BigEndian.AppendUint32(
+			binary.BigEndian.AppendUint32([]byte{frameBatch}, 1), 0), "bad sub-frame length"},
+		{"sub length past end", binary.BigEndian.AppendUint32(
+			binary.BigEndian.AppendUint32([]byte{frameBatch}, 1), 1000), "bad sub-frame length"},
+		{"nested batch", func() []byte {
+			inner := appendBatchFrame(nil, [][]byte{okBody})[4:]
+			return appendBatchFrame(nil, [][]byte{inner})[4:]
+		}(), "nested"},
+		{"trailing garbage", append(appendBatchFrame(nil, [][]byte{okBody})[4:], 0xFF), "trailing"},
+	}
+	for _, tc := range cases {
+		err := forEachBatchBody(tc.body, func([]byte) error { return nil })
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestBatchDecodedPayloadsSurviveBufferReuse pins the aliasing contract
+// the reused read buffer and pooled encode buffers rely on: everything a
+// parser retains past dispatch must be a copy, so clobbering the frame
+// bytes afterwards cannot corrupt a decoded payload.
+func TestBatchDecodedPayloadsSurviveBufferReuse(t *testing.T) {
+	b1, err := appendSessMsg(getBody(), 7, 1, stream.Message{Seq: 1, Kind: stream.Data, Payload: "retained string"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := appendSessMsg(getBody(), 7, 1, stream.Message{Seq: 2, Kind: stream.Data, Payload: []byte("retained bytes")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := appendBatchFrame(nil, [][]byte{b1, b2})
+
+	var msgs []stream.Message
+	read, err := readFrame(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := forEachBatchBody(read, func(sub []byte) error {
+		_, _, m, err := parseSessMsg(sub)
+		if err != nil {
+			return err
+		}
+		msgs = append(msgs, m)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the transport reusing every buffer involved.
+	for i := range read {
+		read[i] = 0xEE
+	}
+	putBody(b1)
+	putBody(b2)
+	reused := getBody()
+	reused = append(reused[:0], bytes.Repeat([]byte{0xDD}, 64)...)
+	_ = reused
+
+	if got := msgs[0].Payload.(string); got != "retained string" {
+		t.Errorf("string payload corrupted by buffer reuse: %q", got)
+	}
+	if got := msgs[1].Payload.([]byte); !bytes.Equal(got, []byte("retained bytes")) {
+		t.Errorf("bytes payload corrupted by buffer reuse: %q", got)
+	}
+}
+
+// FuzzBatchFrame feeds arbitrary bytes through the batch walker and the
+// session-frame parsers; nothing may panic or over-read.  The seed
+// corpus (valid frames plus each malformed shape) runs under `go test`.
+func FuzzBatchFrame(f *testing.F) {
+	okMsg, _ := appendSessMsg(nil, 1, 2, stream.Message{Seq: 3, Kind: stream.Data, Payload: "seed"})
+	okCred := appendSessCredit(nil, 4, 5)
+	f.Add(appendBatchFrame(nil, [][]byte{okMsg, okCred})[4:])
+	f.Add([]byte{frameBatch, 0, 0, 0, 0})
+	f.Add([]byte{frameBatch})
+	f.Add(binary.BigEndian.AppendUint32(binary.BigEndian.AppendUint32([]byte{frameBatch}, 1), 1000))
+	f.Add(append(appendBatchFrame(nil, [][]byte{okCred})[4:], 0x01))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		if len(body) == 0 {
+			return
+		}
+		_ = forEachBatchBody(body, func(sub []byte) error {
+			switch sub[0] {
+			case frameSessMsg:
+				_, _, _, _ = parseSessMsg(sub)
+			case frameSessCredit:
+				_, _, _ = parseSessCredit(sub)
+			}
+			return nil
+		})
+	})
+}

@@ -67,6 +67,17 @@ type Config struct {
 	// DialTimeout bounds connection establishment to each peer at the
 	// start of Run.  Zero defaults to ten seconds.
 	DialTimeout time.Duration
+	// MaxBatch, when > 1, turns on transport-level write coalescing in
+	// the resident Engine: each peer link runs a dedicated writer that
+	// drains everything queued per wakeup and packs up to MaxBatch frames
+	// into a single aggregate wire frame — one syscall per batch instead
+	// of one per message.  Draining is eager (a lone frame goes out
+	// immediately in its plain form), so the message timing the protocol
+	// observes is unchanged and the per-session logical stream — data,
+	// dummies, credits — is identical to the unbatched wire.  Values of
+	// 0 and 1 keep the legacy one-frame-per-write path; the one-shot Run
+	// ignores the field entirely.
+	MaxBatch int
 }
 
 // Stats is one worker's traffic summary.  Data and Dummies count messages
@@ -161,10 +172,29 @@ const doneGraceTicks = 10
 
 // peerLink is an outbound connection to one peer worker; all frames this
 // worker sends to that peer share it.
+//
+// With coalescing enabled (resident Engine links when Config.MaxBatch
+// > 1), send hands encoded bodies to a dedicated writer goroutine that
+// drains the queue as fast as the wire accepts it, packing everything
+// pending — up to maxBodies per frame — into one batch frame per
+// syscall.  Draining is eager: the writer never waits for a batch to
+// fill, so flow-control timing (and with it the deadlock argument) is
+// unchanged, and per-link FIFO order holds because messages and credits
+// share the one queue.  send takes ownership of body either way; drained
+// bodies return to bodyPool.
 type peerLink struct {
 	name string
 	conn net.Conn
 	mu   sync.Mutex
+
+	coalesce  bool
+	maxBodies int
+	qmu       sync.Mutex
+	qcond     *sync.Cond
+	queue     [][]byte
+	qclosed   bool
+	qerr      error
+	wg        sync.WaitGroup
 }
 
 func (p *peerLink) send(body []byte) error {
@@ -172,11 +202,126 @@ func (p *peerLink) send(body []byte) error {
 		return fmt.Errorf("dist: frame of %d bytes to %q exceeds the %d-byte limit (payload too large)",
 			len(body), p.name, maxFrame)
 	}
+	if p.coalesce {
+		return p.enqueue(body)
+	}
 	f := frameFor(body)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	_, err := p.conn.Write(f)
+	putBody(body)
 	return err
+}
+
+// startCoalescer switches the link to queued writes and launches the
+// drain goroutine.  Call once, after the synchronous hello, before any
+// concurrent sends; onErr reports an asynchronous write failure exactly
+// once.
+func (p *peerLink) startCoalescer(maxBodies int, onErr func(error)) {
+	p.coalesce = true
+	p.maxBodies = maxBodies
+	p.qcond = sync.NewCond(&p.qmu)
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.writeLoop(onErr)
+	}()
+}
+
+// stopCoalescer wakes the writer for exit and waits for it.  Pending
+// frames are dropped — the engine only stops the writer at teardown,
+// after every session has already ended.  Harmless when the coalescer
+// was never started.
+func (p *peerLink) stopCoalescer() {
+	if !p.coalesce {
+		return
+	}
+	p.qmu.Lock()
+	p.qclosed = true
+	p.qmu.Unlock()
+	p.qcond.Broadcast()
+	p.wg.Wait()
+}
+
+func (p *peerLink) enqueue(body []byte) error {
+	p.qmu.Lock()
+	if p.qerr != nil || p.qclosed {
+		err := p.qerr
+		p.qmu.Unlock()
+		if err == nil {
+			err = net.ErrClosed
+		}
+		return err
+	}
+	p.queue = append(p.queue, body)
+	p.qmu.Unlock()
+	p.qcond.Signal()
+	return nil
+}
+
+func (p *peerLink) writeLoop(onErr func(error)) {
+	var pending [][]byte
+	for {
+		p.qmu.Lock()
+		for len(p.queue) == 0 && !p.qclosed {
+			p.qcond.Wait()
+		}
+		if p.qclosed {
+			p.qmu.Unlock()
+			return
+		}
+		// Slice ping-pong: take the whole queue, hand back the drained
+		// (now empty) slice so steady state allocates nothing.
+		pending, p.queue = p.queue, pending[:0]
+		p.qmu.Unlock()
+		if err := p.flushPending(pending); err != nil {
+			p.qmu.Lock()
+			p.qerr = err
+			p.qmu.Unlock()
+			onErr(err)
+			return
+		}
+		for i := range pending {
+			putBody(pending[i])
+			pending[i] = nil
+		}
+	}
+}
+
+// flushPending writes the drained bodies in order, packing runs of up to
+// maxBodies (bounded by maxFrame) into one batch frame per conn.Write; a
+// lone body goes out as a plain frame, byte-identical to the sync path.
+func (p *peerLink) flushPending(bodies [][]byte) error {
+	var frame []byte
+	for len(bodies) > 0 {
+		n, size := 0, 0
+		for n < len(bodies) && n < p.maxBodies {
+			need := 4 + len(bodies[n])
+			if n > 0 && 5+size+need > maxFrame {
+				break
+			}
+			size += need
+			n++
+		}
+		if n == 1 {
+			if _, err := p.conn.Write(frameFor(bodies[0])); err != nil {
+				return err
+			}
+		} else {
+			if frame == nil {
+				frame = getBody()
+			}
+			frame = appendBatchFrame(frame[:0], bodies[:n])
+			if _, err := p.conn.Write(frame); err != nil {
+				return err
+			}
+		}
+		bodies = bodies[n:]
+	}
+	if frame != nil {
+		putBody(frame)
+	}
+	return nil
 }
 
 // Worker hosts a subset of a topology's nodes.

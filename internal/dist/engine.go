@@ -477,6 +477,12 @@ func (w *engineWorker) dialPeers() error {
 					c.Close()
 					return err
 				}
+				if w.e.cfg.MaxBatch > 1 {
+					peer := p
+					link.startCoalescer(w.e.cfg.MaxBatch, func(err error) {
+						w.e.fail(fmt.Errorf("dist: coalesced write to %q: %w", peer, err))
+					})
+				}
 				w.peers[p] = link
 				break
 			}
@@ -567,7 +573,9 @@ func (w *engineWorker) acceptLoop() {
 // serveConn demuxes one inbound connection's frames into per-session
 // state.  Frames for unknown sessions are dropped, not errors: a session
 // that failed locally keeps receiving its peers' in-flight frames until
-// they observe the teardown.
+// they observe the teardown.  The read buffer is reused across frames
+// (parsers copy whatever they retain), so steady-state reads allocate
+// nothing beyond decoded payloads.
 func (w *engineWorker) serveConn(c net.Conn) {
 	defer w.connWG.Done()
 	defer c.Close()
@@ -578,52 +586,83 @@ func (w *engineWorker) serveConn(c net.Conn) {
 	if _, err := parseHello(hello); err != nil {
 		return // stray client; not a peer
 	}
+	var buf []byte
 	for {
-		body, err := readFrame(c)
+		body, err := readFrameReuse(c, &buf)
 		if err != nil {
 			return
 		}
-		switch body[0] {
-		case frameSessMsg:
-			sid, e, m, err := parseSessMsg(body)
-			if err != nil {
-				w.e.fail(err)
-				return
-			}
-			ws := w.session(sid)
-			if ws == nil {
-				continue
-			}
-			if int(e) >= len(ws.inbox) || ws.inbox[e] == nil {
-				w.e.fail(fmt.Errorf("dist: worker %q received session message for foreign edge %d", w.name, e))
-				return
-			}
-			// The sender holds one of this session's credits, so the
-			// buffer has room; select on abort anyway for teardown races.
-			select {
-			case ws.inbox[e] <- m:
-				ws.ses.progress.Add(1)
-			case <-ws.ses.abort:
-			}
-		case frameSessCredit:
-			sid, e, err := parseSessCredit(body)
-			if err != nil {
-				w.e.fail(err)
-				return
-			}
-			ws := w.session(sid)
-			if ws == nil {
-				continue
-			}
-			if int(e) >= len(ws.window) || ws.window[e] == nil || !ws.window[e].release() {
-				w.e.fail(fmt.Errorf("dist: worker %q received bogus session credit for edge %d", w.name, e))
-				return
-			}
-			ws.ses.progress.Add(1)
-		default:
-			w.e.fail(fmt.Errorf("dist: unknown frame type %q on engine worker %q", body[0], w.name))
+		if !w.handleBody(body) {
 			return
 		}
+	}
+}
+
+// errConnDone aborts a batch walk after a sub-body already failed the
+// connection (the failure is reported where it happened).
+var errConnDone = errors.New("dist: connection done")
+
+// handleBody dispatches one frame body; false tears the connection down.
+// A batch frame's sub-bodies come back through it one at a time, exactly
+// as if each had arrived in its own frame (nesting is rejected by the
+// batch walker).
+func (w *engineWorker) handleBody(body []byte) bool {
+	switch body[0] {
+	case frameBatch:
+		err := forEachBatchBody(body, func(sub []byte) error {
+			if !w.handleBody(sub) {
+				return errConnDone
+			}
+			return nil
+		})
+		if err != nil {
+			if err != errConnDone {
+				w.e.fail(err)
+			}
+			return false
+		}
+		return true
+	case frameSessMsg:
+		sid, e, m, err := parseSessMsg(body)
+		if err != nil {
+			w.e.fail(err)
+			return false
+		}
+		ws := w.session(sid)
+		if ws == nil {
+			return true
+		}
+		if int(e) >= len(ws.inbox) || ws.inbox[e] == nil {
+			w.e.fail(fmt.Errorf("dist: worker %q received session message for foreign edge %d", w.name, e))
+			return false
+		}
+		// The sender holds one of this session's credits, so the
+		// buffer has room; select on abort anyway for teardown races.
+		select {
+		case ws.inbox[e] <- m:
+			ws.ses.progress.Add(1)
+		case <-ws.ses.abort:
+		}
+		return true
+	case frameSessCredit:
+		sid, e, err := parseSessCredit(body)
+		if err != nil {
+			w.e.fail(err)
+			return false
+		}
+		ws := w.session(sid)
+		if ws == nil {
+			return true
+		}
+		if int(e) >= len(ws.window) || ws.window[e] == nil || !ws.window[e].release() {
+			w.e.fail(fmt.Errorf("dist: worker %q received bogus session credit for edge %d", w.name, e))
+			return false
+		}
+		ws.ses.progress.Add(1)
+		return true
+	default:
+		w.e.fail(fmt.Errorf("dist: unknown frame type %q on engine worker %q", body[0], w.name))
+		return false
 	}
 }
 
@@ -632,6 +671,7 @@ func (w *engineWorker) close() {
 		w.ln.Close()
 	}
 	for _, link := range w.peers {
+		link.stopCoalescer()
 		link.conn.Close()
 	}
 	w.mu.Lock()
@@ -670,8 +710,9 @@ func (p *sessionPorts) Send(i int, m stream.Message) bool {
 		if !win.acquire(ses.abort) {
 			return false
 		}
-		body, err := sessMsgBody(ses.id, e, m)
+		body, err := appendSessMsg(getBody(), ses.id, e, m)
 		if err != nil {
+			putBody(body)
 			ses.end(err, nil)
 			return false
 		}
@@ -703,7 +744,7 @@ func (p *sessionPorts) Consumed(i int) bool {
 	if peer == "" {
 		return true
 	}
-	if err := p.w.peers[peer].send(sessCreditBody(p.ws.ses.id, e)); err != nil {
+	if err := p.w.peers[peer].send(appendSessCredit(getBody(), p.ws.ses.id, e)); err != nil {
 		p.w.e.fail(fmt.Errorf("dist: returning session %d credit to %q: %w", p.ws.ses.id, peer, err))
 		return false
 	}

@@ -188,3 +188,68 @@ func (e *Engine) Fire(seq uint64, emitted []bool) (dummy []bool) {
 // Gap returns the integerized send gap of out-edge i (0 = never), for
 // diagnostics and tests.
 func (e *Engine) Gap(i int) uint64 { return e.sendAt[i] }
+
+// Batch is a contiguous run of data messages travelling as one unit: the
+// payloads of sequence numbers First..First+len(Payloads)-1, in order.
+// It is the vectorized hot-path representation shared by the backends —
+// a batch of k elements consumes k credits, counts as k logical data
+// messages per edge, and is bit-identical (in logical counts and sink
+// order) to sending its elements one at a time.  Batches carry Data
+// only; Dummy and EOS always travel as single messages.
+type Batch struct {
+	// First is the sequence number of Payloads[0]; element i carries
+	// sequence number First+i.
+	First uint64
+	// Payloads are the contiguous data payloads.
+	Payloads []any
+}
+
+// Last returns the sequence number of the final element.  It must not be
+// called on an empty batch.
+func (b Batch) Last() uint64 { return b.First + uint64(len(b.Payloads)) - 1 }
+
+// Len returns the number of logical messages the batch carries.
+func (b Batch) Len() int { return len(b.Payloads) }
+
+// FireRun records a contiguous run of firings — sequence numbers
+// first..last inclusive, every one of which emitted data on exactly the
+// edges of emitted — in one step, amortizing the per-firing timer scan
+// across the run.  It is exactly equivalent to calling Fire once per
+// sequence number with the same mask, provided that equivalent sequence
+// of calls would produce no dummy messages; when it would (a timer
+// expires mid-run, or the run emits no data at all and the cascade rule
+// applies), FireRun returns ok=false WITHOUT mutating any state and the
+// caller must fall back to per-element Fire.  On ok=true the returned
+// mask is all false (no dummies accompany the run); like Fire's, it is
+// reused by the next call and must not be retained.
+func (e *Engine) FireRun(first, last uint64, emitted []bool) (dummy []bool, ok bool) {
+	anyData := false
+	for _, em := range emitted {
+		if em {
+			anyData = true
+			break
+		}
+	}
+	if !anyData {
+		// The Propagation cascade (and, with a degenerate all-false
+		// mask, every timer) needs per-element treatment.
+		return nil, false
+	}
+	for i := range e.dummy {
+		if emitted[i] {
+			continue
+		}
+		// A timer on a non-emitting edge must not expire anywhere in
+		// first..last; the worst case is the run's last element.
+		if e.sendAt[i] != 0 && int64(last)-e.lastSent[i] >= int64(e.sendAt[i]) {
+			return nil, false
+		}
+	}
+	for i := range e.dummy {
+		e.dummy[i] = false
+		if emitted[i] {
+			e.lastSent[i] = int64(last)
+		}
+	}
+	return e.dummy, true
+}

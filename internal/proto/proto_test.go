@@ -116,3 +116,116 @@ func TestFireDataRefreshesTimer(t *testing.T) {
 		t.Fatal("no dummy two steps after data with gap 2")
 	}
 }
+
+// cloneEngine copies an engine's mutable state so the same prefix can be
+// replayed down two paths.
+func cloneEngine(e *Engine) *Engine {
+	c := &Engine{
+		lastSent: append([]int64(nil), e.lastSent...),
+		sendAt:   append([]uint64(nil), e.sendAt...),
+		cascade:  e.cascade,
+		dummy:    make([]bool, len(e.dummy)),
+	}
+	return c
+}
+
+// TestFireRunEquivalence checks FireRun against the per-element oracle: on
+// every run where per-element Fire would emit no dummies, FireRun must
+// succeed and leave identical state; on every run where it would, FireRun
+// must refuse without mutating anything.
+func TestFireRunEquivalence(t *testing.T) {
+	iv := map[graph.EdgeID]ival.Interval{0: ival.FromInt(3), 1: ival.Inf(), 2: ival.FromInt(5)}
+	masks := [][]bool{
+		{true, true, true},
+		{true, false, false},
+		{false, true, false},
+		{false, false, false},
+		{true, false, true},
+	}
+	for _, alg := range []cs4.Algorithm{cs4.NonPropagation, cs4.Propagation} {
+		cfg := Config{Algorithm: alg, Intervals: iv}
+		for _, mask := range masks {
+			for runLen := uint64(1); runLen <= 7; runLen++ {
+				for first := uint64(0); first < 12; first++ {
+					ref := NewEngine([]graph.EdgeID{0, 1, 2}, cfg)
+					// Warm the engine with a data prefix so lastSent varies.
+					for s := uint64(0); s < first; s++ {
+						ref.Fire(s, []bool{true, true, true})
+					}
+					run := cloneEngine(ref)
+					last := first + runLen - 1
+
+					// Oracle: per-element Fire; record whether any dummy fired.
+					anyDummy := false
+					for s := first; s <= last; s++ {
+						d := ref.Fire(s, mask)
+						for _, v := range d {
+							if v {
+								anyDummy = true
+							}
+						}
+					}
+
+					anyData := false
+					for _, v := range mask {
+						if v {
+							anyData = true
+						}
+					}
+					dummy, ok := run.FireRun(first, last, mask)
+					if anyDummy || !anyData {
+						// FireRun must refuse runs the oracle dummies on,
+						// and (documented) always refuses all-false masks.
+						if ok {
+							t.Fatalf("alg=%v mask=%v first=%d len=%d: FireRun accepted a run the oracle dummies on", alg, mask, first, runLen)
+						}
+						continue
+					}
+					if !ok {
+						t.Fatalf("alg=%v mask=%v first=%d len=%d: FireRun refused a dummy-free run", alg, mask, first, runLen)
+					}
+					for i, v := range dummy {
+						if v {
+							t.Fatalf("alg=%v mask=%v first=%d len=%d: FireRun reported a dummy on edge %d", alg, mask, first, runLen, i)
+						}
+					}
+					for i := range ref.lastSent {
+						if ref.lastSent[i] != run.lastSent[i] {
+							t.Fatalf("alg=%v mask=%v first=%d len=%d: lastSent[%d] = %d after FireRun, oracle has %d",
+								alg, mask, first, runLen, i, run.lastSent[i], ref.lastSent[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFireRunRefusalLeavesStateIntact pins that a refused FireRun is a
+// pure no-op: the caller can immediately replay the run element by element.
+func TestFireRunRefusalLeavesStateIntact(t *testing.T) {
+	iv := map[graph.EdgeID]ival.Interval{0: ival.FromInt(2), 1: ival.FromInt(100)}
+	e := NewEngine([]graph.EdgeID{0, 1}, Config{Algorithm: cs4.NonPropagation, Intervals: iv})
+	e.Fire(0, []bool{true, true})
+	before := append([]int64(nil), e.lastSent...)
+	// Edge 0's gap-2 timer expires inside seq 1..5 when only edge 1 emits.
+	if _, ok := e.FireRun(1, 5, []bool{false, true}); ok {
+		t.Fatal("FireRun accepted a run with a mid-run timer expiry")
+	}
+	for i := range before {
+		if e.lastSent[i] != before[i] {
+			t.Fatalf("refused FireRun mutated lastSent[%d]: %d -> %d", i, before[i], e.lastSent[i])
+		}
+	}
+}
+
+// TestBatch checks the Batch helpers.
+func TestBatch(t *testing.T) {
+	b := Batch{First: 7, Payloads: []any{"a", "b", "c"}}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", b.Len())
+	}
+	if b.Last() != 9 {
+		t.Fatalf("Last = %d, want 9", b.Last())
+	}
+}

@@ -1,0 +1,102 @@
+package sim
+
+// Kernel-mode batching parity: the batched sweep (Config.MaxBatch > 1)
+// must reproduce the per-element sweep's logical stream exactly —
+// per-edge data/dummy counts and the sink (seq, payload) sequence — on a
+// workload that exercises both the full-mask fast path and the
+// run-breaking filtered fallback.
+
+import (
+	"context"
+	"testing"
+
+	"streamdag/internal/cs4"
+	"streamdag/internal/graph"
+	"streamdag/internal/stream"
+	"streamdag/internal/workload"
+)
+
+// dropKernels forwards the first present payload on every out-edge except
+// the dropped one — the kernel-mode counterpart of workload.DropEdge.
+func dropKernels(g *graph.Graph, drop graph.EdgeID) map[graph.NodeID]stream.Kernel {
+	ks := make(map[graph.NodeID]stream.Kernel, g.NumNodes())
+	for n := 0; n < g.NumNodes(); n++ {
+		id := graph.NodeID(n)
+		out := g.Out(id)
+		ks[id] = stream.KernelFunc(func(seq uint64, in []stream.Input) map[int]any {
+			var payload any = seq
+			for _, i := range in {
+				if i.Present {
+					payload = i.Payload
+					break
+				}
+			}
+			outs := make(map[int]any, len(out))
+			for i, e := range out {
+				if e != drop {
+					outs[i] = payload
+				}
+			}
+			return outs
+		})
+	}
+	return ks
+}
+
+func simKernelRun(t *testing.T, g *graph.Graph, cfg Config) (*Result, [][2]any) {
+	t.Helper()
+	var seen [][2]any
+	cfg.Sink = func(_ context.Context, seq uint64, payload any) error {
+		seen = append(seen, [2]any{seq, payload})
+		return nil
+	}
+	r := Run(g, nil, cfg)
+	if !r.Completed {
+		t.Fatalf("run failed: %s %v %v", r.Reason, r.Err, r.Blocked)
+	}
+	return r, seen
+}
+
+func TestSimBatchedParity(t *testing.T) {
+	g := workload.Fig2Triangle(2)
+	d, err := cs4.Classify(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := d.Intervals(cs4.Propagation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drop := edgeByNames(t, g, "A", "C")
+	base := Config{
+		Algorithm: cs4.Propagation, Intervals: iv,
+		Kernels: dropKernels(g, drop), Inputs: 800,
+	}
+	ref, refSeen := simKernelRun(t, g, base)
+	for _, batch := range []int{2, 16, 64} {
+		cfg := base
+		cfg.MaxBatch = batch
+		r, seen := simKernelRun(t, g, cfg)
+		if r.SinkData != ref.SinkData {
+			t.Errorf("batch %d: SinkData = %d, want %d", batch, r.SinkData, ref.SinkData)
+		}
+		for e, want := range ref.DataMsgs {
+			if r.DataMsgs[e] != want {
+				t.Errorf("batch %d: edge %d data = %d, want %d", batch, e, r.DataMsgs[e], want)
+			}
+		}
+		for e, want := range ref.DummyMsgs {
+			if r.DummyMsgs[e] != want {
+				t.Errorf("batch %d: edge %d dummies = %d, want %d", batch, e, r.DummyMsgs[e], want)
+			}
+		}
+		if len(seen) != len(refSeen) {
+			t.Fatalf("batch %d: %d sink deliveries, want %d", batch, len(seen), len(refSeen))
+		}
+		for i := range seen {
+			if seen[i] != refSeen[i] {
+				t.Fatalf("batch %d: sink[%d] = %v, want %v", batch, i, seen[i], refSeen[i])
+			}
+		}
+	}
+}

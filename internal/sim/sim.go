@@ -91,6 +91,17 @@ type Config struct {
 	// MaxSteps bounds the scheduler; 0 means no bound.  Runs exceeding
 	// the bound report Completed=false with Reason "step budget".
 	MaxSteps int64
+	// MaxBatch is the kernel-mode vectorization width: single-input
+	// nodes consume up to MaxBatch consecutive data messages per
+	// scheduler step with one amortized protocol commit (the goroutine
+	// engine's hot path, swept deterministically).  Per-edge logical
+	// data/dummy counts and the sink sequence are bit-identical to
+	// batch 1; the Steps count is not (a run counts one step).  Zero or
+	// one keeps the per-element path; filter mode and Trace runs ignore
+	// it.
+	MaxBatch int
+	// NodeBatch overrides MaxBatch per node.
+	NodeBatch map[graph.NodeID]int
 	// Trace, if non-nil, receives one line per consume/emit event; for
 	// debugging only.
 	Trace func(string)
@@ -171,11 +182,15 @@ type node struct {
 	// mode.
 	kernel stream.Kernel
 	// emitted and seqs are per-firing scratch masks for engine calls;
-	// ins is the kernel-mode aligned-input scratch.
+	// ins is the kernel-mode aligned-input scratch; allTrue is the
+	// constant all-edges-emitted mask of the batched fast path.
 	emitted []bool
 	seqs    []uint64
 	ins     []stream.Input
-	done    bool
+	allTrue []bool
+	// batch is the node's vectorization width (>= 1, kernel mode only).
+	batch int
+	done  bool
 }
 
 type pendingMsg struct {
@@ -228,12 +243,27 @@ func newState(g *graph.Graph, filter Filter, cfg Config) *state {
 		nd.engine = proto.NewEngine(nd.out, protoConfig(cfg))
 		nd.emitted = make([]bool, len(nd.out))
 		nd.seqs = make([]uint64, len(nd.in))
+		nd.batch = cfg.MaxBatch
+		if b, ok := cfg.NodeBatch[n]; ok {
+			nd.batch = b
+		}
+		if nd.batch < 1 {
+			nd.batch = 1
+		}
 		if kernelMode {
 			nd.kernel = cfg.Kernels[n]
 			if nd.kernel == nil {
 				nd.kernel = stream.Passthrough(len(nd.out))
 			}
-			nd.ins = make([]stream.Input, len(nd.in))
+			nIn := len(nd.in)
+			if nIn == 0 {
+				nIn = 1 // sources receive one synthetic input
+			}
+			nd.ins = make([]stream.Input, nIn)
+			nd.allTrue = make([]bool, len(nd.out))
+			for i := range nd.allTrue {
+				nd.allTrue[i] = true
+			}
 		}
 		s.nodes = append(s.nodes, nd)
 	}
@@ -388,7 +418,15 @@ func (s *state) step(nd *node) bool {
 		return false
 	}
 	if len(nd.in) == 0 {
+		if s.kernelMode && nd.batch > 1 && len(nd.out) > 0 && s.cfg.Trace == nil {
+			return s.stepSourceRun(nd)
+		}
 		return s.stepSource(nd)
+	}
+	if s.kernelMode && nd.batch > 1 && len(nd.in) == 1 && s.cfg.Trace == nil {
+		if ch := &s.chans[nd.in[0]]; !ch.empty() && ch.buf[0].kind == Data {
+			return s.stepRunConsume(nd)
+		}
 	}
 	// Consume: every in-channel must be non-empty.
 	for i, e := range nd.in {
@@ -485,6 +523,144 @@ func (s *state) stepSource(nd *node) bool {
 	}
 	s.emit(nd, s.nextIn, true)
 	s.nextIn++
+	return true
+}
+
+// stepRunConsume is the kernel-mode batched consume for single-input
+// nodes: a run of consecutive data heads is processed in one scheduler
+// step.  Kernels still run once per element in sequence order — exactly
+// the calls the per-element path would make — but the protocol commits
+// once (proto.Engine.FireRun with the all-emitted mask, which never
+// dummies), so per-edge logical counts and the sink sequence stay
+// bit-identical to batch 1.  The first element that filters any out-edge
+// ends the run: its prefix commits batched and the element itself goes
+// through deliverKernel with its already-computed outputs (kernels may
+// be stateful; Process is never re-invoked).
+func (s *state) stepRunConsume(nd *node) bool {
+	ch := &s.chans[nd.in[0]]
+	k := len(ch.buf)
+	if k > nd.batch {
+		k = nd.batch
+	}
+	for j := 1; j < k; j++ {
+		if ch.buf[j].kind != Data {
+			k = j
+			break
+		}
+	}
+	isSink := len(nd.out) == 0
+	committed := 0
+	var partialOuts map[int]any
+	var partialSeq uint64
+	partial := false
+	firstSeq := ch.buf[0].seq
+	lastSeq := firstSeq
+	for j := 0; j < k; j++ {
+		m := ch.buf[j]
+		nd.ins[0] = stream.Input{Present: true, Payload: m.payload}
+		outs := nd.kernel.Process(m.seq, nd.ins)
+		if isSink {
+			s.res.SinkData++
+			if s.cfg.Sink != nil {
+				if err := s.cfg.Sink(s.cfg.Ctx, m.seq, stream.SinkPayload(nd.ins, outs)); err != nil {
+					s.fail("sink error", fmt.Errorf("sim: sink: %w", err))
+					ch.buf = ch.buf[j+1:]
+					return true
+				}
+			}
+			committed++
+			lastSeq = m.seq
+			continue
+		}
+		full := true
+		for i := range nd.out {
+			if _, ok := outs[i]; !ok {
+				full = false
+				break
+			}
+		}
+		if !full {
+			partial, partialOuts, partialSeq = true, outs, m.seq
+			break
+		}
+		for i, e := range nd.out {
+			nd.pending = append(nd.pending, pendingMsg{e, message{seq: m.seq, kind: Data, payload: outs[i]}})
+		}
+		committed++
+		lastSeq = m.seq
+	}
+	nd.ins[0] = stream.Input{}
+	consumed := committed
+	if partial {
+		consumed++
+	}
+	ch.buf = ch.buf[consumed:]
+	if committed > 0 && !isSink {
+		nd.engine.FireRun(firstSeq, lastSeq, nd.allTrue)
+	}
+	if partial {
+		s.deliverKernel(nd, partialSeq, partialOuts)
+	}
+	return true
+}
+
+// stepSourceRun is stepRunConsume's ingestion counterpart: up to batch
+// payloads are pulled and fired at consecutive sequence numbers in one
+// scheduler step, with the same full-mask-or-fallback protocol commit.
+// End of stream or a source error mid-run commits the preceding prefix
+// first, exactly as the per-element path would have.
+func (s *state) stepSourceRun(nd *node) bool {
+	if s.srcEOS {
+		return false
+	}
+	committed := 0
+	firstSeq := s.nextIn
+	commit := func() {
+		if committed > 0 {
+			nd.engine.FireRun(firstSeq, firstSeq+uint64(committed)-1, nd.allTrue)
+			s.nextIn += uint64(committed)
+		}
+	}
+	for j := 0; j < nd.batch; j++ {
+		payload, ok, err := s.cfg.Source(s.cfg.Ctx)
+		if err != nil {
+			commit()
+			s.fail("source error", fmt.Errorf("sim: source: %w", err))
+			return committed > 0
+		}
+		if !ok {
+			commit()
+			for _, e := range nd.out {
+				nd.pending = append(nd.pending, pendingMsg{e, message{seq: math.MaxUint64, kind: EOS}})
+			}
+			s.srcEOS = true
+			nd.done = true
+			return true
+		}
+		seq := firstSeq + uint64(j)
+		nd.ins[0] = stream.Input{Present: true, Payload: payload}
+		outs := nd.kernel.Process(seq, nd.ins)
+		full := true
+		for i := range nd.out {
+			if _, ok := outs[i]; !ok {
+				full = false
+				break
+			}
+		}
+		if !full {
+			commit()
+			s.nextIn++
+			s.deliverKernel(nd, seq, outs)
+			nd.ins[0] = stream.Input{}
+			return true
+		}
+		for i, e := range nd.out {
+			nd.pending = append(nd.pending, pendingMsg{e, message{seq: seq, kind: Data, payload: outs[i]}})
+		}
+		committed++
+	}
+	nd.ins[0] = stream.Input{}
+	commit()
 	return true
 }
 

@@ -56,9 +56,17 @@ type SessionConfig struct {
 	ID proto.SessionID
 	// Source supplies the session's payloads; required.
 	Source SourceFunc
+	// SpanSource, when non-nil, is used instead of Source: the ingest
+	// pump fills whole grant windows in one call.  Offer it only for
+	// sources safe under SpanSourceFunc's bulk-publication contract.
+	SpanSource SpanSourceFunc
 	// Sink receives the session's sink-node data firings in ascending
 	// sequence order; nil discards (firings are still counted).
 	Sink SinkFunc
+	// SpanSink, when non-nil, receives whole batched emission runs in
+	// one call instead of Sink per element (Sink still handles unbatched
+	// emissions and is required whenever SpanSink is set).
+	SpanSink SpanSinkFunc
 	// Ctx cancels the session (not the engine); nil means Background.
 	Ctx context.Context
 }
@@ -74,6 +82,12 @@ type Engine struct {
 	nodes  []*engineNode
 	source *engineNode // the topology's unique source node
 	sink   *engineNode // the topology's unique sink node
+
+	// srcWin/sinkWin are the ingest and sink pump windows, in payload
+	// units; the defaults scale with the endpoint nodes' batch widths so
+	// a batched source or sink never starves its own vectorized runs.
+	srcWin  int
+	sinkWin int
 
 	mu       sync.Mutex
 	sessions map[proto.SessionID]*EngineSession
@@ -123,6 +137,27 @@ func NewEngine(g *graph.Graph, kernels map[graph.NodeID]Kernel, cfg Config) (*En
 		n.creditAcc = make([]int, len(n.in))
 		n.emitted = make([]bool, len(n.out))
 		n.seqs = make([]uint64, len(n.in))
+		n.batch = cfg.MaxBatch
+		if b, ok := cfg.NodeBatch[id]; ok {
+			n.batch = b
+		}
+		if n.batch < 1 {
+			n.batch = 1
+		}
+		nIn := len(n.in)
+		if nIn == 0 {
+			nIn = 1 // sources receive one synthetic input
+		}
+		n.runIn = make([]Input, nIn)
+		n.allTrue = make([]bool, len(n.out))
+		for i := range n.allTrue {
+			n.allTrue[i] = true
+		}
+		if sk, ok := k.(SpanKernel); ok && n.batch > 1 {
+			n.spanK = sk
+			n.spanIn = make([]any, n.batch)
+			n.spanOut = make([]any, n.batch)
+		}
 		e.nodes[i] = n
 	}
 	// Wire the neighbour tables: who feeds in-position i, who consumes
@@ -147,6 +182,14 @@ func NewEngine(g *graph.Graph, kernels map[graph.NodeID]Kernel, cfg Config) (*En
 	}
 	e.source = e.nodes[g.Source()]
 	e.sink = e.nodes[g.Sink()]
+	e.srcWin = ingestWindow
+	if w := 2 * e.source.batch; w > e.srcWin {
+		e.srcWin = w
+	}
+	e.sinkWin = sinkWindow
+	if w := 2 * e.sink.batch; w > e.sinkWin {
+		e.sinkWin = w
+	}
 	for _, n := range e.nodes {
 		e.wg.Add(1)
 		go func(n *engineNode) {
@@ -174,7 +217,7 @@ func edgeIndex(edges []graph.EdgeID, e graph.EdgeID) int {
 // Open starts one logical stream over the resident topology and returns
 // immediately; drive it to completion with EngineSession.Wait.
 func (e *Engine) Open(cfg SessionConfig) (*EngineSession, error) {
-	if cfg.Source == nil {
+	if cfg.Source == nil && cfg.SpanSource == nil {
 		return nil, errors.New("stream: engine session requires a Source")
 	}
 	if cfg.ID == 0 {
@@ -188,16 +231,29 @@ func (e *Engine) Open(cfg SessionConfig) (*EngineSession, error) {
 	ses := &EngineSession{
 		id: cfg.ID, e: e,
 		ctx: sctx, cancel: cancel,
-		source: cfg.Source, sink: cfg.Sink,
+		source: cfg.Source, spanSrc: cfg.SpanSource,
+		sink: cfg.Sink, spanSink: cfg.SpanSink,
 		data:      make([]int64, e.g.NumEdges()),
 		dummies:   make([]int64, e.g.NumEdges()),
 		occupancy: make([]atomic.Int64, e.g.NumEdges()),
-		ready:     make(chan struct{}, ingestWindow),
+		ready:     make(chan struct{}, 1),
 		done:      make(chan struct{}),
 		start:     time.Now(),
 	}
+	// Size the ingest ring to the grant window (next power of two for
+	// mask indexing): occupancy never exceeds outstanding grants, so the
+	// pump never has to wait for ring space.
+	rcap := 1
+	for rcap < e.srcWin {
+		rcap <<= 1
+	}
+	ses.ring = make([]any, rcap)
+	ses.ringMask = uint64(rcap - 1)
 	if cfg.Sink != nil {
-		ses.sinkCh = make(chan emission, sinkWindow)
+		// Every queued emission carries at least one payload and the
+		// element count is capped at sinkWin, so sinkWin slots never
+		// block a batched sinkEmit.
+		ses.sinkCh = make(chan emission, e.sinkWin)
 	}
 	e.mu.Lock()
 	if e.closed {
@@ -322,16 +378,24 @@ func (e *Engine) snapshot(ses *EngineSession) map[string]string {
 	return chans
 }
 
-// emission is one sink delivery queued for the session's sink pump.
+// emission is one sink delivery queued for the session's sink pump: a
+// single firing (seq/payload) or, from the batched hot path, a span of
+// consecutive firings (seqs/pays, non-nil marks the batched form).
 type emission struct {
 	seq     uint64
 	payload any
+	seqs    []uint64
+	pays    []any
 }
 
 // ingestWindow is how many payloads a session's ingest pump may have
 // outstanding (granted or queued at the source node).  One would
 // round-trip a grant per payload; a small window pipelines ingestion
 // while still bounding a session's run-ahead over its own sends.
+// Grants travel as a counter (readyN) with a one-slot wake channel, and
+// ingested payloads land in a lock-free SPSC ring drained in bulk by
+// the source node on a coalesced kick event — so a fast source costs
+// one mailbox post per drain cycle, not one per payload.
 const ingestWindow = 16
 
 // sinkWindow is how many emissions a session may have outstanding at
@@ -345,12 +409,14 @@ const sinkWindow = 16
 
 // EngineSession is one logical stream being served by an Engine.
 type EngineSession struct {
-	id     proto.SessionID
-	e      *Engine
-	ctx    context.Context
-	cancel context.CancelFunc
-	source SourceFunc
-	sink   SinkFunc
+	id       proto.SessionID
+	e        *Engine
+	ctx      context.Context
+	cancel   context.CancelFunc
+	source   SourceFunc
+	spanSrc  SpanSourceFunc
+	sink     SinkFunc
+	spanSink SpanSinkFunc
 
 	// progress counts protocol events for the watchdog; external counts
 	// in-flight Source/Sink callbacks (blocked user code is not a wedge).
@@ -372,7 +438,26 @@ type EngineSession struct {
 	sinkData int64
 	start    time.Time
 
-	ready  chan struct{} // ingest grant: source node → ingest pump
+	// Ingest handoff.  The source node issues grants by adding to readyN
+	// and waking the pump through the one-slot ready channel; the pump
+	// publishes each payload to the single-producer single-consumer ring
+	// as soon as Source.Next returns it — never holding one back while
+	// demanding another — and posts one coalesced evIngest kick (ingKick)
+	// per drain cycle rather than one event per payload.  The ring never
+	// fills: occupancy is bounded by the source node's outstanding grants,
+	// which never exceed the ingest window the ring is sized for.  Only
+	// the pump writes ingTail and only the source node's goroutine writes
+	// ingHead; ingEOF is set (once) after the last payload's tail store,
+	// so a reader that observes it also observes every payload.
+	ready    chan struct{}
+	readyN   atomic.Int64
+	ring     []any
+	ringMask uint64
+	ingHead  atomic.Uint64
+	ingTail  atomic.Uint64
+	ingEOF   atomic.Bool
+	ingKick  atomic.Bool
+
 	sinkCh chan emission // sink node → sink pump; nil without a Sink
 
 	endOnce sync.Once
@@ -451,30 +536,118 @@ func (s *EngineSession) finishFromSink() {
 	s.end(nil, stats)
 }
 
-// ingestPump pulls the session's payloads.  Each grant token from the
-// source node loop buys exactly one Source.Next call, and the node
-// keeps up to ingestWindow grants outstanding, so a session's source
-// runs ahead a bounded window and a slow consumer applies backpressure
-// to its own source only.
+// ingestPump pulls the session's payloads.  Each grant buys exactly one
+// Source.Next call, and the node keeps up to the ingest window of
+// grants outstanding, so a session's source runs ahead a bounded window
+// and a slow consumer applies backpressure to its own source only.
+// Every payload is published to the shared buffer before the next Next
+// call — a request/response feedback source never sees the engine hold
+// one payload while demanding another — but the publish is a short
+// mutex-guarded append, and the mailbox kick coalesces: under load the
+// source node drains whole runs of payloads per event.
 func (s *EngineSession) ingestPump(src *engineNode) {
+	if s.spanSrc != nil {
+		s.spanIngestPump(src)
+		return
+	}
 	for {
-		select {
-		case <-s.ready:
-		case <-s.ctx.Done():
-			return
+		g := s.readyN.Swap(0)
+		if g == 0 {
+			select {
+			case <-s.ready:
+				continue
+			case <-s.ctx.Done():
+				return
+			}
 		}
+		// One external-callback window covers the whole granted run: the
+		// watchdog only needs to know user code may be blocking, not how
+		// many calls deep the run is.
 		s.external.Add(1)
-		payload, ok, err := s.source(s.ctx)
+		for ; g > 0; g-- {
+			payload, ok, err := s.source(s.ctx)
+			if err != nil {
+				s.external.Add(-1)
+				s.end(fmt.Errorf("stream: source: %w", err), nil)
+				return
+			}
+			if ok {
+				t := s.ingTail.Load()
+				s.ring[t&s.ringMask] = payload
+				s.ingTail.Store(t + 1)
+			} else {
+				// After the last payload's tail store, so the drain that
+				// observes EOF has observed every payload.
+				s.ingEOF.Store(true)
+			}
+			// Load-then-CAS: skip the bus-locked op while the kick is
+			// already armed.  A drain clears the kick before reading the
+			// tail, so a payload published after its read re-arms and
+			// re-posts — none are stranded.
+			if !s.ingKick.Load() && s.ingKick.CompareAndSwap(false, true) {
+				src.mb.post(event{kind: evIngest, ses: s})
+			}
+			if !ok {
+				s.external.Add(-1)
+				return
+			}
+		}
 		s.external.Add(-1)
-		if err != nil {
-			s.end(fmt.Errorf("stream: source: %w", err), nil)
-			return
+	}
+}
+
+// spanIngestPump is ingestPump's bulk counterpart for SpanSource
+// sessions: one NextSpan call fills a whole grant window, one tail
+// store publishes it, and one kick wakes the source node — so a fast
+// source pays the handoff per window instead of per payload.
+func (s *EngineSession) spanIngestPump(src *engineNode) {
+	scratch := make([]any, s.e.srcWin)
+	for {
+		g := s.readyN.Swap(0)
+		if g == 0 {
+			select {
+			case <-s.ready:
+				continue
+			case <-s.ctx.Done():
+				return
+			}
 		}
-		if !ok {
-			src.mb.post(event{kind: evSrcEnd, ses: s})
-			return
+		for g > 0 {
+			m := g
+			if m > int64(len(scratch)) {
+				m = int64(len(scratch))
+			}
+			s.external.Add(1)
+			n, eof, err := s.spanSrc(s.ctx, scratch[:m])
+			s.external.Add(-1)
+			if err != nil {
+				s.end(fmt.Errorf("stream: source: %w", err), nil)
+				return
+			}
+			if n < 0 || int64(n) > m {
+				s.end(fmt.Errorf("stream: span source filled %d of a %d-payload buffer", n, m), nil)
+				return
+			}
+			if n == 0 {
+				eof = true // an empty error-free fill ends the stream
+			}
+			t := s.ingTail.Load()
+			for j := 0; j < n; j++ {
+				s.ring[(t+uint64(j))&s.ringMask] = scratch[j]
+				scratch[j] = nil
+			}
+			s.ingTail.Store(t + uint64(n))
+			if eof {
+				s.ingEOF.Store(true)
+			}
+			if !s.ingKick.Load() && s.ingKick.CompareAndSwap(false, true) {
+				src.mb.post(event{kind: evIngest, ses: s})
+			}
+			if eof {
+				return
+			}
+			g -= int64(n)
 		}
-		src.mb.post(event{kind: evIngest, ses: s, payload: payload})
 	}
 }
 
@@ -489,14 +662,52 @@ func (s *EngineSession) sinkPump(sink *engineNode) {
 		case em := <-s.sinkCh:
 			acked := 0
 			for {
-				s.external.Add(1)
-				err := s.sink(s.ctx, em.seq, em.payload)
-				s.external.Add(-1)
-				if err != nil {
-					s.end(fmt.Errorf("stream: sink: %w", err), nil)
-					return
+				if em.pays != nil {
+					// Batched span: one EmitSpan when the sink offers it,
+					// else Emit per element, in sequence order, under one
+					// external-callback window for the whole run.
+					failed := false
+					s.external.Add(1)
+					if s.spanSink != nil {
+						if err := s.spanSink(s.ctx, em.seqs, em.pays); err != nil {
+							s.end(fmt.Errorf("stream: sink: %w", err), nil)
+							failed = true
+						} else {
+							acked += len(em.pays)
+						}
+					} else {
+						for j := range em.pays {
+							if err := s.sink(s.ctx, em.seqs[j], em.pays[j]); err != nil {
+								s.end(fmt.Errorf("stream: sink: %w", err), nil)
+								failed = true
+								break
+							}
+							acked++
+						}
+					}
+					s.external.Add(-1)
+					if failed {
+						return
+					}
+					// Recycle the emission buffers: the Emit/EmitSpan
+					// contract says the slices are only valid during the
+					// call, so once delivered they go back to the pools
+					// (payloads zeroed first to drop the references).
+					for j := range em.pays {
+						em.pays[j] = nil
+					}
+					payFree.Put(em.pays[:0])
+					seqFree.Put(em.seqs[:0])
+				} else {
+					s.external.Add(1)
+					err := s.sink(s.ctx, em.seq, em.payload)
+					s.external.Add(-1)
+					if err != nil {
+						s.end(fmt.Errorf("stream: sink: %w", err), nil)
+						return
+					}
+					acked++
 				}
-				acked++
 				more := false
 				select {
 				case em = <-s.sinkCh:
@@ -523,8 +734,7 @@ const (
 	evOpen evKind = iota
 	evMsg
 	evCredit
-	evIngest
-	evSrcEnd
+	evIngest // coalesced kick: drain the session's shared ingest buffer
 	evSinkDone
 	evAbort
 )
@@ -533,12 +743,57 @@ const (
 // pointer (not just the id) lets late events for an ended session be
 // dropped without a registry lookup.
 type event struct {
-	kind    evKind
-	ses     *EngineSession
-	pos     int // in-edge position (evMsg), out-edge position (evCredit)
-	cnt     int // batched count (evCredit, evSinkDone)
-	msg     Message
-	payload any
+	kind evKind
+	ses  *EngineSession
+	pos  int // in-edge position (evMsg), out-edge position (evCredit)
+	cnt  int // batched count (evCredit, evSinkDone)
+	msg  Message
+	// span is a batched evMsg: a run of messages delivered as one event
+	// (one mailbox post instead of len(span)).  The slice is immutable
+	// once posted — senders park and split it by re-slicing only.
+	span []Message
+	// free marks a span whose backing array the receiver owns outright
+	// (shipped whole, never split): after absorbing it, the receiver
+	// zeroes it and returns it to spanFree.
+	free bool
+}
+
+// spanFree recycles span backing arrays across the engine's hot path:
+// fireRun/fireSourceRun draw from it and the absorbing node returns
+// each whole-shipped span (event.free) after copying it out.  Pooled
+// slices are zeroed by the receiver, so they never retain payloads.
+var spanFree = sync.Pool{New: func() any { return []Message(nil) }}
+
+// getSpan returns an empty span with capacity ≥ k.
+func getSpan(k int) []Message {
+	sp := spanFree.Get().([]Message)
+	if cap(sp) < k {
+		return make([]Message, 0, k)
+	}
+	return sp[:0]
+}
+
+// seqFree/payFree recycle the batched sink-emission buffers; the sink
+// pump returns them (payloads zeroed) after delivering a span.
+var (
+	seqFree = sync.Pool{New: func() any { return []uint64(nil) }}
+	payFree = sync.Pool{New: func() any { return []any(nil) }}
+)
+
+func getSeqBuf(k int) []uint64 {
+	s := seqFree.Get().([]uint64)
+	if cap(s) < k {
+		return make([]uint64, 0, k)
+	}
+	return s[:0]
+}
+
+func getPayBuf(k int) []any {
+	p := payFree.Get().([]any)
+	if cap(p) < k {
+		return make([]any, 0, k)
+	}
+	return p[:0]
 }
 
 // mailbox is the unbounded MPSC queue feeding one node loop.  Posts
@@ -608,6 +863,11 @@ type engineNode struct {
 	downPos    []int // out-edge i's position in downstream[i].in
 	outCap     []int
 
+	// batch is the node's vectorization width (>= 1): how many
+	// consecutive data messages a single-input node may consume, and a
+	// source may ingest, per protocol step.
+	batch int
+
 	// sess, the dirty list, and the scratch masks are owned by the node
 	// goroutine.
 	sess      map[proto.SessionID]*nodeSession
@@ -615,6 +875,17 @@ type engineNode struct {
 	creditAcc []int // per in-pos credits consumed this advance
 	emitted   []bool
 	seqs      []uint64
+	// runIn is the reusable kernel-input slice of the batched path;
+	// batched kernels must not retain it across calls (the per-element
+	// path keeps allocating fresh slices, so batch == 1 is unaffected).
+	runIn []Input
+	// allTrue is the constant all-edges-emitted mask handed to FireRun
+	// by the full-mask fast path.
+	allTrue []bool
+	// spanK is non-nil when the kernel vectorizes (SpanKernel) and the
+	// node batches; spanIn/spanOut are its reusable argument slices.
+	spanK           SpanKernel
+	spanIn, spanOut []any
 }
 
 // nodeSession is one node's protocol state for one session: the demuxed
@@ -631,6 +902,14 @@ type nodeSession struct {
 	pendingMsg []Message
 	pendingSet []bool
 	pendingN   int
+	// pendSpan[i] parks a batched run for out-pos i (nil = none); it
+	// counts once in pendingN and flushes ahead of pendingMsg[i], which
+	// can only hold the younger message of a run broken by a filtering
+	// element.  pendSplit[i] records that the parked span has already
+	// shipped a prefix, so its backing array is shared and must not be
+	// recycled by the final part's receiver.
+	pendSpan  [][]Message
+	pendSplit []bool
 	// inflight[i] counts messages sent but not yet credited on out-pos i;
 	// the window is full at outCap[i].
 	inflight []int
@@ -704,6 +983,8 @@ func (n *engineNode) absorb(ev event) {
 			engine:     proto.NewEngine(n.out, proto.Config{Algorithm: n.e.cfg.Algorithm, Intervals: n.e.cfg.Intervals}),
 			pendingMsg: make([]Message, len(n.out)),
 			pendingSet: make([]bool, len(n.out)),
+			pendSpan:   make([][]Message, len(n.out)),
+			pendSplit:  make([]bool, len(n.out)),
 			inflight:   make([]int, len(n.out)),
 		}
 		n.sess[ev.ses.id] = ns
@@ -717,15 +998,44 @@ func (n *engineNode) absorb(ev event) {
 	}
 	switch ev.kind {
 	case evMsg:
-		ns.heads[ev.pos] = append(ns.heads[ev.pos], ev.msg)
+		if ev.span != nil {
+			ns.heads[ev.pos] = append(ns.heads[ev.pos], ev.span...)
+			if ev.free {
+				sp := ev.span
+				for i := range sp {
+					sp[i] = Message{} // drop payload refs before pooling
+				}
+				spanFree.Put(sp[:0])
+			}
+		} else {
+			ns.heads[ev.pos] = append(ns.heads[ev.pos], ev.msg)
+		}
 	case evCredit:
 		ns.inflight[ev.pos] -= ev.cnt
 	case evIngest:
-		ns.grants--
-		ns.ingestQ = append(ns.ingestQ, ev.payload)
-	case evSrcEnd:
-		ns.grants--
-		ns.srcDone = true
+		// Clear the kick before draining: a payload published after the
+		// drain re-arms it and posts a fresh event, so none are stranded.
+		ev.ses.ingKick.Store(false)
+		// EOF before tail: the pump stores the tail of its last payload
+		// before setting EOF, so seeing EOF here means the tail read below
+		// covers the whole stream — srcDone is never set with payloads
+		// still in the ring.
+		eof := ev.ses.ingEOF.Load()
+		h := ev.ses.ingHead.Load()
+		t := ev.ses.ingTail.Load()
+		if t != h {
+			ring, mask := ev.ses.ring, ev.ses.ringMask
+			for i := h; i < t; i++ {
+				ns.ingestQ = append(ns.ingestQ, ring[i&mask])
+				ring[i&mask] = nil
+			}
+			ev.ses.ingHead.Store(t)
+			ns.grants -= int(t - h)
+		}
+		if eof && !ns.srcDone {
+			ns.srcDone = true
+			ns.grants-- // the grant the EOS-returning Next consumed
+		}
 	case evSinkDone:
 		ns.sinkInflight -= ev.cnt
 	}
@@ -744,8 +1054,15 @@ func (n *engineNode) advance(ns *nodeSession) {
 	if len(n.in) == 0 {
 		n.advanceSource(ns)
 	} else {
+		batched := n.batch > 1 && len(n.in) == 1
 		for !ns.done && ns.pendingN == 0 {
-			if !n.fireOnce(ns) {
+			var fired bool
+			if batched {
+				fired = n.fireRun(ns)
+			} else {
+				fired = n.fireOnce(ns)
+			}
+			if !fired {
 				break
 			}
 			n.flush(ns)
@@ -771,8 +1088,12 @@ func (n *engineNode) advance(ns *nodeSession) {
 func (n *engineNode) advanceSource(ns *nodeSession) {
 	for !ns.done && ns.pendingN == 0 {
 		if len(ns.ingestQ) > 0 {
-			if len(n.out) == 0 && ns.ses.sink != nil && ns.sinkInflight >= sinkWindow {
+			if len(n.out) == 0 && ns.ses.sink != nil && ns.sinkInflight >= n.e.sinkWin {
 				break // degenerate source-sink: pump window full
+			}
+			if n.batch > 1 && len(n.out) > 0 {
+				n.fireSourceRun(ns)
+				continue
 			}
 			payload := ns.ingestQ[0]
 			ns.ingestQ[0] = nil
@@ -798,17 +1119,18 @@ func (n *engineNode) advanceSource(ns *nodeSession) {
 		}
 		break
 	}
-	// Keep the pump running ahead, up to ingestWindow outstanding
-	// payloads (granted or queued) — backpressure still propagates once
-	// the queue fills, but a fast source no longer round-trips a grant
-	// per payload.
+	// Keep the pump running ahead, up to the ingest window of
+	// outstanding payloads (granted or queued) — backpressure still
+	// propagates once the queue fills, but a fast source no longer
+	// round-trips a grant per payload: grants post as one counter add
+	// plus a non-blocking wake.
 	if !ns.done && !ns.srcDone {
-		for ns.grants+len(ns.ingestQ) < ingestWindow {
+		if k := n.e.srcWin - ns.grants - len(ns.ingestQ); k > 0 {
+			ns.grants += k
+			ns.ses.readyN.Add(int64(k))
 			select {
 			case ns.ses.ready <- struct{}{}:
-				ns.grants++
 			default:
-				return
 			}
 		}
 	}
@@ -825,12 +1147,47 @@ func (n *engineNode) flushCredits(ns *nodeSession) {
 	}
 }
 
-// flush delivers parked sends whose windows have room.
+// flush delivers parked sends whose windows have room.  A parked span
+// goes first (its messages predate any single parked behind it) and may
+// split: the window-sized prefix ships now, the rest stays parked — the
+// downstream absorbs elements identically either way, and credits keep
+// counting payload units.
 func (n *engineNode) flush(ns *nodeSession) {
 	if ns.pendingN == 0 {
 		return
 	}
 	for i := range ns.pendingSet {
+		if sp := ns.pendSpan[i]; sp != nil {
+			room := n.outCap[i] - ns.inflight[i]
+			if room <= 0 {
+				continue
+			}
+			m := len(sp)
+			if m > room {
+				m = room
+			}
+			part := sp[:m]
+			free := false
+			if m == len(sp) {
+				// The receiver owns the backing array outright only if no
+				// earlier prefix of this span shipped separately.
+				free = !ns.pendSplit[i]
+				ns.pendSpan[i] = nil
+				ns.pendSplit[i] = false
+				ns.pendingN--
+			} else {
+				ns.pendSpan[i] = sp[m:]
+				ns.pendSplit[i] = true
+			}
+			ns.inflight[i] += m
+			edge := n.out[i]
+			ns.ses.data[edge] += int64(m) // spans carry data only
+			ns.ses.occupancy[edge].Add(int64(m))
+			ns.ses.progress.Add(1)
+			n.downstream[i].mb.post(event{kind: evMsg, ses: ns.ses, pos: n.downPos[i], span: part, free: free})
+			// A split span leaves the window full; the single behind a
+			// fully flushed one is handled below.
+		}
 		if !ns.pendingSet[i] || ns.inflight[i] >= n.outCap[i] {
 			continue
 		}
@@ -890,7 +1247,7 @@ func (n *engineNode) fireOnce(ns *nodeSession) bool {
 			anyData = true
 		}
 	}
-	if len(n.out) == 0 && anyData && ns.sinkInflight >= sinkWindow {
+	if len(n.out) == 0 && anyData && ns.sinkInflight >= n.e.sinkWin {
 		return false // the sink pump's window is full
 	}
 	inputs := make([]Input, len(n.in))
@@ -918,13 +1275,175 @@ func (n *engineNode) fireOnce(ns *nodeSession) bool {
 
 // popHead consumes the head of in-pos i; the credit is accumulated and
 // acked in one batch by flushCredits at the end of the advance.
-func (n *engineNode) popHead(ns *nodeSession, i int) {
+func (n *engineNode) popHead(ns *nodeSession, i int) { n.popHeads(ns, i, 1) }
+
+// popHeads consumes the first k messages of in-pos i with one shift.
+func (n *engineNode) popHeads(ns *nodeSession, i, k int) {
 	q := ns.heads[i]
-	copy(q, q[1:])
-	q[len(q)-1] = Message{}
-	ns.heads[i] = q[:len(q)-1]
-	ns.ses.occupancy[n.in[i]].Add(-1)
-	n.creditAcc[i]++
+	copy(q, q[k:])
+	for j := len(q) - k; j < len(q); j++ {
+		q[j] = Message{}
+	}
+	ns.heads[i] = q[:len(q)-k]
+	ns.ses.occupancy[n.in[i]].Add(-int64(k))
+	n.creditAcc[i] += k
+}
+
+// parkSpan parks a batched run for out-pos i; the slot is free (the node
+// fires only with pendingN == 0, and a run commits its spans before any
+// trailing per-element firing parks singles).
+func (n *engineNode) parkSpan(ns *nodeSession, pos int, span []Message) {
+	ns.pendSpan[pos] = span
+	ns.pendSplit[pos] = false
+	ns.pendingN++
+}
+
+// fireRun is fireOnce's vectorized counterpart for single-input nodes: it
+// consumes a run of consecutive data heads in one protocol step.  The
+// kernel still runs once per element — in sequence order, exactly as the
+// per-element path would call it — but the protocol work amortizes: one
+// FireRun instead of k Fires, one head shift, one credit batch, one span
+// send per out-edge.  The run extends only while every element emits data
+// on every out-edge (so FireRun's no-dummy precondition holds trivially);
+// the first element that filters anything ends the run — its prefix
+// commits batched, the element itself goes through queueFiring with the
+// outputs already computed (kernels may be stateful, so Process is never
+// re-invoked).  Reports whether anything was consumed.
+func (n *engineNode) fireRun(ns *nodeSession) bool {
+	q := ns.heads[0]
+	if len(q) == 0 {
+		return false
+	}
+	if q[0].Kind != Data {
+		// Dummy and EOS heads keep their per-element semantics.
+		return n.fireOnce(ns)
+	}
+	isSink := len(n.out) == 0
+	k := len(q)
+	if k > n.batch {
+		k = n.batch
+	}
+	if isSink && ns.ses.sink != nil {
+		room := n.e.sinkWin - ns.sinkInflight
+		if room <= 0 {
+			return false // the sink pump's window is full
+		}
+		if k > room {
+			k = room
+		}
+	}
+	for j := 1; j < k; j++ {
+		if q[j].Kind != Data {
+			k = j
+			break
+		}
+	}
+
+	var spans [][]Message // per out-pos accumulated data run
+	var emSeqs []uint64   // sink only: accumulated emissions
+	var emPays []any
+	committed := 0
+	var partialOuts map[int]any
+	var partialSeq uint64
+	partial := false
+	if n.spanK != nil && k > 1 {
+		// Vectorized kernel: one ProcessSpan call maps the accepted
+		// prefix with no per-element output maps; a declined element
+		// falls through to the per-element loop below, in order.
+		for j := 0; j < k; j++ {
+			n.spanIn[j] = q[j].Payload
+		}
+		vec := n.spanK.ProcessSpan(q[0].Seq, n.spanIn[:k], n.spanOut[:k])
+		if isSink {
+			ns.ses.sinkData += int64(vec)
+			if ns.ses.sink != nil && vec > 0 {
+				emSeqs = getSeqBuf(k)
+				emPays = getPayBuf(k)
+				for j := 0; j < vec; j++ {
+					emSeqs = append(emSeqs, q[j].Seq)
+					emPays = append(emPays, n.spanOut[j])
+				}
+			}
+		} else if vec > 0 {
+			spans = make([][]Message, len(n.out))
+			for i := range spans {
+				span := getSpan(k)
+				for j := 0; j < vec; j++ {
+					span = append(span, Message{Seq: q[j].Seq, Kind: Data, Payload: n.spanOut[j]})
+				}
+				spans[i] = span
+			}
+		}
+		committed = vec
+		for j := 0; j < k; j++ {
+			n.spanIn[j], n.spanOut[j] = nil, nil
+		}
+	}
+	for j := committed; j < k; j++ {
+		seq := q[j].Seq
+		n.runIn[0] = Input{Present: true, Payload: q[j].Payload}
+		outs := n.kernel.Process(seq, n.runIn)
+		if isSink {
+			ns.ses.sinkData++
+			if ns.ses.sink != nil {
+				if emPays == nil {
+					emSeqs = getSeqBuf(k)
+					emPays = getPayBuf(k)
+				}
+				emSeqs = append(emSeqs, seq)
+				emPays = append(emPays, SinkPayload(n.runIn, outs))
+			}
+			committed++
+			continue
+		}
+		full := true
+		for i := range n.out {
+			if _, ok := outs[i]; !ok {
+				full = false
+				break
+			}
+		}
+		if !full {
+			partial, partialOuts, partialSeq = true, outs, seq
+			break
+		}
+		if spans == nil {
+			spans = make([][]Message, len(n.out))
+			for i := range spans {
+				spans[i] = getSpan(k)
+			}
+		}
+		for i := range n.out {
+			spans[i] = append(spans[i], Message{Seq: seq, Kind: Data, Payload: outs[i]})
+		}
+		committed++
+	}
+	n.runIn[0] = Input{}
+
+	if committed > 0 {
+		if isSink {
+			if emPays != nil {
+				// room was checked above, so the send never blocks.
+				ns.ses.sinkCh <- emission{seqs: emSeqs, pays: emPays}
+				ns.sinkInflight += committed
+			}
+		} else {
+			// All-true masks never dummy, so FireRun always accepts.
+			ns.engine.FireRun(q[0].Seq, q[committed-1].Seq, n.allTrue)
+			for i := range n.out {
+				n.parkSpan(ns, i, spans[i])
+			}
+		}
+		n.popHeads(ns, 0, committed)
+		ns.ses.progress.Add(int64(committed))
+	}
+	if partial {
+		n.popHeads(ns, 0, 1)
+		ns.ses.progress.Add(1)
+		n.queueFiring(ns, partialSeq, partialOuts)
+	}
+	n.flush(ns)
+	return true
 }
 
 // queueFiring parks the firing's messages — data per the kernel, dummies
@@ -956,6 +1475,99 @@ func (n *engineNode) fireSource(ns *nodeSession, payload any) {
 		n.sinkEmit(ns, seq, SinkPayload(in, outs))
 	}
 	n.queueFiring(ns, seq, outs)
+}
+
+// fireSourceRun is fireSource's vectorized counterpart: it ingests up to
+// batch queued payloads at consecutive sequence numbers in one protocol
+// step, with the same full-mask-or-fallback contract as fireRun.  The
+// ingest pump is untouched — it still posts one payload per Source.Next,
+// so request/response feedback sources never see the engine hold a
+// payload while demanding another; batching happens here, on the queue.
+func (n *engineNode) fireSourceRun(ns *nodeSession) {
+	k := len(ns.ingestQ)
+	if k > n.batch {
+		k = n.batch
+	}
+	var spans [][]Message
+	committed := 0
+	var partialOuts map[int]any
+	var partialSeq uint64
+	partial := false
+	if n.spanK != nil && k > 1 {
+		// Vectorized kernel: see fireRun (sources are never sinks here —
+		// advanceSource only batches when out-edges exist).
+		for j := 0; j < k; j++ {
+			n.spanIn[j] = ns.ingestQ[j]
+		}
+		vec := n.spanK.ProcessSpan(ns.nextSeq, n.spanIn[:k], n.spanOut[:k])
+		if vec > 0 {
+			spans = make([][]Message, len(n.out))
+			for i := range spans {
+				span := getSpan(k)
+				for j := 0; j < vec; j++ {
+					span = append(span, Message{Seq: ns.nextSeq + uint64(j), Kind: Data, Payload: n.spanOut[j]})
+				}
+				spans[i] = span
+			}
+		}
+		committed = vec
+		for j := 0; j < k; j++ {
+			n.spanIn[j], n.spanOut[j] = nil, nil
+		}
+	}
+	for j := committed; j < k; j++ {
+		seq := ns.nextSeq + uint64(j)
+		n.runIn[0] = Input{Present: true, Payload: ns.ingestQ[j]}
+		outs := n.kernel.Process(seq, n.runIn)
+		full := true
+		for i := range n.out {
+			if _, ok := outs[i]; !ok {
+				full = false
+				break
+			}
+		}
+		if !full {
+			partial, partialOuts, partialSeq = true, outs, seq
+			break
+		}
+		if spans == nil {
+			spans = make([][]Message, len(n.out))
+			for i := range spans {
+				spans[i] = getSpan(k)
+			}
+		}
+		for i := range n.out {
+			spans[i] = append(spans[i], Message{Seq: seq, Kind: Data, Payload: outs[i]})
+		}
+		committed++
+	}
+	n.runIn[0] = Input{}
+
+	consumed := committed
+	if partial {
+		consumed++
+	}
+	for j := 0; j < consumed; j++ {
+		ns.ingestQ[j] = nil
+	}
+	ns.ingestQ = ns.ingestQ[consumed:]
+	if len(ns.ingestQ) == 0 {
+		ns.ingestQ = nil
+	}
+	if committed > 0 {
+		ns.engine.FireRun(ns.nextSeq, ns.nextSeq+uint64(committed)-1, n.allTrue)
+		for i := range n.out {
+			n.parkSpan(ns, i, spans[i])
+		}
+		ns.nextSeq += uint64(committed)
+		ns.ses.progress.Add(int64(committed))
+	}
+	if partial {
+		ns.nextSeq++
+		ns.ses.progress.Add(1)
+		n.queueFiring(ns, partialSeq, partialOuts)
+	}
+	n.flush(ns)
 }
 
 // sinkEmit counts one sink firing and hands it to the session's pump.

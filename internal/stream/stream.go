@@ -80,27 +80,56 @@ type KernelFunc func(seq uint64, in []Input) map[int]any
 // Process implements Kernel.
 func (f KernelFunc) Process(seq uint64, in []Input) map[int]any { return f(seq, in) }
 
-// Passthrough forwards the first present input payload on every out-edge.
-func Passthrough(outs int) Kernel {
-	return KernelFunc(func(_ uint64, in []Input) map[int]any {
-		var payload any
-		ok := false
-		for _, i := range in {
-			if i.Present {
-				payload, ok = i.Payload, true
-				break
-			}
-		}
-		if !ok && len(in) > 0 {
-			return nil
-		}
-		out := make(map[int]any, outs)
-		for i := 0; i < outs; i++ {
-			out[i] = payload
-		}
-		return out
-	})
+// SpanKernel is an optional extension of Kernel for the vectorized hot
+// path (Config.MaxBatch > 1).  A kernel that maps each element to
+// exactly one output payload — emitted on every out-edge, never
+// filtered — can process a whole run of consecutive data elements in a
+// single call: ProcessSpan receives the run's payloads in (carrying the
+// consecutive sequence numbers seq0, seq0+1, …), writes the output
+// payloads to out (len(out) == len(in)), and returns the length of the
+// prefix it processed.  Returning n < len(in) declines element n — the
+// engine routes it (and everything after it) through Process, in order,
+// so a kernel may vectorize the common case and fall back per element
+// for filtering, per-edge divergence, or type errors.  The engine calls
+// ProcessSpan only where it would have called Process once per element
+// with a single present input, so a stateful kernel observes the same
+// element sequence either way.  Kernels that do not implement the
+// interface are simply invoked per element.
+type SpanKernel interface {
+	Kernel
+	ProcessSpan(seq0 uint64, in, out []any) int
 }
+
+// passthroughKernel forwards the first present input payload on every
+// out-edge; it vectorizes trivially (ProcessSpan copies the run).
+type passthroughKernel struct{ outs int }
+
+func (p passthroughKernel) Process(_ uint64, in []Input) map[int]any {
+	var payload any
+	ok := false
+	for _, i := range in {
+		if i.Present {
+			payload, ok = i.Payload, true
+			break
+		}
+	}
+	if !ok && len(in) > 0 {
+		return nil
+	}
+	out := make(map[int]any, p.outs)
+	for i := 0; i < p.outs; i++ {
+		out[i] = payload
+	}
+	return out
+}
+
+func (p passthroughKernel) ProcessSpan(_ uint64, in, out []any) int {
+	copy(out, in)
+	return len(in)
+}
+
+// Passthrough forwards the first present input payload on every out-edge.
+func Passthrough(outs int) Kernel { return passthroughKernel{outs: outs} }
 
 // SourceFunc supplies the stream's payloads: each call returns the next
 // payload, ok=false for end of stream, or an error that aborts the run.
@@ -108,10 +137,27 @@ func Passthrough(outs int) Kernel {
 // cancellation), so a blocked source unblocks when the run dies.
 type SourceFunc func(ctx context.Context) (payload any, ok bool, err error)
 
+// SpanSourceFunc is the bulk form of SourceFunc: fill buf with up to
+// len(buf) payloads and return how many, plus eof when the stream ends
+// (eof may accompany a final non-empty fill; n == 0 with a nil error
+// also ends the stream).  Like SourceFunc it may block until at least
+// one payload is available — but the caller publishes the whole fill at
+// once, so only sources whose payloads never depend on the downstream
+// observing earlier ones (counters, slices, replay logs) should offer
+// it; a request/response feedback source must stick to SourceFunc's
+// one-at-a-time contract.
+type SpanSourceFunc func(ctx context.Context, buf []any) (n int, eof bool, err error)
+
 // SinkFunc receives sink-node emissions in ascending sequence order; a
 // non-nil error aborts the run.  The context is the run's, so a blocked
 // sink (backpressure) unblocks when the run dies.
 type SinkFunc func(ctx context.Context, seq uint64, payload any) error
+
+// SpanSinkFunc is the bulk form of SinkFunc: one call delivers a whole
+// batched emission run (parallel seqs/pays slices, ascending sequence
+// order, valid only for the duration of the call).  An error aborts the
+// run; the elements of the failing span count as undelivered.
+type SpanSinkFunc func(ctx context.Context, seqs []uint64, pays []any) error
 
 // SyntheticSource is the legacy ingestion arrangement: n payloads that
 // are the sequence numbers 0..n-1 themselves (as uint64).
@@ -146,6 +192,19 @@ type Config struct {
 	// WatchdogTimeout is how long the watchdog waits without global
 	// progress before declaring deadlock.  Zero defaults to one second.
 	WatchdogTimeout time.Duration
+	// MaxBatch is the vectorization width of the resident Engine's hot
+	// path: single-input nodes consume up to MaxBatch consecutive data
+	// messages per protocol step and forward them as one span (one
+	// mailbox post, one credit batch, one amortized timer refresh).
+	// Zero or one keeps the per-element legacy path bit-identical.
+	// Credits stay in payload units — a span of k messages consumes k
+	// credits — so the windowed backpressure semantics are unchanged,
+	// as are the per-edge logical data/dummy counts.  The one-shot Run
+	// ignores it.
+	MaxBatch int
+	// NodeBatch overrides MaxBatch for individual nodes (the Flow
+	// tier's Stage.Batch knob); absent nodes use MaxBatch.
+	NodeBatch map[graph.NodeID]int
 }
 
 // Stats summarizes a completed run.

@@ -36,6 +36,8 @@ type Pipeline struct {
 	alg       Algorithm
 	watchdog  time.Duration
 	avoidance bool
+	maxBatch  int
+	nodeBatch map[string]int // per-stage Batch marks, keyed by original node name
 
 	// Flow-compiled pipelines carry the shared runtime type-error slot
 	// and the per-Run reset hooks (stateful stage state, see stage.go);
@@ -62,6 +64,7 @@ type buildConfig struct {
 	alg        Algorithm
 	backend    Backend
 	watchdog   time.Duration
+	maxBatch   int
 	cycleLimit int
 	plan       ReplicationPlan
 	kernelMaps []map[NodeID]Kernel
@@ -114,6 +117,27 @@ func WithBackend(b Backend) Option {
 // in Source or Sink callbacks does not count as stalled.
 func WithWatchdog(d time.Duration) Option {
 	return func(c *buildConfig) { c.watchdog = d }
+}
+
+// WithMaxBatch sets the transport batch size of the runtime backends
+// (default 1).  With n > 1 the hot path carries runs of up to n
+// consecutive data messages as a single unit — one channel operation,
+// one protocol update, and (on the distributed backend) one coalesced
+// wire frame per run instead of per message — multiplying throughput on
+// chains of cheap kernels.  Batching is transport-level only: credits
+// are still accounted in payload units (a run of k messages consumes k
+// window slots), kernels still fire once per element in sequence order,
+// and the logical stream — per-edge data and dummy counts, sink
+// delivery order — is identical to an unbatched run.  n = 1 keeps the
+// legacy one-message-at-a-time path; Flow stages can override their own
+// node's batch size with Stage.Batch.
+func WithMaxBatch(n int) Option {
+	return func(c *buildConfig) {
+		if n < 1 && c.err == nil {
+			c.err = fmt.Errorf("streamdag: build: max batch %d must be positive", n)
+		}
+		c.maxBatch = n
+	}
 }
 
 // WithCycleLimit bounds the exhaustive interval fallback used for
@@ -209,6 +233,7 @@ func Build(t *Topology, opts ...Option) (*Pipeline, error) {
 		orig: t, topo: t,
 		backend: cfg.backend, alg: cfg.alg,
 		watchdog: cfg.watchdog, avoidance: cfg.avoidance,
+		maxBatch: cfg.maxBatch,
 	}
 	if len(cfg.plan) > 0 {
 		rep, err := Replicate(t, cfg.plan)

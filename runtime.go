@@ -22,6 +22,54 @@ type KernelFunc = stream.KernelFunc
 // Input is the per-edge aligned input handed to kernels.
 type Input = stream.Input
 
+// SpanKernel is the optional vectorized kernel interface: a batched
+// backend hands a whole run of consecutive elements to ProcessSpan in
+// one call instead of invoking Process per element.  See
+// stream.SpanKernel for the prefix-decline contract.
+type SpanKernel = stream.SpanKernel
+
+// mapKernel is a single-input map kernel that vectorizes: Process
+// applies fn to the (single present) input payload and broadcasts the
+// result on all outs edges; ProcessSpan does the same for a whole run
+// with no per-element allocation.  Process always includes out-position
+// 0, so at a sink node both paths deliver fn's result.
+type mapKernel struct {
+	outs int
+	fn   func(any) any
+}
+
+func (m mapKernel) Process(_ uint64, in []Input) map[int]any {
+	for _, i := range in {
+		if i.Present {
+			r := m.fn(i.Payload)
+			outs := make(map[int]any, m.outs+1)
+			outs[0] = r
+			for o := 1; o < m.outs; o++ {
+				outs[o] = r
+			}
+			return outs
+		}
+	}
+	return nil // nothing present: the firing filters
+}
+
+func (m mapKernel) ProcessSpan(_ uint64, in, out []any) int {
+	for j, v := range in {
+		out[j] = m.fn(v)
+	}
+	return len(in)
+}
+
+// MapKernel builds a kernel that applies fn to every payload and emits
+// the result on all outs out-edges (outs 0 is valid at a sink, where
+// fn's result is what reaches the run's Sink).  The kernel implements
+// SpanKernel, so batched backends run it once per span rather than once
+// per element — use it for hot single-input stages in preference to a
+// hand-rolled KernelFunc.
+func MapKernel(outs int, fn func(any) any) Kernel {
+	return mapKernel{outs: outs, fn: fn}
+}
+
 // RunConfig parameterizes Run.
 type RunConfig struct {
 	// Inputs is the number of sequence numbers generated at the source.

@@ -28,6 +28,65 @@ type SourceFunc func(ctx context.Context) (payload any, ok bool, err error)
 // Next implements Source.
 func (f SourceFunc) Next(ctx context.Context) (any, bool, error) { return f(ctx) }
 
+// SpanSource is the optional bulk-ingestion extension of Source: the
+// runtime's ingest pump hands NextSpan a whole grant window to fill in
+// one call — n payloads (order preserved, sequence numbers assigned as
+// if each had been returned by Next) plus eof when the stream ends; eof
+// may accompany a final non-empty fill, and an error-free zero fill
+// also ends the stream.  The payloads of one fill are published to the
+// topology together, so implement SpanSource only when payloads never
+// depend on the downstream observing earlier ones — counters, slices,
+// replay logs.  A request/response feedback source must stick to
+// Source, whose one-at-a-time contract the runtime preserves.
+type SpanSource interface {
+	Source
+	NextSpan(ctx context.Context, buf []any) (n int, eof bool, err error)
+}
+
+// countingSource implements SpanSource for CountingSource.
+type countingSource struct {
+	next, n uint64
+}
+
+func (c *countingSource) Next(context.Context) (any, bool, error) {
+	if c.next >= c.n {
+		return nil, false, nil
+	}
+	v := c.next
+	c.next++
+	return v, true, nil
+}
+
+func (c *countingSource) NextSpan(_ context.Context, buf []any) (int, bool, error) {
+	k := 0
+	for ; k < len(buf) && c.next < c.n; k++ {
+		buf[k] = c.next
+		c.next++
+	}
+	return k, c.next >= c.n, nil
+}
+
+// sliceSource implements SpanSource for SliceSource.
+type sliceSource struct {
+	payloads []any
+	i        int
+}
+
+func (s *sliceSource) Next(context.Context) (any, bool, error) {
+	if s.i >= len(s.payloads) {
+		return nil, false, nil
+	}
+	v := s.payloads[s.i]
+	s.i++
+	return v, true, nil
+}
+
+func (s *sliceSource) NextSpan(_ context.Context, buf []any) (int, bool, error) {
+	k := copy(buf, s.payloads[s.i:])
+	s.i += k
+	return k, s.i >= len(s.payloads), nil
+}
+
 // ChannelSource ingests payloads from ch until it is closed.  A blocked
 // receive unblocks (and the run winds down) when the run's context is
 // cancelled.
@@ -42,32 +101,19 @@ func ChannelSource(ch <-chan any) Source {
 	})
 }
 
-// SliceSource ingests the given payloads in order, then ends the stream.
+// SliceSource ingests the given payloads in order, then ends the
+// stream.  It implements SpanSource, so batched runtimes ingest it in
+// bulk.
 func SliceSource(payloads ...any) Source {
-	i := 0
-	return SourceFunc(func(context.Context) (any, bool, error) {
-		if i >= len(payloads) {
-			return nil, false, nil
-		}
-		v := payloads[i]
-		i++
-		return v, true, nil
-	})
+	return &sliceSource{payloads: payloads}
 }
 
 // CountingSource is the legacy synthetic arrangement: n payloads that
 // are the sequence numbers 0..n-1 themselves (as uint64) — what
-// RunConfig.Inputs used to generate.
+// RunConfig.Inputs used to generate.  It implements SpanSource, so
+// batched runtimes ingest it in bulk.
 func CountingSource(n uint64) Source {
-	var next uint64
-	return SourceFunc(func(context.Context) (any, bool, error) {
-		if next >= n {
-			return nil, false, nil
-		}
-		v := next
-		next++
-		return v, true, nil
-	})
+	return &countingSource{n: n}
 }
 
 // Emission is one sink-node delivery: the firing's sequence number and
@@ -109,10 +155,28 @@ func ChannelSink(ch chan<- Emission) Sink {
 	})
 }
 
+// SpanSink is the optional bulk-delivery extension of Sink: a batched
+// runtime hands EmitSpan a whole emission run (parallel seqs/pays
+// slices, ascending sequence order) in one call instead of calling Emit
+// per element.  The slices are only valid for the duration of the call.
+// Unbatched emissions still arrive through Emit, so implementations
+// must keep both paths consistent.
+type SpanSink interface {
+	Sink
+	EmitSpan(ctx context.Context, seqs []uint64, pays []any) error
+}
+
+// discardSink implements SpanSink for DiscardSink.
+type discardSink struct{}
+
+func (discardSink) Emit(context.Context, uint64, any) error         { return nil }
+func (discardSink) EmitSpan(context.Context, []uint64, []any) error { return nil }
+
 // DiscardSink drops every emission (they are still counted in
-// RunStats.SinkData).
+// RunStats.SinkData).  It implements SpanSink, so batched runtimes
+// discard whole emission runs in one call.
 func DiscardSink() Sink {
-	return SinkFunc(func(context.Context, uint64, any) error { return nil })
+	return discardSink{}
 }
 
 // Collector is a Sink that accumulates every emission in memory, for

@@ -39,6 +39,13 @@ type Stage interface {
 	// channel; the Flow default applies when unset.  Composite stages
 	// (Sequence, Split) reject it — set buffers on their members.
 	Buffer(n int) Stage
+	// Batch sets this stage's transport batch size, overriding the
+	// pipeline default from WithMaxBatch in either direction (a hot
+	// stage can batch above the default, a latency-critical one can pin
+	// 1).  Batching never changes the logical stream — see WithMaxBatch.
+	// Composite stages (Sequence, Split) reject it — set batch sizes on
+	// their member stages.
+	Batch(n int) Stage
 
 	inType() reflect.Type
 	outType() reflect.Type
@@ -70,6 +77,7 @@ type stageBase struct {
 	name     string
 	replicas int
 	buf      int
+	batch    int
 	err      error
 	self     Stage
 }
@@ -92,6 +100,14 @@ func (b *stageBase) Buffer(n int) Stage {
 	return b.self
 }
 
+func (b *stageBase) Batch(n int) Stage {
+	if n < 1 && b.err == nil {
+		b.err = fmt.Errorf("streamdag: flow: stage %q: batch size %d must be positive", b.name, n)
+	}
+	b.batch = n
+	return b.self
+}
+
 func (b *stageBase) stageErr() error { return b.err }
 
 func (b *stageBase) bufOr(def int) int {
@@ -109,6 +125,9 @@ func (b *stageBase) lowerSimple(lw *lowering, from string, mk kernelFactory) (st
 	}
 	if b.replicas > 1 {
 		lw.plan[b.name] = b.replicas
+	}
+	if b.batch > 0 {
+		lw.batch[b.name] = b.batch
 	}
 	lw.connect(from, b.name, b.bufOr(lw.defBuf))
 	return b.name, nil
@@ -186,18 +205,43 @@ func (s *mapStage[A, B]) outType() reflect.Type { return typeOf[B]() }
 func (s *mapStage[A, B]) lower(lw *lowering, from string) (string, error) {
 	fn, name, slot := s.fn, s.name, lw.slot
 	return s.lowerSimple(lw, from, func(nIn, nOut int) Kernel {
-		return KernelFunc(func(seq uint64, in []Input) map[int]any {
-			p, ok := firstPresent(in)
-			if !ok {
-				return nil
-			}
-			v, ok := castPayload[A](slot, name, seq, p)
-			if !ok {
-				return nil
-			}
-			return broadcast(nOut, fn(v))
-		})
+		return flowMapKernel[A, B]{nOut: nOut, name: name, slot: slot, fn: fn}
 	})
+}
+
+// flowMapKernel is the lowered form of a Map stage.  It implements
+// SpanKernel so batched backends apply fn across a whole run in one
+// call; a payload whose dynamic type is not A declines the rest of the
+// span, which routes it to Process — the per-element path that records
+// the StageTypeError and filters it.
+type flowMapKernel[A, B any] struct {
+	nOut int
+	name string
+	slot *stageErrSlot
+	fn   func(A) B
+}
+
+func (k flowMapKernel[A, B]) Process(seq uint64, in []Input) map[int]any {
+	p, ok := firstPresent(in)
+	if !ok {
+		return nil
+	}
+	v, ok := castPayload[A](k.slot, k.name, seq, p)
+	if !ok {
+		return nil
+	}
+	return broadcast(k.nOut, k.fn(v))
+}
+
+func (k flowMapKernel[A, B]) ProcessSpan(_ uint64, in, out []any) int {
+	for j, p := range in {
+		v, ok := assertAs[A](p)
+		if !ok {
+			return j
+		}
+		out[j] = k.fn(v)
+	}
+	return len(in)
 }
 
 type filterStage[A any] struct {
@@ -403,6 +447,9 @@ func (b *stageBase) compositeKnobs() error {
 	if b.buf > 0 {
 		return fmt.Errorf("streamdag: flow: composite stage %q has no inbound channel of its own; set buffers on its member stages", b.name)
 	}
+	if b.batch > 0 {
+		return fmt.Errorf("streamdag: flow: composite stage %q has no node of its own; set batch sizes on its member stages", b.name)
+	}
 	return nil
 }
 
@@ -439,6 +486,9 @@ func (b *stageBase) lowerMerge(lw *lowering, froms []string, mk kernelFactory) (
 	}
 	if b.replicas > 1 {
 		lw.plan[b.name] = b.replicas
+	}
+	if b.batch > 0 {
+		lw.batch[b.name] = b.batch
 	}
 	for _, from := range froms {
 		lw.connect(from, b.name, b.bufOr(lw.defBuf))
