@@ -13,7 +13,8 @@
 //	          [-replicate 1,2,4] [-sessions 1,16,64] [-stage block|spin]
 //	          [-cost 100] [-inputs 20000] [-batch 1,64]
 //	          [-backend runtime,simulator,distributed]
-//	          [-json BENCH_replication.json]
+//	          [-json BENCH_replication.json] [-metrics]
+//	          [-cpuprofile cpu.out] [-memprofile mem.out] [-blockprofile block.out]
 //
 // The throughput family runs a three-stage pipeline gen → work → out on
 // the goroutine runtime with the Propagation protocol, expanding the hot
@@ -81,7 +82,10 @@ func main() {
 	batch := flag.String("batch", "1", "comma-separated transport batch sizes (throughput family; see WithMaxBatch)")
 	backend := flag.String("backend", "runtime", "comma-separated backends (throughput family): runtime, simulator, distributed")
 	jsonOut := flag.String("json", "", "write throughput records as JSON to this file (- for stdout)")
+	metrics := flag.Bool("metrics", false, "attach an Observer to each throughput run and print its final Snapshot as JSON alongside the bench line (throughput family; skipped for the legacy api)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
+	blockprofile := flag.String("blockprofile", "", "write a goroutine blocking profile at exit to this file")
 	flag.Parse()
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -93,6 +97,20 @@ func main() {
 			fatal(err)
 		}
 		defer pprof.StopCPUProfile()
+	}
+	if *blockprofile != "" {
+		// Rate 1 records every blocking event; benchmark sweeps are short
+		// enough that the bookkeeping cost is acceptable for diagnosis.
+		runtime.SetBlockProfileRate(1)
+		defer writeProfile(*blockprofile, func(f *os.File) error {
+			return pprof.Lookup("block").WriteTo(f, 0)
+		})
+	}
+	if *memprofile != "" {
+		defer writeProfile(*memprofile, func(f *os.File) error {
+			runtime.GC() // settle the heap so the profile reflects retained memory
+			return pprof.WriteHeapProfile(f)
+		})
 	}
 
 	switch *family {
@@ -111,7 +129,7 @@ func main() {
 		runLadder(*seed, *reps)
 		runGeneral(*seed, *reps)
 	case "throughput":
-		runThroughput(*api, *replicate, *sessions, *stage, *cost, *inputs, *batch, *backend, *reps, *jsonOut)
+		runThroughput(*api, *replicate, *sessions, *stage, *cost, *inputs, *batch, *backend, *reps, *jsonOut, *metrics)
 	default:
 		fmt.Fprintf(os.Stderr, "benchtopo: unknown family %q\n", *family)
 		os.Exit(2)
@@ -144,7 +162,7 @@ type throughputRecord struct {
 // out for each replica count, with the hot "work" stage expanded by
 // streamdag.Replicate — through the legacy Run entry point, the Pipeline
 // API, the typed Flow builder, or the long-lived Engine.
-func runThroughput(api, replicate, sessions, stage string, cost int, inputs uint64, batch, backend string, reps int, jsonOut string) {
+func runThroughput(api, replicate, sessions, stage string, cost int, inputs uint64, batch, backend string, reps int, jsonOut string, metrics bool) {
 	if reps < 1 {
 		reps = 1
 	}
@@ -215,20 +233,29 @@ func runThroughput(api, replicate, sessions, stage string, cost int, inputs uint
 						// batches, and the fastest repetition is the least-noisy
 						// estimate of each mode's attainable throughput.
 						var rec throughputRecord
+						var recObs *streamdag.Observer
 						for r := 0; r < reps; r++ {
+							// A fresh Observer per repetition, so the snapshot
+							// printed next to the bench line covers exactly the
+							// winning repetition's traffic.
+							var obs *streamdag.Observer
+							if metrics && a != "legacy" {
+								obs = streamdag.NewObserver()
+							}
 							var cand throughputRecord
 							switch a {
 							case "pipeline":
-								cand = runPipelineAPI(k, n, b, be, hot, stage, desc, inputs)
+								cand = runPipelineAPI(k, n, b, be, hot, stage, desc, inputs, obs)
 							case "typed":
-								cand = runTypedAPI(k, n, b, be, hotTyped, stage, desc, inputs)
+								cand = runTypedAPI(k, n, b, be, hotTyped, stage, desc, inputs, obs)
 							case "engine":
-								cand = runEngineAPI(k, n, b, be, hot, stage, desc, inputs)
+								cand = runEngineAPI(k, n, b, be, hot, stage, desc, inputs, obs)
 							default:
 								cand = runPipeline(k, n, hot, stage, desc, inputs)
 							}
 							if r == 0 || cand.MsgsPerSec > rec.MsgsPerSec {
 								rec = cand
+								recObs = obs
 							}
 						}
 						records = append(records, rec)
@@ -236,6 +263,13 @@ func runThroughput(api, replicate, sessions, stage string, cost int, inputs uint
 							rec.Topology, rec.Backend, rec.API, rec.Algorithm, rec.Stage, rec.Replicate,
 							rec.Sessions, rec.Batch, rec.Inputs, rec.ElapsedSec, rec.MsgsPerSec, rec.DataMsgs,
 							rec.DummyMsgs, rec.DummyOverheadPct)
+						if recObs != nil {
+							snap, err := json.Marshal(recObs.Snapshot())
+							if err != nil {
+								fatal(err)
+							}
+							fmt.Fprintf(csv, "# metrics %s\n", snap)
+						}
 					}
 				}
 			}
@@ -333,7 +367,7 @@ func benchBackend(name string, pipe *streamdag.Pipeline) streamdag.Backend {
 // with the hot stage replicated via Stage.Replicate — measuring what the
 // generics-based surface costs over hand-wired kernels.  The n streams
 // run as sequential Pipeline.Run calls over one compiled flow.
-func runTypedAPI(k, n, batch int, backend string, hot func(uint64) uint64, stage, desc string, inputs uint64) throughputRecord {
+func runTypedAPI(k, n, batch int, backend string, hot func(uint64) uint64, stage, desc string, inputs uint64, obs *streamdag.Observer) throughputRecord {
 	compile := func(extra ...streamdag.Option) *streamdag.Pipeline {
 		work := streamdag.Map("work", hot)
 		if k > 1 {
@@ -345,6 +379,9 @@ func runTypedAPI(k, n, batch int, backend string, hot func(uint64) uint64, stage
 		}
 		if batch > 1 {
 			opts = append(opts, streamdag.WithMaxBatch(batch))
+		}
+		if obs != nil {
+			opts = append(opts, streamdag.WithObserver(obs))
 		}
 		pipe, err := streamdag.NewFlow[uint64, uint64]().Buffer(64).
 			Then(work).
@@ -459,7 +496,7 @@ topology hotstage {
 // hotstagePipeline builds the gen → work×k → out pipeline the pipeline
 // and engine entry points share, at the given transport batch size and
 // execution backend.
-func hotstagePipeline(k, batch int, backend string, hot streamdag.Kernel) *streamdag.Pipeline {
+func hotstagePipeline(k, batch int, backend string, hot streamdag.Kernel, obs *streamdag.Observer) *streamdag.Pipeline {
 	build := func(extra ...streamdag.Option) *streamdag.Pipeline {
 		topo := streamdag.NewTopology()
 		// 256-deep channels leave room for double buffering at every batch
@@ -476,6 +513,9 @@ func hotstagePipeline(k, batch int, backend string, hot streamdag.Kernel) *strea
 		}
 		if batch > 1 {
 			opts = append(opts, streamdag.WithMaxBatch(batch))
+		}
+		if obs != nil {
+			opts = append(opts, streamdag.WithObserver(obs))
 		}
 		pipe, err := streamdag.Build(topo, append(opts, extra...)...)
 		if err != nil {
@@ -496,8 +536,8 @@ func hotstagePipeline(k, batch int, backend string, hot streamdag.Kernel) *strea
 // surface: the n streams run as n fresh Run calls — each one spins up
 // and tears down a full runtime, which is exactly the per-run cost the
 // engine mode amortizes.
-func runPipelineAPI(k, n, batch int, backend string, hot streamdag.Kernel, stage, desc string, inputs uint64) throughputRecord {
-	pipe := hotstagePipeline(k, batch, backend, hot)
+func runPipelineAPI(k, n, batch int, backend string, hot streamdag.Kernel, stage, desc string, inputs uint64, obs *streamdag.Observer) throughputRecord {
+	pipe := hotstagePipeline(k, batch, backend, hot, obs)
 	start := time.Now()
 	var agg aggStats
 	for i := 0; i < n; i++ {
@@ -514,8 +554,8 @@ func runPipelineAPI(k, n, batch int, backend string, hot streamdag.Kernel, stage
 // runEngineAPI serves the n streams as concurrent sessions over one
 // resident engine: compile once, spin the workers once, then each
 // stream costs a session.
-func runEngineAPI(k, n, batch int, backend string, hot streamdag.Kernel, stage, desc string, inputs uint64) throughputRecord {
-	pipe := hotstagePipeline(k, batch, backend, hot)
+func runEngineAPI(k, n, batch int, backend string, hot streamdag.Kernel, stage, desc string, inputs uint64, obs *streamdag.Observer) throughputRecord {
+	pipe := hotstagePipeline(k, batch, backend, hot, obs)
 	start := time.Now()
 	eng, err := pipe.Engine()
 	if err != nil {
@@ -564,6 +604,19 @@ func runEngineAPI(k, n, batch int, backend string, hot streamdag.Kernel, stage, 
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "benchtopo: %v\n", err)
 	os.Exit(1)
+}
+
+// writeProfile creates path and hands it to write — the shared shape of
+// the at-exit memory and block profiles.
+func writeProfile(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fatal(err)
+	}
 }
 
 func timeIt(reps int, f func()) float64 {

@@ -300,6 +300,7 @@ func (goroutineBackend) newEngine(p *Pipeline) (backendEngine, error) {
 		WatchdogTimeout: p.watchdog,
 		MaxBatch:        p.maxBatch,
 		NodeBatch:       p.resolvedNodeBatch(),
+		Obs:             p.obsMetrics(),
 	})
 	if err != nil {
 		return nil, err
@@ -342,6 +343,7 @@ func (simulatorBackend) newEngine(p *Pipeline) (backendEngine, error) {
 		Intervals: p.intervals,
 		MaxBatch:  p.maxBatch,
 		NodeBatch: p.resolvedNodeBatch(),
+		Obs:       p.obsMetrics(),
 	})}, nil
 }
 
@@ -414,6 +416,7 @@ func (b distributedBackend) newEngine(p *Pipeline) (backendEngine, error) {
 		Intervals:       p.intervals,
 		WatchdogTimeout: p.watchdog,
 		MaxBatch:        p.maxBatch,
+		Obs:             p.obsMetrics(),
 	})
 	if err != nil {
 		return nil, err

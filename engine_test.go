@@ -342,6 +342,75 @@ func TestEngineDeadlockNamesWedgedSession(t *testing.T) {
 	if !strings.Contains(err.Error(), fmt.Sprintf("session %d", bad.ID())) {
 		t.Fatalf("error text %q does not name the session", err)
 	}
+	// The wedge report must also say *where* the stream stalled: the
+	// embedded snapshot names the saturated edges.
+	if len(derr.Stalled) == 0 {
+		t.Fatalf("DeadlockError %v names no stalled edges", derr)
+	}
+	if !strings.Contains(err.Error(), "stalled on: ") {
+		t.Fatalf("error text %q does not name where the stream stalled", err)
+	}
+}
+
+// TestEngineCloseDuringOpenRace races Engine.Close against in-flight
+// Opens on every backend: whichever side wins, no pump goroutine may
+// leak, sessions must resolve, and late Opens must fail with
+// ErrEngineClosed — the close-race extension of the 100-session
+// reclamation test above.
+func TestEngineCloseDuringOpenRace(t *testing.T) {
+	opts := append(fig1Kernels(), WithWatchdog(10*time.Second))
+	for name, p := range backendsFor(t, fig1Topo, opts...) {
+		name, p := name, p
+		t.Run(name, func(t *testing.T) {
+			baseline := runtime.NumGoroutine()
+			for round := 0; round < 6; round++ {
+				eng, err := p.Engine()
+				if err != nil {
+					t.Fatal(err)
+				}
+				start := make(chan struct{})
+				var wg sync.WaitGroup
+				for i := 0; i < 8; i++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						<-start
+						ses, err := eng.Open(context.Background(), SliceSource(payloads(12)...), nil)
+						if err != nil {
+							if !errors.Is(err, ErrEngineClosed) {
+								t.Errorf("Open: %v", err)
+							}
+							return
+						}
+						if _, err := ses.Wait(); err != nil && !errors.Is(err, ErrEngineClosed) {
+							t.Errorf("Wait: %v", err)
+						}
+					}()
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					<-start
+					if err := eng.Close(); err != nil {
+						t.Errorf("Close: %v", err)
+					}
+				}()
+				close(start)
+				wg.Wait()
+			}
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				runtime.GC()
+				if g := runtime.NumGoroutine(); g <= baseline {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("goroutines = %d, baseline %d", runtime.NumGoroutine(), baseline)
+				}
+				time.Sleep(25 * time.Millisecond)
+			}
+		})
+	}
 }
 
 // TestEngineStatefulSingleSessionGate: pipelines with Stateful stages

@@ -12,6 +12,13 @@
 //     workers stay resident, and the requests multiplex over the shared
 //     links as session-tagged frames with per-session credit windows.
 //
+// Both tiers attach a streamdag.Observer.  The typed tier additionally
+// serves it over HTTP — Prometheus text at /metrics, expvar JSON at
+// /debug/vars — on an ephemeral loopback port, scrapes itself, and fails
+// (exit 1) unless the scrape shows non-zero node firings; the distributed
+// tier asserts its snapshot programmatically, including per-link wire
+// counters.  That makes the example double as the CI metrics smoke test.
+//
 // Run with:
 //
 //	go run ./examples/streamserve
@@ -19,9 +26,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"log"
+	"net"
+	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -58,9 +70,12 @@ func main() {
 }
 
 // typedTier serves the requests through a typed Flow engine: one
-// CompileEngine, then a SessionOf per request.
+// CompileEngine, then a SessionOf per request — with an Observer exposed
+// over HTTP and self-scraped at the end.
 func typedTier() {
+	obs := streamdag.NewObserver()
 	eng, err := streamdag.NewFlow[string, string]().
+		Observe(obs).
 		Then(
 			streamdag.FilterStage("scrub", func(line string) bool {
 				return !strings.HasPrefix(line, "DEBUG ")
@@ -74,6 +89,20 @@ func typedTier() {
 		log.Fatal(err)
 	}
 	defer eng.Close()
+
+	// Exposition endpoints on an ephemeral loopback port: Prometheus text
+	// at /metrics, expvar JSON at /debug/vars, both views of the same
+	// Observer.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler())
+	mux.Handle("/debug/vars", obs.Handler())
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	defer srv.Close()
 
 	type result struct {
 		client, request, kept int
@@ -130,16 +159,67 @@ func typedTier() {
 		fmt.Printf("  c%d/r%d: kept %d/%d, first %q\n",
 			res.client, res.request, res.kept, lines, res.first)
 	}
+	scrapeMetrics(ln.Addr().String())
+}
+
+// scrapeMetrics curls the example's own /metrics and /debug/vars and
+// fails the run unless the scrape shows the pipeline actually fired —
+// the assertion CI's metrics smoke job relies on.
+func scrapeMetrics(addr string) {
+	prom := mustGet("http://" + addr + "/metrics")
+	firings := int64(0)
+	for _, line := range strings.Split(prom, "\n") {
+		if !strings.HasPrefix(line, "streamdag_node_firings_total{") {
+			continue
+		}
+		fields := strings.Fields(line)
+		n, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+		if err != nil {
+			log.Fatalf("streamserve: bad /metrics line %q: %v", line, err)
+		}
+		firings += n
+	}
+	if firings == 0 {
+		log.Fatal("streamserve: /metrics scrape shows zero node firings")
+	}
+	vars := mustGet("http://" + addr + "/debug/vars")
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(vars), &decoded); err != nil {
+		log.Fatalf("streamserve: /debug/vars is not valid JSON: %v", err)
+	}
+	if _, ok := decoded["streamdag"]; !ok {
+		log.Fatal("streamserve: /debug/vars has no streamdag var")
+	}
+	fmt.Printf("  scraped %s: %d node firings via /metrics, /debug/vars ok\n", addr, firings)
+}
+
+// mustGet fetches url and returns the body, failing the run on any error.
+func mustGet(url string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("streamserve: GET %s: %s", url, resp.Status)
+	}
+	return string(body)
 }
 
 // distributedTier serves concurrent requests over one resident pair of
 // TCP workers: the same scrub/annotate topology, hand-wired kernels,
 // sessions multiplexed over the shared links.
 func distributedTier() {
+	obs := streamdag.NewObserver()
 	topo := streamdag.NewTopology()
 	topo.Channel("ingest", "scrub", 16)
 	topo.Channel("scrub", "deliver", 16)
 	p, err := streamdag.Build(topo,
+		streamdag.WithObserver(obs),
 		streamdag.WithKernel("scrub", streamdag.KernelFunc(
 			func(_ uint64, in []streamdag.Input) map[int]any {
 				if !in[0].Present {
@@ -197,4 +277,29 @@ func distributedTier() {
 	for _, res := range results {
 		fmt.Printf("  c%d: delivered %d/%d\n", res.client, res.kept, lines)
 	}
+
+	// The distributed tier asserts its telemetry programmatically: every
+	// session completed, the kernels fired, and the edge↔core links
+	// actually carried frames.
+	snap := obs.Snapshot()
+	if snap.Sessions.Completed != clients {
+		log.Fatalf("streamserve: snapshot shows %d completed sessions, want %d",
+			snap.Sessions.Completed, clients)
+	}
+	var firings int64
+	for _, n := range snap.Nodes {
+		firings += n.Firings
+	}
+	if firings == 0 {
+		log.Fatal("streamserve: distributed snapshot shows zero node firings")
+	}
+	var frames int64
+	for _, l := range snap.Links {
+		frames += l.TxFrames
+	}
+	if frames == 0 {
+		log.Fatal("streamserve: distributed snapshot shows no wire frames")
+	}
+	fmt.Printf("  metrics: %d sessions completed, %d node firings, %d wire frames on %d links\n",
+		snap.Sessions.Completed, firings, frames, len(snap.Links))
 }

@@ -30,6 +30,7 @@ import (
 	"streamdag/internal/cs4"
 	"streamdag/internal/graph"
 	"streamdag/internal/ival"
+	"streamdag/internal/obs"
 	"streamdag/internal/proto"
 	"streamdag/internal/stream"
 )
@@ -78,6 +79,12 @@ type Config struct {
 	// 0 and 1 keep the legacy one-frame-per-write path; the one-shot Run
 	// ignores the field entirely.
 	MaxBatch int
+	// Obs, when non-nil, receives per-node/per-edge/per-session telemetry
+	// from the resident Engine, plus per-link wire stats (frames, bodies,
+	// bytes) keyed "sender→receiver".  All workers share the one Metrics —
+	// the Engine hosts them in-process.  Nil compiles instrumentation out
+	// of the hot paths.  The one-shot Worker ignores the field.
+	Obs *obs.Metrics
 }
 
 // Stats is one worker's traffic summary.  Data and Dummies count messages
@@ -116,6 +123,11 @@ type DeadlockError struct {
 	// local edges this is buffer occupancy; for outbound cross edges it
 	// is the number of unacknowledged in-flight messages.
 	Channels map[string]string
+	// Stalled names the edges (as "from→to") whose buffer or credit
+	// window was exhausted when the wedge was detected — where the stream
+	// stalled, not just which session.  Sorted; possibly empty when the
+	// wedge is pure input starvation.
+	Stalled []string
 }
 
 func (e *DeadlockError) Error() string {
@@ -133,6 +145,9 @@ func (e *DeadlockError) Error() string {
 	}
 	for _, k := range keys {
 		fmt.Fprintf(&b, " %s=%s", k, e.Channels[k])
+	}
+	if len(e.Stalled) > 0 {
+		fmt.Fprintf(&b, "; stalled on: %s", strings.Join(e.Stalled, ", "))
 	}
 	return b.String()
 }
@@ -186,6 +201,10 @@ type peerLink struct {
 	name string
 	conn net.Conn
 	mu   sync.Mutex
+	// stats, when non-nil, receives this link's transmit-side wire
+	// telemetry: one TxFrame per conn.Write, one TxBody per logical body
+	// (so TxBodies/TxFrames is the realized coalescing factor).
+	stats *obs.LinkMetrics
 
 	coalesce  bool
 	maxBodies int
@@ -208,7 +227,12 @@ func (p *peerLink) send(body []byte) error {
 	f := frameFor(body)
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	_, err := p.conn.Write(f)
+	n, err := p.conn.Write(f)
+	if p.stats != nil {
+		p.stats.TxFrames.Add(1)
+		p.stats.TxBodies.Add(1)
+		p.stats.TxBytes.Add(int64(n))
+	}
 	putBody(body)
 	return err
 }
@@ -304,16 +328,28 @@ func (p *peerLink) flushPending(bodies [][]byte) error {
 			n++
 		}
 		if n == 1 {
-			if _, err := p.conn.Write(frameFor(bodies[0])); err != nil {
+			wrote, err := p.conn.Write(frameFor(bodies[0]))
+			if err != nil {
 				return err
+			}
+			if p.stats != nil {
+				p.stats.TxFrames.Add(1)
+				p.stats.TxBodies.Add(1)
+				p.stats.TxBytes.Add(int64(wrote))
 			}
 		} else {
 			if frame == nil {
 				frame = getBody()
 			}
 			frame = appendBatchFrame(frame[:0], bodies[:n])
-			if _, err := p.conn.Write(frame); err != nil {
+			wrote, err := p.conn.Write(frame)
+			if err != nil {
 				return err
+			}
+			if p.stats != nil {
+				p.stats.TxFrames.Add(1)
+				p.stats.TxBodies.Add(int64(n))
+				p.stats.TxBytes.Add(int64(wrote))
 			}
 		}
 		bodies = bodies[n:]
@@ -648,11 +684,18 @@ func (w *Worker) snapshotDeadlock() *DeadlockError {
 		key := fmt.Sprintf("%s→%s", w.g.Name(e.From), w.g.Name(e.To))
 		if ch := w.inbox[e.ID]; ch != nil {
 			derr.Channels[key] = fmt.Sprintf("%d/%d", len(ch), cap(ch))
+			if cap(ch) > 0 && len(ch) == cap(ch) {
+				derr.Stalled = append(derr.Stalled, key)
+			}
 		} else if win := w.window[e.ID]; win != nil {
 			derr.Channels[key] = fmt.Sprintf("%d/%d in flight",
 				win.capacity()-win.available(), win.capacity())
+			if win.capacity() > 0 && win.available() == 0 {
+				derr.Stalled = append(derr.Stalled, key)
+			}
 		}
 	}
+	sort.Strings(derr.Stalled)
 	return derr
 }
 

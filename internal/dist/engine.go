@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"streamdag/internal/graph"
+	"streamdag/internal/obs"
 	"streamdag/internal/proto"
 	"streamdag/internal/stream"
 )
@@ -167,6 +168,11 @@ func (e *Engine) Open(io SessionIO) (*EngineSession, error) {
 	}
 	e.sessions[ses.id] = ses
 	e.mu.Unlock()
+	if m := e.cfg.Obs; m != nil {
+		sm := m.Sessions()
+		sm.Opened.Add(1)
+		sm.Active.Add(1)
+	}
 
 	// Phase 1: every worker allocates the session's buffers and windows.
 	states := make([]*workerSession, len(e.workers))
@@ -191,6 +197,21 @@ func (e *Engine) Open(io SessionIO) (*EngineSession, error) {
 	go func() {
 		ses.nodeWG.Wait()
 		ses.finish()
+		// An aborted session strands in-flight messages in its inboxes;
+		// fold them into the drained counts (every node goroutine has
+		// exited, so the buffers are final) to keep the queue-depth
+		// gauge convergent.  A drained session's inboxes are empty.
+		if m := e.cfg.Obs; m != nil {
+			for _, ws := range states {
+				for edge, ch := range ws.inbox {
+					if ch != nil {
+						if r := len(ch); r > 0 {
+							m.Edge(edge).Consumed.Add(int64(r))
+						}
+					}
+				}
+			}
+		}
 		close(ses.done)
 	}()
 	return ses, nil
@@ -264,7 +285,8 @@ func (e *Engine) watchdog() {
 			for _, ses := range active {
 				cur := ses.progress.Load()
 				if ses.watched && cur == ses.lastProgress && ses.external.Load() == 0 {
-					ses.end(&DeadlockError{Session: ses.id, Channels: e.snapshot(ses)}, nil)
+					chans, stalled := e.snapshot(ses)
+					ses.end(&DeadlockError{Session: ses.id, Channels: chans, Stalled: stalled}, nil)
 					continue
 				}
 				ses.lastProgress = cur
@@ -275,9 +297,12 @@ func (e *Engine) watchdog() {
 }
 
 // snapshot renders the session's buffer and window occupancy across all
-// workers.  Reads are racy but indicative.
-func (e *Engine) snapshot(ses *EngineSession) map[string]string {
+// workers, plus the sorted list of edges whose buffer or credit window
+// is exhausted — where the stream stalled.  Reads are racy but
+// indicative.
+func (e *Engine) snapshot(ses *EngineSession) (map[string]string, []string) {
 	chans := make(map[string]string, e.g.NumEdges())
+	var stalled []string
 	for _, w := range e.workers {
 		ws := w.session(ses.id)
 		if ws == nil {
@@ -287,13 +312,20 @@ func (e *Engine) snapshot(ses *EngineSession) map[string]string {
 			key := fmt.Sprintf("%s→%s", e.g.Name(ed.From), e.g.Name(ed.To))
 			if ch := ws.inbox[ed.ID]; ch != nil {
 				chans[key] = fmt.Sprintf("%d/%d", len(ch), cap(ch))
+				if cap(ch) > 0 && len(ch) == cap(ch) {
+					stalled = append(stalled, key)
+				}
 			} else if win := ws.window[ed.ID]; win != nil {
 				chans[key] = fmt.Sprintf("%d/%d in flight",
 					win.capacity()-win.available(), win.capacity())
+				if win.capacity() > 0 && win.available() == 0 {
+					stalled = append(stalled, key)
+				}
 			}
 		}
 	}
-	return chans
+	sort.Strings(stalled)
+	return chans, stalled
 }
 
 // EngineSession is one logical stream served by the resident workers.
@@ -349,6 +381,16 @@ func (s *EngineSession) end(err error, stats *Stats) {
 		s.ended.Store(true)
 		s.err = err
 		s.stats = stats
+		if m := s.e.cfg.Obs; m != nil {
+			sm := m.Sessions()
+			sm.Active.Add(-1)
+			if err == nil {
+				sm.Completed.Add(1)
+			} else {
+				sm.Failed.Add(1)
+			}
+			sm.Latency.Observe(int64(time.Since(s.start)))
+		}
 		s.cancel()
 		close(s.abort)
 		s.e.unregister(s.id)
@@ -392,6 +434,10 @@ type engineWorker struct {
 	creditTo  []string // per edge; != "" = inbound cross edge's sender
 	crossOut  []bool   // per edge; true = outbound cross edge
 	peerNames []string
+	// obsE holds the per-edge telemetry slots, resolved once at
+	// construction; nil when Config.Obs is nil, so the port hot paths pay
+	// a single nil check with observation off.
+	obsE []*obs.EdgeMetrics
 
 	ln    net.Listener
 	peers map[string]*peerLink
@@ -440,6 +486,12 @@ func newEngineWorker(e *Engine, name string, addrs map[string]string) *engineWor
 		w.peerNames = append(w.peerNames, p)
 	}
 	sort.Strings(w.peerNames)
+	if m := e.cfg.Obs; m != nil {
+		w.obsE = make([]*obs.EdgeMetrics, e.g.NumEdges())
+		for i := range w.obsE {
+			w.obsE[i] = m.Edge(i)
+		}
+	}
 	return w
 }
 
@@ -473,6 +525,9 @@ func (w *engineWorker) dialPeers() error {
 			c, err := net.DialTimeout("tcp", addr, time.Until(deadline))
 			if err == nil {
 				link := &peerLink{name: p, conn: c}
+				if m := w.e.cfg.Obs; m != nil {
+					link.stats = m.Link(w.name + "→" + p)
+				}
 				if err := link.send(helloBody(w.name)); err != nil {
 					c.Close()
 					return err
@@ -529,6 +584,9 @@ func (w *engineWorker) start(ws *workerSession) {
 			if kernel == nil {
 				kernel = stream.Passthrough(len(out))
 			}
+			if m := w.e.cfg.Obs; m != nil {
+				kernel = &obsKernel{k: kernel, n: m.Node(int(id))}
+			}
 			engine := proto.NewEngine(out, proto.Config{
 				Algorithm: w.e.cfg.Algorithm,
 				Intervals: w.e.cfg.Intervals,
@@ -537,6 +595,23 @@ func (w *engineWorker) start(ws *workerSession) {
 				&sessionPorts{w: w, ws: ws, in: in, out: out})
 		}(id)
 	}
+}
+
+// obsKernel decorates a node's kernel with telemetry: one Firing and the
+// wall-clock service time per Process invocation.  The distributed
+// NodeLoop is strictly per-element, so wrapping the plain Kernel
+// interface loses nothing.
+type obsKernel struct {
+	k stream.Kernel
+	n *obs.NodeMetrics
+}
+
+func (o *obsKernel) Process(seq uint64, ins []stream.Input) map[int]any {
+	t0 := time.Now()
+	outs := o.k.Process(seq, ins)
+	o.n.ServiceTime.Add(int64(time.Since(t0)))
+	o.n.Firings.Add(1)
+	return outs
 }
 
 func (w *engineWorker) session(id proto.SessionID) *workerSession {
@@ -583,14 +658,23 @@ func (w *engineWorker) serveConn(c net.Conn) {
 	if err != nil {
 		return
 	}
-	if _, err := parseHello(hello); err != nil {
+	peer, err := parseHello(hello)
+	if err != nil {
 		return // stray client; not a peer
+	}
+	var rx *obs.LinkMetrics
+	if m := w.e.cfg.Obs; m != nil {
+		rx = m.Link(peer + "→" + w.name)
 	}
 	var buf []byte
 	for {
 		body, err := readFrameReuse(c, &buf)
 		if err != nil {
 			return
+		}
+		if rx != nil {
+			rx.RxFrames.Add(1)
+			rx.RxBytes.Add(int64(len(body)) + 4)
 		}
 		if !w.handleBody(body) {
 			return
@@ -630,6 +714,12 @@ func (w *engineWorker) handleBody(body []byte) bool {
 		}
 		ws := w.session(sid)
 		if ws == nil {
+			// The session ended before the frame arrived; the sender
+			// already counted it, so credit the drained side to keep the
+			// queue-depth gauge convergent.
+			if om := w.obsE; om != nil && int(e) < len(om) {
+				om[e].Consumed.Add(1)
+			}
 			return true
 		}
 		if int(e) >= len(ws.inbox) || ws.inbox[e] == nil {
@@ -642,6 +732,9 @@ func (w *engineWorker) handleBody(body []byte) bool {
 		case ws.inbox[e] <- m:
 			ws.ses.progress.Add(1)
 		case <-ws.ses.abort:
+			if om := w.obsE; om != nil {
+				om[e].Consumed.Add(1)
+			}
 		}
 		return true
 	case frameSessCredit:
@@ -696,6 +789,9 @@ type sessionPorts struct {
 func (p *sessionPorts) Recv(i int) (stream.Message, bool) {
 	select {
 	case m := <-p.ws.inbox[p.in[i]]:
+		if p.w.obsE != nil {
+			p.w.obsE[p.in[i]].Consumed.Add(1)
+		}
 		p.ws.ses.progress.Add(1)
 		return m, true
 	case <-p.ws.ses.abort:
@@ -706,9 +802,21 @@ func (p *sessionPorts) Recv(i int) (stream.Message, bool) {
 func (p *sessionPorts) Send(i int, m stream.Message) bool {
 	e := p.out[i]
 	ses := p.ws.ses
+	om := p.w.obsE
 	if win := p.ws.window[e]; win != nil {
-		if !win.acquire(ses.abort) {
-			return false
+		// With observation on, a send that finds the window empty is a
+		// credit stall: count the episode and its wall-clock duration.
+		if om == nil || win.tryAcquire() {
+			if om == nil && !win.acquire(ses.abort) {
+				return false
+			}
+		} else {
+			om[e].CreditStalls.Add(1)
+			t0 := time.Now()
+			if !win.acquire(ses.abort) {
+				return false
+			}
+			om[e].CreditStallTime.Add(int64(time.Since(t0)))
 		}
 		body, err := appendSessMsg(getBody(), ses.id, e, m)
 		if err != nil {
@@ -721,18 +829,41 @@ func (p *sessionPorts) Send(i int, m stream.Message) bool {
 			p.w.e.fail(fmt.Errorf("dist: sending on session %d to %q: %w", ses.id, peer, err))
 			return false
 		}
-	} else {
+	} else if om == nil {
 		select {
 		case p.ws.inbox[e] <- m:
 		case <-ses.abort:
 			return false
 		}
+	} else {
+		select {
+		case p.ws.inbox[e] <- m:
+		default:
+			om[e].CreditStalls.Add(1)
+			t0 := time.Now()
+			select {
+			case p.ws.inbox[e] <- m:
+				om[e].CreditStallTime.Add(int64(time.Since(t0)))
+			case <-ses.abort:
+				om[e].CreditStallTime.Add(int64(time.Since(t0)))
+				return false
+			}
+		}
 	}
 	switch m.Kind {
 	case stream.Data:
 		ses.data[e].Add(1)
+		if om != nil {
+			om[e].Data.Add(1)
+		}
 	case stream.Dummy:
 		ses.dummies[e].Add(1)
+		if om != nil {
+			om[e].Dummies.Add(1)
+		}
+	}
+	if om != nil {
+		om[e].Sent.Add(1)
 	}
 	ses.progress.Add(1)
 	return true
@@ -774,6 +905,9 @@ func (p *sessionPorts) Ingest() (any, bool) {
 func (p *sessionPorts) SinkEmit(seq uint64, payload any) bool {
 	ses := p.ws.ses
 	ses.sinkData.Add(1)
+	if m := p.w.e.cfg.Obs; m != nil {
+		m.Sessions().SinkMsgs.Add(1)
+	}
 	ses.progress.Add(1)
 	if ses.sink == nil {
 		return true

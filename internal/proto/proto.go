@@ -133,7 +133,29 @@ type Engine struct {
 	cascade bool
 	// dummy is the reusable result mask returned by Fire.
 	dummy []bool
+	// counts is the engine's span accounting (see Counts); plain fields
+	// because each node owns its engine single-threadedly.
+	counts Counts
 }
+
+// Counts is an Engine's firing accounting: how the node's traffic
+// split between per-element firings and vectorized runs, and how many
+// dummies the protocol injected.  Observability layers read it instead
+// of re-deriving batch efficiency from message counts.
+type Counts struct {
+	// Fires is the number of per-element Fire decisions.
+	Fires int64
+	// Runs is the number of committed FireRun calls (ok=true); RunMsgs
+	// is the total sequence numbers they covered.  RunMsgs/Runs is the
+	// realized protocol batch size.
+	Runs    int64
+	RunMsgs int64
+	// Dummies is the total dummy messages the engine mandated.
+	Dummies int64
+}
+
+// Counts returns the engine's accumulated firing accounting.
+func (e *Engine) Counts() Counts { return e.counts }
 
 // NewEngine returns the protocol engine for a node with the given
 // out-edges (in the backend's out-edge order, which indexes Fire's masks).
@@ -163,6 +185,7 @@ func NewEngine(out []graph.EdgeID, cfg Config) *Engine {
 // not be filtered").  The returned mask is reused by the next Fire; the
 // caller must not retain it.
 func (e *Engine) Fire(seq uint64, emitted []bool) (dummy []bool) {
+	e.counts.Fires++
 	anyData := false
 	for i, em := range emitted {
 		if em {
@@ -180,6 +203,7 @@ func (e *Engine) Fire(seq uint64, emitted []bool) (dummy []bool) {
 		if cascade || timerDue {
 			e.dummy[i] = true
 			e.lastSent[i] = int64(seq)
+			e.counts.Dummies++
 		}
 	}
 	return e.dummy
@@ -251,5 +275,7 @@ func (e *Engine) FireRun(first, last uint64, emitted []bool) (dummy []bool, ok b
 			e.lastSent[i] = int64(last)
 		}
 	}
+	e.counts.Runs++
+	e.counts.RunMsgs += int64(last-first) + 1
 	return e.dummy, true
 }

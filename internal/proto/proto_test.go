@@ -229,3 +229,38 @@ func TestBatch(t *testing.T) {
 		t.Fatalf("Last = %d, want 9", b.Last())
 	}
 }
+
+// TestEngineCounts pins the protocol-level span accounting: Fire counts
+// firings (and each dummy it generates), a committed FireRun counts one
+// run plus the elements it carried, and a declined FireRun counts
+// nothing — its no-mutation contract extends to the counters.
+func TestEngineCounts(t *testing.T) {
+	iv := map[graph.EdgeID]ival.Interval{0: ival.FromInt(3)}
+	e := NewEngine([]graph.EdgeID{0, 1}, Config{Algorithm: cs4.NonPropagation, Intervals: iv})
+	for seq := uint64(0); seq < 10; seq++ {
+		e.Fire(seq, []bool{false, true})
+	}
+	c := e.Counts()
+	if c.Fires != 10 || c.Dummies != 3 {
+		t.Fatalf("after 10 firings: Fires=%d Dummies=%d, want 10 and 3", c.Fires, c.Dummies)
+	}
+	if c.Runs != 0 || c.RunMsgs != 0 {
+		t.Fatalf("run counters moved before any FireRun: %+v", c)
+	}
+	// Edge 0's timer (last refreshed at seq 8) expires inside 10..14, so
+	// this run must decline — and leave every counter untouched.
+	if _, ok := e.FireRun(10, 14, []bool{false, true}); ok {
+		t.Fatal("FireRun committed across an expiring timer")
+	}
+	if c2 := e.Counts(); c2 != c {
+		t.Fatalf("declined FireRun mutated counts: %+v -> %+v", c, c2)
+	}
+	// Data on both edges refreshes every timer: the run commits.
+	if _, ok := e.FireRun(10, 14, []bool{true, true}); !ok {
+		t.Fatal("FireRun declined an all-data run")
+	}
+	c = e.Counts()
+	if c.Runs != 1 || c.RunMsgs != 5 {
+		t.Fatalf("after one 5-element run: Runs=%d RunMsgs=%d, want 1 and 5", c.Runs, c.RunMsgs)
+	}
+}

@@ -108,6 +108,10 @@ func (e *Engine) Open(io SessionIO) (*EngineSession, error) {
 		start: time.Now(),
 		done:  make(chan struct{}),
 	}
+	if s := ses.st.obsS; s != nil {
+		s.Opened.Add(1)
+		s.Active.Add(1)
+	}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -156,6 +160,9 @@ func (e *Engine) schedule() {
 				ses.st.res.Reason = "canceled"
 				ses.st.res.Err = ErrEngineClosed
 				ses.st.res.Elapsed = time.Since(ses.start)
+				if ses.st.obsS != nil {
+					ses.st.finishObs()
+				}
 				close(ses.done)
 			}
 			return
@@ -168,6 +175,9 @@ func (e *Engine) schedule() {
 		for _, ses := range active {
 			if ses.st.advanceOnce() {
 				ses.st.res.Elapsed = time.Since(ses.start)
+				if ses.st.obsS != nil {
+					ses.st.finishObs()
+				}
 				close(ses.done)
 				continue
 			}

@@ -23,6 +23,7 @@ import (
 	"streamdag/internal/cs4"
 	"streamdag/internal/graph"
 	"streamdag/internal/ival"
+	"streamdag/internal/obs"
 	"streamdag/internal/proto"
 	"streamdag/internal/stream"
 )
@@ -105,6 +106,12 @@ type Config struct {
 	// Trace, if non-nil, receives one line per consume/emit event; for
 	// debugging only.
 	Trace func(string)
+	// Obs, when non-nil, receives per-node/per-edge/per-session telemetry.
+	// The simulator stamps it virtual: every duration metric (service
+	// time, credit-stall time, session latency) is measured in scheduler
+	// steps, never wall clock, so two runs of the same configuration
+	// produce byte-identical snapshots.
+	Obs *obs.Metrics
 }
 
 // Rounding is the policy for integerizing rational intervals; it is the
@@ -191,11 +198,19 @@ type node struct {
 	// batch is the node's vectorization width (>= 1, kernel mode only).
 	batch int
 	done  bool
+	// obsN is the node's telemetry slot, nil when observation is off.
+	obsN *obs.NodeMetrics
 }
 
 type pendingMsg struct {
 	edge graph.EdgeID
 	msg  message
+	// stalled/stallTick track a send parked on a full channel: the
+	// virtual step the stall began, so stall time is measured in
+	// scheduler steps and stays deterministic.  Used only when Config.Obs
+	// is set.
+	stalled   bool
+	stallTick int64
 }
 
 // Run simulates the streaming computation defined by g and filter under
@@ -203,8 +218,38 @@ type pendingMsg struct {
 // non-nil the simulator runs in kernel mode and filter is ignored.
 func Run(g *graph.Graph, filter Filter, cfg Config) *Result {
 	s := newState(g, filter, cfg)
+	if s.obsS != nil {
+		s.obsS.Opened.Add(1)
+		s.obsS.Active.Add(1)
+	}
 	s.run()
+	if s.obsS != nil {
+		s.finishObs()
+	}
 	return s.res
+}
+
+// finishObs records a resolved stream against the session telemetry:
+// lifecycle counters plus open→EOF latency, measured in virtual scheduler
+// steps so repeated runs observe identical values.
+func (s *state) finishObs() {
+	s.obsS.Active.Add(-1)
+	if s.res.Completed {
+		s.obsS.Completed.Add(1)
+	} else {
+		s.obsS.Failed.Add(1)
+		// A failed stream strands its buffered messages; fold them into
+		// the drained counts so the queue-depth gauge converges.  (For a
+		// deadlocked stream the pre-fold depths are what the wedge
+		// snapshot reports — this runs after that snapshot is taken.)
+		for i := range s.chans {
+			ch := &s.chans[i]
+			if ch.obsE != nil && len(ch.buf) > 0 {
+				ch.obsE.Consumed.Add(int64(len(ch.buf)))
+			}
+		}
+	}
+	s.obsS.Latency.Observe(s.res.Steps)
 }
 
 // newState builds one stream's simulation state; Run drives it to
@@ -237,9 +282,19 @@ func newState(g *graph.Graph, filter Filter, cfg Config) *state {
 	for i := range s.chans {
 		s.chans[i].cap = g.Edge(graph.EdgeID(i)).Buf
 	}
+	if m := cfg.Obs; m != nil {
+		m.SetVirtual(true)
+		s.obsS = m.Sessions()
+		for i := range s.chans {
+			s.chans[i].obsE = m.Edge(i)
+		}
+	}
 	topo, _ := g.TopoOrder()
 	for _, n := range topo {
 		nd := &node{id: n, in: g.In(n), out: g.Out(n)}
+		if cfg.Obs != nil {
+			nd.obsN = cfg.Obs.Node(int(n))
+		}
 		nd.engine = proto.NewEngine(nd.out, protoConfig(cfg))
 		nd.emitted = make([]bool, len(nd.out))
 		nd.seqs = make([]uint64, len(nd.in))
@@ -288,6 +343,8 @@ func integerize(cfg Config, e graph.EdgeID) uint64 {
 type chanState struct {
 	buf []message
 	cap int
+	// obsE is the edge's telemetry slot, nil when observation is off.
+	obsE *obs.EdgeMetrics
 }
 
 func (c *chanState) full() bool  { return len(c.buf) >= c.cap }
@@ -304,6 +361,8 @@ type state struct {
 	nextIn     uint64 // next external input seq at the source
 	srcEOS     bool
 	failed     bool // a source/sink error already set res.Reason/Err
+	// obsS is the session telemetry slot, nil when observation is off.
+	obsS *obs.SessionMetrics
 }
 
 func (s *state) run() {
@@ -396,8 +455,25 @@ func (s *state) step(nd *node) bool {
 		for _, p := range nd.pending {
 			ch := &s.chans[p.edge]
 			if ch.full() {
+				if ch.obsE != nil && !p.stalled {
+					p.stalled = true
+					p.stallTick = s.res.Steps
+					ch.obsE.CreditStalls.Add(1)
+				}
 				rest = append(rest, p)
 				continue
+			}
+			if ch.obsE != nil {
+				if p.stalled {
+					ch.obsE.CreditStallTime.Add(s.res.Steps - p.stallTick)
+				}
+				ch.obsE.Sent.Add(1)
+				switch p.msg.kind {
+				case Data:
+					ch.obsE.Data.Add(1)
+				case Dummy:
+					ch.obsE.Dummies.Add(1)
+				}
 			}
 			ch.buf = append(ch.buf, p.msg)
 			delivered = true
@@ -442,9 +518,12 @@ func (s *state) step(nd *node) bool {
 		for _, e := range nd.in {
 			ch := &s.chans[e]
 			ch.buf = ch.buf[1:]
+			if ch.obsE != nil {
+				ch.obsE.Consumed.Add(1)
+			}
 		}
 		for _, e := range nd.out {
-			nd.pending = append(nd.pending, pendingMsg{e, message{seq: math.MaxUint64, kind: EOS}})
+			nd.pending = append(nd.pending, pendingMsg{edge: e, msg: message{seq: math.MaxUint64, kind: EOS}})
 		}
 		nd.done = true
 		return true
@@ -465,6 +544,9 @@ func (s *state) step(nd *node) bool {
 				}
 			}
 			ch.buf = ch.buf[1:]
+			if ch.obsE != nil {
+				ch.obsE.Consumed.Add(1)
+			}
 		}
 	}
 	if s.kernelMode {
@@ -489,7 +571,7 @@ func (s *state) stepSource(nd *node) bool {
 		}
 		if !ok {
 			for _, e := range nd.out {
-				nd.pending = append(nd.pending, pendingMsg{e, message{seq: math.MaxUint64, kind: EOS}})
+				nd.pending = append(nd.pending, pendingMsg{edge: e, msg: message{seq: math.MaxUint64, kind: EOS}})
 			}
 			s.srcEOS = true
 			nd.done = true
@@ -499,9 +581,16 @@ func (s *state) stepSource(nd *node) bool {
 		s.nextIn++
 		ins := []stream.Input{{Present: true, Payload: payload}}
 		outs := nd.kernel.Process(seq, ins)
+		if nd.obsN != nil {
+			nd.obsN.ServiceTime.Add(1)
+			nd.obsN.Firings.Add(1)
+		}
 		if len(nd.out) == 0 {
 			// Degenerate single-node topology: the source is the sink.
 			s.res.SinkData++
+			if s.obsS != nil {
+				s.obsS.SinkMsgs.Add(1)
+			}
 			if s.cfg.Sink != nil {
 				if err := s.cfg.Sink(s.cfg.Ctx, seq, stream.SinkPayload(ins, outs)); err != nil {
 					s.fail("sink error", fmt.Errorf("sim: sink: %w", err))
@@ -515,7 +604,7 @@ func (s *state) stepSource(nd *node) bool {
 	}
 	if s.nextIn >= s.cfg.Inputs {
 		for _, e := range nd.out {
-			nd.pending = append(nd.pending, pendingMsg{e, message{seq: math.MaxUint64, kind: EOS}})
+			nd.pending = append(nd.pending, pendingMsg{edge: e, msg: message{seq: math.MaxUint64, kind: EOS}})
 		}
 		s.srcEOS = true
 		nd.done = true
@@ -559,12 +648,21 @@ func (s *state) stepRunConsume(nd *node) bool {
 		m := ch.buf[j]
 		nd.ins[0] = stream.Input{Present: true, Payload: m.payload}
 		outs := nd.kernel.Process(m.seq, nd.ins)
+		if nd.obsN != nil {
+			nd.obsN.Firings.Add(1)
+		}
 		if isSink {
 			s.res.SinkData++
+			if s.obsS != nil {
+				s.obsS.SinkMsgs.Add(1)
+			}
 			if s.cfg.Sink != nil {
 				if err := s.cfg.Sink(s.cfg.Ctx, m.seq, stream.SinkPayload(nd.ins, outs)); err != nil {
 					s.fail("sink error", fmt.Errorf("sim: sink: %w", err))
 					ch.buf = ch.buf[j+1:]
+					if ch.obsE != nil {
+						ch.obsE.Consumed.Add(int64(j + 1))
+					}
 					return true
 				}
 			}
@@ -584,7 +682,7 @@ func (s *state) stepRunConsume(nd *node) bool {
 			break
 		}
 		for i, e := range nd.out {
-			nd.pending = append(nd.pending, pendingMsg{e, message{seq: m.seq, kind: Data, payload: outs[i]}})
+			nd.pending = append(nd.pending, pendingMsg{edge: e, msg: message{seq: m.seq, kind: Data, payload: outs[i]}})
 		}
 		committed++
 		lastSeq = m.seq
@@ -595,6 +693,18 @@ func (s *state) stepRunConsume(nd *node) bool {
 		consumed++
 	}
 	ch.buf = ch.buf[consumed:]
+	if ch.obsE != nil {
+		ch.obsE.Consumed.Add(int64(consumed))
+	}
+	if nd.obsN != nil {
+		// One virtual step of service; the committed prefix is one
+		// vectorized run.
+		nd.obsN.ServiceTime.Add(1)
+		if committed > 0 {
+			nd.obsN.Spans.Add(1)
+			nd.obsN.SpanMsgs.Add(int64(committed))
+		}
+	}
 	if committed > 0 && !isSink {
 		nd.engine.FireRun(firstSeq, lastSeq, nd.allTrue)
 	}
@@ -619,6 +729,11 @@ func (s *state) stepSourceRun(nd *node) bool {
 		if committed > 0 {
 			nd.engine.FireRun(firstSeq, firstSeq+uint64(committed)-1, nd.allTrue)
 			s.nextIn += uint64(committed)
+			if nd.obsN != nil {
+				nd.obsN.ServiceTime.Add(1)
+				nd.obsN.Spans.Add(1)
+				nd.obsN.SpanMsgs.Add(int64(committed))
+			}
 		}
 	}
 	for j := 0; j < nd.batch; j++ {
@@ -631,7 +746,7 @@ func (s *state) stepSourceRun(nd *node) bool {
 		if !ok {
 			commit()
 			for _, e := range nd.out {
-				nd.pending = append(nd.pending, pendingMsg{e, message{seq: math.MaxUint64, kind: EOS}})
+				nd.pending = append(nd.pending, pendingMsg{edge: e, msg: message{seq: math.MaxUint64, kind: EOS}})
 			}
 			s.srcEOS = true
 			nd.done = true
@@ -640,6 +755,9 @@ func (s *state) stepSourceRun(nd *node) bool {
 		seq := firstSeq + uint64(j)
 		nd.ins[0] = stream.Input{Present: true, Payload: payload}
 		outs := nd.kernel.Process(seq, nd.ins)
+		if nd.obsN != nil {
+			nd.obsN.Firings.Add(1)
+		}
 		full := true
 		for i := range nd.out {
 			if _, ok := outs[i]; !ok {
@@ -655,7 +773,7 @@ func (s *state) stepSourceRun(nd *node) bool {
 			return true
 		}
 		for i, e := range nd.out {
-			nd.pending = append(nd.pending, pendingMsg{e, message{seq: seq, kind: Data, payload: outs[i]}})
+			nd.pending = append(nd.pending, pendingMsg{edge: e, msg: message{seq: seq, kind: Data, payload: outs[i]}})
 		}
 		committed++
 	}
@@ -685,19 +803,28 @@ func (s *state) stepSourceRun(nd *node) bool {
 //     outputs are covered by timers: in a CS4 graph every out-edge of a
 //     node with two or more out-edges has a finite Propagation interval.
 func (s *state) emit(nd *node, seq uint64, haveData bool) {
+	if nd.obsN != nil {
+		nd.obsN.ServiceTime.Add(1)
+		if haveData {
+			nd.obsN.Firings.Add(1)
+		}
+	}
 	if haveData && len(nd.out) == 0 {
 		s.res.SinkData++
+		if s.obsS != nil {
+			s.obsS.SinkMsgs.Add(1)
+		}
 	}
 	for i, e := range nd.out {
 		nd.emitted[i] = haveData && s.filter(nd.id, seq, e)
 		if nd.emitted[i] {
-			nd.pending = append(nd.pending, pendingMsg{e, message{seq: seq, kind: Data}})
+			nd.pending = append(nd.pending, pendingMsg{edge: e, msg: message{seq: seq, kind: Data}})
 		}
 	}
 	dummy := nd.engine.Fire(seq, nd.emitted)
 	for i, e := range nd.out {
 		if dummy[i] {
-			nd.pending = append(nd.pending, pendingMsg{e, message{seq: seq, kind: Dummy}})
+			nd.pending = append(nd.pending, pendingMsg{edge: e, msg: message{seq: seq, kind: Dummy}})
 		}
 	}
 	s.trace(nd, seq, haveData)
@@ -708,10 +835,19 @@ func (s *state) emit(nd *node, seq uint64, haveData bool) {
 // sink delivery, then data and protocol dummies per the shared engine.
 func (s *state) emitKernel(nd *node, seq uint64, anyData bool) {
 	var outs map[int]any
+	if nd.obsN != nil {
+		nd.obsN.ServiceTime.Add(1)
+	}
 	if anyData {
 		outs = nd.kernel.Process(seq, nd.ins)
+		if nd.obsN != nil {
+			nd.obsN.Firings.Add(1)
+		}
 		if len(nd.out) == 0 {
 			s.res.SinkData++
+			if s.obsS != nil {
+				s.obsS.SinkMsgs.Add(1)
+			}
 			if s.cfg.Sink != nil {
 				if err := s.cfg.Sink(s.cfg.Ctx, seq, stream.SinkPayload(nd.ins, outs)); err != nil {
 					s.fail("sink error", fmt.Errorf("sim: sink: %w", err))
@@ -734,9 +870,9 @@ func (s *state) deliverKernel(nd *node, seq uint64, outs map[int]any) {
 	for i, e := range nd.out {
 		switch {
 		case nd.emitted[i]:
-			nd.pending = append(nd.pending, pendingMsg{e, message{seq: seq, kind: Data, payload: outs[i]}})
+			nd.pending = append(nd.pending, pendingMsg{edge: e, msg: message{seq: seq, kind: Data, payload: outs[i]}})
 		case dummy[i]:
-			nd.pending = append(nd.pending, pendingMsg{e, message{seq: seq, kind: Dummy}})
+			nd.pending = append(nd.pending, pendingMsg{edge: e, msg: message{seq: seq, kind: Dummy}})
 		}
 	}
 }

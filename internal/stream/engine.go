@@ -37,11 +37,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"streamdag/internal/graph"
+	"streamdag/internal/obs"
 	"streamdag/internal/proto"
 )
 
@@ -132,6 +134,21 @@ func NewEngine(g *graph.Graph, kernels map[graph.NodeID]Kernel, cfg Config) (*En
 			in:  g.In(id),
 			out: g.Out(id),
 			mb:  newMailbox(),
+		}
+		if m := cfg.Obs; m != nil {
+			// Resolve every telemetry pointer once, here, so the hot path
+			// pays a nil check when the observer is off and a direct
+			// atomic add when it is on.
+			n.obsN = m.Node(int(id))
+			n.obsS = m.Sessions()
+			n.obsIn = make([]*obs.EdgeMetrics, len(n.in))
+			for i, edge := range n.in {
+				n.obsIn[i] = m.Edge(int(edge))
+			}
+			n.obsOut = make([]*obs.EdgeMetrics, len(n.out))
+			for i, edge := range n.out {
+				n.obsOut[i] = m.Edge(int(edge))
+			}
 		}
 		n.sess = make(map[proto.SessionID]*nodeSession)
 		n.creditAcc = make([]int, len(n.in))
@@ -269,6 +286,11 @@ func (e *Engine) Open(cfg SessionConfig) (*EngineSession, error) {
 	e.sessions[ses.id] = ses
 	e.undone[ses.id] = ses
 	e.mu.Unlock()
+	if m := e.cfg.Obs; m != nil {
+		sm := m.Sessions()
+		sm.Opened.Add(1)
+		sm.Active.Add(1)
+	}
 
 	// Every node must learn about the session before its first message
 	// can flow, so the evOpen posts complete before the ingest pump
@@ -356,7 +378,8 @@ func (e *Engine) watchdog() {
 			for _, ses := range active {
 				cur := ses.progress.Load()
 				if ses.watched && cur == ses.lastProgress && ses.external.Load() == 0 {
-					ses.end(&DeadlockError{Session: ses.id, Channels: e.snapshot(ses)}, nil)
+					chans, stalled := e.snapshot(ses)
+					ses.end(&DeadlockError{Session: ses.id, Channels: chans, Stalled: stalled}, nil)
 					continue
 				}
 				ses.lastProgress = cur
@@ -367,15 +390,25 @@ func (e *Engine) watchdog() {
 }
 
 // snapshot renders the session's per-edge occupancy (sent, not yet
-// consumed).  Reads are racy but indicative, as in the one-shot Run.
-func (e *Engine) snapshot(ses *EngineSession) map[string]string {
+// consumed) and names the edges whose credit window is exhausted — the
+// channels the wedged session's producers were blocked on.  Reads are
+// the session's occupancy atomics: racy but indicative, as in the
+// one-shot Run, and safe from the watchdog goroutine (the node-owned
+// inflight counters are never touched here).
+func (e *Engine) snapshot(ses *EngineSession) (map[string]string, []string) {
 	chans := make(map[string]string, e.g.NumEdges())
+	var stalled []string
 	for i := 0; i < e.g.NumEdges(); i++ {
 		ed := e.g.Edge(graph.EdgeID(i))
-		chans[fmt.Sprintf("%s→%s", e.g.Name(ed.From), e.g.Name(ed.To))] =
-			fmt.Sprintf("%d/%d", ses.occupancy[i].Load(), ed.Buf)
+		occ := ses.occupancy[i].Load()
+		key := fmt.Sprintf("%s→%s", e.g.Name(ed.From), e.g.Name(ed.To))
+		chans[key] = fmt.Sprintf("%d/%d", occ, ed.Buf)
+		if ed.Buf > 0 && occ >= int64(ed.Buf) {
+			stalled = append(stalled, key)
+		}
 	}
-	return chans
+	sort.Strings(stalled)
+	return chans, stalled
 }
 
 // emission is one sink delivery queued for the session's sink pump: a
@@ -510,6 +543,16 @@ func (s *EngineSession) end(err error, stats *Stats) {
 		s.ended.Store(true)
 		s.err = err
 		s.stats = stats
+		if m := s.e.cfg.Obs; m != nil {
+			sm := m.Sessions()
+			sm.Active.Add(-1)
+			if err == nil {
+				sm.Completed.Add(1)
+			} else {
+				sm.Failed.Add(1)
+			}
+			sm.Latency.Observe(int64(time.Since(s.start)))
+		}
 		s.cancel()
 		s.e.unregister(s.id)
 		for _, n := range s.e.nodes {
@@ -886,7 +929,26 @@ type engineNode struct {
 	// node batches; spanIn/spanOut are its reusable argument slices.
 	spanK           SpanKernel
 	spanIn, spanOut []any
+
+	// Observability pointers, nil when Config.Obs is nil (the default):
+	// the node's counters, the shared session counters, and the node's
+	// in-/out-edge counters by position.  A nil obsN disables every
+	// instrumentation site in this node's loop.
+	obsN   *obs.NodeMetrics
+	obsS   *obs.SessionMetrics
+	obsIn  []*obs.EdgeMetrics
+	obsOut []*obs.EdgeMetrics
+	// obsTick counts advance passes for ServiceTime sampling: timing
+	// every pass costs two clock reads per mailbox wake, which dominates
+	// the observer's overhead on near-zero-cost stages, so only one pass
+	// in obsSampleRate is timed and the reading scaled back up.
+	obsTick uint
 }
+
+// obsSampleRate is the ServiceTime sampling stride: one advance pass in
+// this many is wall-clocked and the duration scaled by the stride.  A
+// power of two keeps the tick test a mask.
+const obsSampleRate = 8
 
 // nodeSession is one node's protocol state for one session: the demuxed
 // counterpart of what a one-shot NodeLoop keeps on its stack.
@@ -913,6 +975,10 @@ type nodeSession struct {
 	// inflight[i] counts messages sent but not yet credited on out-pos i;
 	// the window is full at outCap[i].
 	inflight []int
+	// stallSince[i] is the wall-clock ns at which out-pos i's current
+	// blocked-send episode began (0 = not stalled); allocated only with
+	// an observer attached, owned by the node goroutine.
+	stallSince []int64
 
 	nextSeq      uint64 // source only: next ingestion sequence number
 	ingestQ      []any  // source only: granted payloads awaiting firing
@@ -940,13 +1006,40 @@ func (n *engineNode) run() {
 			n.absorb(evs[i])
 			evs[i] = event{} // release references before slice reuse
 		}
+		var t0 time.Time
+		if n.obsN != nil && len(n.dirty) > 0 {
+			if n.obsTick++; n.obsTick&(obsSampleRate-1) == 0 {
+				t0 = time.Now()
+			}
+		}
 		for i, ns := range n.dirty {
 			ns.dirty = false
 			n.advance(ns)
 			n.dirty[i] = nil
 		}
+		if !t0.IsZero() {
+			n.obsN.ServiceTime.Add(int64(time.Since(t0)) * obsSampleRate)
+		}
 		n.dirty = n.dirty[:0]
 		spare = evs
+	}
+}
+
+// obsDrainSession folds a detached session's residual per-edge
+// occupancy into the drained counts, so the queue-depth gauge converges
+// back to zero after a cancelled or failed session whose in-flight
+// messages are dropped rather than consumed.  It runs exactly once, on
+// the final abort ack, when every node has dropped the session and no
+// counter of it moves anymore.
+func (n *engineNode) obsDrainSession(ses *EngineSession) {
+	m := n.e.cfg.Obs
+	if m == nil {
+		return
+	}
+	for e := range ses.occupancy {
+		if r := ses.occupancy[e].Load(); r != 0 {
+			m.Edge(e).Consumed.Add(r)
+		}
 	}
 }
 
@@ -966,6 +1059,7 @@ func (n *engineNode) absorb(ev event) {
 			delete(n.sess, ev.ses.id)
 		}
 		if ev.ses.abortAcks.Add(1) == int64(len(n.e.nodes)) {
+			n.obsDrainSession(ev.ses)
 			ev.ses.closeDone()
 		}
 		return
@@ -986,6 +1080,9 @@ func (n *engineNode) absorb(ev event) {
 			pendSpan:   make([][]Message, len(n.out)),
 			pendSplit:  make([]bool, len(n.out)),
 			inflight:   make([]int, len(n.out)),
+		}
+		if n.obsN != nil {
+			ns.stallSince = make([]int64, len(n.out))
 		}
 		n.sess[ev.ses.id] = ns
 		ev.ses.progress.Add(1)
@@ -1156,10 +1253,12 @@ func (n *engineNode) flush(ns *nodeSession) {
 	if ns.pendingN == 0 {
 		return
 	}
+	var now int64 // lazily stamped wall clock for stall accounting
 	for i := range ns.pendingSet {
 		if sp := ns.pendSpan[i]; sp != nil {
 			room := n.outCap[i] - ns.inflight[i]
 			if room <= 0 {
+				n.obsStall(ns, i, &now)
 				continue
 			}
 			m := len(sp)
@@ -1184,11 +1283,21 @@ func (n *engineNode) flush(ns *nodeSession) {
 			ns.ses.data[edge] += int64(m) // spans carry data only
 			ns.ses.occupancy[edge].Add(int64(m))
 			ns.ses.progress.Add(1)
+			if n.obsOut != nil {
+				n.obsUnstall(ns, i, &now)
+				om := n.obsOut[i]
+				om.Data.Add(int64(m))
+				om.Sent.Add(int64(m))
+			}
 			n.downstream[i].mb.post(event{kind: evMsg, ses: ns.ses, pos: n.downPos[i], span: part, free: free})
 			// A split span leaves the window full; the single behind a
 			// fully flushed one is handled below.
 		}
-		if !ns.pendingSet[i] || ns.inflight[i] >= n.outCap[i] {
+		if !ns.pendingSet[i] {
+			continue
+		}
+		if ns.inflight[i] >= n.outCap[i] {
+			n.obsStall(ns, i, &now)
 			continue
 		}
 		m := ns.pendingMsg[i]
@@ -1205,8 +1314,45 @@ func (n *engineNode) flush(ns *nodeSession) {
 		}
 		ns.ses.occupancy[edge].Add(1)
 		ns.ses.progress.Add(1)
+		if n.obsOut != nil {
+			n.obsUnstall(ns, i, &now)
+			om := n.obsOut[i]
+			switch m.Kind {
+			case Data:
+				om.Data.Add(1)
+			case Dummy:
+				om.Dummies.Add(1)
+			}
+			om.Sent.Add(1)
+		}
 		n.downstream[i].mb.post(event{kind: evMsg, ses: ns.ses, pos: n.downPos[i], msg: m})
 	}
+}
+
+// obsStall opens out-pos i's blocked-send episode (first blocked flush
+// wins); a no-op without an observer or when already stalled.
+func (n *engineNode) obsStall(ns *nodeSession, i int, now *int64) {
+	if ns.stallSince == nil || ns.stallSince[i] != 0 {
+		return
+	}
+	if *now == 0 {
+		*now = time.Now().UnixNano()
+	}
+	ns.stallSince[i] = *now
+	n.obsOut[i].CreditStalls.Add(1)
+}
+
+// obsUnstall closes out-pos i's blocked-send episode on a successful
+// (possibly partial) ship, crediting the blocked time.
+func (n *engineNode) obsUnstall(ns *nodeSession, i int, now *int64) {
+	if ns.stallSince == nil || ns.stallSince[i] == 0 {
+		return
+	}
+	if *now == 0 {
+		*now = time.Now().UnixNano()
+	}
+	n.obsOut[i].CreditStallTime.Add(*now - ns.stallSince[i])
+	ns.stallSince[i] = 0
 }
 
 func (n *engineNode) setPending(ns *nodeSession, pos int, m Message) {
@@ -1265,6 +1411,9 @@ func (n *engineNode) fireOnce(ns *nodeSession) bool {
 	if anyData {
 		outs = n.kernel.Process(minSeq, inputs)
 		ns.ses.progress.Add(1)
+		if n.obsN != nil {
+			n.obsN.Firings.Add(1)
+		}
 		if len(n.out) == 0 {
 			n.sinkEmit(ns, minSeq, SinkPayload(inputs, outs))
 		}
@@ -1286,6 +1435,9 @@ func (n *engineNode) popHeads(ns *nodeSession, i, k int) {
 	}
 	ns.heads[i] = q[:len(q)-k]
 	ns.ses.occupancy[n.in[i]].Add(-int64(k))
+	if n.obsIn != nil {
+		n.obsIn[i].Consumed.Add(int64(k))
+	}
 	n.creditAcc[i] += k
 }
 
@@ -1354,8 +1506,16 @@ func (n *engineNode) fireRun(ns *nodeSession) bool {
 			n.spanIn[j] = q[j].Payload
 		}
 		vec := n.spanK.ProcessSpan(q[0].Seq, n.spanIn[:k], n.spanOut[:k])
+		if n.obsN != nil && vec > 0 {
+			n.obsN.Spans.Add(1)
+			n.obsN.SpanMsgs.Add(int64(vec))
+			n.obsN.Firings.Add(int64(vec))
+		}
 		if isSink {
 			ns.ses.sinkData += int64(vec)
+			if n.obsS != nil {
+				n.obsS.SinkMsgs.Add(int64(vec))
+			}
 			if ns.ses.sink != nil && vec > 0 {
 				emSeqs = getSeqBuf(k)
 				emPays = getPayBuf(k)
@@ -1383,8 +1543,14 @@ func (n *engineNode) fireRun(ns *nodeSession) bool {
 		seq := q[j].Seq
 		n.runIn[0] = Input{Present: true, Payload: q[j].Payload}
 		outs := n.kernel.Process(seq, n.runIn)
+		if n.obsN != nil {
+			n.obsN.Firings.Add(1)
+		}
 		if isSink {
 			ns.ses.sinkData++
+			if n.obsS != nil {
+				n.obsS.SinkMsgs.Add(1)
+			}
 			if ns.ses.sink != nil {
 				if emPays == nil {
 					emSeqs = getSeqBuf(k)
@@ -1471,6 +1637,9 @@ func (n *engineNode) fireSource(ns *nodeSession, payload any) {
 	in := []Input{{Present: true, Payload: payload}}
 	outs := n.kernel.Process(seq, in)
 	ns.ses.progress.Add(1)
+	if n.obsN != nil {
+		n.obsN.Firings.Add(1)
+	}
 	if len(n.out) == 0 {
 		n.sinkEmit(ns, seq, SinkPayload(in, outs))
 	}
@@ -1500,6 +1669,11 @@ func (n *engineNode) fireSourceRun(ns *nodeSession) {
 			n.spanIn[j] = ns.ingestQ[j]
 		}
 		vec := n.spanK.ProcessSpan(ns.nextSeq, n.spanIn[:k], n.spanOut[:k])
+		if n.obsN != nil && vec > 0 {
+			n.obsN.Spans.Add(1)
+			n.obsN.SpanMsgs.Add(int64(vec))
+			n.obsN.Firings.Add(int64(vec))
+		}
 		if vec > 0 {
 			spans = make([][]Message, len(n.out))
 			for i := range spans {
@@ -1519,6 +1693,9 @@ func (n *engineNode) fireSourceRun(ns *nodeSession) {
 		seq := ns.nextSeq + uint64(j)
 		n.runIn[0] = Input{Present: true, Payload: ns.ingestQ[j]}
 		outs := n.kernel.Process(seq, n.runIn)
+		if n.obsN != nil {
+			n.obsN.Firings.Add(1)
+		}
 		full := true
 		for i := range n.out {
 			if _, ok := outs[i]; !ok {
@@ -1574,6 +1751,9 @@ func (n *engineNode) fireSourceRun(ns *nodeSession) {
 func (n *engineNode) sinkEmit(ns *nodeSession, seq uint64, payload any) {
 	ns.ses.sinkData++
 	ns.ses.progress.Add(1)
+	if n.obsS != nil {
+		n.obsS.SinkMsgs.Add(1)
+	}
 	if ns.ses.sink == nil {
 		return
 	}

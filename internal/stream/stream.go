@@ -31,6 +31,7 @@ import (
 	"streamdag/internal/cs4"
 	"streamdag/internal/graph"
 	"streamdag/internal/ival"
+	"streamdag/internal/obs"
 	"streamdag/internal/proto"
 )
 
@@ -205,6 +206,11 @@ type Config struct {
 	// NodeBatch overrides MaxBatch for individual nodes (the Flow
 	// tier's Stage.Batch knob); absent nodes use MaxBatch.
 	NodeBatch map[graph.NodeID]int
+	// Obs, when non-nil, receives per-node, per-edge, and per-session
+	// telemetry (see internal/obs).  Nil — the default — compiles the
+	// instrumentation out of the hot path: every site is behind a
+	// pointer resolved once at engine construction.
+	Obs *obs.Metrics
 }
 
 // Stats summarizes a completed run.
@@ -235,6 +241,11 @@ type DeadlockError struct {
 	Session proto.SessionID
 	// Channels maps "from→to" to "occupied/capacity".
 	Channels map[string]string
+	// Stalled names the edges whose buffer window was exhausted when the
+	// watchdog fired — the channels the wedged session's producers were
+	// blocked on, i.e. where the stream stalled.  Sorted; possibly empty
+	// when the wedge is pure input starvation.
+	Stalled []string
 }
 
 func (e *DeadlockError) Error() string {
@@ -251,6 +262,9 @@ func (e *DeadlockError) Error() string {
 	}
 	for _, k := range keys {
 		fmt.Fprintf(&b, " %s=%s", k, e.Channels[k])
+	}
+	if len(e.Stalled) > 0 {
+		fmt.Fprintf(&b, "; stalled on: %s", strings.Join(e.Stalled, ", "))
 	}
 	return b.String()
 }
@@ -380,9 +394,13 @@ func Run(ctx context.Context, g *graph.Graph, kernels map[graph.NodeID]Kernel, c
 				derr := &DeadlockError{Channels: make(map[string]string, len(chans))}
 				for i, ch := range chans {
 					e := g.Edge(graph.EdgeID(i))
-					derr.Channels[fmt.Sprintf("%s→%s", g.Name(e.From), g.Name(e.To))] =
-						fmt.Sprintf("%d/%d", len(ch), cap(ch))
+					key := fmt.Sprintf("%s→%s", g.Name(e.From), g.Name(e.To))
+					derr.Channels[key] = fmt.Sprintf("%d/%d", len(ch), cap(ch))
+					if cap(ch) > 0 && len(ch) == cap(ch) {
+						derr.Stalled = append(derr.Stalled, key)
+					}
 				}
+				sort.Strings(derr.Stalled)
 				st.fail(derr)
 				<-done
 				return nil, st.failure()

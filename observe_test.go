@@ -1,0 +1,305 @@
+package streamdag
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The observability contract: an Observer's per-edge data/dummy counts
+// must bit-match the counts RunStats pins on every backend and batch
+// size, simulator snapshots must be deterministic (virtual time), taps
+// must see exactly the forwarded elements, and an unobserved pipeline
+// must expose an empty (but valid) snapshot.
+
+// runObserved runs the batching parity workload (Replicate(4) +
+// FilterStage) on the named backend with a fresh Observer attached and
+// returns the run's stats alongside the final snapshot.
+func runObserved(t *testing.T, backend string, opts ...Option) (*RunStats, *Snapshot) {
+	t.Helper()
+	obs := NewObserver()
+	pipe := batchingFlow(t, append([]Option{WithObserver(obs)}, opts...)...)
+	pipe.backend = parityBackends(pipe)[backend]
+	stats, err := pipe.Run(context.Background(), CountingSource(batchingInputs), DiscardSink())
+	if err != nil {
+		t.Fatalf("%s: %v", backend, err)
+	}
+	return stats, obs.Snapshot()
+}
+
+// TestObserverParityAllBackends pins the observer's per-edge counters to
+// the RunStats ground truth on all three backends, at batch 1 and the
+// vectorized batch 64, across the replicated (k=4) filtering workload.
+func TestObserverParityAllBackends(t *testing.T) {
+	for _, backend := range []string{"goroutines", "simulator", "distributed"} {
+		for _, batch := range []int{1, 64} {
+			backend, batch := backend, batch
+			t.Run(fmt.Sprintf("%s/batch%d", backend, batch), func(t *testing.T) {
+				var opts []Option
+				if batch > 1 {
+					opts = append(opts, WithMaxBatch(batch))
+				}
+				stats, snap := runObserved(t, backend, opts...)
+
+				for e, want := range stats.Data {
+					if got := snap.Edges[e].Data; got != want {
+						t.Errorf("edge %d (%s) data = %d, RunStats %d", e, snap.Edges[e].Name, got, want)
+					}
+				}
+				for e, want := range stats.Dummies {
+					if got := snap.Edges[e].Dummies; got != want {
+						t.Errorf("edge %d (%s) dummies = %d, RunStats %d", e, snap.Edges[e].Name, got, want)
+					}
+				}
+				for _, e := range snap.Edges {
+					if e.Depth != 0 {
+						t.Errorf("edge %s depth = %d after drain, want 0", e.Name, e.Depth)
+					}
+				}
+				s := snap.Sessions
+				if s.Opened != 1 || s.Completed != 1 || s.Failed != 0 || s.Active != 0 {
+					t.Errorf("sessions = %+v, want exactly one completed", s)
+				}
+				if s.SinkMsgs != stats.SinkData {
+					t.Errorf("sink msgs = %d, RunStats %d", s.SinkMsgs, stats.SinkData)
+				}
+				if s.Latency.Count != 1 {
+					t.Errorf("latency count = %d, want 1", s.Latency.Count)
+				}
+				// Every element fires each node it passes exactly once,
+				// batched or not: the source fires once per input.
+				var source NodeSnapshot
+				for _, n := range snap.Nodes {
+					if n.Name == "source" {
+						source = n
+					}
+				}
+				if source.Firings != batchingInputs {
+					t.Errorf("source firings = %d, want %d", source.Firings, batchingInputs)
+				}
+			})
+		}
+	}
+}
+
+// TestSimulatorSnapshotDeterministic runs the simulator workload twice
+// with fresh observers: virtual-time snapshots must be byte-identical.
+func TestSimulatorSnapshotDeterministic(t *testing.T) {
+	_, first := runObserved(t, "simulator", WithMaxBatch(16))
+	_, second := runObserved(t, "simulator", WithMaxBatch(16))
+	if !first.VirtualTime {
+		t.Fatal("simulator snapshot is not marked virtual-time")
+	}
+	a, err := json.Marshal(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("simulator snapshots differ between runs:\n%s\n%s", a, b)
+	}
+}
+
+// TestStageTap pins the tap contract: fn sees exactly the elements the
+// stage forwards — post-transform, filtered elements excluded — at batch
+// 1 and on the vectorized span path.
+func TestStageTap(t *testing.T) {
+	for _, batch := range []int{1, 64} {
+		batch := batch
+		t.Run(fmt.Sprintf("batch%d", batch), func(t *testing.T) {
+			const inputs = 300
+			var mapped, kept, sum atomic.Int64
+			opts := []Option{WithWatchdog(10 * time.Second)}
+			if batch > 1 {
+				opts = append(opts, WithMaxBatch(batch))
+			}
+			pipe, err := NewFlow[uint64, uint64]().
+				Then(
+					Map("double", func(v uint64) uint64 { return 2 * v }).Tap(func(v any) {
+						mapped.Add(1)
+						sum.Add(int64(v.(uint64)))
+					}),
+					FilterStage("keep", func(v uint64) bool { return v%4 == 0 }).Tap(func(any) {
+						kept.Add(1)
+					}),
+				).
+				Compile(opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stats, err := pipe.Run(context.Background(), CountingSource(inputs), DiscardSink())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mapped.Load() != inputs {
+				t.Errorf("map tap saw %d elements, want %d", mapped.Load(), inputs)
+			}
+			// The tap runs after the transform: sum of 2v over v=0..n-1.
+			if want := int64(inputs * (inputs - 1)); sum.Load() != want {
+				t.Errorf("map tap sum = %d, want %d", sum.Load(), want)
+			}
+			if kept.Load() != stats.SinkData {
+				t.Errorf("filter tap saw %d elements, sink got %d", kept.Load(), stats.SinkData)
+			}
+			if kept.Load() >= mapped.Load() {
+				t.Errorf("filter tap saw %d of %d — filtering not observed", kept.Load(), mapped.Load())
+			}
+		})
+	}
+}
+
+// TestTapRejections pins the misuse errors: composite stages have no
+// node to tap, and a nil tap function is a compile error.
+func TestTapRejections(t *testing.T) {
+	seq := Sequence(
+		Map("a", func(v uint64) uint64 { return v }),
+		Map("b", func(v uint64) uint64 { return v }),
+	).Tap(func(any) {})
+	if _, err := NewFlow[uint64, uint64]().Then(seq).Compile(); err == nil ||
+		!strings.Contains(err.Error(), "tap its member stages") {
+		t.Errorf("tapped Sequence compiled, err = %v", err)
+	}
+	nilTap := Map("c", func(v uint64) uint64 { return v }).Tap(nil)
+	if _, err := NewFlow[uint64, uint64]().Then(nilTap).Compile(); err == nil ||
+		!strings.Contains(err.Error(), "nil Tap") {
+		t.Errorf("nil tap compiled, err = %v", err)
+	}
+}
+
+// TestObserverDepthConvergesAfterCancel pins the gauge contract on the
+// failure path: a cancelled session's stranded in-flight messages count
+// as drained, so edge depths return to zero instead of leaking a little
+// more of the gauge with every failed session.
+func TestObserverDepthConvergesAfterCancel(t *testing.T) {
+	for _, backend := range []string{"goroutines", "simulator", "distributed"} {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			obs := NewObserver()
+			pipe := batchingFlow(t, WithObserver(obs), WithMaxBatch(16))
+			pipe.backend = parityBackends(pipe)[backend]
+			eng, err := pipe.Engine()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+
+			ctx, cancel := context.WithCancel(context.Background())
+			ses, err := eng.Open(ctx, CountingSource(1<<40), DiscardSink())
+			if err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(20 * time.Millisecond) // let messages get in flight
+			cancel()
+			if _, err := ses.Wait(); !errors.Is(err, context.Canceled) {
+				t.Fatalf("Wait after cancel = %v, want context.Canceled", err)
+			}
+
+			// Late cross-worker frames fold in asynchronously on the
+			// distributed backend, so poll briefly for convergence.
+			deadline := time.Now().Add(2 * time.Second)
+			for {
+				snap := obs.Snapshot()
+				converged := snap.Sessions.Failed == 1
+				for _, e := range snap.Edges {
+					if e.Depth != 0 {
+						converged = false
+					}
+				}
+				if converged {
+					return
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("depth gauge never converged after cancel: %+v", snap.Edges)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		})
+	}
+}
+
+// TestEngineMetricsWithoutObserver: the nil default stays cheap and
+// Metrics still returns a usable empty snapshot.
+func TestEngineMetricsWithoutObserver(t *testing.T) {
+	pipe := batchingFlow(t)
+	eng, err := pipe.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	snap := eng.Metrics()
+	if snap == nil {
+		t.Fatal("Metrics() returned nil")
+	}
+	if len(snap.Nodes) != 0 || snap.Sessions.Opened != 0 {
+		t.Fatalf("unobserved engine snapshot not empty: %+v", snap)
+	}
+}
+
+// TestObserverTopologyMismatch: one Observer cannot span two different
+// topologies (its per-node slots would be meaningless).
+func TestObserverTopologyMismatch(t *testing.T) {
+	obs := NewObserver()
+	if _, err := batchingFlow(t, WithObserver(obs)).Run(
+		context.Background(), CountingSource(8), DiscardSink()); err != nil {
+		t.Fatal(err)
+	}
+	topo := NewTopology()
+	topo.Channel("x", "y", 4)
+	if _, err := Build(topo, WithObserver(obs), WithRouting(PassAll)); err == nil {
+		t.Fatal("observer attached to a second, different topology")
+	}
+}
+
+// TestObserverHandler serves the two exposition formats through the
+// public HTTP handler.
+func TestObserverHandler(t *testing.T) {
+	obs := NewObserver()
+	pipe := batchingFlow(t, WithObserver(obs))
+	if _, err := pipe.Run(context.Background(), CountingSource(64), DiscardSink()); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(obs.Handler())
+	defer srv.Close()
+
+	prom := httpGetBody(t, srv.URL+"/metrics")
+	if !strings.Contains(prom, "streamdag_node_firings_total") {
+		t.Errorf("/metrics misses the firings counter:\n%.200s", prom)
+	}
+	vars := httpGetBody(t, srv.URL+"/debug/vars")
+	var decoded map[string]*Snapshot
+	if err := json.Unmarshal([]byte(vars), &decoded); err != nil {
+		t.Fatalf("/debug/vars is not valid JSON: %v", err)
+	}
+	if decoded["streamdag"] == nil || len(decoded["streamdag"].Nodes) == 0 {
+		t.Errorf("/debug/vars has no node data: %s", vars)
+	}
+}
+
+// httpGetBody fetches url and returns the body as a string.
+func httpGetBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	return string(body)
+}

@@ -38,6 +38,7 @@ type Pipeline struct {
 	avoidance bool
 	maxBatch  int
 	nodeBatch map[string]int // per-stage Batch marks, keyed by original node name
+	obs       *Observer      // telemetry collector; nil (the default) compiles instrumentation out
 
 	// Flow-compiled pipelines carry the shared runtime type-error slot
 	// and the per-Run reset hooks (stateful stage state, see stage.go);
@@ -71,6 +72,7 @@ type buildConfig struct {
 	named      []namedKernel
 	routing    Filter
 	avoidance  bool
+	observer   *Observer
 	err        error // first option error; reported by Build
 }
 
@@ -258,6 +260,14 @@ func Build(t *Topology, opts ...Option) (*Pipeline, error) {
 			return nil, err
 		}
 		p.intervals = iv
+	}
+	if cfg.observer != nil {
+		// Attached last, against the executed (possibly expanded) topology,
+		// so the observer's node/edge slots line up with the IDs the
+		// backends instrument.
+		if err := cfg.observer.attach(p); err != nil {
+			return nil, err
+		}
 	}
 	return p, nil
 }

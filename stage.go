@@ -46,6 +46,14 @@ type Stage interface {
 	// Composite stages (Sequence, Split) reject it — set batch sizes on
 	// their member stages.
 	Batch(n int) Stage
+	// Tap installs an observation hook: fn sees every element the stage
+	// emits (after its transform, filtered elements excluded), without
+	// altering the stream.  fn runs on the node's hot path — on the
+	// concurrent backends possibly from several goroutines at once (a
+	// replicated stage, or concurrent sessions), so it must be fast and
+	// safe for concurrent use.  Composite stages (Sequence, Split) reject
+	// it — tap their member stages.
+	Tap(fn func(v any)) Stage
 
 	inType() reflect.Type
 	outType() reflect.Type
@@ -78,6 +86,7 @@ type stageBase struct {
 	replicas int
 	buf      int
 	batch    int
+	tap      func(any)
 	err      error
 	self     Stage
 }
@@ -108,6 +117,14 @@ func (b *stageBase) Batch(n int) Stage {
 	return b.self
 }
 
+func (b *stageBase) Tap(fn func(v any)) Stage {
+	if fn == nil && b.err == nil {
+		b.err = fmt.Errorf("streamdag: flow: stage %q: nil Tap function", b.name)
+	}
+	b.tap = fn
+	return b.self
+}
+
 func (b *stageBase) stageErr() error { return b.err }
 
 func (b *stageBase) bufOr(def int) int {
@@ -120,7 +137,7 @@ func (b *stageBase) bufOr(def int) int {
 // lowerSimple is the shared lowering of the single-node stages: one node
 // carrying the stage's kernel, one inbound channel, optional replication.
 func (b *stageBase) lowerSimple(lw *lowering, from string, mk kernelFactory) (string, error) {
-	if err := lw.addNode(b.name, mk); err != nil {
+	if err := lw.addNode(b.name, b.wrapTap(mk)); err != nil {
 		return "", err
 	}
 	if b.replicas > 1 {
@@ -450,7 +467,62 @@ func (b *stageBase) compositeKnobs() error {
 	if b.batch > 0 {
 		return fmt.Errorf("streamdag: flow: composite stage %q has no node of its own; set batch sizes on its member stages", b.name)
 	}
+	if b.tap != nil {
+		return fmt.Errorf("streamdag: flow: composite stage %q has no node of its own; tap its member stages", b.name)
+	}
 	return nil
+}
+
+// wrapTap decorates a stage's kernel factory with its Tap hook; a stage
+// without one lowers the factory unchanged, so untapped stages pay
+// nothing.  The decorator preserves vectorization: when the inner kernel
+// is a SpanKernel, the wrapper is too, invoking fn once per committed
+// span element.
+func (b *stageBase) wrapTap(mk kernelFactory) kernelFactory {
+	fn := b.tap
+	if fn == nil {
+		return mk
+	}
+	return func(nIn, nOut int) Kernel {
+		inner := mk(nIn, nOut)
+		tk := tapKernel{k: inner, fn: fn}
+		if sk, ok := inner.(SpanKernel); ok {
+			return tapSpanKernel{tapKernel: tk, sk: sk}
+		}
+		return tk
+	}
+}
+
+// tapKernel forwards to the wrapped kernel and hands each emitted element
+// to the tap function.  Stage kernels broadcast one value across all
+// out-edges, so observing any single map entry observes the element.
+type tapKernel struct {
+	k  Kernel
+	fn func(any)
+}
+
+func (t tapKernel) Process(seq uint64, in []Input) map[int]any {
+	out := t.k.Process(seq, in)
+	for _, v := range out {
+		t.fn(v)
+		break
+	}
+	return out
+}
+
+// tapSpanKernel is the vectorized tap: the inner span commits a prefix,
+// and the tap sees exactly the committed elements.
+type tapSpanKernel struct {
+	tapKernel
+	sk SpanKernel
+}
+
+func (t tapSpanKernel) ProcessSpan(seq0 uint64, in, out []any) int {
+	n := t.sk.ProcessSpan(seq0, in, out)
+	for j := 0; j < n; j++ {
+		t.fn(out[j])
+	}
+	return n
 }
 
 // Maybe is an optional value at a merge point: OK reports whether the
@@ -481,7 +553,7 @@ func errMergeOutsideSplit(name string) error {
 // multi-input counterpart: one node carrying the join kernel, one
 // inbound channel per branch exit, optional replication.
 func (b *stageBase) lowerMerge(lw *lowering, froms []string, mk kernelFactory) (string, error) {
-	if err := lw.addNode(b.name, mk); err != nil {
+	if err := lw.addNode(b.name, b.wrapTap(mk)); err != nil {
 		return "", err
 	}
 	if b.replicas > 1 {
