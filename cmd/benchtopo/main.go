@@ -15,6 +15,8 @@
 //	          [-backend runtime,simulator,distributed]
 //	          [-json BENCH_replication.json] [-metrics]
 //	          [-cpuprofile cpu.out] [-memprofile mem.out] [-blockprofile block.out]
+//	benchtopo -family fault [-kill-worker w1] [-kill-step 1000]
+//	          [-replicate 1,2,4] [-batch 1] [-inputs 20000] [-json BENCH_fault.json]
 //
 // The throughput family runs a three-stage pipeline gen → work → out on
 // the goroutine runtime with the Propagation protocol, expanding the hot
@@ -43,6 +45,14 @@
 // writes the machine-readable records (topology, backend, api, msgs/sec,
 // dummy overhead %, …) that seed the repo's BENCH_*.json performance
 // trajectory.
+//
+// The fault family measures recovery latency: the same gen → work → out
+// shape on the distributed backend across three workers with the full
+// fault-tolerance stack armed (heartbeats, worker restart, session
+// retry), killing -kill-worker after -kill-step sink deliveries and
+// timing how long until deliveries resume.  Records land in
+// BENCH_fault.json, including an exactly-once verdict for the retried
+// stream.
 package main
 
 import (
@@ -82,6 +92,8 @@ func main() {
 	batch := flag.String("batch", "1", "comma-separated transport batch sizes (throughput family; see WithMaxBatch)")
 	backend := flag.String("backend", "runtime", "comma-separated backends (throughput family): runtime, simulator, distributed")
 	jsonOut := flag.String("json", "", "write throughput records as JSON to this file (- for stdout)")
+	killWorker := flag.String("kill-worker", "w1", "fault family: name of the distributed worker to kill (w0=source, w1=hot stage, w2=sink)")
+	killStep := flag.Int("kill-step", 1000, "fault family: kill the worker after this many sink deliveries")
 	metrics := flag.Bool("metrics", false, "attach an Observer to each throughput run and print its final Snapshot as JSON alongside the bench line (throughput family; skipped for the legacy api)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -130,6 +142,8 @@ func main() {
 		runGeneral(*seed, *reps)
 	case "throughput":
 		runThroughput(*api, *replicate, *sessions, *stage, *cost, *inputs, *batch, *backend, *reps, *jsonOut, *metrics)
+	case "fault":
+		runFault(*killWorker, *killStep, *replicate, *stage, *cost, *inputs, *batch, *jsonOut)
 	default:
 		fmt.Fprintf(os.Stderr, "benchtopo: unknown family %q\n", *family)
 		os.Exit(2)
@@ -706,4 +720,214 @@ func emit(family, alg string, g *graph.Graph, nCycles int, secs float64) {
 		cyc = fmt.Sprint(nCycles)
 	}
 	fmt.Printf("%s,%s,%d,%d,%s,%.9f\n", family, alg, g.NumNodes(), g.NumEdges(), cyc, secs)
+}
+
+// ---------------------------------------------------------------------
+// Fault family: recovery-latency benchmark.  Streams the gen → work →
+// out pipeline on the distributed backend across three workers, kills
+// one mid-stream, and measures how long the fault-tolerance stack —
+// heartbeats, worker restart, session retry with sink de-duplication —
+// takes to resume delivering.  The records seed BENCH_fault.json.
+
+// faultRecord is one machine-readable recovery measurement.
+type faultRecord struct {
+	Topology           string  `json:"topology"`
+	Backend            string  `json:"backend"`
+	KillWorker         string  `json:"kill_worker"`
+	KillAfter          int     `json:"kill_after_deliveries"`
+	Replicate          int     `json:"replicate"`
+	Batch              int     `json:"batch"`
+	Inputs             uint64  `json:"inputs"`
+	Stage              string  `json:"stage"`
+	StageCost          string  `json:"stage_cost"`
+	ElapsedSec         float64 `json:"elapsed_sec"`
+	RecoveryLatencySec float64 `json:"recovery_latency_sec"`
+	SessionRetries     int64   `json:"session_retries"`
+	WorkersDown        int64   `json:"workers_down"`
+	Reconnects         int64   `json:"reconnects"`
+	SinkData           int64   `json:"sink_data"`
+	DeliveredOnce      bool    `json:"delivered_exactly_once"`
+}
+
+// killSink counts deliveries, trips the kill trigger at the requested
+// count, and timestamps the first delivery made after the kill — the
+// recovery-latency endpoint.  It also verifies exactly-once delivery:
+// sink sequence numbers must stay strictly ascending across the retry.
+type killSink struct {
+	mu        sync.Mutex
+	count     int
+	killAfter int
+	killCh    chan struct{}
+	tKill     time.Time
+	recovered time.Time
+	lastSeq   int64
+	dup       bool
+}
+
+func (s *killSink) Emit(_ context.Context, seq uint64, _ any) error {
+	s.mu.Lock()
+	if int64(seq) <= s.lastSeq {
+		s.dup = true
+	}
+	s.lastSeq = int64(seq)
+	s.count++
+	if s.count == s.killAfter {
+		close(s.killCh)
+	}
+	if !s.tKill.IsZero() && s.recovered.IsZero() {
+		s.recovered = time.Now()
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// faultPipeline builds gen → work → out with the hot stage expanded k
+// ways, spread over three distributed workers (gen on w0, the work
+// replicas on w1, out on w2), with the full recovery stack armed.
+func faultPipeline(k, batch int, hot streamdag.Kernel, obs *streamdag.Observer) *streamdag.Pipeline {
+	build := func(extra ...streamdag.Option) *streamdag.Pipeline {
+		topo := streamdag.NewTopology()
+		topo.Channel("gen", "work", 256)
+		topo.Channel("work", "out", 256)
+		opts := []streamdag.Option{
+			streamdag.WithAlgorithm(streamdag.Propagation),
+			streamdag.WithReplication(streamdag.ReplicationPlan{"work": k}),
+			streamdag.WithKernel("work", hot),
+			streamdag.WithWatchdog(30 * time.Second),
+			streamdag.WithHeartbeat(25*time.Millisecond, 3),
+			streamdag.WithWorkerRestart(),
+			streamdag.WithRetry(streamdag.RetryPolicy{MaxAttempts: 5, Backoff: 10 * time.Millisecond}),
+		}
+		if batch > 1 {
+			opts = append(opts, streamdag.WithMaxBatch(batch))
+		}
+		if obs != nil {
+			opts = append(opts, streamdag.WithObserver(obs))
+		}
+		pipe, err := streamdag.Build(topo, append(opts, extra...)...)
+		if err != nil {
+			fatal(err)
+		}
+		return pipe
+	}
+	// First build discovers the expanded node names; the second assigns
+	// them: gen stays on w0, out on w2, everything in between (the work
+	// replicas and their split/merge) on w1.
+	shape := build()
+	assign := make(map[string]string)
+	g := shape.Topology().Graph()
+	for n := 0; n < g.NumNodes(); n++ {
+		switch name := g.Name(streamdag.NodeID(n)); name {
+		case "gen":
+			assign[name] = "w0"
+		case "out":
+			assign[name] = "w2"
+		default:
+			assign[name] = "w1"
+		}
+	}
+	return build(streamdag.WithBackend(streamdag.Distributed(assign)))
+}
+
+// runFault measures one recovery per (replicate, batch) cell: open a
+// session, kill the named worker after killStep sink deliveries, and
+// time how long until deliveries resume and the stream completes whole.
+func runFault(worker string, killStep int, replicate, stage string, cost int, inputs uint64, batch, jsonOut string) {
+	if killStep < 1 || uint64(killStep) >= inputs {
+		fmt.Fprintf(os.Stderr, "benchtopo: -kill-step %d must be in [1, inputs) = [1, %d)\n", killStep, inputs)
+		os.Exit(2)
+	}
+	parseList := func(flagName, s string) []int {
+		var out []int
+		for _, part := range strings.Split(s, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || v < 1 {
+				fmt.Fprintf(os.Stderr, "benchtopo: bad -%s %q\n", flagName, part)
+				os.Exit(2)
+			}
+			out = append(out, v)
+		}
+		return out
+	}
+	hot, desc := stageKernel(stage, cost)
+	if jsonOut == "" {
+		jsonOut = "BENCH_fault.json"
+	}
+	csv := os.Stdout
+	if jsonOut == "-" {
+		csv = os.Stderr
+	}
+	fmt.Fprintln(csv, "topology,backend,kill_worker,kill_after,replicate,batch,inputs,seconds,recovery_latency_sec,session_retries,workers_down,reconnects,sink_data,exactly_once")
+	var records []faultRecord
+	for _, k := range parseList("replicate", replicate) {
+		for _, b := range parseList("batch", batch) {
+			obs := streamdag.NewObserver()
+			pipe := faultPipeline(k, b, hot, obs)
+			eng, err := pipe.Engine()
+			if err != nil {
+				fatal(err)
+			}
+			ks := &killSink{killAfter: killStep, killCh: make(chan struct{}), lastSeq: -1}
+			start := time.Now()
+			ses, err := eng.Open(context.Background(), streamdag.CountingSource(inputs), ks)
+			if err != nil {
+				fatal(err)
+			}
+			<-ks.killCh
+			ks.mu.Lock()
+			ks.tKill = time.Now()
+			ks.mu.Unlock()
+			if err := eng.KillWorker(worker); err != nil {
+				fatal(err)
+			}
+			stats, err := ses.Wait()
+			if err != nil {
+				fatal(fmt.Errorf("session did not survive the kill: %w", err))
+			}
+			elapsed := time.Since(start)
+			if err := eng.Close(); err != nil {
+				fatal(err)
+			}
+			f := obs.Snapshot().Faults
+			ks.mu.Lock()
+			recovery := ks.recovered.Sub(ks.tKill)
+			once := !ks.dup && ks.count == int(inputs)
+			ks.mu.Unlock()
+			rec := faultRecord{
+				Topology:           "gen>work>out",
+				Backend:            "distributed",
+				KillWorker:         worker,
+				KillAfter:          killStep,
+				Replicate:          k,
+				Batch:              b,
+				Inputs:             inputs,
+				Stage:              stage,
+				StageCost:          desc,
+				ElapsedSec:         elapsed.Seconds(),
+				RecoveryLatencySec: recovery.Seconds(),
+				SessionRetries:     f.SessionRetries,
+				WorkersDown:        f.WorkersDown,
+				Reconnects:         f.Reconnects,
+				SinkData:           stats.SinkData,
+				DeliveredOnce:      once,
+			}
+			records = append(records, rec)
+			fmt.Fprintf(csv, "%s,%s,%s,%d,%d,%d,%d,%.4f,%.4f,%d,%d,%d,%d,%v\n",
+				rec.Topology, rec.Backend, rec.KillWorker, rec.KillAfter, rec.Replicate, rec.Batch,
+				rec.Inputs, rec.ElapsedSec, rec.RecoveryLatencySec, rec.SessionRetries,
+				rec.WorkersDown, rec.Reconnects, rec.SinkData, rec.DeliveredOnce)
+		}
+	}
+	enc, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if jsonOut == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(jsonOut, enc, 0o644); err != nil {
+		fatal(err)
+	}
 }

@@ -61,6 +61,7 @@ type Engine struct {
 	active   int
 	sessions map[SessionID]*Session
 	closed   bool
+	draining bool
 }
 
 // Engine starts the pipeline's resident runtime on its backend and
@@ -96,6 +97,10 @@ func (e *Engine) Open(ctx context.Context, source Source, sink Sink) (*Session, 
 		e.mu.Unlock()
 		return nil, ErrEngineClosed
 	}
+	if e.draining {
+		e.mu.Unlock()
+		return nil, ErrEngineDraining
+	}
 	if len(e.p.resets) > 0 && e.active > 0 {
 		e.mu.Unlock()
 		return nil, errors.New("streamdag: Engine.Open: pipeline has Stateful stages, which sessions would share; wait for the active session before opening another")
@@ -122,7 +127,13 @@ func (e *Engine) Open(ctx context.Context, source Source, sink Sink) (*Session, 
 	e.sessions[id] = s
 	e.mu.Unlock()
 
-	bs, err := e.impl.open(sctx, id, source, sink)
+	var bs backendSession
+	var err error
+	if e.p.retry.Attempts() > 1 {
+		bs, err = e.openRetrying(sctx, id, source, sink)
+	} else {
+		bs, err = e.impl.open(sctx, id, source, sink)
+	}
 	if err != nil {
 		cancel()
 		s.release()
@@ -258,6 +269,12 @@ func (s *Session) Wait() (*RunStats, error) {
 type backendEngine interface {
 	open(ctx context.Context, id SessionID, source Source, sink Sink) (backendSession, error)
 	close() error
+	// drain stops the backend admitting sessions and waits out the
+	// in-flight ones (Engine.Drain's worker half).
+	drain(ctx context.Context) error
+	// killWorker crashes a named worker mid-stream; backends without
+	// workers return an error.
+	killWorker(name string) error
 }
 
 // backendSession is one open stream on a backend engine.
@@ -328,6 +345,12 @@ func (g *goroutineEngine) open(ctx context.Context, id SessionID, source Source,
 
 func (g *goroutineEngine) close() error { return g.eng.Close() }
 
+func (g *goroutineEngine) drain(ctx context.Context) error { return g.eng.Drain(ctx) }
+
+func (g *goroutineEngine) killWorker(string) error {
+	return errors.New("streamdag: the goroutines backend has no workers to kill (use the Distributed backend, or WithFaultInjection on the Simulator)")
+}
+
 type goroutineSession struct{ ses *stream.EngineSession }
 
 func (s goroutineSession) wait() (*RunStats, error) { return s.ses.Wait() }
@@ -337,13 +360,27 @@ func (s goroutineSession) done() <-chan struct{}    { return s.ses.Done() }
 type simEngine struct{ eng *sim.Engine }
 
 func (simulatorBackend) newEngine(p *Pipeline) (backendEngine, error) {
+	var part map[graph.NodeID]string
+	if len(p.faultParts) > 0 {
+		part = make(map[graph.NodeID]string, len(p.faultParts))
+		for name, w := range p.faultParts {
+			id, ok := p.topo.g.NodeByName(name)
+			if !ok {
+				return nil, fmt.Errorf("streamdag: WithPartition: no node %q in the executed topology", name)
+			}
+			part[id] = w
+		}
+	}
 	return &simEngine{eng: sim.NewEngine(p.topo.g, sim.Config{
-		Kernels:   p.kernels,
-		Algorithm: p.alg,
-		Intervals: p.intervals,
-		MaxBatch:  p.maxBatch,
-		NodeBatch: p.resolvedNodeBatch(),
-		Obs:       p.obsMetrics(),
+		Kernels:         p.kernels,
+		Algorithm:       p.alg,
+		Intervals:       p.intervals,
+		MaxBatch:        p.maxBatch,
+		NodeBatch:       p.resolvedNodeBatch(),
+		Obs:             p.obsMetrics(),
+		Partition:       part,
+		Faults:          p.faults,
+		CheckpointEvery: p.ckptEvery,
 	})}, nil
 }
 
@@ -360,6 +397,12 @@ func (se *simEngine) open(ctx context.Context, id SessionID, source Source, sink
 }
 
 func (se *simEngine) close() error { return se.eng.Close() }
+
+func (se *simEngine) drain(ctx context.Context) error { return se.eng.Drain(ctx) }
+
+func (se *simEngine) killWorker(string) error {
+	return errors.New("streamdag: the simulator kills workers deterministically via WithFaultInjection, not at runtime")
+}
 
 type simSession struct {
 	ses *sim.EngineSession
@@ -412,11 +455,14 @@ func (b distributedBackend) newEngine(p *Pipeline) (backendEngine, error) {
 		part[id] = w
 	}
 	eng, err := dist.NewEngine(g, part, p.kernels, dist.Config{
-		Algorithm:       p.alg,
-		Intervals:       p.intervals,
-		WatchdogTimeout: p.watchdog,
-		MaxBatch:        p.maxBatch,
-		Obs:             p.obsMetrics(),
+		Algorithm:         p.alg,
+		Intervals:         p.intervals,
+		WatchdogTimeout:   p.watchdog,
+		MaxBatch:          p.maxBatch,
+		Obs:               p.obsMetrics(),
+		HeartbeatInterval: p.hbInterval,
+		HeartbeatMiss:     p.hbMiss,
+		Restart:           p.restart,
 	})
 	if err != nil {
 		return nil, err
@@ -437,6 +483,10 @@ func (de *distEngine) open(ctx context.Context, id SessionID, source Source, sin
 }
 
 func (de *distEngine) close() error { return de.eng.Close() }
+
+func (de *distEngine) drain(ctx context.Context) error { return de.eng.Drain(ctx) }
+
+func (de *distEngine) killWorker(name string) error { return de.eng.KillWorker(name) }
 
 type distSession struct{ ses *dist.EngineSession }
 

@@ -22,11 +22,21 @@
 // Run with:
 //
 //	go run ./examples/streamserve
+//
+// With -chaos the example instead runs the fault-tolerance smoke test:
+// the scrub topology spread across THREE resident TCP workers serving
+// concurrent client sessions, with heartbeats, worker restart, and
+// session retry armed.  Mid-load it kills the middle worker and fails
+// (exit 1) unless every session still completes with its full,
+// exactly-once output — zero lost sessions:
+//
+//	go run ./examples/streamserve -chaos
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"log"
@@ -36,6 +46,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"streamdag"
@@ -65,6 +76,12 @@ func requestLines(client, request int) []string {
 }
 
 func main() {
+	chaos := flag.Bool("chaos", false, "run the chaos tier instead: three TCP workers under concurrent load, one killed mid-stream; fails unless every session survives with exactly-once delivery")
+	flag.Parse()
+	if *chaos {
+		chaosTier()
+		return
+	}
 	typedTier()
 	distributedTier()
 }
@@ -302,4 +319,172 @@ func distributedTier() {
 	}
 	fmt.Printf("  metrics: %d sessions completed, %d node firings, %d wire frames on %d links\n",
 		snap.Sessions.Completed, firings, frames, len(snap.Links))
+}
+
+// chaosLines is the per-request batch size for the chaos tier — large
+// enough (with the sink's per-delivery pacing) that every session is
+// still mid-stream when the worker dies.
+const chaosLines = 400
+
+// chaosSink collects one session's deliveries, paces them so the kill
+// lands mid-stream, and verifies exactly-once delivery: sequence numbers
+// must stay strictly ascending across the transparent retry.
+type chaosSink struct {
+	total *atomic.Int64
+	gate  func()
+
+	mu      sync.Mutex
+	count   int64
+	lastSeq int64
+	dup     bool
+}
+
+func (s *chaosSink) Emit(_ context.Context, seq uint64, _ any) error {
+	time.Sleep(300 * time.Microsecond)
+	s.mu.Lock()
+	if int64(seq) <= s.lastSeq {
+		s.dup = true
+	}
+	s.lastSeq = int64(seq)
+	s.count++
+	s.mu.Unlock()
+	s.total.Add(1)
+	s.gate()
+	return nil
+}
+
+// chaosTier is the CI chaos smoke test: concurrent sessions over three
+// TCP workers, the middle worker killed mid-load, zero lost sessions
+// required.  The recovery stack — heartbeats, worker restart, session
+// retry over a rewound source with sink de-duplication — must make the
+// kill invisible to every client except as latency.
+func chaosTier() {
+	obs := streamdag.NewObserver()
+	topo := streamdag.NewTopology()
+	topo.Channel("ingest", "scrub", 16)
+	topo.Channel("scrub", "deliver", 16)
+	p, err := streamdag.Build(topo,
+		streamdag.WithObserver(obs),
+		streamdag.WithKernel("scrub", streamdag.KernelFunc(
+			func(_ uint64, in []streamdag.Input) map[int]any {
+				if !in[0].Present {
+					return nil
+				}
+				line := in[0].Payload.(string)
+				if strings.HasPrefix(line, "DEBUG ") {
+					return nil
+				}
+				return map[int]any{0: "[ok] " + line}
+			})),
+		streamdag.WithBackend(streamdag.Distributed(map[string]string{
+			"ingest": "edge", "scrub": "core", "deliver": "relay",
+		})),
+		streamdag.WithWatchdog(30*time.Second),
+		streamdag.WithHeartbeat(25*time.Millisecond, 3),
+		streamdag.WithWorkerRestart(),
+		streamdag.WithRetry(streamdag.RetryPolicy{MaxAttempts: 5, Backoff: 10 * time.Millisecond}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := p.Engine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	// Every request keeps the non-DEBUG lines: i%3 != 1.
+	wantKept := int64(0)
+	for i := 0; i < chaosLines; i++ {
+		if i%3 != 1 {
+			wantKept++
+		}
+	}
+
+	// The kill fires once the fleet has collectively delivered enough to
+	// prove every session is mid-stream.
+	var total atomic.Int64
+	killAt := int64(clients) * 20
+	killGate := make(chan struct{})
+	var once sync.Once
+	gate := func() {
+		if total.Load() >= killAt {
+			once.Do(func() { close(killGate) })
+		}
+	}
+
+	sinks := make([]*chaosSink, clients)
+	sessions := make([]*streamdag.Session, clients)
+	for c := 0; c < clients; c++ {
+		batch := requestLines(c, 0)
+		payloads := make([]any, 0, chaosLines)
+		for len(payloads) < chaosLines {
+			for _, line := range batch {
+				if len(payloads) == chaosLines {
+					break
+				}
+				payloads = append(payloads, line)
+			}
+		}
+		// Re-derive the severity prefix per padded index so the kept
+		// count matches wantKept exactly.
+		for i := range payloads {
+			sev := "INFO"
+			switch i % 3 {
+			case 1:
+				sev = "DEBUG"
+			case 2:
+				sev = "WARN"
+			}
+			payloads[i] = fmt.Sprintf("%s c%d line-%04d", sev, c, i)
+		}
+		sinks[c] = &chaosSink{total: &total, gate: gate, lastSeq: -1}
+		ses, err := eng.Open(context.Background(), streamdag.SliceSource(payloads...), sinks[c])
+		if err != nil {
+			log.Fatal(err)
+		}
+		sessions[c] = ses
+	}
+
+	<-killGate
+	tKill := time.Now()
+	if err := eng.KillWorker("core"); err != nil {
+		log.Fatalf("streamserve: KillWorker: %v", err)
+	}
+	fmt.Printf("chaos tier (3 TCP workers): killed worker \"core\" after %d fleet deliveries\n", total.Load())
+
+	lost := 0
+	for c, ses := range sessions {
+		stats, err := ses.Wait()
+		if err != nil {
+			log.Printf("streamserve: session c%d lost: %v", c, err)
+			lost++
+			continue
+		}
+		s := sinks[c]
+		s.mu.Lock()
+		count, dup := s.count, s.dup
+		s.mu.Unlock()
+		if dup {
+			log.Printf("streamserve: session c%d delivered a duplicate sequence number", c)
+			lost++
+			continue
+		}
+		if count != wantKept || stats.SinkData != wantKept {
+			log.Printf("streamserve: session c%d delivered %d (stats %d), want %d", c, count, stats.SinkData, wantKept)
+			lost++
+		}
+	}
+	if lost > 0 {
+		log.Fatalf("streamserve: %d of %d sessions lost to the kill", lost, clients)
+	}
+
+	snap := obs.Snapshot()
+	if snap.Faults.WorkersDown < 1 || snap.Faults.Reconnects < 1 || snap.Faults.SessionRetries < 1 {
+		log.Fatalf("streamserve: fault counters unconvincing: %+v", snap.Faults)
+	}
+	fmt.Printf("  zero lost sessions: %d/%d completed exactly-once (%d lines each) %.0fms after the kill\n",
+		clients, clients, wantKept, time.Since(tKill).Seconds()*1000)
+	fmt.Printf("  fault metrics: workers_down=%d reconnects=%d session_retries=%d heartbeats_missed=%d\n",
+		snap.Faults.WorkersDown, snap.Faults.Reconnects, snap.Faults.SessionRetries, snap.Faults.HeartbeatsMissed)
 }

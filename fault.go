@@ -1,0 +1,423 @@
+package streamdag
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"streamdag/internal/fault"
+	"streamdag/internal/graph"
+	"streamdag/internal/obs"
+)
+
+// This file is the fault-tolerance surface of the Pipeline API, built on
+// internal/fault: typed worker-death errors, session retry with a
+// dead-letter sink for poisoned payloads, deterministic fault injection
+// on the Simulator backend, heartbeats and worker restart on the
+// Distributed backend, and graceful drain with a resumable checkpoint.
+//
+// The division of labour mirrors the backends.  The simulator recovers
+// *inside* a session — a transient injected kill rolls the session back
+// to its last coordinated checkpoint and re-executes, bit-identically.
+// The distributed runtime recovers *around* sessions: a dead worker
+// fails its sessions fast with a *WorkerDownError naming it, the
+// supervisor respawns the worker and re-dials the mesh, and the retry
+// layer here re-opens the failed sessions on the repaired topology.  A
+// ReplayableSource plus the sink's high-water de-duplication make the
+// retried stream exactly-once: the surviving output is bit-identical to
+// a run with no fault at all.
+
+// WorkerDownError reports that a named worker died and which sessions
+// its death took down; errors.As against Session.Wait's error to decide
+// on a retry.
+type WorkerDownError = fault.WorkerDownError
+
+// IsWorkerDown reports whether err is (or wraps) a *WorkerDownError.
+func IsWorkerDown(err error) bool { return fault.IsWorkerDown(err) }
+
+// RetryPolicy configures WithRetry: attempt budget and deterministic
+// backoff.
+type RetryPolicy = fault.RetryPolicy
+
+// DeadLetter is one payload routed out of the stream after failing
+// delivery on consecutive attempts.
+type DeadLetter = fault.DeadLetter
+
+// DeadLetterSink receives the payloads the retry layer gave up on.
+type DeadLetterSink = fault.DeadLetterSink
+
+// DeadLetterQueue is an in-memory DeadLetterSink for tests and small
+// deployments.
+type DeadLetterQueue = fault.Queue
+
+// FaultInjection is one deterministic fault for the Simulator backend:
+// kill the named worker at a virtual step (see WithFaultInjection).
+type FaultInjection = fault.Injection
+
+// Checkpoint is the resumable state Engine.Drain returns; feed it to a
+// fresh Engine's Resume so session IDs continue instead of colliding.
+type Checkpoint = fault.Checkpoint
+
+// DecodeCheckpoint deserializes a Checkpoint.Encode'd checkpoint.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) { return fault.DecodeCheckpoint(data) }
+
+// ErrEngineDraining is returned by Engine.Open while a Drain is in
+// progress (or after one completed).
+var ErrEngineDraining = errors.New("streamdag: engine draining")
+
+// ReplayableSource is a Source that can rewind to its beginning, which
+// is what lets WithRetry re-open a failed session: the retry re-ingests
+// from payload zero and the sink de-duplicates everything the failed
+// attempt already delivered.  SliceSource and CountingSource implement
+// it; a network-fed source can by buffering or re-requesting.
+type ReplayableSource interface {
+	Source
+	// Rewind resets the source to its first payload.
+	Rewind() error
+}
+
+// ---------------------------------------------------------------------
+// Build options.
+
+// WithRetry re-opens a session that failed with a retryable error — a
+// *WorkerDownError, or a sink delivery error when a dead-letter sink is
+// configured — up to p.MaxAttempts times, waiting p.Delay between
+// attempts.  Retried sessions require a ReplayableSource: each attempt
+// rewinds it and re-ingests, while the sink layer suppresses every
+// delivery an earlier attempt already made, so a successful retry is
+// exactly-once and bit-identical to an undisturbed run (pure kernels,
+// deterministic topology).  A payload whose sink delivery fails on two
+// consecutive attempts is routed to the WithDeadLetter sink and skipped
+// rather than failing the session forever.
+func WithRetry(p RetryPolicy) Option {
+	return func(c *buildConfig) { c.retry = p }
+}
+
+// WithDeadLetter routes repeatedly-failing payloads to sink instead of
+// letting one poisoned message fail every retry (see WithRetry).  It
+// also marks sink delivery errors as retryable.
+func WithDeadLetter(sink DeadLetterSink) Option {
+	return func(c *buildConfig) { c.dlq = sink }
+}
+
+// WithHeartbeat enables liveness tracking on the Distributed backend:
+// workers beat their peers every interval (any frame counts as a beat,
+// so loaded links pay nothing) and a worker silent for miss intervals
+// (miss < 1 defaults to 3) is declared down — its sessions fail with a
+// *WorkerDownError naming it instead of wedging until the watchdog
+// guesses.  The other backends have no transport and ignore it.
+func WithHeartbeat(interval time.Duration, miss int) Option {
+	return func(c *buildConfig) {
+		if interval < 0 && c.err == nil {
+			c.err = fmt.Errorf("streamdag: build: negative heartbeat interval %v", interval)
+		}
+		c.hbInterval = interval
+		c.hbMiss = miss
+	}
+}
+
+// WithWorkerRestart lets the Distributed backend respawn a dead worker:
+// fresh listener, peers re-dialed, so sessions retried by WithRetry land
+// on a whole topology again.  Without it the engine stays degraded after
+// a worker death — Open reports the dead worker until Close.
+func WithWorkerRestart() Option {
+	return func(c *buildConfig) { c.restart = true }
+}
+
+// WithFaultInjection arms deterministic faults on the Simulator
+// backend: each injection kills its worker (see WithPartition) when a
+// session's virtual step counter reaches Step, making "kill worker W at
+// step N" a reproducible table test.  A transient kill under
+// WithCheckpointEvery rolls the session back and re-executes
+// bit-identically; a Permanent kill (or one with no checkpointing)
+// fails the session with a *WorkerDownError.  Runtime backends ignore
+// injections — kill real workers with Engine.KillWorker.
+func WithFaultInjection(inj ...FaultInjection) Option {
+	return func(c *buildConfig) { c.faults = append(c.faults, inj...) }
+}
+
+// WithCheckpointEvery has the Simulator backend take a coordinated
+// whole-session checkpoint — channel contents, per-node dummy-timer
+// phase, source position, sink high-water mark — every n virtual steps,
+// which is what makes injected transient kills survivable (the session
+// rolls back to the last checkpoint instead of dying).  n <= 0 disables
+// checkpointing.
+func WithCheckpointEvery(n int64) Option {
+	return func(c *buildConfig) { c.ckptEvery = n }
+}
+
+// WithPartition assigns nodes (by executed-topology name) to named
+// fault domains ("workers") on the Simulator backend, so fault
+// injections have a blast radius to hit.  Nodes left unassigned belong
+// to no domain and survive every injection.  The Distributed backend
+// takes its real partition from Distributed(assign) and ignores this.
+func WithPartition(assign map[string]string) Option {
+	return func(c *buildConfig) {
+		if c.faultParts == nil {
+			c.faultParts = make(map[string]string, len(assign))
+		}
+		for name, w := range assign {
+			c.faultParts[name] = w
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Engine-level fault operations.
+
+// Drain gracefully quiesces the engine: new Opens are refused with
+// ErrEngineDraining, in-flight sessions run to completion (or ctx
+// expires), and the returned Checkpoint carries what a successor engine
+// needs to resume — the topology fingerprint and the session-ID
+// allocator, so resumed streams never collide with drained ones.  The
+// engine itself stays open for inspection; Close it afterwards.
+func (e *Engine) Drain(ctx context.Context) (*Checkpoint, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrEngineClosed
+	}
+	e.draining = true
+	e.mu.Unlock()
+	if err := e.impl.drain(ctx); err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	ck := &Checkpoint{Topology: e.p.fingerprint(), NextSession: e.nextID}
+	e.mu.Unlock()
+	return ck, nil
+}
+
+// Resume primes a fresh engine from a Drain checkpoint: the session-ID
+// allocator continues where the drained engine stopped.  The checkpoint
+// must come from a pipeline with the same topology.
+func (e *Engine) Resume(ck *Checkpoint) error {
+	if ck == nil {
+		return errors.New("streamdag: Resume: nil checkpoint")
+	}
+	if fp := e.p.fingerprint(); ck.Topology != fp {
+		return fmt.Errorf("streamdag: Resume: checkpoint is for a different topology")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrEngineClosed
+	}
+	if ck.NextSession > e.nextID {
+		e.nextID = ck.NextSession
+	}
+	return nil
+}
+
+// KillWorker crashes the named worker of a Distributed engine
+// mid-stream — listener and links drop, active sessions fail with a
+// *WorkerDownError — exercising the same recovery path a real crash
+// would.  With WithWorkerRestart the worker respawns and the mesh
+// re-forms.  Backends without workers return an error.
+func (e *Engine) KillWorker(name string) error {
+	return e.impl.killWorker(name)
+}
+
+// fingerprint identifies the executed topology for checkpoint
+// compatibility checks.
+func (p *Pipeline) fingerprint() string {
+	g := p.topo.g
+	var b strings.Builder
+	for n := 0; n < g.NumNodes(); n++ {
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(g.Name(graph.NodeID(n)))
+	}
+	b.WriteByte('|')
+	for i, ed := range g.Edges() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d>%d", ed.From, ed.To)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// The retry layer.
+
+// openRetrying drives a session through up to MaxAttempts backend
+// sessions.  The first attempt opens synchronously (so Open still
+// reports immediate failures); the controller goroutine watches it and
+// re-opens on retryable failures, rewinding the source and letting the
+// dedupSink suppress re-deliveries.
+func (e *Engine) openRetrying(ctx context.Context, id SessionID, source Source, sink Sink) (backendSession, error) {
+	rs, ok := source.(ReplayableSource)
+	if !ok {
+		return nil, fmt.Errorf("streamdag: WithRetry requires a ReplayableSource, got %T: a retried session re-ingests from the start", source)
+	}
+	var obsF *obs.FaultMetrics
+	if m := e.p.obsMetrics(); m != nil {
+		obsF = m.Faults()
+	}
+	ds := &dedupSink{
+		inner: sink, dlq: e.p.dlq, session: uint64(id),
+		obsF: obsF, hw: -1, errSeq: -1, prevErr: -1, attempt: 1,
+	}
+	first, err := e.impl.open(ctx, id, rs, ds)
+	if err != nil {
+		return nil, err
+	}
+	out := &retrySession{doneC: make(chan struct{})}
+	go e.retryLoop(ctx, id, rs, ds, first, out, obsF)
+	return out, nil
+}
+
+// retrySession is the stable handle the public Session wraps while the
+// controller swaps backend sessions underneath it.
+type retrySession struct {
+	stats *RunStats
+	err   error
+	doneC chan struct{}
+}
+
+func (r *retrySession) wait() (*RunStats, error) {
+	<-r.doneC
+	return r.stats, r.err
+}
+
+func (r *retrySession) done() <-chan struct{} { return r.doneC }
+
+func (e *Engine) retryLoop(ctx context.Context, id SessionID, src ReplayableSource, ds *dedupSink, bs backendSession, out *retrySession, obsF *obs.FaultMetrics) {
+	defer close(out.doneC)
+	pol := e.p.retry
+	attempt := 1
+	for {
+		stats, err := bs.wait()
+		if err == nil {
+			out.stats = stats
+			return
+		}
+		sinkFailed := ds.attemptFailed()
+		retryable := fault.IsWorkerDown(err) || (sinkFailed && ds.dlq != nil)
+		if !retryable || attempt >= pol.Attempts() || ctx.Err() != nil {
+			out.err = err
+			return
+		}
+		if d := pol.Delay(attempt); d > 0 {
+			select {
+			case <-ctx.Done():
+				out.err = ctx.Err()
+				return
+			case <-time.After(d):
+			}
+		}
+		if rerr := src.Rewind(); rerr != nil {
+			out.err = fmt.Errorf("streamdag: session %d retry: rewind failed: %w (after: %v)", id, rerr, err)
+			return
+		}
+		attempt++
+		ds.beginAttempt(attempt)
+		if obsF != nil {
+			obsF.SessionRetries.Add(1)
+		}
+		// A fresh backend session ID per attempt: the failed one may not
+		// be fully retired backend-side yet, and reuse would collide.
+		nbs, oerr := e.impl.open(ctx, e.allocBackendID(), src, ds)
+		if oerr != nil {
+			out.err = fmt.Errorf("streamdag: session %d retry attempt %d: %w (after: %v)", id, attempt, oerr, err)
+			return
+		}
+		bs = nbs
+	}
+}
+
+// allocBackendID hands the retry layer session IDs from the engine's
+// allocator, so retries never collide with concurrently opened sessions.
+func (e *Engine) allocBackendID() SessionID {
+	e.mu.Lock()
+	id := SessionID(e.nextID)
+	e.nextID++
+	e.mu.Unlock()
+	return id
+}
+
+// dedupSink makes retried sessions exactly-once: deliveries at or below
+// the high-water mark were already made by an earlier attempt and are
+// suppressed, and a payload that fails on two consecutive attempts is
+// dead-lettered and skipped (when a DLQ is configured) instead of
+// poisoning every retry.  Sink deliveries arrive in ascending sequence
+// order within an attempt, which is what makes the single mark sound.
+type dedupSink struct {
+	inner   Sink
+	dlq     fault.DeadLetterSink
+	session uint64
+	obsF    *obs.FaultMetrics
+
+	mu      sync.Mutex
+	hw      int64 // highest seq delivered (or dead-lettered)
+	errSeq  int64 // seq whose delivery failed this attempt; -1 none
+	prevErr int64 // seq whose delivery failed the previous attempt
+	lastErr error // the error that condemned prevErr
+	failed  bool  // any delivery failed during the current attempt
+	attempt int
+}
+
+func (d *dedupSink) Emit(ctx context.Context, seq uint64, payload any) error {
+	d.mu.Lock()
+	if int64(seq) <= d.hw {
+		d.mu.Unlock()
+		return nil
+	}
+	if d.dlq != nil && d.prevErr == int64(seq) {
+		// Second consecutive attempt dying on this payload: route it out
+		// of the stream and move on.
+		letter := DeadLetter{
+			Session: d.session, Seq: seq, Payload: payload,
+			Attempts: d.attempt, Err: d.lastErr,
+		}
+		d.hw = int64(seq)
+		d.mu.Unlock()
+		d.dlq.Push(letter)
+		if d.obsF != nil {
+			d.obsF.DeadLettered.Add(1)
+		}
+		return nil
+	}
+	d.mu.Unlock()
+	var err error
+	if d.inner != nil {
+		err = d.inner.Emit(ctx, seq, payload)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err != nil {
+		d.failed = true
+		d.errSeq = int64(seq)
+		d.lastErr = err
+		return err
+	}
+	d.hw = int64(seq)
+	return nil
+}
+
+// beginAttempt rolls the failure bookkeeping forward: this attempt's
+// failure becomes the previous one the poison check compares against.
+func (d *dedupSink) beginAttempt(n int) {
+	d.mu.Lock()
+	d.prevErr = d.errSeq
+	d.errSeq = -1
+	d.failed = false
+	d.attempt = n
+	d.mu.Unlock()
+}
+
+// attemptFailed reports whether a sink delivery failed during the
+// current attempt (the retryability signal for sink errors).
+func (d *dedupSink) attemptFailed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.failed
+}

@@ -1,0 +1,582 @@
+package streamdag
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Public-API fault-tolerance tests: the simulator fault-injection matrix
+// (the oracle — every kill×step×batch×replication cell must leave the
+// stream bit-identical to an undisturbed run), the distributed
+// kill/restart/retry path end-to-end, dead-letter routing for poisoned
+// payloads, drain/checkpoint/resume, and the unsupported-backend edges.
+
+// simFaultOpts builds the Simulator option set for one matrix cell:
+// fig. 1 kernels, transport batch, node→worker partition, and (k > 1)
+// B replicated k ways.  A fresh slice per call — cells must not share
+// option backing arrays.
+func simFaultOpts(k, batch int) []Option {
+	opts := append(fig1Kernels(),
+		WithBackend(Simulator()),
+		WithMaxBatch(batch),
+		WithPartition(fig1Partition(k)),
+	)
+	if k > 1 {
+		opts = append(opts, WithReplication(ReplicationPlan{"B": k}))
+	}
+	return opts
+}
+
+// fig1Partition spreads fig. 1 across three simulated workers: the
+// source and sink on w0, B (and all its replicas when expanded) on w1,
+// C on w2.  Partition names refer to the executed topology, so the
+// replicated variant names B.split/B.i/B.merge explicitly.
+func fig1Partition(k int) map[string]string {
+	part := map[string]string{"A": "w0", "C": "w2", "D": "w0"}
+	if k <= 1 {
+		part["B"] = "w1"
+		return part
+	}
+	part["B.split"] = "w1"
+	part["B.merge"] = "w1"
+	for i := 1; i <= k; i++ {
+		part[fmt.Sprintf("B.%d", i)] = "w1"
+	}
+	return part
+}
+
+// TestSimFaultInjectionMatrix is the oracle's acceptance matrix: kill
+// each of the three workers at an early, mid, and late virtual step,
+// crossed with transport batch 1/64 and replication k=1/4.  Every cell
+// runs under checkpointing, so the transient kill rolls the session
+// back — and the completed stream must be bit-identical to the same
+// build with no fault armed.
+func TestSimFaultInjectionMatrix(t *testing.T) {
+	const n = 120
+	for _, k := range []int{1, 4} {
+		for _, batch := range []int{1, 64} {
+			var refCol Collector
+			ref, err := Build(fig1Topo(), simFaultOpts(k, batch)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refStats, err := ref.Run(context.Background(), SliceSource(payloads(n)...), &refCol)
+			if err != nil {
+				t.Fatalf("k=%d batch=%d: no-fault run: %v", k, batch, err)
+			}
+			for _, worker := range []string{"w0", "w1", "w2"} {
+				for _, step := range []int64{2, 35, 100} {
+					name := fmt.Sprintf("k=%d/batch=%d/kill=%s@step=%d", k, batch, worker, step)
+					t.Run(name, func(t *testing.T) {
+						o := NewObserver()
+						p, err := Build(fig1Topo(), append(simFaultOpts(k, batch),
+							WithCheckpointEvery(7),
+							WithFaultInjection(FaultInjection{Worker: worker, Step: step}),
+							WithObserver(o))...)
+						if err != nil {
+							t.Fatal(err)
+						}
+						var col Collector
+						stats, err := p.Run(context.Background(), SliceSource(payloads(n)...), &col)
+						if err != nil {
+							t.Fatalf("faulted run: %v", err)
+						}
+						requireSameStream(t, "vs no-fault", refStats, stats, refCol.Emissions(), col.Emissions())
+						f := o.Snapshot().Faults
+						if f.WorkersDown < 1 || f.Recoveries < 1 {
+							t.Errorf("fault counters: workers_down=%d recoveries=%d, want both >= 1 (injection never fired?)",
+								f.WorkersDown, f.Recoveries)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestSimPermanentKillTyped pins the unrecoverable path: a Permanent
+// injection must fail the session with a *WorkerDownError naming the
+// worker, checkpointing or not.
+func TestSimPermanentKillTyped(t *testing.T) {
+	p, err := Build(fig1Topo(), append(simFaultOpts(1, 1),
+		WithCheckpointEvery(7),
+		WithFaultInjection(FaultInjection{Worker: "w1", Step: 20, Permanent: true}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.Run(context.Background(), SliceSource(payloads(120)...), DiscardSink())
+	var wd *WorkerDownError
+	if !errors.As(err, &wd) {
+		t.Fatalf("error = %v, want *WorkerDownError", err)
+	}
+	if wd.Worker != "w1" {
+		t.Errorf("Worker = %q, want w1", wd.Worker)
+	}
+	if !IsWorkerDown(err) {
+		t.Error("IsWorkerDown = false")
+	}
+}
+
+// TestSimTransientKillWithoutCheckpointFails pins that checkpointing is
+// what makes a transient kill survivable: without WithCheckpointEvery
+// there is nothing to roll back to, so even a non-permanent injection
+// fails the session with the typed error.
+func TestSimTransientKillWithoutCheckpointFails(t *testing.T) {
+	p, err := Build(fig1Topo(), append(simFaultOpts(1, 1),
+		WithFaultInjection(FaultInjection{Worker: "w2", Step: 20}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.Run(context.Background(), SliceSource(payloads(120)...), DiscardSink())
+	var wd *WorkerDownError
+	if !errors.As(err, &wd) {
+		t.Fatalf("error = %v, want *WorkerDownError", err)
+	}
+	if wd.Worker != "w2" {
+		t.Errorf("Worker = %q, want w2", wd.Worker)
+	}
+}
+
+// gateSink wraps a Collector, closing gate after the at-th delivery so a
+// test can act (kill a worker) provably mid-stream, and slowing each
+// delivery so the stream is still in flight when the test does.
+type gateSink struct {
+	inner *Collector
+	at    int
+	gate  chan struct{}
+	slow  time.Duration
+
+	mu    sync.Mutex
+	count int
+}
+
+func (g *gateSink) Emit(ctx context.Context, seq uint64, payload any) error {
+	if g.slow > 0 {
+		time.Sleep(g.slow)
+	}
+	if err := g.inner.Emit(ctx, seq, payload); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	g.count++
+	if g.count == g.at {
+		close(g.gate)
+	}
+	g.mu.Unlock()
+	return nil
+}
+
+// TestDistributedKillRetryBitIdentical is the end-to-end acceptance run
+// on the real TCP backend: kill one of three workers mid-stream; with
+// heartbeats, worker restart, and session retry configured the session
+// must complete with output bit-identical to a run with no fault —
+// exactly-once, in order, every per-edge count equal.
+func TestDistributedKillRetryBitIdentical(t *testing.T) {
+	const n = 120
+	assign := map[string]string{"A": "w0", "B": "w1", "C": "w2", "D": "w0"}
+	base := append(fig1Kernels(), WithWatchdog(10*time.Second))
+
+	ref, err := Build(fig1Topo(), append(base, WithBackend(Distributed(assign)))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refCol Collector
+	refStats, err := ref.Run(context.Background(), SliceSource(payloads(n)...), &refCol)
+	if err != nil {
+		t.Fatalf("no-fault run: %v", err)
+	}
+
+	o := NewObserver()
+	p, err := Build(fig1Topo(), append(base,
+		WithBackend(Distributed(assign)),
+		WithHeartbeat(20*time.Millisecond, 3),
+		WithWorkerRestart(),
+		WithRetry(RetryPolicy{MaxAttempts: 4, Backoff: 5 * time.Millisecond}),
+		WithObserver(o))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := p.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	var col Collector
+	gs := &gateSink{inner: &col, at: 20, gate: make(chan struct{}), slow: 500 * time.Microsecond}
+	ses, err := eng.Open(context.Background(), SliceSource(payloads(n)...), gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-gs.gate
+	if err := eng.KillWorker("w1"); err != nil {
+		t.Fatalf("KillWorker: %v", err)
+	}
+	stats, err := ses.Wait()
+	if err != nil {
+		t.Fatalf("session after kill+retry: %v", err)
+	}
+	requireSameStream(t, "vs no-fault", refStats, stats, refCol.Emissions(), col.Emissions())
+
+	f := o.Snapshot().Faults
+	if f.WorkersDown < 1 {
+		t.Errorf("workers_down = %d, want >= 1", f.WorkersDown)
+	}
+	if f.Reconnects < 1 {
+		t.Errorf("reconnects = %d, want >= 1", f.Reconnects)
+	}
+	if f.SessionRetries < 1 {
+		t.Errorf("session_retries = %d, want >= 1", f.SessionRetries)
+	}
+}
+
+// TestDistributedKillTypedError pins the no-retry contract: a worker
+// death fails the session with a *WorkerDownError naming the worker and
+// the affected session, and without WithWorkerRestart the engine stays
+// degraded — further Opens report the dead worker.
+func TestDistributedKillTypedError(t *testing.T) {
+	assign := map[string]string{"A": "w0", "B": "w1", "C": "w2", "D": "w0"}
+	p, err := Build(fig1Topo(), append(fig1Kernels(),
+		WithWatchdog(10*time.Second),
+		WithBackend(Distributed(assign)))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := p.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	var col Collector
+	gs := &gateSink{inner: &col, at: 10, gate: make(chan struct{}), slow: 500 * time.Microsecond}
+	ses, err := eng.Open(context.Background(), SliceSource(payloads(120)...), gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-gs.gate
+	if err := eng.KillWorker("w2"); err != nil {
+		t.Fatalf("KillWorker: %v", err)
+	}
+	_, err = ses.Wait()
+	var wd *WorkerDownError
+	if !errors.As(err, &wd) {
+		t.Fatalf("session error = %v, want *WorkerDownError", err)
+	}
+	if wd.Worker != "w2" {
+		t.Errorf("Worker = %q, want w2", wd.Worker)
+	}
+	if len(wd.Sessions) == 0 {
+		t.Error("Sessions empty, want the killed session's ID")
+	}
+
+	// Degraded engine: no restart configured, so Open refuses with the
+	// dead worker's name.
+	if _, err := eng.Open(context.Background(), SliceSource(payloads(4)...), DiscardSink()); !IsWorkerDown(err) {
+		t.Errorf("Open on degraded engine = %v, want worker-down", err)
+	}
+
+	if err := eng.KillWorker("nosuch"); err == nil {
+		t.Error("KillWorker(nosuch): no error")
+	}
+}
+
+// TestRetryRequiresReplayableSource: WithRetry cannot re-ingest from a
+// source that cannot rewind, and Open must say so up front rather than
+// failing on the first retry.
+func TestRetryRequiresReplayableSource(t *testing.T) {
+	p, err := Build(fig1Topo(), append(fig1Kernels(),
+		WithRetry(RetryPolicy{MaxAttempts: 2}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := p.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ch := make(chan any)
+	close(ch)
+	_, err = eng.Open(context.Background(), ChannelSource(ch), DiscardSink())
+	if err == nil || !strings.Contains(err.Error(), "ReplayableSource") {
+		t.Fatalf("Open with non-replayable source = %v, want ReplayableSource error", err)
+	}
+}
+
+// failingSink fails every delivery of one sequence number — a poisoned
+// payload — and passes the rest through to a Collector.
+type failingSink struct {
+	inner *Collector
+	bad   uint64
+	err   error
+}
+
+func (f *failingSink) Emit(ctx context.Context, seq uint64, payload any) error {
+	if seq == f.bad {
+		return f.err
+	}
+	return f.inner.Emit(ctx, seq, payload)
+}
+
+// TestDeadLetterPoisonPayload: a payload whose delivery fails on two
+// consecutive attempts is routed to the dead-letter sink and skipped,
+// so the session completes with every other emission delivered exactly
+// once.
+func TestDeadLetterPoisonPayload(t *testing.T) {
+	const n = 60
+	ref, err := Build(fig1Topo(), fig1Kernels()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refCol Collector
+	if _, err := ref.Run(context.Background(), SliceSource(payloads(n)...), &refCol); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	poison := errors.New("downstream store rejected the record")
+	var dlq DeadLetterQueue
+	o := NewObserver()
+	p, err := Build(fig1Topo(), append(fig1Kernels(),
+		WithRetry(RetryPolicy{MaxAttempts: 2}),
+		WithDeadLetter(&dlq),
+		WithObserver(o))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := p.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	var col Collector
+	fs := &failingSink{inner: &col, bad: 6, err: poison}
+	ses, err := eng.Open(context.Background(), SliceSource(payloads(n)...), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ses.Wait(); err != nil {
+		t.Fatalf("session with poisoned payload: %v", err)
+	}
+
+	if dlq.Len() != 1 {
+		t.Fatalf("dead letters = %d, want 1 (%+v)", dlq.Len(), dlq.Letters())
+	}
+	l := dlq.Letters()[0]
+	if l.Seq != 6 {
+		t.Errorf("letter Seq = %d, want 6", l.Seq)
+	}
+	if l.Attempts != 2 {
+		t.Errorf("letter Attempts = %d, want 2", l.Attempts)
+	}
+	if !errors.Is(l.Err, poison) {
+		t.Errorf("letter Err = %v, want the sink's error", l.Err)
+	}
+
+	// Delivered stream == reference minus the poisoned seq, in order.
+	var want []Emission
+	for _, em := range refCol.Emissions() {
+		if em.Seq != 6 {
+			want = append(want, em)
+		}
+	}
+	got := col.Emissions()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("emissions = %+v, want reference minus seq 6 %+v", got, want)
+	}
+
+	f := o.Snapshot().Faults
+	if f.DeadLettered != 1 {
+		t.Errorf("dead_lettered = %d, want 1", f.DeadLettered)
+	}
+	if f.SessionRetries < 1 {
+		t.Errorf("session_retries = %d, want >= 1", f.SessionRetries)
+	}
+}
+
+// TestDrainCheckpointResume: Drain quiesces the engine and returns a
+// checkpoint that round-trips through Encode/Decode and primes a fresh
+// engine's session-ID allocator; mismatched topologies are refused.
+func TestDrainCheckpointResume(t *testing.T) {
+	build := func() *Pipeline {
+		p, err := Build(fig1Topo(), fig1Kernels()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	eng, err := build().Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses, err := eng.Open(context.Background(), SliceSource(payloads(30)...), DiscardSink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ses.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	ck, err := eng.Drain(context.Background())
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if ck.NextSession < 2 {
+		t.Errorf("NextSession = %d, want >= 2 after one session", ck.NextSession)
+	}
+	if _, err := eng.Open(context.Background(), SliceSource(payloads(4)...), DiscardSink()); !errors.Is(err, ErrEngineDraining) {
+		t.Errorf("Open after Drain = %v, want ErrEngineDraining", err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	blob, err := ck.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	ck2, err := DecodeCheckpoint(blob)
+	if err != nil {
+		t.Fatalf("DecodeCheckpoint: %v", err)
+	}
+	if !reflect.DeepEqual(ck, ck2) {
+		t.Fatalf("decoded checkpoint %+v != original %+v", ck2, ck)
+	}
+
+	// A successor engine resumes the ID allocator.
+	succ, err := build().Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer succ.Close()
+	if err := succ.Resume(ck2); err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	ses2, err := succ.Open(context.Background(), SliceSource(payloads(10)...), DiscardSink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(ses2.ID()) < ck.NextSession {
+		t.Errorf("resumed session ID = %d, want >= %d", ses2.ID(), ck.NextSession)
+	}
+	if _, err := ses2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A checkpoint from a different topology is refused.
+	other := NewTopology()
+	other.Channel("X", "Y", 2)
+	po, err := Build(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engO, err := po.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engO.Close()
+	if err := engO.Resume(ck2); err == nil {
+		t.Error("Resume onto a different topology: no error")
+	}
+	if err := succ.Resume(nil); err == nil {
+		t.Error("Resume(nil): no error")
+	}
+}
+
+// TestDrainWaitsForActiveSessions: Drain must let an in-flight session
+// run to completion (and Opens issued during the drain are refused).
+func TestDrainWaitsForActiveSessions(t *testing.T) {
+	p, err := Build(fig1Topo(), fig1Kernels()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := p.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	var col Collector
+	gs := &gateSink{inner: &col, at: 1, gate: make(chan struct{}), slow: 200 * time.Microsecond}
+	ses, err := eng.Open(context.Background(), SliceSource(payloads(200)...), gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-gs.gate
+
+	openErr := make(chan error, 1)
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		_, err := eng.Open(context.Background(), SliceSource(payloads(4)...), DiscardSink())
+		openErr <- err
+	}()
+	ck, err := eng.Drain(context.Background())
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if ck == nil {
+		t.Fatal("Drain returned a nil checkpoint")
+	}
+	if stats, err := ses.Wait(); err != nil || stats.SinkData == 0 {
+		t.Fatalf("drained session: stats=%v err=%v", stats, err)
+	}
+	if err := <-openErr; !errors.Is(err, ErrEngineDraining) {
+		t.Errorf("Open during Drain = %v, want ErrEngineDraining", err)
+	}
+}
+
+// TestKillWorkerUnsupportedBackends: backends without killable workers
+// say so instead of pretending.
+func TestKillWorkerUnsupportedBackends(t *testing.T) {
+	for _, bk := range []Backend{Goroutines(), Simulator()} {
+		p, err := Build(fig1Topo(), append(fig1Kernels(), WithBackend(bk))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := p.Engine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.KillWorker("w0"); err == nil {
+			t.Errorf("%s: KillWorker: no error", bk)
+		}
+		if err := eng.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestHeartbeatOptionValidation: a negative interval is a build error.
+func TestHeartbeatOptionValidation(t *testing.T) {
+	_, err := Build(fig1Topo(), append(fig1Kernels(),
+		WithHeartbeat(-time.Second, 3))...)
+	if err == nil || !strings.Contains(err.Error(), "heartbeat") {
+		t.Fatalf("Build with negative heartbeat = %v, want build error", err)
+	}
+}
+
+// TestPartitionUnknownNode: WithPartition names must exist in the
+// executed topology.
+func TestPartitionUnknownNode(t *testing.T) {
+	_, err := Build(fig1Topo(), append(fig1Kernels(),
+		WithBackend(Simulator()),
+		WithPartition(map[string]string{"Z": "w0"}))...)
+	if err == nil {
+		// The partition is resolved when the backend engine starts.
+		p, berr := Build(fig1Topo(), append(fig1Kernels(),
+			WithBackend(Simulator()),
+			WithPartition(map[string]string{"Z": "w0"}))...)
+		if berr != nil {
+			t.Fatal(berr)
+		}
+		if _, err := p.Engine(); err == nil || !strings.Contains(err.Error(), `"Z"`) {
+			t.Fatalf("Engine with unknown partition node = %v, want error naming Z", err)
+		}
+	}
+}

@@ -42,6 +42,11 @@ import (
 //	             (one syscall for the lot), and the receiver dispatches
 //	             each sub-body exactly as if it had arrived alone.
 //	             Batches never nest and never arrive empty.
+//	'b' beat   — no body beyond the type: a liveness heartbeat on an
+//	             otherwise idle link.  The sender is identified by the
+//	             connection's hello; receivers treat ANY arriving frame
+//	             as a beat, so heartbeats only flow when the link is
+//	             quiet and cost nothing under load.
 //
 // Edge IDs are global (both sides build them from the same topology), so
 // frames need no further addressing.
@@ -53,7 +58,11 @@ const (
 	frameSessMsg    byte = 'S'
 	frameSessCredit byte = 'c'
 	frameBatch      byte = 'B'
+	frameBeat       byte = 'b'
 )
+
+// appendBeat encodes a heartbeat frame body.
+func appendBeat(b []byte) []byte { return append(b, frameBeat) }
 
 const helloMagic = "SDG1"
 

@@ -85,6 +85,23 @@ type Config struct {
 	// the Engine hosts them in-process.  Nil compiles instrumentation out
 	// of the hot paths.  The one-shot Worker ignores the field.
 	Obs *obs.Metrics
+	// HeartbeatInterval enables liveness tracking on the resident
+	// Engine: each worker sends a beat frame to every peer it holds a
+	// link to once per interval (any frame counts as a beat, so loaded
+	// links pay nothing), and a monitor declares a worker down — failing
+	// its sessions with a *fault.WorkerDownError naming it — after
+	// HeartbeatMiss intervals of silence.  Zero disables heartbeats and
+	// keeps the legacy fail-everything behavior on transport errors.
+	// The one-shot Worker ignores the field.
+	HeartbeatInterval time.Duration
+	// HeartbeatMiss is how many consecutive silent intervals are
+	// tolerated before a worker is declared down; <1 defaults to 3.
+	HeartbeatMiss int
+	// Restart re-spawns a dead in-process worker (fresh listener, peers
+	// re-dialed) so sessions retried by the layer above land on a whole
+	// topology again.  Without it the engine stays degraded: sessions
+	// touching the dead worker's nodes fail with *fault.WorkerDownError.
+	Restart bool
 }
 
 // Stats is one worker's traffic summary.  Data and Dummies count messages
@@ -200,7 +217,12 @@ const doneGraceTicks = 10
 type peerLink struct {
 	name string
 	conn net.Conn
-	mu   sync.Mutex
+	// gen is the generation of the peer this link was dialed against (the
+	// Engine bumps a worker's generation every time it is declared down),
+	// so errors surfacing on a stale link after the peer was already
+	// replaced are recognized and suppressed.
+	gen int
+	mu  sync.Mutex
 	// stats, when non-nil, receives this link's transmit-side wire
 	// telemetry: one TxFrame per conn.Write, one TxBody per logical body
 	// (so TxBodies/TxFrames is the realized coalescing factor).

@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"streamdag/internal/fault"
 	"streamdag/internal/graph"
 	"streamdag/internal/obs"
 	"streamdag/internal/proto"
@@ -42,6 +43,10 @@ import (
 // ErrEngineClosed is returned by Engine.Open after Close, and is the
 // failure recorded against sessions still active when Close runs.
 var ErrEngineClosed = errors.New("dist: engine closed")
+
+// ErrEngineDraining is returned by Engine.Open while a Drain is in
+// progress (or after one completed).
+var ErrEngineDraining = errors.New("dist: engine draining")
 
 // SessionIO parameterizes one Engine.Open.
 type SessionIO struct {
@@ -59,17 +64,38 @@ type SessionIO struct {
 
 // Engine is the resident distributed runtime for one topology.
 type Engine struct {
-	g       *graph.Graph
-	part    Partition
-	cfg     Config
-	workers []*engineWorker
+	g     *graph.Graph
+	part  Partition
+	cfg   Config
+	names []string          // worker names, sorted
+	addrs map[string]string // shared live address book (addrsMu)
 
 	mu       sync.Mutex
+	workers  []*engineWorker // same order as names; entries swap on restart
+	byName   map[string]int  // worker name → index into workers
 	sessions map[proto.SessionID]*EngineSession
 	closed   bool
+	draining bool
+	// repairing counts in-flight handleWorkerDown calls; Open waits for
+	// zero (so retried sessions land on a whole topology, not mid-swap)
+	// and Close refuses to tear workers down under a repair.
+	repairing  int
+	repairCond *sync.Cond // on mu
+
+	// downMu guards the liveness ledger.  down marks workers currently
+	// declared dead; gen counts how many times each worker has been
+	// declared dead, so errors from links dialed against an earlier
+	// incarnation are recognized as stale and dropped.
+	downMu sync.Mutex
+	down   map[string]bool
+	gen    map[string]int
+
+	det     *fault.Detector   // nil unless heartbeats are on
+	obsF    *obs.FaultMetrics // nil without Config.Obs
+	closedA atomic.Bool       // lock-free closed check for hot error paths
 
 	stop chan struct{}
-	wg   sync.WaitGroup // watchdog
+	wg   sync.WaitGroup // watchdog, monitor, beat senders
 }
 
 // NewEngine builds the resident workers (one per distinct partition
@@ -102,10 +128,27 @@ func NewEngine(g *graph.Graph, partition Partition, kernels map[graph.NodeID]str
 	}
 	e := &Engine{
 		g: g, part: partition, cfg: cfg,
+		names:    ordered,
+		addrs:    addrs,
+		byName:   make(map[string]int, len(ordered)),
 		sessions: make(map[proto.SessionID]*EngineSession),
+		down:     make(map[string]bool, len(ordered)),
+		gen:      make(map[string]int, len(ordered)),
 		stop:     make(chan struct{}),
 	}
-	for _, name := range ordered {
+	e.repairCond = sync.NewCond(&e.mu)
+	if m := cfg.Obs; m != nil {
+		e.obsF = m.Faults()
+	}
+	if cfg.HeartbeatMiss < 1 {
+		cfg.HeartbeatMiss = 3
+		e.cfg.HeartbeatMiss = 3
+	}
+	if cfg.HeartbeatInterval > 0 && len(ordered) > 1 {
+		e.det = fault.NewDetector(cfg.HeartbeatInterval, cfg.HeartbeatMiss, ordered, time.Now())
+	}
+	for i, name := range ordered {
+		e.byName[name] = i
 		e.workers = append(e.workers, newEngineWorker(e, name, addrs))
 	}
 	for _, w := range e.workers {
@@ -121,6 +164,16 @@ func NewEngine(g *graph.Graph, partition Partition, kernels map[graph.NodeID]str
 			e.Close()
 			return nil, err
 		}
+	}
+	for _, w := range e.workers {
+		w.startHeartbeat()
+	}
+	if e.det != nil {
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			e.monitor()
+		}()
 	}
 	e.wg.Add(1)
 	go func() {
@@ -156,10 +209,29 @@ func (e *Engine) Open(io SessionIO) (*EngineSession, error) {
 		start:   time.Now(),
 	}
 	e.mu.Lock()
+	// A repair in flight is a topology mid-swap; wait it out so the
+	// session starts on a whole mesh (this is what lets the retry layer
+	// re-open immediately after a WorkerDownError).
+	for e.repairing > 0 && !e.closed {
+		e.repairCond.Wait()
+	}
 	if e.closed {
 		e.mu.Unlock()
 		cancel()
 		return nil, ErrEngineClosed
+	}
+	if e.draining {
+		e.mu.Unlock()
+		cancel()
+		return nil, ErrEngineDraining
+	}
+	if name := e.deadWorker(); name != "" {
+		e.mu.Unlock()
+		cancel()
+		addrsMu.Lock()
+		addr := e.addrs[name]
+		addrsMu.Unlock()
+		return nil, &fault.WorkerDownError{Worker: name, Addr: addr}
 	}
 	if _, dup := e.sessions[ses.id]; dup {
 		e.mu.Unlock()
@@ -167,6 +239,7 @@ func (e *Engine) Open(io SessionIO) (*EngineSession, error) {
 		return nil, fmt.Errorf("dist: session id %d already open", ses.id)
 	}
 	e.sessions[ses.id] = ses
+	workers := append([]*engineWorker(nil), e.workers...)
 	e.mu.Unlock()
 	if m := e.cfg.Obs; m != nil {
 		sm := m.Sessions()
@@ -175,13 +248,13 @@ func (e *Engine) Open(io SessionIO) (*EngineSession, error) {
 	}
 
 	// Phase 1: every worker allocates the session's buffers and windows.
-	states := make([]*workerSession, len(e.workers))
-	for i, w := range e.workers {
+	states := make([]*workerSession, len(workers))
+	for i, w := range workers {
 		states[i] = w.register(ses)
 	}
 	// Phase 2: node goroutines start only once every worker can route
 	// the session's frames.
-	for i, w := range e.workers {
+	for i, w := range workers {
 		w.start(states[i])
 	}
 	go func() {
@@ -220,22 +293,29 @@ func (e *Engine) Open(io SessionIO) (*EngineSession, error) {
 // Close fails every active session with ErrEngineClosed and tears the
 // resident workers down; idempotent.
 func (e *Engine) Close() error {
+	e.closedA.Store(true)
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		return nil
 	}
 	e.closed = true
+	// A repair mid-flight holds worker state we are about to tear down;
+	// let it finish (it observes closed and aborts the restart).
+	for e.repairing > 0 {
+		e.repairCond.Wait()
+	}
 	active := make([]*EngineSession, 0, len(e.sessions))
 	for _, s := range e.sessions {
 		active = append(active, s)
 	}
+	workers := append([]*engineWorker(nil), e.workers...)
 	e.mu.Unlock()
 	for _, s := range active {
 		s.end(ErrEngineClosed, nil)
 	}
 	close(e.stop)
-	for _, w := range e.workers {
+	for _, w := range workers {
 		w.close()
 	}
 	for _, s := range active {
@@ -245,10 +325,233 @@ func (e *Engine) Close() error {
 	return nil
 }
 
+// Drain stops admitting sessions (Open returns ErrEngineDraining) and
+// waits for the in-flight ones to resolve, or for ctx.  It does not
+// close the engine; callers Close after a successful drain.
+func (e *Engine) Drain(ctx context.Context) error {
+	t0 := time.Now()
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrEngineClosed
+	}
+	e.draining = true
+	e.mu.Unlock()
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		e.mu.Lock()
+		n := len(e.sessions)
+		e.mu.Unlock()
+		if n == 0 {
+			if e.obsF != nil {
+				e.obsF.Drains.Add(1)
+				e.obsF.DrainTime.Add(int64(time.Since(t0)))
+			}
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
 func (e *Engine) unregister(id proto.SessionID) {
 	e.mu.Lock()
 	delete(e.sessions, id)
 	e.mu.Unlock()
+}
+
+// workerSnapshot copies the live worker set (entries swap on restart).
+func (e *Engine) workerSnapshot() []*engineWorker {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]*engineWorker(nil), e.workers...)
+}
+
+// deadWorker returns the name of a worker currently declared down, or ""
+// (sorted scan, so the report is deterministic).  Callers may hold e.mu;
+// only downMu is taken.
+func (e *Engine) deadWorker() string {
+	e.downMu.Lock()
+	defer e.downMu.Unlock()
+	for _, name := range e.names {
+		if e.down[name] {
+			return name
+		}
+	}
+	return ""
+}
+
+// genOf reads a worker's current death generation; links record it at
+// dial time so stale-link errors can be told from fresh ones.
+func (e *Engine) genOf(name string) int {
+	e.downMu.Lock()
+	defer e.downMu.Unlock()
+	return e.gen[name]
+}
+
+// noteWorkerDown is the single entry point for declaring a worker dead:
+// transport errors, missed heartbeats, and KillWorker all land here.  It
+// dedups — only the first report per incarnation spawns the handler —
+// and drops reports that cannot be trusted: from a reporter that is
+// itself the dying worker (a killed worker's own failed sends must not
+// condemn healthy peers), or carrying a stale generation (errors on a
+// link to an incarnation that was already replaced).
+func (e *Engine) noteWorkerDown(reporter *engineWorker, name string, gen int, cause error) {
+	if e.closedA.Load() {
+		return
+	}
+	e.downMu.Lock()
+	if e.down[name] || gen != e.gen[name] || (reporter != nil && e.down[reporter.name]) {
+		e.downMu.Unlock()
+		return
+	}
+	e.down[name] = true
+	e.gen[name]++
+	e.downMu.Unlock()
+	// Mark the repair before returning so an Open racing the kill blocks
+	// until the topology is whole (or degraded-but-settled) again.
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.repairing++
+	e.mu.Unlock()
+	go e.handleWorkerDown(name, cause)
+}
+
+// handleWorkerDown is the supervisor for one worker death: fail the
+// active sessions with a typed error naming the worker, tear the dead
+// worker's transport down, and — when Config.Restart is set — spawn a
+// fresh incarnation and re-dial the survivors' links to it.
+func (e *Engine) handleWorkerDown(name string, cause error) {
+	defer func() {
+		e.mu.Lock()
+		e.repairing--
+		e.repairCond.Broadcast()
+		e.mu.Unlock()
+	}()
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	old := e.workers[e.byName[name]]
+	active := make([]*EngineSession, 0, len(e.sessions))
+	ids := make([]uint64, 0, len(e.sessions))
+	for id, s := range e.sessions {
+		active = append(active, s)
+		ids = append(ids, uint64(id))
+	}
+	e.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	addrsMu.Lock()
+	addr := e.addrs[name]
+	addrsMu.Unlock()
+	if e.obsF != nil {
+		e.obsF.WorkersDown.Add(1)
+	}
+	if e.det != nil {
+		e.det.MarkDead(name)
+	}
+	wd := &fault.WorkerDownError{Worker: name, Addr: addr, Sessions: ids, Cause: cause}
+	for _, s := range active {
+		s.end(wd, nil)
+	}
+	// Ending the sessions first unblocks their node goroutines via abort;
+	// closing the worker then tears its listener and links down.  The dead
+	// worker's own in-flight sends fail here — those reports are
+	// suppressed by the reporter-down rule above.
+	old.close()
+	if e.cfg.Restart && !e.closedA.Load() {
+		if err := e.restartWorker(name, old); err == nil {
+			if e.obsF != nil {
+				e.obsF.Reconnects.Add(1)
+			}
+			if e.det != nil {
+				e.det.Revive(name, time.Now())
+			}
+			e.downMu.Lock()
+			e.down[name] = false
+			e.downMu.Unlock()
+		}
+	}
+}
+
+// restartWorker spawns a fresh incarnation of a dead worker: new
+// listener (the address book is updated under addrsMu), new dialed
+// links, and every survivor's link to it re-dialed against the new
+// generation.  Sessions are not resumed — the layer above re-opens.
+func (e *Engine) restartWorker(name string, old *engineWorker) error {
+	addrsMu.Lock()
+	e.addrs[name] = "127.0.0.1:0"
+	addrsMu.Unlock()
+	nw := newEngineWorker(e, name, e.addrs)
+	nw.kernels = old.kernels
+	if err := nw.listen(); err != nil {
+		return err
+	}
+	go nw.acceptLoop()
+	if err := nw.dialPeers(); err != nil {
+		nw.close()
+		return err
+	}
+	nw.startHeartbeat()
+	for _, w := range e.workerSnapshot() {
+		if w.name == name {
+			continue
+		}
+		if err := w.redial(name); err != nil {
+			nw.close()
+			return err
+		}
+	}
+	e.mu.Lock()
+	e.workers[e.byName[name]] = nw
+	e.mu.Unlock()
+	return nil
+}
+
+// KillWorker simulates a crash of the named in-process worker: its
+// listener and connections drop mid-stream, active sessions fail with a
+// *fault.WorkerDownError naming it, and — with Config.Restart — a fresh
+// incarnation rejoins the mesh.  The repair is asynchronous; Open blocks
+// until it settles.
+func (e *Engine) KillWorker(name string) error {
+	e.mu.Lock()
+	_, ok := e.byName[name]
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("dist: no worker %q", name)
+	}
+	e.noteWorkerDown(nil, name, e.genOf(name), errors.New("dist: worker killed"))
+	return nil
+}
+
+// monitor is the heartbeat failure detector: workers beat each other
+// over the data links (any frame counts), and a worker silent for
+// HeartbeatMiss intervals is declared down.
+func (e *Engine) monitor() {
+	ticker := time.NewTicker(e.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-ticker.C:
+			for _, name := range e.det.Expired(time.Now()) {
+				if e.obsF != nil {
+					e.obsF.HeartbeatsMissed.Add(1)
+				}
+				e.noteWorkerDown(nil, name, e.genOf(name),
+					fmt.Errorf("dist: worker %q missed %d heartbeat intervals", name, e.cfg.HeartbeatMiss))
+			}
+		}
+	}
 }
 
 // fail is the engine-wide failure path (a torn connection, a protocol
@@ -277,14 +580,34 @@ func (e *Engine) watchdog() {
 			return
 		case <-ticker.C:
 			e.mu.Lock()
+			repairing := e.repairing > 0
 			active := make([]*EngineSession, 0, len(e.sessions))
 			for _, s := range e.sessions {
 				active = append(active, s)
 			}
 			e.mu.Unlock()
+			if repairing {
+				// A worker swap stalls everything legitimately; don't let
+				// the recovery window read as a wedge.
+				continue
+			}
+			dead := e.deadWorker()
 			for _, ses := range active {
 				cur := ses.progress.Load()
 				if ses.watched && cur == ses.lastProgress && ses.external.Load() == 0 {
+					if dead != "" {
+						// The stall is already attributed: a dead worker with
+						// no restart coming.  Name it instead of reporting a
+						// protocol deadlock that isn't one.
+						addrsMu.Lock()
+						addr := e.addrs[dead]
+						addrsMu.Unlock()
+						ses.end(&fault.WorkerDownError{
+							Worker: dead, Addr: addr,
+							Sessions: []uint64{uint64(ses.id)},
+						}, nil)
+						continue
+					}
 					chans, stalled := e.snapshot(ses)
 					ses.end(&DeadlockError{Session: ses.id, Channels: chans, Stalled: stalled}, nil)
 					continue
@@ -303,7 +626,7 @@ func (e *Engine) watchdog() {
 func (e *Engine) snapshot(ses *EngineSession) (map[string]string, []string) {
 	chans := make(map[string]string, e.g.NumEdges())
 	var stalled []string
-	for _, w := range e.workers {
+	for _, w := range e.workerSnapshot() {
 		ws := w.session(ses.id)
 		if ws == nil {
 			continue
@@ -394,7 +717,7 @@ func (s *EngineSession) end(err error, stats *Stats) {
 		s.cancel()
 		close(s.abort)
 		s.e.unregister(s.id)
-		for _, w := range s.e.workers {
+		for _, w := range s.e.workerSnapshot() {
 			w.drop(s.id)
 		}
 	})
@@ -439,14 +762,32 @@ type engineWorker struct {
 	// a single nil check with observation off.
 	obsE []*obs.EdgeMetrics
 
-	ln    net.Listener
-	peers map[string]*peerLink
+	ln net.Listener
+	// peers maps peer name → link slot.  The map's shape is fixed at
+	// construction (one slot per peerName); the slot's pointer swaps
+	// atomically when a dead peer is restarted and its link re-dialed, so
+	// the send hot path reads it lock-free.
+	peers map[string]*peerSlot
+
+	hbStop chan struct{} // non-nil when this worker sends heartbeats
 
 	mu       sync.Mutex
 	sessions map[proto.SessionID]*workerSession
 	accepted []net.Conn
 	closed   bool
 	connWG   sync.WaitGroup
+}
+
+// peerSlot holds the current link to one peer; see engineWorker.peers.
+type peerSlot struct{ p atomic.Pointer[peerLink] }
+
+// peer returns the current link to the named peer (nil before dialPeers).
+func (w *engineWorker) peer(name string) *peerLink {
+	s := w.peers[name]
+	if s == nil {
+		return nil
+	}
+	return s.p.Load()
 }
 
 // workerSession is one worker's share of a session: per-edge buffers for
@@ -462,7 +803,7 @@ func newEngineWorker(e *Engine, name string, addrs map[string]string) *engineWor
 		e: e, name: name, addrs: addrs,
 		creditTo: make([]string, e.g.NumEdges()),
 		crossOut: make([]bool, e.g.NumEdges()),
-		peers:    make(map[string]*peerLink),
+		peers:    make(map[string]*peerSlot),
 		sessions: make(map[proto.SessionID]*workerSession),
 	}
 	for n := 0; n < e.g.NumNodes(); n++ {
@@ -484,6 +825,7 @@ func newEngineWorker(e *Engine, name string, addrs map[string]string) *engineWor
 	}
 	for p := range peerSet {
 		w.peerNames = append(w.peerNames, p)
+		w.peers[p] = &peerSlot{}
 	}
 	sort.Strings(w.peerNames)
 	if m := e.cfg.Obs; m != nil {
@@ -511,44 +853,109 @@ func (w *engineWorker) listen() error {
 }
 
 func (w *engineWorker) dialPeers() error {
+	for _, p := range w.peerNames {
+		link, err := w.dialOne(p)
+		if err != nil {
+			return err
+		}
+		w.peers[p].p.Store(link)
+	}
+	return nil
+}
+
+// dialOne connects to one peer (retrying until DialTimeout), performs
+// the hello, and arms the coalescer.  The link records the peer's
+// current death generation so later errors on it can be aged.
+func (w *engineWorker) dialOne(p string) (*peerLink, error) {
 	timeout := w.e.cfg.DialTimeout
 	if timeout == 0 {
 		timeout = 10 * time.Second
 	}
 	deadline := time.Now().Add(timeout)
-	for _, p := range w.peerNames {
-		var lastErr error
-		for {
-			addrsMu.Lock()
-			addr := w.addrs[p]
-			addrsMu.Unlock()
-			c, err := net.DialTimeout("tcp", addr, time.Until(deadline))
-			if err == nil {
-				link := &peerLink{name: p, conn: c}
-				if m := w.e.cfg.Obs; m != nil {
-					link.stats = m.Link(w.name + "→" + p)
-				}
-				if err := link.send(helloBody(w.name)); err != nil {
-					c.Close()
-					return err
-				}
-				if w.e.cfg.MaxBatch > 1 {
-					peer := p
-					link.startCoalescer(w.e.cfg.MaxBatch, func(err error) {
-						w.e.fail(fmt.Errorf("dist: coalesced write to %q: %w", peer, err))
-					})
-				}
-				w.peers[p] = link
-				break
+	var lastErr error
+	for {
+		addrsMu.Lock()
+		addr := w.addrs[p]
+		addrsMu.Unlock()
+		c, err := net.DialTimeout("tcp", addr, time.Until(deadline))
+		if err == nil {
+			link := &peerLink{name: p, conn: c, gen: w.e.genOf(p)}
+			if m := w.e.cfg.Obs; m != nil {
+				link.stats = m.Link(w.name + "→" + p)
 			}
-			lastErr = err
-			if time.Now().After(deadline) {
-				return fmt.Errorf("dist: worker %q cannot reach %q at %s: %w", w.name, p, addr, lastErr)
+			if err := link.send(helloBody(w.name)); err != nil {
+				c.Close()
+				return nil, err
 			}
-			time.Sleep(25 * time.Millisecond)
+			if w.e.cfg.MaxBatch > 1 {
+				peer := p
+				link.startCoalescer(w.e.cfg.MaxBatch, func(err error) {
+					w.e.noteWorkerDown(w, peer, link.gen,
+						fmt.Errorf("dist: coalesced write to %q: %w", peer, err))
+				})
+			}
+			return link, nil
 		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("dist: worker %q cannot reach %q at %s: %w", w.name, p, addr, lastErr)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// redial replaces this worker's link to a restarted peer: dial the new
+// incarnation, swap the slot, and retire the stale link.  Workers whose
+// edge set never links to peer have no slot and nothing to redial.
+func (w *engineWorker) redial(peer string) error {
+	if _, ok := w.peers[peer]; !ok {
+		return nil
+	}
+	link, err := w.dialOne(peer)
+	if err != nil {
+		return err
+	}
+	if old := w.peers[peer].p.Swap(link); old != nil {
+		old.stopCoalescer()
+		old.conn.Close()
 	}
 	return nil
+}
+
+// startHeartbeat launches the liveness sender: one beat frame per
+// interval on every peer link, so idle links still carry proof of life
+// (loaded links prove it with data frames).  No-op when heartbeats are
+// off or the worker has no peers.
+func (w *engineWorker) startHeartbeat() {
+	if w.e.det == nil || len(w.peerNames) == 0 {
+		return
+	}
+	w.hbStop = make(chan struct{})
+	w.e.wg.Add(1)
+	go w.beatLoop()
+}
+
+func (w *engineWorker) beatLoop() {
+	defer w.e.wg.Done()
+	ticker := time.NewTicker(w.e.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.hbStop:
+			return
+		case <-ticker.C:
+			for _, p := range w.peerNames {
+				link := w.peer(p)
+				if link == nil {
+					continue
+				}
+				if err := link.send(appendBeat(getBody())); err != nil {
+					w.e.noteWorkerDown(w, p, link.gen,
+						fmt.Errorf("dist: heartbeat from %q to %q: %w", w.name, p, err))
+				}
+			}
+		}
+	}
 }
 
 // register allocates the session's buffers and windows on this worker.
@@ -666,11 +1073,22 @@ func (w *engineWorker) serveConn(c net.Conn) {
 	if m := w.e.cfg.Obs; m != nil {
 		rx = m.Link(peer + "→" + w.name)
 	}
+	// The generation at hello time ages this connection: a read error
+	// after the peer has already been replaced is stale, not news.
+	gen := w.e.genOf(peer)
+	det := w.e.det
 	var buf []byte
 	for {
 		body, err := readFrameReuse(c, &buf)
 		if err != nil {
+			if !w.isClosed() {
+				w.e.noteWorkerDown(w, peer, gen,
+					fmt.Errorf("dist: link from %q to %q broke: %w", peer, w.name, err))
+			}
 			return
+		}
+		if det != nil {
+			det.Beat(peer, time.Now())
 		}
 		if rx != nil {
 			rx.RxFrames.Add(1)
@@ -680,6 +1098,12 @@ func (w *engineWorker) serveConn(c net.Conn) {
 			return
 		}
 	}
+}
+
+func (w *engineWorker) isClosed() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.closed
 }
 
 // errConnDone aborts a batch walk after a sub-body already failed the
@@ -692,6 +1116,9 @@ var errConnDone = errors.New("dist: connection done")
 // batch walker).
 func (w *engineWorker) handleBody(body []byte) bool {
 	switch body[0] {
+	case frameBeat:
+		// Pure liveness; serveConn already recorded the arrival.
+		return true
 	case frameBatch:
 		err := forEachBatchBody(body, func(sub []byte) error {
 			if !w.handleBody(sub) {
@@ -760,18 +1187,27 @@ func (w *engineWorker) handleBody(body []byte) bool {
 }
 
 func (w *engineWorker) close() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	conns := w.accepted
+	w.accepted = nil
+	w.mu.Unlock()
+	if w.hbStop != nil {
+		close(w.hbStop)
+	}
 	if w.ln != nil {
 		w.ln.Close()
 	}
-	for _, link := range w.peers {
-		link.stopCoalescer()
-		link.conn.Close()
+	for _, slot := range w.peers {
+		if link := slot.p.Load(); link != nil {
+			link.stopCoalescer()
+			link.conn.Close()
+		}
 	}
-	w.mu.Lock()
-	conns := w.accepted
-	w.accepted = nil
-	w.closed = true
-	w.mu.Unlock()
 	for _, c := range conns {
 		c.Close()
 	}
@@ -825,8 +1261,14 @@ func (p *sessionPorts) Send(i int, m stream.Message) bool {
 			return false
 		}
 		peer := p.w.e.part[p.w.e.g.Edge(e).To]
-		if err := p.w.peers[peer].send(body); err != nil {
-			p.w.e.fail(fmt.Errorf("dist: sending on session %d to %q: %w", ses.id, peer, err))
+		link := p.w.peer(peer)
+		if link == nil {
+			putBody(body)
+			return false
+		}
+		if err := link.send(body); err != nil {
+			p.w.e.noteWorkerDown(p.w, peer, link.gen,
+				fmt.Errorf("dist: sending on session %d to %q: %w", ses.id, peer, err))
 			return false
 		}
 	} else if om == nil {
@@ -875,8 +1317,13 @@ func (p *sessionPorts) Consumed(i int) bool {
 	if peer == "" {
 		return true
 	}
-	if err := p.w.peers[peer].send(appendSessCredit(getBody(), p.ws.ses.id, e)); err != nil {
-		p.w.e.fail(fmt.Errorf("dist: returning session %d credit to %q: %w", p.ws.ses.id, peer, err))
+	link := p.w.peer(peer)
+	if link == nil {
+		return false
+	}
+	if err := link.send(appendSessCredit(getBody(), p.ws.ses.id, e)); err != nil {
+		p.w.e.noteWorkerDown(p.w, peer, link.gen,
+			fmt.Errorf("dist: returning session %d credit to %q: %w", p.ws.ses.id, peer, err))
 		return false
 	}
 	return true

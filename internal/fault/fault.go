@@ -1,0 +1,339 @@
+// Package fault is the engine-wide fault-tolerance vocabulary shared by
+// the three backends and the public API: typed worker-death errors,
+// session retry policies, dead-letter routing for poisoned payloads,
+// heartbeat liveness detection, deterministic fault-injection specs for
+// the simulator oracle, and the checkpoint format that lets a drained or
+// restarted topology resume its sessions.
+//
+// Like internal/proto, the package is pure mechanism: no goroutines, no
+// sockets, no clocks of its own.  The distributed backend feeds the
+// Detector real heartbeat arrivals; the simulator feeds it virtual
+// steps; the public retry layer turns RetryPolicy into actual sleeps.
+// That split keeps every policy decision deterministic and unit-testable
+// without a network.
+package fault
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// WorkerDownError reports that a named worker died (heartbeats missed or
+// its TCP link broke) and which sessions the death took down.  It
+// replaces the generic I/O error or deadlock-watchdog trip a dead link
+// used to surface as: callers can errors.As for it, read the worker
+// name, and decide to retry on the surviving (or repaired) topology.
+type WorkerDownError struct {
+	// Worker is the partition name of the dead worker.
+	Worker string
+	// Addr is the worker's last known listen address ("" for simulated
+	// workers, which have no transport).
+	Addr string
+	// Sessions are the IDs of the sessions that were active on the
+	// topology when the worker died, ascending.
+	Sessions []uint64
+	// Cause is the underlying transport error, if any.
+	Cause error
+}
+
+func (e *WorkerDownError) Error() string {
+	msg := fmt.Sprintf("fault: worker %q down", e.Worker)
+	if e.Addr != "" {
+		msg += fmt.Sprintf(" (addr %s)", e.Addr)
+	}
+	if len(e.Sessions) > 0 {
+		msg += fmt.Sprintf(", %d session(s) affected %v", len(e.Sessions), e.Sessions)
+	}
+	if e.Cause != nil {
+		msg += ": " + e.Cause.Error()
+	}
+	return msg
+}
+
+func (e *WorkerDownError) Unwrap() error { return e.Cause }
+
+// IsWorkerDown reports whether err is (or wraps) a *WorkerDownError.
+func IsWorkerDown(err error) bool {
+	var wd *WorkerDownError
+	return errors.As(err, &wd)
+}
+
+// RetryPolicy describes how many times a failed session is re-opened
+// and how long to wait between attempts.  The zero value never retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts, including the first
+	// (so 3 means "retry twice").  Values < 1 behave as 1.
+	MaxAttempts int
+	// Backoff is the delay before the first retry.
+	Backoff time.Duration
+	// Factor multiplies the delay after each retry; values <= 1 mean
+	// constant backoff.
+	Factor float64
+	// MaxBackoff caps the grown delay; 0 means uncapped.
+	MaxBackoff time.Duration
+}
+
+// Delay returns the wait before retry attempt n (n=1 is the first
+// retry).  Deterministic — no jitter — so recovery tests are exact.
+func (p RetryPolicy) Delay(n int) time.Duration {
+	if n < 1 || p.Backoff <= 0 {
+		return 0
+	}
+	d := p.Backoff
+	if p.Factor > 1 {
+		for i := 1; i < n; i++ {
+			d = time.Duration(float64(d) * p.Factor)
+			if p.MaxBackoff > 0 && d >= p.MaxBackoff {
+				return p.MaxBackoff
+			}
+		}
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		return p.MaxBackoff
+	}
+	return d
+}
+
+// Attempts returns the effective attempt budget (at least 1).
+func (p RetryPolicy) Attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// DeadLetter is one payload routed out of the stream after repeated
+// delivery failure: the poisoned message, where it sat in the session's
+// sink order, and the error that condemned it.
+type DeadLetter struct {
+	// Session is the public session ID the payload belonged to.
+	Session uint64
+	// Seq is the payload's sink sequence number within the session.
+	Seq uint64
+	// Payload is the value that could not be delivered.
+	Payload any
+	// Attempts is how many session attempts failed on it before routing.
+	Attempts int
+	// Err is the sink error from the last failed delivery.
+	Err error
+}
+
+// DeadLetterSink receives payloads the retry layer gave up on.  Push
+// must be safe for concurrent use; it must not block for long (it runs
+// on the session's sink path).
+type DeadLetterSink interface {
+	Push(DeadLetter)
+}
+
+// Queue is an in-memory DeadLetterSink that records every letter, for
+// tests and small deployments.
+type Queue struct {
+	mu      sync.Mutex
+	letters []DeadLetter
+}
+
+// Push appends the letter.
+func (q *Queue) Push(l DeadLetter) {
+	q.mu.Lock()
+	q.letters = append(q.letters, l)
+	q.mu.Unlock()
+}
+
+// Letters returns a copy of everything dead-lettered so far.
+func (q *Queue) Letters() []DeadLetter {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]DeadLetter(nil), q.letters...)
+}
+
+// Len returns the number of letters recorded.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.letters)
+}
+
+// Injection is one deterministic fault for the simulator oracle: kill
+// the named worker when the session's virtual step counter reaches Step.
+// With checkpointing enabled a transient injection is survivable (the
+// session rolls back and re-executes); Permanent marks the worker's
+// nodes unrecoverable, so affected sessions must fail with a
+// *WorkerDownError naming it.
+type Injection struct {
+	// Worker is the partition name to kill (must appear in the
+	// simulator's partition map).
+	Worker string
+	// Step is the virtual step at which the fault fires.
+	Step int64
+	// Permanent marks the worker as unrecoverable: no rollback, the
+	// session fails with *WorkerDownError.
+	Permanent bool
+}
+
+// Detector tracks per-worker heartbeat arrivals and decides liveness.
+// Time is explicit (callers pass now) so the distributed monitor can use
+// the wall clock while tests drive it deterministically.  Safe for
+// concurrent use.
+type Detector struct {
+	interval time.Duration
+	miss     int
+
+	mu   sync.Mutex
+	last map[string]time.Time
+	dead map[string]bool
+}
+
+// NewDetector builds a detector expecting a beat from each named worker
+// every interval; a worker is declared down after miss consecutive
+// intervals without one (miss < 1 behaves as 1).
+func NewDetector(interval time.Duration, miss int, workers []string, now time.Time) *Detector {
+	if miss < 1 {
+		miss = 1
+	}
+	d := &Detector{
+		interval: interval,
+		miss:     miss,
+		last:     make(map[string]time.Time, len(workers)),
+		dead:     make(map[string]bool, len(workers)),
+	}
+	for _, w := range workers {
+		d.last[w] = now
+	}
+	return d
+}
+
+// Beat records a heartbeat (or any frame — traffic is liveness) from
+// worker w.  Beats from workers the detector is not tracking, or ones
+// already declared dead, are ignored; Revive resurrects.
+func (d *Detector) Beat(w string, now time.Time) {
+	d.mu.Lock()
+	if _, ok := d.last[w]; ok && !d.dead[w] {
+		d.last[w] = now
+	}
+	d.mu.Unlock()
+}
+
+// Expired returns the tracked workers whose last beat is more than
+// miss×interval before now, sorted, marking each dead so it is reported
+// exactly once.
+func (d *Detector) Expired(now time.Time) []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []string
+	deadline := time.Duration(d.miss) * d.interval
+	for w, last := range d.last {
+		if d.dead[w] {
+			continue
+		}
+		if now.Sub(last) > deadline {
+			d.dead[w] = true
+			out = append(out, w)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MarkDead declares w down immediately (link-error attribution), and
+// reports whether this call was the first to do so.
+func (d *Detector) MarkDead(w string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.last[w]; !ok {
+		return false
+	}
+	if d.dead[w] {
+		return false
+	}
+	d.dead[w] = true
+	return true
+}
+
+// Revive resurrects w (after a successful restart) and resets its beat.
+func (d *Detector) Revive(w string, now time.Time) {
+	d.mu.Lock()
+	if _, ok := d.last[w]; ok {
+		d.dead[w] = false
+		d.last[w] = now
+	}
+	d.mu.Unlock()
+}
+
+// Dead reports whether w is currently declared down.
+func (d *Detector) Dead(w string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dead[w]
+}
+
+// Checkpoint format.  A checkpoint captures exactly the protocol state
+// the paper's deadlock-avoidance machinery needs to resume a session
+// mid-stream without re-running it from sequence zero: per-node dummy-
+// timer phase (proto.Engine.Snapshot), the session's source position,
+// and the sink high-water mark that makes re-delivery after resume
+// idempotent.  Credit windows are deliberately absent: windows are
+// reset to full on resume (every buffered in-flight message a
+// checkpointed session had is either drained before the checkpoint or
+// re-produced by replaying the source from NextSeq), so persisting
+// their transient occupancy would be both redundant and unsound.
+
+// NodeCheckpoint is one node's protocol state: the per-out-edge
+// lastSent sequence numbers that define its dummy-timer phase.
+type NodeCheckpoint struct {
+	// Node is the topology NodeID.
+	Node int
+	// LastSent mirrors proto.Engine.Snapshot for the node's out-edges.
+	LastSent []int64
+}
+
+// SessionCheckpoint is one session's resumable state.
+type SessionCheckpoint struct {
+	// Session is the public session ID.
+	Session uint64
+	// NextSeq is the next source sequence number the session had not yet
+	// ingested; resume re-reads the source from here.
+	NextSeq uint64
+	// SinkSeq is the highest sink sequence number already delivered
+	// (-1 if none): deliveries at or below it are suppressed on resume.
+	SinkSeq int64
+	// SinkCount is the number of sink deliveries made, for accounting.
+	SinkCount int64
+	// Nodes carries the per-node dummy-timer phase, ascending by Node.
+	Nodes []NodeCheckpoint
+}
+
+// Checkpoint is a whole-engine snapshot taken by Drain: the sessions
+// that had not finished, plus the ID allocator state so resumed engines
+// never reuse an ID.
+type Checkpoint struct {
+	// Topology fingerprints the graph the checkpoint belongs to;
+	// restoring onto a different topology is refused.
+	Topology string
+	// NextSession is the engine's next unallocated session ID.
+	NextSession uint64
+	// Sessions are the in-flight sessions at drain time, ascending by ID.
+	Sessions []SessionCheckpoint
+}
+
+// Encode serializes the checkpoint with gob.
+func (c *Checkpoint) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
+		return nil, fmt.Errorf("fault: encode checkpoint: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeCheckpoint deserializes an Encode'd checkpoint.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&c); err != nil {
+		return nil, fmt.Errorf("fault: decode checkpoint: %w", err)
+	}
+	return &c, nil
+}

@@ -1,0 +1,172 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRetryPolicyDelay(t *testing.T) {
+	cases := []struct {
+		name string
+		p    RetryPolicy
+		n    int
+		want time.Duration
+	}{
+		{"zero policy", RetryPolicy{}, 1, 0},
+		{"n below 1", RetryPolicy{Backoff: time.Second}, 0, 0},
+		{"constant", RetryPolicy{Backoff: 100 * time.Millisecond}, 3, 100 * time.Millisecond},
+		{"factor <= 1 is constant", RetryPolicy{Backoff: 50 * time.Millisecond, Factor: 0.5}, 4, 50 * time.Millisecond},
+		{"grows", RetryPolicy{Backoff: 10 * time.Millisecond, Factor: 2}, 3, 40 * time.Millisecond},
+		{"capped", RetryPolicy{Backoff: 10 * time.Millisecond, Factor: 2, MaxBackoff: 25 * time.Millisecond}, 3, 25 * time.Millisecond},
+		{"cap below base", RetryPolicy{Backoff: time.Second, MaxBackoff: 100 * time.Millisecond}, 1, 100 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := c.p.Delay(c.n); got != c.want {
+			t.Errorf("%s: Delay(%d) = %v, want %v", c.name, c.n, got, c.want)
+		}
+	}
+}
+
+func TestRetryPolicyAttempts(t *testing.T) {
+	if got := (RetryPolicy{}).Attempts(); got != 1 {
+		t.Errorf("zero policy Attempts = %d, want 1", got)
+	}
+	if got := (RetryPolicy{MaxAttempts: -3}).Attempts(); got != 1 {
+		t.Errorf("negative Attempts = %d, want 1", got)
+	}
+	if got := (RetryPolicy{MaxAttempts: 5}).Attempts(); got != 5 {
+		t.Errorf("Attempts = %d, want 5", got)
+	}
+}
+
+func TestDetectorLiveness(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	interval := 10 * time.Millisecond
+	d := NewDetector(interval, 3, []string{"w0", "w1", "w2"}, t0)
+
+	// Within the deadline nothing expires.
+	if exp := d.Expired(t0.Add(2 * interval)); len(exp) != 0 {
+		t.Fatalf("early Expired = %v, want none", exp)
+	}
+	// Beats keep a worker alive past the deadline of its initial stamp.
+	d.Beat("w1", t0.Add(3*interval))
+	exp := d.Expired(t0.Add(4 * interval))
+	if !reflect.DeepEqual(exp, []string{"w0", "w2"}) {
+		t.Fatalf("Expired = %v, want [w0 w2] (sorted)", exp)
+	}
+	// Expiry reports each worker once.
+	if exp := d.Expired(t0.Add(5 * interval)); len(exp) != 0 {
+		t.Fatalf("second Expired = %v, want none (already reported)", exp)
+	}
+	if !d.Dead("w0") || d.Dead("w1") {
+		t.Fatalf("Dead: w0=%v w1=%v, want true/false", d.Dead("w0"), d.Dead("w1"))
+	}
+	// Beats from a dead worker are ignored until Revive.
+	d.Beat("w0", t0.Add(6*interval))
+	if !d.Dead("w0") {
+		t.Fatal("a beat resurrected a dead worker")
+	}
+	d.Revive("w0", t0.Add(6*interval))
+	if d.Dead("w0") {
+		t.Fatal("Revive did not resurrect w0")
+	}
+	d.Beat("w1", t0.Add(6*interval))
+	if exp := d.Expired(t0.Add(8 * interval)); len(exp) != 0 {
+		t.Fatalf("Expired after revive = %v, want none", exp)
+	}
+}
+
+func TestDetectorMarkDead(t *testing.T) {
+	d := NewDetector(time.Millisecond, 1, []string{"w0"}, time.Unix(0, 0))
+	if !d.MarkDead("w0") {
+		t.Fatal("first MarkDead = false, want true")
+	}
+	if d.MarkDead("w0") {
+		t.Fatal("second MarkDead = true, want false (report once)")
+	}
+	if d.MarkDead("unknown") {
+		t.Fatal("MarkDead of untracked worker = true")
+	}
+}
+
+func TestQueue(t *testing.T) {
+	var q Queue
+	if q.Len() != 0 {
+		t.Fatalf("fresh queue Len = %d", q.Len())
+	}
+	q.Push(DeadLetter{Session: 1, Seq: 7, Payload: "x"})
+	q.Push(DeadLetter{Session: 1, Seq: 9, Payload: "y"})
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+	ls := q.Letters()
+	if len(ls) != 2 || ls[0].Seq != 7 || ls[1].Seq != 9 {
+		t.Fatalf("Letters = %+v", ls)
+	}
+	// Letters returns a copy: mutating it must not touch the queue.
+	ls[0].Seq = 99
+	if q.Letters()[0].Seq != 7 {
+		t.Fatal("Letters aliases the queue's storage")
+	}
+}
+
+func TestWorkerDownError(t *testing.T) {
+	cause := errors.New("connection reset")
+	wd := &WorkerDownError{Worker: "w1", Addr: "127.0.0.1:9", Sessions: []uint64{3, 5}, Cause: cause}
+	msg := wd.Error()
+	for _, want := range []string{`"w1"`, "127.0.0.1:9", "[3 5]", "connection reset"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Error() = %q, missing %q", msg, want)
+		}
+	}
+	if !errors.Is(wd, cause) {
+		t.Error("Unwrap does not reach the cause")
+	}
+	if !IsWorkerDown(wd) {
+		t.Error("IsWorkerDown(direct) = false")
+	}
+	if !IsWorkerDown(fmt.Errorf("session 3: %w", wd)) {
+		t.Error("IsWorkerDown(wrapped) = false")
+	}
+	if IsWorkerDown(nil) || IsWorkerDown(errors.New("other")) {
+		t.Error("IsWorkerDown false positive")
+	}
+	// The minimal error still names the worker.
+	if msg := (&WorkerDownError{Worker: "w9"}).Error(); !strings.Contains(msg, `"w9"`) {
+		t.Errorf("minimal Error() = %q", msg)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	ck := &Checkpoint{
+		Topology:    "A,B|0>1",
+		NextSession: 42,
+		Sessions: []SessionCheckpoint{
+			{
+				Session: 7, NextSeq: 130, SinkSeq: 119, SinkCount: 80,
+				Nodes: []NodeCheckpoint{
+					{Node: 0, LastSent: []int64{129, -1}},
+					{Node: 1, LastSent: []int64{119}},
+				},
+			},
+		},
+	}
+	blob, err := ck.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := DecodeCheckpoint(blob)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, ck) {
+		t.Fatalf("round trip: %+v != %+v", got, ck)
+	}
+	if _, err := DecodeCheckpoint([]byte("not a checkpoint")); err == nil {
+		t.Fatal("Decode of garbage: no error")
+	}
+}

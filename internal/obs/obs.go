@@ -94,6 +94,31 @@ type SessionMetrics struct {
 	Latency Histogram
 }
 
+// FaultMetrics is the fault-domain's counters: liveness misses, worker
+// recovery, session retries, dead-lettered payloads, and drains.  One
+// set per Metrics — faults are an engine-wide concern, not per-node.
+type FaultMetrics struct {
+	// HeartbeatsMissed counts heartbeat deadlines that expired (one per
+	// worker declared down by the detector).
+	HeartbeatsMissed atomic.Int64
+	// WorkersDown counts workers declared dead (by missed heartbeats or
+	// link-error attribution).
+	WorkersDown atomic.Int64
+	// Reconnects counts successful worker restarts plus peer link
+	// re-dials after a death.
+	Reconnects atomic.Int64
+	// SessionRetries counts session re-open attempts by the retry layer.
+	SessionRetries atomic.Int64
+	// DeadLettered counts payloads routed to the dead-letter sink.
+	DeadLettered atomic.Int64
+	// Recoveries counts checkpoint rollbacks (simulator fault oracle).
+	Recoveries atomic.Int64
+	// Drains counts completed Engine.Drain calls; DrainTime is their
+	// cumulative duration (ns, or steps in virtual-time mode).
+	Drains    atomic.Int64
+	DrainTime atomic.Int64
+}
+
 // LinkMetrics is one distributed worker→peer link's transport counters.
 type LinkMetrics struct {
 	TxFrames atomic.Int64 // wire frames written (a batch frame counts once)
@@ -161,6 +186,7 @@ type Metrics struct {
 	nodes     []NodeMetrics
 	edges     []EdgeMetrics
 	sessions  SessionMetrics
+	faults    FaultMetrics
 
 	virtual atomic.Bool
 
@@ -207,6 +233,9 @@ func (m *Metrics) Edge(i int) *EdgeMetrics { return &m.edges[i] }
 
 // Sessions returns the session lifecycle counters.
 func (m *Metrics) Sessions() *SessionMetrics { return &m.sessions }
+
+// Faults returns the fault-domain counters.
+func (m *Metrics) Faults() *FaultMetrics { return &m.faults }
 
 // Link returns (registering on first use) the counters for one
 // worker→peer transport link.
@@ -261,6 +290,18 @@ type SessionSnapshot struct {
 	Latency   HistogramSnapshot `json:"latency"`
 }
 
+// FaultSnapshot is the fault-domain counters at snapshot time.
+type FaultSnapshot struct {
+	HeartbeatsMissed int64 `json:"heartbeats_missed"`
+	WorkersDown      int64 `json:"workers_down"`
+	Reconnects       int64 `json:"reconnects"`
+	SessionRetries   int64 `json:"session_retries"`
+	DeadLettered     int64 `json:"dead_lettered"`
+	Recoveries       int64 `json:"recoveries"`
+	Drains           int64 `json:"drains"`
+	DrainTime        int64 `json:"drain_time"`
+}
+
 // LinkSnapshot is one distributed link's counters at snapshot time.
 type LinkSnapshot struct {
 	Name     string `json:"name"`
@@ -280,6 +321,7 @@ type Snapshot struct {
 	Nodes       []NodeSnapshot  `json:"nodes"`
 	Edges       []EdgeSnapshot  `json:"edges"`
 	Sessions    SessionSnapshot `json:"sessions"`
+	Faults      FaultSnapshot   `json:"faults"`
 	Links       []LinkSnapshot  `json:"links,omitempty"`
 }
 
@@ -319,6 +361,17 @@ func (m *Metrics) Snapshot() *Snapshot {
 		Failed:    ss.Failed.Load(),
 		SinkMsgs:  ss.SinkMsgs.Load(),
 		Latency:   ss.Latency.snapshot(),
+	}
+	f := &m.faults
+	s.Faults = FaultSnapshot{
+		HeartbeatsMissed: f.HeartbeatsMissed.Load(),
+		WorkersDown:      f.WorkersDown.Load(),
+		Reconnects:       f.Reconnects.Load(),
+		SessionRetries:   f.SessionRetries.Load(),
+		DeadLettered:     f.DeadLettered.Load(),
+		Recoveries:       f.Recoveries.Load(),
+		Drains:           f.Drains.Load(),
+		DrainTime:        f.DrainTime.Load(),
 	}
 	m.linkMu.Lock()
 	names := make([]string, 0, len(m.links))
@@ -446,6 +499,31 @@ func WritePrometheus(w io.Writer, s *Snapshot) error {
 	p("# HELP streamdag_sink_msgs_total Data-carrying sink deliveries.\n")
 	p("# TYPE streamdag_sink_msgs_total counter\n")
 	p("streamdag_sink_msgs_total %d\n", s.Sessions.SinkMsgs)
+
+	p("# HELP streamdag_fault_heartbeats_missed_total Heartbeat deadlines expired.\n")
+	p("# TYPE streamdag_fault_heartbeats_missed_total counter\n")
+	p("streamdag_fault_heartbeats_missed_total %d\n", s.Faults.HeartbeatsMissed)
+	p("# HELP streamdag_fault_workers_down_total Workers declared dead.\n")
+	p("# TYPE streamdag_fault_workers_down_total counter\n")
+	p("streamdag_fault_workers_down_total %d\n", s.Faults.WorkersDown)
+	p("# HELP streamdag_fault_reconnects_total Worker restarts and link re-dials.\n")
+	p("# TYPE streamdag_fault_reconnects_total counter\n")
+	p("streamdag_fault_reconnects_total %d\n", s.Faults.Reconnects)
+	p("# HELP streamdag_fault_session_retries_total Session re-open attempts by the retry layer.\n")
+	p("# TYPE streamdag_fault_session_retries_total counter\n")
+	p("streamdag_fault_session_retries_total %d\n", s.Faults.SessionRetries)
+	p("# HELP streamdag_fault_dead_lettered_total Payloads routed to the dead-letter sink.\n")
+	p("# TYPE streamdag_fault_dead_lettered_total counter\n")
+	p("streamdag_fault_dead_lettered_total %d\n", s.Faults.DeadLettered)
+	p("# HELP streamdag_fault_recoveries_total Checkpoint rollbacks (simulator fault oracle).\n")
+	p("# TYPE streamdag_fault_recoveries_total counter\n")
+	p("streamdag_fault_recoveries_total %d\n", s.Faults.Recoveries)
+	p("# HELP streamdag_fault_drains_total Completed engine drains.\n")
+	p("# TYPE streamdag_fault_drains_total counter\n")
+	p("streamdag_fault_drains_total %d\n", s.Faults.Drains)
+	p("# HELP streamdag_fault_drain_%s_total Cumulative drain duration (%s).\n", u, u)
+	p("# TYPE streamdag_fault_drain_%s_total counter\n", u)
+	p("streamdag_fault_drain_%s_total %d\n", u, s.Faults.DrainTime)
 
 	p("# HELP streamdag_session_latency_%s Session open-to-EOF latency (%s).\n", u, u)
 	p("# TYPE streamdag_session_latency_%s histogram\n", u)

@@ -1,0 +1,88 @@
+package proto
+
+import (
+	"testing"
+
+	"streamdag/internal/cs4"
+	"streamdag/internal/graph"
+	"streamdag/internal/ival"
+)
+
+// The checkpoint/resume and simulator-rollback paths depend on one
+// property of the engine: restoring a Snapshot into a freshly built
+// engine for the same node continues the protocol bit-identically to
+// never having stopped it.  These tests pin that property.
+
+// TestSnapshotRestoreContinuation drives a reference engine through a
+// prefix, snapshots it mid-stream, restores the snapshot into a fresh
+// engine, and checks every subsequent firing decision — data-refresh,
+// timer dummies, cascade dummies — matches the uninterrupted engine's.
+func TestSnapshotRestoreContinuation(t *testing.T) {
+	iv := map[graph.EdgeID]ival.Interval{
+		0: ival.FromInt(3),
+		1: ival.FromRatio(7, 2),
+		2: ival.Inf(),
+	}
+	cfg := Config{Algorithm: cs4.Propagation, Intervals: iv}
+	out := []graph.EdgeID{0, 1, 2}
+	// A sparse, out-of-phase emission pattern, including all-silent
+	// firings so the cascade rule participates.
+	emit := func(seq uint64) []bool {
+		return []bool{seq%2 == 0, seq%5 == 0, seq%7 == 0}
+	}
+
+	ref := NewEngine(out, cfg)
+	for seq := uint64(0); seq < 40; seq++ {
+		ref.Fire(seq, emit(seq))
+	}
+
+	snap := ref.Snapshot()
+	restored := NewEngine(out, cfg)
+	if err := restored.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+
+	for seq := uint64(40); seq < 160; seq++ {
+		d1 := ref.Fire(seq, emit(seq))
+		d2 := restored.Fire(seq, emit(seq))
+		for i := range d1 {
+			if d1[i] != d2[i] {
+				t.Fatalf("seq %d edge %d: restored dummy=%v, uninterrupted %v", seq, i, d2[i], d1[i])
+			}
+		}
+	}
+	s1, s2 := ref.Snapshot(), restored.Snapshot()
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("final phase diverged: %v vs %v", s2, s1)
+		}
+	}
+}
+
+// TestSnapshotIsACopy: mutating a returned snapshot must not disturb
+// the engine (rollback keeps checkpoints around while the engine runs
+// on).
+func TestSnapshotIsACopy(t *testing.T) {
+	iv := map[graph.EdgeID]ival.Interval{0: ival.FromInt(3)}
+	e := NewEngine([]graph.EdgeID{0}, Config{Algorithm: cs4.NonPropagation, Intervals: iv})
+	e.Fire(0, []bool{true})
+	snap := e.Snapshot()
+	snap[0] = -99
+	if got := e.Snapshot()[0]; got != 0 {
+		t.Fatalf("engine lastSent = %d after mutating a snapshot, want 0", got)
+	}
+}
+
+// TestRestoreLengthMismatch: a snapshot from a node with a different
+// out-degree is refused rather than silently corrupting timers.
+func TestRestoreLengthMismatch(t *testing.T) {
+	cfg := Config{Intervals: map[graph.EdgeID]ival.Interval{0: ival.FromInt(2)}}
+	e := NewEngine([]graph.EdgeID{0}, cfg)
+	if err := e.Restore([]int64{1, 2}); err == nil {
+		t.Fatal("Restore with mismatched timer count: no error")
+	}
+	// A refused restore leaves state intact.
+	if got := e.Snapshot()[0]; got != -1 {
+		t.Fatalf("lastSent = %d after refused restore, want -1", got)
+	}
+}

@@ -30,6 +30,9 @@ import (
 // when Engine.Close runs, and returned by Open afterwards.
 var ErrEngineClosed = errors.New("sim: engine closed")
 
+// ErrEngineDraining is returned by Open while a Drain is in progress.
+var ErrEngineDraining = errors.New("sim: engine draining")
+
 // SessionIO parameterizes one Engine.Open: the session's private rim.
 type SessionIO struct {
 	// ID tags the session for diagnostics; nonzero, unique per engine.
@@ -47,12 +50,20 @@ type SessionIO struct {
 type Engine struct {
 	g   *graph.Graph
 	cfg Config
+	// arms are the engine-shared fault injections: a worker dies once,
+	// for every session (see fault.go).  Touched only on the scheduler
+	// goroutine.
+	arms []*faultArm
 
-	mu     sync.Mutex
-	queue  []*EngineSession
-	closed bool
-	wake   chan struct{}
-	done   chan struct{}
+	mu       sync.Mutex
+	queue    []*EngineSession
+	closed   bool
+	draining bool
+	// activeN counts unresolved sessions (queued or scheduled); Drain
+	// polls it to zero.
+	activeN int
+	wake    chan struct{}
+	done    chan struct{}
 }
 
 // EngineSession is one logical stream scheduled by an Engine.
@@ -85,6 +96,9 @@ func NewEngine(g *graph.Graph, cfg Config) *Engine {
 		wake: make(chan struct{}, 1),
 		done: make(chan struct{}),
 	}
+	for _, inj := range cfg.Faults {
+		e.arms = append(e.arms, &faultArm{inj: inj})
+	}
 	go e.schedule()
 	return e
 }
@@ -108,6 +122,10 @@ func (e *Engine) Open(io SessionIO) (*EngineSession, error) {
 		start: time.Now(),
 		done:  make(chan struct{}),
 	}
+	ses.st.sid = uint64(io.ID)
+	if e.arms != nil {
+		ses.st.attachArms(e.arms)
+	}
 	if s := ses.st.obsS; s != nil {
 		s.Opened.Add(1)
 		s.Active.Add(1)
@@ -117,7 +135,12 @@ func (e *Engine) Open(io SessionIO) (*EngineSession, error) {
 		e.mu.Unlock()
 		return nil, ErrEngineClosed
 	}
+	if e.draining {
+		e.mu.Unlock()
+		return nil, ErrEngineDraining
+	}
 	e.queue = append(e.queue, ses)
+	e.activeN++
 	e.mu.Unlock()
 	select {
 	case e.wake <- struct{}{}:
@@ -144,6 +167,41 @@ func (e *Engine) Close() error {
 	return nil
 }
 
+// resolved notes one session's resolution for Drain's accounting.
+func (e *Engine) resolved() {
+	e.mu.Lock()
+	e.activeN--
+	e.mu.Unlock()
+}
+
+// Drain stops admitting sessions (Open returns ErrEngineDraining) and
+// waits for the in-flight ones to resolve, or for ctx.  It does not
+// close the engine; callers Close after a successful drain.
+func (e *Engine) Drain(ctx context.Context) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrEngineClosed
+	}
+	e.draining = true
+	e.mu.Unlock()
+	tick := time.NewTicker(200 * time.Microsecond)
+	defer tick.Stop()
+	for {
+		e.mu.Lock()
+		n := e.activeN
+		e.mu.Unlock()
+		if n <= 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
 // schedule is the resident scheduler: one sweep per active session per
 // round, sessions in open order.
 func (e *Engine) schedule() {
@@ -163,6 +221,7 @@ func (e *Engine) schedule() {
 				if ses.st.obsS != nil {
 					ses.st.finishObs()
 				}
+				e.resolved()
 				close(ses.done)
 			}
 			return
@@ -178,6 +237,7 @@ func (e *Engine) schedule() {
 				if ses.st.obsS != nil {
 					ses.st.finishObs()
 				}
+				e.resolved()
 				close(ses.done)
 				continue
 			}

@@ -1,0 +1,275 @@
+package sim
+
+// Deterministic fault injection: the simulator is the fault-tolerance
+// oracle.  "Kill worker W at virtual step N" is an exact, reproducible
+// event — no timing, no sockets — so recovery semantics are table-
+// testable: a transient kill under checkpointing must leave the session
+// bit-identical to a run with no fault at all, and a permanent kill
+// must surface a *fault.WorkerDownError naming W.
+//
+// Recovery is coordinated rollback, the simulated counterpart of a
+// worker restart joining a checkpointed topology:
+//
+//   - Every CheckpointEvery virtual steps the session snapshots its
+//     complete protocol state — channel contents, undelivered pending
+//     sends, per-node dummy-timer phase (proto.Engine.Snapshot), node
+//     completion flags, the source cursor, and the per-edge counters.
+//   - Payloads pulled from the Source since the last checkpoint are
+//     kept in a replay log, so rollback never re-reads the user's
+//     source (sources need not be rewindable for the oracle).
+//   - Sink deliveries carry a high-water mark: after a rollback,
+//     re-executed firings at or below the mark are suppressed, so the
+//     user-visible sink sequence is exactly-once even though the
+//     protocol re-runs.  This is sound because sink deliveries are in
+//     ascending sequence order.
+//
+// Kernels must be pure (the simulator's standing requirement): rollback
+// restores protocol state, not arbitrary kernel-private state.
+
+import (
+	"streamdag/internal/fault"
+	"streamdag/internal/graph"
+)
+
+// faultArm is one armed injection.  Engine sessions share arms (a
+// worker dies once, for everyone); each state tracks locally whether it
+// has handled the arm.  Arms are only touched from the scheduler
+// goroutine (or Run's caller), so no locking.
+type faultArm struct {
+	inj   fault.Injection
+	fired bool
+}
+
+// oracle is a session's fault-injection state; nil when the run has no
+// faults and no checkpointing.
+type oracle struct {
+	arms []*faultArm
+	// handled[i] reports arm i has been applied to (or skipped by) this
+	// session; initialized lazily on the scheduler goroutine so Open
+	// never races a firing arm.
+	handled []bool
+	inited  bool
+	// every is Config.CheckpointEvery; lastCk the step of the last
+	// checkpoint.
+	every  int64
+	lastCk int64
+	ckpt   *simCheckpoint
+	// srcLog are payloads pulled since the last checkpoint; replay are
+	// payloads to re-feed after a rollback (consumed before the real
+	// Source is asked again).
+	srcLog []any
+	replay []any
+}
+
+func newOracle(cfg Config) *oracle {
+	if len(cfg.Faults) == 0 && cfg.CheckpointEvery <= 0 {
+		return nil
+	}
+	o := &oracle{every: cfg.CheckpointEvery}
+	for _, inj := range cfg.Faults {
+		o.arms = append(o.arms, &faultArm{inj: inj})
+	}
+	return o
+}
+
+// attachArms replaces the oracle's private arms with engine-shared ones
+// so one injection fires once across all sessions.
+func (s *state) attachArms(arms []*faultArm) {
+	if s.orc == nil {
+		if len(arms) == 0 {
+			return
+		}
+		s.orc = &oracle{every: s.cfg.CheckpointEvery}
+	}
+	s.orc.arms = arms
+	s.orc.handled = nil
+	s.orc.inited = false
+}
+
+// simCheckpoint is a coordinated snapshot of one session's complete
+// protocol state at a virtual-step boundary.
+type simCheckpoint struct {
+	nextIn    uint64
+	srcEOS    bool
+	sinkData  int64
+	chans     [][]message
+	nodes     []nodeCkpt
+	dataMsgs  map[graph.EdgeID]int64
+	dummyMsgs map[graph.EdgeID]int64
+}
+
+type nodeCkpt struct {
+	pending  []pendingMsg
+	lastSent []int64
+	done     bool
+}
+
+// faultTick runs at each round boundary: takes a due checkpoint, then
+// fires armed injections.  It reports whether the session resolved
+// (permanent fault → failed with *fault.WorkerDownError).
+func (s *state) faultTick() (done bool) {
+	o := s.orc
+	if !o.inited {
+		// A session opened after a transient kill joins the restarted
+		// worker: fired non-permanent arms are already history for it.
+		// A permanent kill outlives restarts — the session must still
+		// observe it.
+		o.handled = make([]bool, len(o.arms))
+		for i, arm := range o.arms {
+			if arm.fired && !arm.inj.Permanent {
+				o.handled[i] = true
+			}
+		}
+		o.inited = true
+	}
+	if o.every > 0 && (o.ckpt == nil || s.res.Steps-o.lastCk >= o.every) {
+		o.takeCheckpoint(s)
+	}
+	for i, arm := range o.arms {
+		if o.handled[i] {
+			continue
+		}
+		if !arm.fired && s.res.Steps < arm.inj.Step {
+			continue
+		}
+		o.handled[i] = true
+		if !s.workerHosted(arm.inj.Worker) {
+			continue
+		}
+		if !arm.fired {
+			arm.fired = true
+			if s.obsF != nil {
+				s.obsF.WorkersDown.Add(1)
+			}
+		}
+		if !arm.inj.Permanent && o.every > 0 && o.ckpt != nil {
+			o.rollback(s)
+			if s.obsF != nil {
+				s.obsF.Recoveries.Add(1)
+			}
+			continue
+		}
+		wd := &fault.WorkerDownError{Worker: arm.inj.Worker}
+		if s.sid != 0 {
+			wd.Sessions = []uint64{s.sid}
+		}
+		s.fail("worker down", wd)
+		return true
+	}
+	return false
+}
+
+// workerHosted reports whether the named worker hosts any node of this
+// topology.  With no partition map the whole topology is one process
+// and every kill hits it.
+func (s *state) workerHosted(worker string) bool {
+	if s.cfg.Partition == nil {
+		return true
+	}
+	for _, w := range s.cfg.Partition {
+		if w == worker {
+			return true
+		}
+	}
+	return false
+}
+
+// pull reads the session's next source payload through the replay log.
+func (s *state) pull() (any, bool, error) {
+	o := s.orc
+	if o == nil || o.every <= 0 {
+		return s.cfg.Source(s.cfg.Ctx)
+	}
+	if len(o.replay) > 0 {
+		p := o.replay[0]
+		o.replay = o.replay[1:]
+		o.srcLog = append(o.srcLog, p)
+		return p, true, nil
+	}
+	payload, ok, err := s.cfg.Source(s.cfg.Ctx)
+	if ok && err == nil {
+		o.srcLog = append(o.srcLog, payload)
+	}
+	return payload, ok, err
+}
+
+func (o *oracle) takeCheckpoint(s *state) {
+	ck := &simCheckpoint{
+		nextIn:    s.nextIn,
+		srcEOS:    s.srcEOS,
+		sinkData:  s.res.SinkData,
+		chans:     make([][]message, len(s.chans)),
+		nodes:     make([]nodeCkpt, len(s.nodes)),
+		dataMsgs:  make(map[graph.EdgeID]int64, len(s.res.DataMsgs)),
+		dummyMsgs: make(map[graph.EdgeID]int64, len(s.res.DummyMsgs)),
+	}
+	for i := range s.chans {
+		ck.chans[i] = append([]message(nil), s.chans[i].buf...)
+	}
+	for i, nd := range s.nodes {
+		ck.nodes[i] = nodeCkpt{
+			pending:  append([]pendingMsg(nil), nd.pending...),
+			lastSent: nd.engine.Snapshot(),
+			done:     nd.done,
+		}
+	}
+	for e, v := range s.res.DataMsgs {
+		ck.dataMsgs[e] = v
+	}
+	for e, v := range s.res.DummyMsgs {
+		ck.dummyMsgs[e] = v
+	}
+	o.ckpt = ck
+	o.lastCk = s.res.Steps
+	// Payloads before the checkpoint can never be replayed again.
+	o.srcLog = nil
+}
+
+// rollback restores the last checkpoint and queues the since-pulled
+// payloads for replay.  Steps stay monotonic — they are the virtual
+// clock and must not repeat, or armed faults would re-fire.
+func (o *oracle) rollback(s *state) {
+	ck := o.ckpt
+	for i := range s.chans {
+		ch := &s.chans[i]
+		if ch.obsE != nil {
+			// Fold the counters so the queue-depth gauge (Sent-Consumed)
+			// tracks the restored buffers: messages discarded here are
+			// never drained, restored ones will be drained once more
+			// than they were sent.
+			if n := len(ch.buf); n > 0 {
+				ch.obsE.Consumed.Add(int64(n))
+			}
+			if n := len(ck.chans[i]); n > 0 {
+				ch.obsE.Sent.Add(int64(n))
+			}
+		}
+		ch.buf = append(ch.buf[:0], ck.chans[i]...)
+	}
+	for i, nd := range s.nodes {
+		nc := &ck.nodes[i]
+		nd.pending = append(nd.pending[:0], nc.pending...)
+		for j := range nd.pending {
+			nd.pending[j].stalled = false
+		}
+		if err := nd.engine.Restore(nc.lastSent); err != nil {
+			panic("sim: rollback: " + err.Error())
+		}
+		nd.done = nc.done
+	}
+	s.nextIn = ck.nextIn
+	s.srcEOS = ck.srcEOS
+	s.res.SinkData = ck.sinkData
+	clear(s.res.DataMsgs)
+	for e, v := range ck.dataMsgs {
+		s.res.DataMsgs[e] = v
+	}
+	clear(s.res.DummyMsgs)
+	for e, v := range ck.dummyMsgs {
+		s.res.DummyMsgs[e] = v
+	}
+	// Everything pulled since the checkpoint replays before the real
+	// source is consulted again.
+	o.replay = o.srcLog
+	o.srcLog = nil
+}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"streamdag/internal/cs4"
+	"streamdag/internal/fault"
 	"streamdag/internal/graph"
 	"streamdag/internal/ival"
 	"streamdag/internal/obs"
@@ -103,6 +104,23 @@ type Config struct {
 	MaxBatch int
 	// NodeBatch overrides MaxBatch per node.
 	NodeBatch map[graph.NodeID]int
+	// Partition names the worker hosting each node, for fault
+	// attribution: an Injection kills a named worker, and only sessions
+	// whose topology has nodes on that worker observe it.  Nil means the
+	// whole topology is one unnamed process (every injection hits it).
+	Partition map[graph.NodeID]string
+	// Faults are deterministic fault injections: kill worker W when the
+	// session's virtual step counter reaches N.  With CheckpointEvery
+	// set, a non-Permanent injection is survivable — the session rolls
+	// back to its last checkpoint and re-executes, with replayed source
+	// payloads and exactly-once sink delivery; otherwise (or when
+	// Permanent) the session fails with a *fault.WorkerDownError naming
+	// the worker.  See fault.go.
+	Faults []fault.Injection
+	// CheckpointEvery takes a coordinated session checkpoint every N
+	// virtual steps (0 disables checkpointing, making every injection
+	// fatal to the session).
+	CheckpointEvery int64
 	// Trace, if non-nil, receives one line per consume/emit event; for
 	// debugging only.
 	Trace func(string)
@@ -278,13 +296,16 @@ func newState(g *graph.Graph, filter Filter, cfg Config) *state {
 			DataMsgs:  make(map[graph.EdgeID]int64, g.NumEdges()),
 			DummyMsgs: make(map[graph.EdgeID]int64, g.NumEdges()),
 		},
+		sinkHW: -1,
 	}
+	s.orc = newOracle(cfg)
 	for i := range s.chans {
 		s.chans[i].cap = g.Edge(graph.EdgeID(i)).Buf
 	}
 	if m := cfg.Obs; m != nil {
 		m.SetVirtual(true)
 		s.obsS = m.Sessions()
+		s.obsF = m.Faults()
 		for i := range s.chans {
 			s.chans[i].obsE = m.Edge(i)
 		}
@@ -361,8 +382,19 @@ type state struct {
 	nextIn     uint64 // next external input seq at the source
 	srcEOS     bool
 	failed     bool // a source/sink error already set res.Reason/Err
-	// obsS is the session telemetry slot, nil when observation is off.
+	// sid is the public session ID for fault attribution (0 for Run).
+	sid uint64
+	// orc is the fault-injection oracle, nil when the run has no faults
+	// and no checkpointing.
+	orc *oracle
+	// sinkHW is the highest sink sequence number delivered externally
+	// (-1 none): after a rollback, re-executed deliveries at or below it
+	// are suppressed so the sink sequence is exactly-once.
+	sinkHW int64
+	// obsS is the session telemetry slot, nil when observation is off;
+	// obsF the engine-wide fault counters.
 	obsS *obs.SessionMetrics
+	obsF *obs.FaultMetrics
 }
 
 func (s *state) run() {
@@ -379,6 +411,9 @@ func (s *state) advanceOnce() (done bool) {
 	if err := s.cfg.Ctx.Err(); err != nil {
 		s.res.Reason = "canceled"
 		s.res.Err = err
+		return true
+	}
+	if s.orc != nil && s.faultTick() {
 		return true
 	}
 	progress := false
@@ -564,7 +599,7 @@ func (s *state) stepSource(nd *node) bool {
 		return false
 	}
 	if s.kernelMode {
-		payload, ok, err := s.cfg.Source(s.cfg.Ctx)
+		payload, ok, err := s.pull()
 		if err != nil {
 			s.fail("source error", fmt.Errorf("sim: source: %w", err))
 			return false
@@ -587,15 +622,9 @@ func (s *state) stepSource(nd *node) bool {
 		}
 		if len(nd.out) == 0 {
 			// Degenerate single-node topology: the source is the sink.
-			s.res.SinkData++
-			if s.obsS != nil {
-				s.obsS.SinkMsgs.Add(1)
-			}
-			if s.cfg.Sink != nil {
-				if err := s.cfg.Sink(s.cfg.Ctx, seq, stream.SinkPayload(ins, outs)); err != nil {
-					s.fail("sink error", fmt.Errorf("sim: sink: %w", err))
-					return false
-				}
+			if err := s.sinkDeliver(seq, ins, outs); err != nil {
+				s.fail("sink error", fmt.Errorf("sim: sink: %w", err))
+				return false
 			}
 		}
 		s.deliverKernel(nd, seq, outs)
@@ -652,19 +681,13 @@ func (s *state) stepRunConsume(nd *node) bool {
 			nd.obsN.Firings.Add(1)
 		}
 		if isSink {
-			s.res.SinkData++
-			if s.obsS != nil {
-				s.obsS.SinkMsgs.Add(1)
-			}
-			if s.cfg.Sink != nil {
-				if err := s.cfg.Sink(s.cfg.Ctx, m.seq, stream.SinkPayload(nd.ins, outs)); err != nil {
-					s.fail("sink error", fmt.Errorf("sim: sink: %w", err))
-					ch.buf = ch.buf[j+1:]
-					if ch.obsE != nil {
-						ch.obsE.Consumed.Add(int64(j + 1))
-					}
-					return true
+			if err := s.sinkDeliver(m.seq, nd.ins, outs); err != nil {
+				s.fail("sink error", fmt.Errorf("sim: sink: %w", err))
+				ch.buf = ch.buf[j+1:]
+				if ch.obsE != nil {
+					ch.obsE.Consumed.Add(int64(j + 1))
 				}
+				return true
 			}
 			committed++
 			lastSeq = m.seq
@@ -737,7 +760,7 @@ func (s *state) stepSourceRun(nd *node) bool {
 		}
 	}
 	for j := 0; j < nd.batch; j++ {
-		payload, ok, err := s.cfg.Source(s.cfg.Ctx)
+		payload, ok, err := s.pull()
 		if err != nil {
 			commit()
 			s.fail("source error", fmt.Errorf("sim: source: %w", err))
@@ -811,8 +834,11 @@ func (s *state) emit(nd *node, seq uint64, haveData bool) {
 	}
 	if haveData && len(nd.out) == 0 {
 		s.res.SinkData++
-		if s.obsS != nil {
-			s.obsS.SinkMsgs.Add(1)
+		if int64(seq) > s.sinkHW {
+			s.sinkHW = int64(seq)
+			if s.obsS != nil {
+				s.obsS.SinkMsgs.Add(1)
+			}
 		}
 	}
 	for i, e := range nd.out {
@@ -844,20 +870,35 @@ func (s *state) emitKernel(nd *node, seq uint64, anyData bool) {
 			nd.obsN.Firings.Add(1)
 		}
 		if len(nd.out) == 0 {
-			s.res.SinkData++
-			if s.obsS != nil {
-				s.obsS.SinkMsgs.Add(1)
-			}
-			if s.cfg.Sink != nil {
-				if err := s.cfg.Sink(s.cfg.Ctx, seq, stream.SinkPayload(nd.ins, outs)); err != nil {
-					s.fail("sink error", fmt.Errorf("sim: sink: %w", err))
-					return
-				}
+			if err := s.sinkDeliver(seq, nd.ins, outs); err != nil {
+				s.fail("sink error", fmt.Errorf("sim: sink: %w", err))
+				return
 			}
 		}
 	}
 	s.deliverKernel(nd, seq, outs)
 	s.trace(nd, seq, anyData)
+}
+
+// sinkDeliver records one data-carrying sink firing and delivers its
+// payload to the session's Sink exactly once: after a fault rollback,
+// re-executed firings at or below the delivered high-water mark are
+// suppressed (sink firings arrive in ascending sequence order, so the
+// mark is exact).  Without faults the mark just trails the sequence and
+// the path is identical to direct delivery.
+func (s *state) sinkDeliver(seq uint64, ins []stream.Input, outs map[int]any) error {
+	s.res.SinkData++
+	if int64(seq) <= s.sinkHW {
+		return nil
+	}
+	s.sinkHW = int64(seq)
+	if s.obsS != nil {
+		s.obsS.SinkMsgs.Add(1)
+	}
+	if s.cfg.Sink != nil {
+		return s.cfg.Sink(s.cfg.Ctx, seq, stream.SinkPayload(ins, outs))
+	}
+	return nil
 }
 
 // deliverKernel queues one kernel-mode firing's messages: data where the

@@ -51,6 +51,10 @@ import (
 // failure recorded against sessions still active when Close runs.
 var ErrEngineClosed = errors.New("stream: engine closed")
 
+// ErrEngineDraining is returned by Engine.Open while a Drain is in
+// progress (or after one completed).
+var ErrEngineDraining = errors.New("stream: engine draining")
+
 // SessionConfig parameterizes one Engine.Open.
 type SessionConfig struct {
 	// ID tags the session's protocol messages; the caller (the public
@@ -97,11 +101,43 @@ type Engine struct {
 	// (a superset of sessions: end() unregisters before the abort acks
 	// finish).  Close force-resolves them once the node loops are gone,
 	// so an end() racing Close's mailbox teardown cannot strand a Wait.
-	undone map[proto.SessionID]*EngineSession
-	closed bool
+	undone   map[proto.SessionID]*EngineSession
+	closed   bool
+	draining bool
 
 	stop chan struct{}
 	wg   sync.WaitGroup
+}
+
+// Drain stops admitting sessions (Open returns ErrEngineDraining) and
+// waits for the in-flight ones to resolve, or for ctx.  It does not
+// close the engine; callers Close after a successful drain.
+func (e *Engine) Drain(ctx context.Context) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrEngineClosed
+	}
+	e.draining = true
+	e.mu.Unlock()
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		e.mu.Lock()
+		n := len(e.undone)
+		e.mu.Unlock()
+		if n == 0 {
+			if m := e.cfg.Obs; m != nil {
+				m.Faults().Drains.Add(1)
+			}
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
 }
 
 // NewEngine spins up the resident node loops for g.  The Config fields
@@ -277,6 +313,11 @@ func (e *Engine) Open(cfg SessionConfig) (*EngineSession, error) {
 		e.mu.Unlock()
 		cancel()
 		return nil, ErrEngineClosed
+	}
+	if e.draining {
+		e.mu.Unlock()
+		cancel()
+		return nil, ErrEngineDraining
 	}
 	if _, dup := e.sessions[ses.id]; dup {
 		e.mu.Unlock()

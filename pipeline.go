@@ -40,6 +40,16 @@ type Pipeline struct {
 	nodeBatch map[string]int // per-stage Batch marks, keyed by original node name
 	obs       *Observer      // telemetry collector; nil (the default) compiles instrumentation out
 
+	// Fault-tolerance configuration (see fault.go).
+	retry      RetryPolicy
+	dlq        DeadLetterSink
+	hbInterval time.Duration
+	hbMiss     int
+	restart    bool
+	faults     []FaultInjection
+	ckptEvery  int64
+	faultParts map[string]string // simulator fault domains, by node name
+
 	// Flow-compiled pipelines carry the shared runtime type-error slot
 	// and the per-Run reset hooks (stateful stage state, see stage.go);
 	// both are nil/empty for hand-wired pipelines.
@@ -73,6 +83,14 @@ type buildConfig struct {
 	routing    Filter
 	avoidance  bool
 	observer   *Observer
+	retry      RetryPolicy
+	dlq        DeadLetterSink
+	hbInterval time.Duration
+	hbMiss     int
+	restart    bool
+	faults     []FaultInjection
+	ckptEvery  int64
+	faultParts map[string]string
 	err        error // first option error; reported by Build
 }
 
@@ -236,6 +254,9 @@ func Build(t *Topology, opts ...Option) (*Pipeline, error) {
 		backend: cfg.backend, alg: cfg.alg,
 		watchdog: cfg.watchdog, avoidance: cfg.avoidance,
 		maxBatch: cfg.maxBatch,
+		retry:    cfg.retry, dlq: cfg.dlq,
+		hbInterval: cfg.hbInterval, hbMiss: cfg.hbMiss, restart: cfg.restart,
+		faults: cfg.faults, ckptEvery: cfg.ckptEvery, faultParts: cfg.faultParts,
 	}
 	if len(cfg.plan) > 0 {
 		rep, err := Replicate(t, cfg.plan)

@@ -66,6 +66,12 @@ func (c *countingSource) NextSpan(_ context.Context, buf []any) (int, bool, erro
 	return k, c.next >= c.n, nil
 }
 
+// Rewind implements ReplayableSource: the count restarts at zero.
+func (c *countingSource) Rewind() error {
+	c.next = 0
+	return nil
+}
+
 // sliceSource implements SpanSource for SliceSource.
 type sliceSource struct {
 	payloads []any
@@ -85,6 +91,13 @@ func (s *sliceSource) NextSpan(_ context.Context, buf []any) (int, bool, error) 
 	k := copy(buf, s.payloads[s.i:])
 	s.i += k
 	return k, s.i >= len(s.payloads), nil
+}
+
+// Rewind implements ReplayableSource: ingestion restarts at the first
+// payload.
+func (s *sliceSource) Rewind() error {
+	s.i = 0
+	return nil
 }
 
 // ChannelSource ingests payloads from ch until it is closed.  A blocked
