@@ -17,6 +17,8 @@
 //	          [-cpuprofile cpu.out] [-memprofile mem.out] [-blockprofile block.out]
 //	benchtopo -family fault [-kill-worker w1] [-kill-step 1000]
 //	          [-replicate 1,2,4] [-batch 1] [-inputs 20000] [-json BENCH_fault.json]
+//	benchtopo -family scale [-spike-at 2000] [-spike-len 4000] [-inputs 8000]
+//	          [-replicate 1,2,4] [-cost 100] [-json BENCH_scale.json]
 //
 // The throughput family runs a three-stage pipeline gen → work → out on
 // the goroutine runtime with the Propagation protocol, expanding the hot
@@ -53,6 +55,19 @@
 // timing how long until deliveries resume.  Records land in
 // BENCH_fault.json, including an exactly-once verdict for the retried
 // stream.
+//
+// The scale family measures elastic replication (WithAutoscale): the
+// gen → work → out shape serves a stream of request sessions over one
+// resident engine, paced gently until message -spike-at, flooding for
+// the next -spike-len messages, then paced again — so the autoscaler
+// must detect the hot "work" node, scale it out toward the largest
+// -replicate value, and scale back down after the burst.  The record in
+// BENCH_scale.json carries time-to-scale (first spike delivery to the
+// first applied scale-up), throughput before/during/after the spike,
+// recovered throughput (the spike's tail, after the last scale-up
+// landed) against an equivalent static-k baseline run, and an
+// exactly-once verdict; the run exits non-zero if any message was
+// dropped or duplicated, or if no scale-up happened at all.
 package main
 
 import (
@@ -94,6 +109,8 @@ func main() {
 	jsonOut := flag.String("json", "", "write throughput records as JSON to this file (- for stdout)")
 	killWorker := flag.String("kill-worker", "w1", "fault family: name of the distributed worker to kill (w0=source, w1=hot stage, w2=sink)")
 	killStep := flag.Int("kill-step", 1000, "fault family: kill the worker after this many sink deliveries")
+	spikeAt := flag.Uint64("spike-at", 2000, "scale family: message index where the load spike begins")
+	spikeLen := flag.Uint64("spike-len", 4000, "scale family: number of flood-rate messages in the spike")
 	metrics := flag.Bool("metrics", false, "attach an Observer to each throughput run and print its final Snapshot as JSON alongside the bench line (throughput family; skipped for the legacy api)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -144,6 +161,8 @@ func main() {
 		runThroughput(*api, *replicate, *sessions, *stage, *cost, *inputs, *batch, *backend, *reps, *jsonOut, *metrics)
 	case "fault":
 		runFault(*killWorker, *killStep, *replicate, *stage, *cost, *inputs, *batch, *jsonOut)
+	case "scale":
+		runScale(*replicate, *stage, *cost, *inputs, *spikeAt, *spikeLen, *jsonOut)
 	default:
 		fmt.Fprintf(os.Stderr, "benchtopo: unknown family %q\n", *family)
 		os.Exit(2)
@@ -247,29 +266,38 @@ func runThroughput(api, replicate, sessions, stage string, cost int, inputs uint
 						// batches, and the fastest repetition is the least-noisy
 						// estimate of each mode's attainable throughput.
 						var rec throughputRecord
-						var recObs *streamdag.Observer
-						for r := 0; r < reps; r++ {
-							// A fresh Observer per repetition, so the snapshot
-							// printed next to the bench line covers exactly the
-							// winning repetition's traffic.
-							var obs *streamdag.Observer
-							if metrics && a != "legacy" {
-								obs = streamdag.NewObserver()
-							}
-							var cand throughputRecord
-							switch a {
-							case "pipeline":
-								cand = runPipelineAPI(k, n, b, be, hot, stage, desc, inputs, obs)
-							case "typed":
-								cand = runTypedAPI(k, n, b, be, hotTyped, stage, desc, inputs, obs)
-							case "engine":
-								cand = runEngineAPI(k, n, b, be, hot, stage, desc, inputs, obs)
-							default:
-								cand = runPipeline(k, n, hot, stage, desc, inputs)
-							}
-							if r == 0 || cand.MsgsPerSec > rec.MsgsPerSec {
-								rec = cand
-								recObs = obs
+						var recSnap *streamdag.Snapshot
+						if a == "engine" {
+							// The engine api holds one resident engine across
+							// every repetition — the point of the mode is
+							// amortization, so best-of-reps must measure steady
+							// state, not compile and (on the distributed backend)
+							// TCP dial latency paid once per rep.
+							rec, recSnap = runEngineCell(k, n, b, be, hot, stage, desc, inputs, reps, metrics)
+						} else {
+							for r := 0; r < reps; r++ {
+								// A fresh Observer per repetition, so the snapshot
+								// printed next to the bench line covers exactly the
+								// winning repetition's traffic.
+								var obs *streamdag.Observer
+								if metrics && a != "legacy" {
+									obs = streamdag.NewObserver()
+								}
+								var cand throughputRecord
+								switch a {
+								case "pipeline":
+									cand = runPipelineAPI(k, n, b, be, hot, stage, desc, inputs, obs)
+								case "typed":
+									cand = runTypedAPI(k, n, b, be, hotTyped, stage, desc, inputs, obs)
+								default:
+									cand = runPipeline(k, n, hot, stage, desc, inputs)
+								}
+								if r == 0 || cand.MsgsPerSec > rec.MsgsPerSec {
+									rec = cand
+									if obs != nil {
+										recSnap = obs.Snapshot()
+									}
+								}
 							}
 						}
 						records = append(records, rec)
@@ -277,8 +305,8 @@ func runThroughput(api, replicate, sessions, stage string, cost int, inputs uint
 							rec.Topology, rec.Backend, rec.API, rec.Algorithm, rec.Stage, rec.Replicate,
 							rec.Sessions, rec.Batch, rec.Inputs, rec.ElapsedSec, rec.MsgsPerSec, rec.DataMsgs,
 							rec.DummyMsgs, rec.DummyOverheadPct)
-						if recObs != nil {
-							snap, err := json.Marshal(recObs.Snapshot())
+						if recSnap != nil {
+							snap, err := json.Marshal(recSnap)
 							if err != nil {
 								fatal(err)
 							}
@@ -565,16 +593,49 @@ func runPipelineAPI(k, n, batch int, backend string, hot streamdag.Kernel, stage
 	return makeThroughputRecord("pipeline", backend, k, n, batch, stage, desc, inputs, agg, time.Since(start))
 }
 
-// runEngineAPI serves the n streams as concurrent sessions over one
-// resident engine: compile once, spin the workers once, then each
-// stream costs a session.
-func runEngineAPI(k, n, batch int, backend string, hot streamdag.Kernel, stage, desc string, inputs uint64, obs *streamdag.Observer) throughputRecord {
+// runEngineCell serves the engine api's repetitions over ONE resident
+// engine: compile once, spin the workers (and, on the distributed
+// backend, the TCP mesh) up once, then each repetition costs only its n
+// concurrent sessions.  Per-repetition metrics come from Snapshot.Delta
+// against the repetition's opening snapshot, since the engine-lifetime
+// Observer accumulates across repetitions.
+func runEngineCell(k, n, batch int, backend string, hot streamdag.Kernel, stage, desc string, inputs uint64, reps int, metrics bool) (throughputRecord, *streamdag.Snapshot) {
+	var obs *streamdag.Observer
+	if metrics {
+		obs = streamdag.NewObserver()
+	}
 	pipe := hotstagePipeline(k, batch, backend, hot, obs)
-	start := time.Now()
 	eng, err := pipe.Engine()
 	if err != nil {
 		fatal(err)
 	}
+	var best throughputRecord
+	var bestSnap *streamdag.Snapshot
+	for r := 0; r < reps; r++ {
+		var pre *streamdag.Snapshot
+		if obs != nil {
+			pre = obs.Snapshot()
+		}
+		agg, elapsed := runEngineSessions(eng, n, inputs)
+		cand := makeThroughputRecord("engine", backend, k, n, batch, stage, desc, inputs, agg, elapsed)
+		if r == 0 || cand.MsgsPerSec > best.MsgsPerSec {
+			best = cand
+			if obs != nil {
+				bestSnap = obs.Snapshot().Delta(pre)
+			}
+		}
+	}
+	if err := eng.Close(); err != nil {
+		fatal(err)
+	}
+	return best, bestSnap
+}
+
+// runEngineSessions streams n concurrent sessions of `inputs` each over
+// the resident engine and returns the aggregate traffic and wall-clock
+// time — one engine-api repetition.
+func runEngineSessions(eng *streamdag.Engine, n int, inputs uint64) (aggStats, time.Duration) {
+	start := time.Now()
 	var (
 		wg  sync.WaitGroup
 		mu  sync.Mutex
@@ -609,10 +670,7 @@ func runEngineAPI(k, n, batch int, backend string, hot streamdag.Kernel, stage, 
 			fatal(err)
 		}
 	}
-	if err := eng.Close(); err != nil {
-		fatal(err)
-	}
-	return makeThroughputRecord("engine", backend, k, n, batch, stage, desc, inputs, agg, time.Since(start))
+	return agg, time.Since(start)
 }
 
 func fatal(err error) {
@@ -929,5 +987,399 @@ func runFault(worker string, killStep int, replicate, stage string, cost int, in
 	}
 	if err := os.WriteFile(jsonOut, enc, 0o644); err != nil {
 		fatal(err)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Scale family: elastic-replication benchmark.  A resident engine with
+// WithAutoscale serves a stream of request sessions whose arrival rate
+// spikes mid-run; the autoscaler must notice the hot stage, scale it
+// out, and scale back down after the burst.  The record seeds
+// BENCH_scale.json.
+
+// scaleRecord is one machine-readable elasticity measurement.
+type scaleRecord struct {
+	Topology         string  `json:"topology"`
+	Backend          string  `json:"backend"`
+	Stage            string  `json:"stage"`
+	StageCost        string  `json:"stage_cost"`
+	MinK             int     `json:"min_k"`
+	MaxK             int     `json:"max_k"`
+	Inputs           uint64  `json:"inputs"`
+	SpikeAt          uint64  `json:"spike_at"`
+	SpikeLen         uint64  `json:"spike_len"`
+	ScaleUps         int     `json:"scale_ups"`
+	ScaleDowns       int     `json:"scale_downs"`
+	FinalK           int     `json:"final_k"`
+	TimeToScaleSec   float64 `json:"time_to_scale_sec"`
+	BeforeMsgsSec    float64 `json:"throughput_before_msgs_sec"`
+	DuringMsgsSec    float64 `json:"throughput_during_msgs_sec"`
+	AfterMsgsSec     float64 `json:"throughput_after_msgs_sec"`
+	RecoveredMsgsSec float64 `json:"throughput_recovered_msgs_sec"`
+	StaticMsgsSec    float64 `json:"throughput_static_k_msgs_sec"`
+	RecoveredRatio   float64 `json:"recovered_vs_static"`
+	Delivered        int64   `json:"delivered"`
+	Dropped          int64   `json:"dropped"`
+	DeliveredOnce    bool    `json:"delivered_exactly_once"`
+}
+
+// pacedSource emits 0..n-1 with a fixed gap before each payload — the
+// quiet request rate the spike phases contrast against.
+type pacedSource struct {
+	next, n uint64
+	gap     time.Duration
+}
+
+func (s *pacedSource) Next(ctx context.Context) (any, bool, error) {
+	if s.next >= s.n {
+		return nil, false, nil
+	}
+	v := s.next
+	s.next++
+	select {
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	case <-time.After(s.gap):
+	}
+	return v, true, nil
+}
+
+// ascSink counts one session's deliveries and verifies exactly-once:
+// sequence numbers must stay strictly ascending.
+type ascSink struct {
+	count   int64
+	lastSeq int64
+	dup     bool
+}
+
+func (s *ascSink) Emit(_ context.Context, seq uint64, _ any) error {
+	if int64(seq) <= s.lastSeq {
+		s.dup = true
+	}
+	s.lastSeq = int64(seq)
+	s.count++
+	return nil
+}
+
+// scaleBatch is the scale family's per-session request size: small
+// enough that fresh sessions — which land on the newest engine
+// generation, at the newest k — start many times per phase, large
+// enough that session setup stays in the noise and, crucially, larger
+// than the channel capacity, so a flood session cannot execute as one
+// giant vectorized span whose service time lands on a single detector
+// sample.
+const scaleBatch = 200
+
+// batchMark times one spike-phase session for the recovered-throughput
+// window (the spike's tail, after the last scale-up landed).
+type batchMark struct {
+	start, end time.Time
+	count      int64
+}
+
+// serveResult aggregates one engine's pass over the three-phase
+// workload.
+type serveResult struct {
+	phaseStart, phaseEnd [3]time.Time
+	phaseMsgs            [3]int64
+	spikeMarks           []batchMark
+	delivered, dropped   int64
+	dup                  bool
+}
+
+// throughput is msgs/sec over one phase's wall-clock span.
+func (r *serveResult) throughput(ph int) float64 {
+	span := r.phaseEnd[ph].Sub(r.phaseStart[ph]).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return float64(r.phaseMsgs[ph]) / span
+}
+
+// serveScaleLoad streams the three-phase workload — paced, flood,
+// paced — as sessions of scaleBatch messages each, keeping two sessions
+// in flight.  The overlap matters: sessions serve out their life on the
+// generation they opened on, so with strictly serial requests a freshly
+// swapped generation would sit idle for a whole session while its
+// predecessor drains — long enough to feed the detector an all-idle
+// window and flap the scale right back.  With the next request already
+// open, the current generation is never quiet for more than half a
+// session.
+func serveScaleLoad(eng *streamdag.Engine, inputs, spikeAt, spikeLen uint64, gap time.Duration) serveResult {
+	var res serveResult
+	phaseOf := func(i uint64) int {
+		switch {
+		case i < spikeAt:
+			return 0
+		case i < spikeAt+spikeLen:
+			return 1
+		default:
+			return 2
+		}
+	}
+	type pending struct {
+		ses  *streamdag.Session
+		sink *ascSink
+		ph   int
+		n    uint64
+		t0   time.Time
+	}
+	finish := func(p pending) {
+		if _, err := p.ses.Wait(); err != nil {
+			fatal(err)
+		}
+		t1 := time.Now()
+		res.phaseEnd[p.ph] = t1
+		res.phaseMsgs[p.ph] += p.sink.count
+		res.delivered += p.sink.count
+		res.dropped += int64(p.n) - p.sink.count
+		if p.sink.dup {
+			res.dup = true
+		}
+		if p.ph == 1 {
+			res.spikeMarks = append(res.spikeMarks, batchMark{p.t0, t1, p.sink.count})
+		}
+	}
+	var q []pending
+	for off := uint64(0); off < inputs; off += scaleBatch {
+		n := min(uint64(scaleBatch), inputs-off)
+		ph := phaseOf(off)
+		var src streamdag.Source
+		if ph == 1 {
+			src = streamdag.CountingSource(n)
+		} else {
+			src = &pacedSource{n: n, gap: gap}
+		}
+		sink := &ascSink{lastSeq: -1}
+		t0 := time.Now()
+		if res.phaseStart[ph].IsZero() {
+			res.phaseStart[ph] = t0
+		}
+		ses, err := eng.Open(context.Background(), src, sink)
+		if err != nil {
+			fatal(err)
+		}
+		q = append(q, pending{ses, sink, ph, n, t0})
+		if len(q) == 2 {
+			finish(q[0])
+			q = q[1:]
+		}
+	}
+	for _, p := range q {
+		finish(p)
+	}
+	return res
+}
+
+// runScale measures one elasticity trace: quiet → flood → quiet over a
+// resident autoscaled engine, then the same workload over a static
+// engine pinned at the elastic Max for the recovered-throughput
+// comparison.  Exits non-zero if any message was dropped or duplicated
+// or no scale-up happened.
+func runScale(replicate, stage string, cost int, inputs, spikeAt, spikeLen uint64, jsonOut string) {
+	maxK := 1
+	for _, part := range strings.Split(replicate, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || k < 1 {
+			fmt.Fprintf(os.Stderr, "benchtopo: bad -replicate %q\n", part)
+			os.Exit(2)
+		}
+		if k > maxK {
+			maxK = k
+		}
+	}
+	if maxK < 2 {
+		fmt.Fprintln(os.Stderr, "benchtopo: scale family needs a -replicate value >= 2 (the elastic Max)")
+		os.Exit(2)
+	}
+	if spikeAt+spikeLen > inputs {
+		fmt.Fprintf(os.Stderr, "benchtopo: -spike-at %d + -spike-len %d exceeds -inputs %d\n", spikeAt, spikeLen, inputs)
+		os.Exit(2)
+	}
+	hot, desc := stageKernel(stage, cost)
+	// The quiet phases pace one request per 3×cost, so the hot stage
+	// idles well under the scale-down threshold even at k=1, while the
+	// flood phase saturates it.
+	gap := 3 * time.Duration(cost) * time.Microsecond
+	if jsonOut == "" {
+		jsonOut = "BENCH_scale.json"
+	}
+	csv := os.Stdout
+	if jsonOut == "-" {
+		csv = os.Stderr
+	}
+
+	build := func(extra ...streamdag.Option) *streamdag.Pipeline {
+		topo := streamdag.NewTopology()
+		// 64-deep channels bound the hot stage's vectorized spans to a
+		// few milliseconds of service time each, so the detector's
+		// sampling windows see utilization accrue smoothly instead of in
+		// session-sized lumps.
+		topo.Channel("gen", "work", 64)
+		topo.Channel("work", "out", 64)
+		opts := []streamdag.Option{
+			streamdag.WithAlgorithm(streamdag.Propagation),
+			streamdag.WithKernel("work", hot),
+			streamdag.WithWatchdog(30 * time.Second),
+		}
+		pipe, err := streamdag.Build(topo, append(opts, extra...)...)
+		if err != nil {
+			fatal(err)
+		}
+		return pipe
+	}
+
+	type scaleEvt struct {
+		at time.Time
+		ev streamdag.ScaleEvent
+	}
+	var (
+		evMu   sync.Mutex
+		events []scaleEvt
+	)
+	// Window and cooldown span several request sessions, so the brief
+	// idle gap after each generation swap (sessions drain on the old
+	// generation; the new one serves from the next Open) cannot dominate
+	// a verdict; DownUtil sits under 1/maxK so a box with fewer cores
+	// than replicas does not flap between scale-out and scale-in
+	// mid-spike.
+	pipe := build(streamdag.WithAutoscale(streamdag.ScalePolicy{
+		Interval:        20 * time.Millisecond,
+		Window:          4,
+		UpUtil:          0.80,
+		DownUtil:        0.15,
+		CooldownSamples: 8,
+		DrainTimeout:    5 * time.Second,
+		Nodes:           map[string]streamdag.Elastic{"work": {Min: 1, Max: maxK}},
+		OnEvent: func(ev streamdag.ScaleEvent) {
+			evMu.Lock()
+			events = append(events, scaleEvt{time.Now(), ev})
+			evMu.Unlock()
+		},
+	}))
+	eng, err := pipe.Engine()
+	if err != nil {
+		fatal(err)
+	}
+	auto := serveScaleLoad(eng, inputs, spikeAt, spikeLen, gap)
+	finalK := eng.ScaleStatus().Plan["work"]
+	if finalK == 0 {
+		finalK = 1
+	}
+	if err := eng.Close(); err != nil {
+		fatal(err)
+	}
+
+	evMu.Lock()
+	evs := append([]scaleEvt{}, events...)
+	evMu.Unlock()
+	ups, downs := 0, 0
+	var firstUp, lastUp time.Time
+	for _, e := range evs {
+		if e.ev.Err != nil || !e.ev.Auto {
+			continue
+		}
+		if e.ev.ToK > e.ev.FromK {
+			ups++
+			// Time-to-scale measures the spike response: the first
+			// scale-up at or after the flood began.
+			if firstUp.IsZero() && !e.at.Before(auto.phaseStart[1]) {
+				firstUp = e.at
+			}
+			lastUp = e.at
+		} else {
+			downs++
+		}
+	}
+
+	// Recovered throughput: the spike sessions that ran entirely after
+	// the last scale-up landed — the steady state the autoscaler reached.
+	recovered := auto.throughput(1)
+	if !lastUp.IsZero() {
+		var msgs int64
+		var from, to time.Time
+		for _, m := range auto.spikeMarks {
+			if !m.start.Before(lastUp) {
+				if from.IsZero() {
+					from = m.start
+				}
+				to = m.end
+				msgs += m.count
+			}
+		}
+		if msgs > 0 && to.Sub(from).Seconds() > 0 {
+			recovered = float64(msgs) / to.Sub(from).Seconds()
+		}
+	}
+
+	// The static baseline: same workload, the hot stage pinned at the
+	// elastic Max from Build time — what the spike phase converges to.
+	staticPipe := build(streamdag.WithReplication(streamdag.ReplicationPlan{"work": maxK}))
+	staticEng, err := staticPipe.Engine()
+	if err != nil {
+		fatal(err)
+	}
+	static := serveScaleLoad(staticEng, inputs, spikeAt, spikeLen, gap)
+	if err := staticEng.Close(); err != nil {
+		fatal(err)
+	}
+
+	rec := scaleRecord{
+		Topology:      "hotstage",
+		Backend:       "runtime",
+		Stage:         stage,
+		StageCost:     desc,
+		MinK:          1,
+		MaxK:          maxK,
+		Inputs:        inputs,
+		SpikeAt:       spikeAt,
+		SpikeLen:      spikeLen,
+		ScaleUps:      ups,
+		ScaleDowns:    downs,
+		FinalK:        finalK,
+		BeforeMsgsSec: auto.throughput(0),
+		DuringMsgsSec: auto.throughput(1),
+		AfterMsgsSec:  auto.throughput(2),
+
+		RecoveredMsgsSec: recovered,
+		StaticMsgsSec:    static.throughput(1),
+		Delivered:        auto.delivered,
+		Dropped:          auto.dropped,
+		DeliveredOnce:    !auto.dup && auto.dropped == 0,
+	}
+	if !firstUp.IsZero() {
+		rec.TimeToScaleSec = firstUp.Sub(auto.phaseStart[1]).Seconds()
+	}
+	if rec.StaticMsgsSec > 0 {
+		rec.RecoveredRatio = rec.RecoveredMsgsSec / rec.StaticMsgsSec
+	}
+
+	fmt.Fprintln(csv, "topology,backend,min_k,max_k,inputs,spike_at,spike_len,scale_ups,scale_downs,final_k,time_to_scale_sec,before_msgs_sec,during_msgs_sec,after_msgs_sec,recovered_msgs_sec,static_msgs_sec,recovered_vs_static,dropped,exactly_once")
+	fmt.Fprintf(csv, "%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%.4f,%.1f,%.1f,%.1f,%.1f,%.1f,%.3f,%d,%v\n",
+		rec.Topology, rec.Backend, rec.MinK, rec.MaxK, rec.Inputs, rec.SpikeAt, rec.SpikeLen,
+		rec.ScaleUps, rec.ScaleDowns, rec.FinalK, rec.TimeToScaleSec, rec.BeforeMsgsSec,
+		rec.DuringMsgsSec, rec.AfterMsgsSec, rec.RecoveredMsgsSec, rec.StaticMsgsSec,
+		rec.RecoveredRatio, rec.Dropped, rec.DeliveredOnce)
+	for _, e := range evs {
+		fmt.Fprintf(csv, "# scale event %s %d->%d auto=%v err=%v reason=%q\n",
+			e.ev.Node, e.ev.FromK, e.ev.ToK, e.ev.Auto, e.ev.Err, e.ev.Reason)
+	}
+
+	enc, err := json.MarshalIndent([]scaleRecord{rec}, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if jsonOut == "-" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(jsonOut, enc, 0o644); err != nil {
+		fatal(err)
+	}
+
+	if !rec.DeliveredOnce {
+		fatal(fmt.Errorf("scale family: delivery not exactly-once (dropped=%d dup=%v)", rec.Dropped, auto.dup))
+	}
+	if ups == 0 {
+		fatal(fmt.Errorf("scale family: the load spike triggered no scale-up"))
 	}
 }

@@ -53,15 +53,45 @@ var ErrEngineClosed = errors.New("streamdag: engine closed")
 // Simulator backend, concurrent sessions additionally require
 // non-blocking Sources and Sinks (see Simulator).
 type Engine struct {
-	p    *Pipeline
-	impl backendEngine
-
 	mu       sync.Mutex
+	p        *Pipeline // the CURRENT generation's pipeline (rescales swap it)
+	cur      *engineGen
+	old      []*engineGen // retired generations still draining sessions
 	nextID   uint64
 	active   int
 	sessions map[SessionID]*Session
 	closed   bool
 	draining bool
+
+	scaleMu sync.Mutex // serializes rescales (manual and automatic)
+	ctl     *scaleController
+}
+
+// engineGen is one resident backend runtime serving one compiled
+// replication plan.  A live rescale starts a new generation and retires
+// the old one: new Opens land on the new runtime while the old one's
+// sessions drain (bounded by the policy's drain deadline), after which
+// its workers shut down.  Without autoscaling an Engine is exactly one
+// generation for its whole life.
+type engineGen struct {
+	seq  int
+	pipe *Pipeline
+	impl backendEngine
+
+	// Guarded by Engine.mu.
+	active      int  // sessions still owned by this generation
+	retired     bool // no longer Engine.cur
+	drainedDone bool // drained has been closed
+
+	drained   chan struct{} // closed when a retired generation empties
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// closeImpl shuts the generation's backend runtime down exactly once.
+func (g *engineGen) closeImpl() error {
+	g.closeOnce.Do(func() { g.closeErr = g.impl.close() })
+	return g.closeErr
 }
 
 // Engine starts the pipeline's resident runtime on its backend and
@@ -71,11 +101,33 @@ func (p *Pipeline) Engine() (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{p: p, impl: impl, nextID: 1, sessions: make(map[SessionID]*Session)}, nil
+	g := &engineGen{seq: 1, pipe: p, impl: impl, drained: make(chan struct{})}
+	e := &Engine{p: p, cur: g, nextID: 1, sessions: make(map[SessionID]*Session)}
+	if p.scale != nil {
+		e.ctl = newScaleController(e)
+		e.ctl.start()
+	}
+	return e, nil
 }
 
-// Pipeline returns the compiled pipeline the engine serves.
-func (e *Engine) Pipeline() *Pipeline { return e.p }
+// Pipeline returns the compiled pipeline the engine currently serves —
+// under autoscaling, the latest generation's (its Replication and
+// Topology reflect live rescales).
+func (e *Engine) Pipeline() *Pipeline { return e.pipe() }
+
+// pipe returns the current generation's pipeline.
+func (e *Engine) pipe() *Pipeline {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.p
+}
+
+// curGen returns the current generation.
+func (e *Engine) curGen() *engineGen {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cur
+}
 
 // Open starts one logical stream: payloads pulled from source flow
 // through the shared topology under the session's own dummy protocol
@@ -118,10 +170,17 @@ func (e *Engine) Open(ctx context.Context, source Source, sink Sink) (*Session, 
 		}
 	}
 	e.active++
+	g := e.cur
+	g.active++
 	id := SessionID(e.nextID)
 	e.nextID++
 	sctx, cancel := context.WithCancel(ctx)
-	s := &Session{id: id, eng: e, parent: ctx, cancel: cancel, pubDone: make(chan struct{})}
+	s := &Session{id: id, eng: e, gen: g, parent: ctx, cancel: cancel, pubDone: make(chan struct{})}
+	if g.pipe.retry.Attempts() > 1 {
+		// Armed before the session is visible in e.sessions, so a drain
+		// deadline always finds the migration handle.
+		s.rc = &retryCtl{}
+	}
 	// Registered before the backend opens, so a concurrent Close always
 	// sees (and cancels) this session.
 	e.sessions[id] = s
@@ -129,10 +188,10 @@ func (e *Engine) Open(ctx context.Context, source Source, sink Sink) (*Session, 
 
 	var bs backendSession
 	var err error
-	if e.p.retry.Attempts() > 1 {
-		bs, err = e.openRetrying(sctx, id, source, sink)
+	if g.pipe.retry.Attempts() > 1 {
+		bs, err = e.openRetrying(s, sctx, id, source, sink)
 	} else {
-		bs, err = e.impl.open(sctx, id, source, sink)
+		bs, err = g.impl.open(sctx, id, source, sink)
 	}
 	if err != nil {
 		cancel()
@@ -156,6 +215,11 @@ func (e *Engine) Open(ctx context.Context, source Source, sink Sink) (*Session, 
 // resident workers; idempotent.  The Pipeline stays valid: a fresh
 // Engine (or Run) can follow.
 func (e *Engine) Close() error {
+	// The controller goes first so no rescale starts a fresh generation
+	// under a closing engine (idempotent; safe before the closed check).
+	if e.ctl != nil {
+		e.ctl.stop()
+	}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -166,6 +230,9 @@ func (e *Engine) Close() error {
 	for _, s := range e.sessions {
 		active = append(active, s)
 	}
+	gens := append([]*engineGen{}, e.old...)
+	cur := e.cur
+	gens = append(gens, cur)
 	e.mu.Unlock()
 	// Cancel sessions first: the simulator's scheduler may be parked
 	// inside a session's blocking Source/Sink callback, and cancellation
@@ -173,7 +240,10 @@ func (e *Engine) Close() error {
 	for _, s := range active {
 		s.cancel()
 	}
-	return e.impl.close()
+	for _, g := range gens {
+		g.closeImpl()
+	}
+	return cur.closeErr
 }
 
 func (e *Engine) isClosed() bool {
@@ -186,11 +256,14 @@ func (e *Engine) isClosed() bool {
 type Session struct {
 	id      SessionID
 	eng     *Engine
+	gen     *engineGen // generation whose runtime serves the session (e.mu)
 	bs      backendSession
 	parent  context.Context
 	cancel  context.CancelFunc
 	pubDone chan struct{}
 	userCxl atomic.Bool
+	evicted atomic.Bool // cancelled by a drain deadline, not by the user
+	rc      *retryCtl   // non-nil on retry-armed sessions (see fault.go)
 	relOnce sync.Once
 	slotErr *StageTypeError
 }
@@ -203,14 +276,39 @@ type Session struct {
 // capture happens-before any clear and Wait cannot lose the error.
 func (s *Session) release() {
 	s.relOnce.Do(func() {
-		if s.eng.p.flowSlot != nil {
-			s.slotErr = s.eng.p.flowSlot.load()
+		e := s.eng
+		// The slot is shared across generations (withPlan copies the
+		// pointer), so any generation's handle reads the same error.
+		if slot := e.pipe().flowSlot; slot != nil {
+			s.slotErr = slot.load()
 		}
-		s.eng.mu.Lock()
-		s.eng.active--
-		delete(s.eng.sessions, s.id)
-		s.eng.mu.Unlock()
+		e.mu.Lock()
+		e.active--
+		delete(e.sessions, s.id)
+		e.releaseGenLocked(s.gen)
+		e.mu.Unlock()
 	})
+}
+
+// releaseGenLocked retires one session from its generation's
+// accounting; when a retired generation's last session leaves, its
+// drain gate opens and it drops off the engine's books.  Caller holds
+// e.mu.
+func (e *Engine) releaseGenLocked(g *engineGen) {
+	if g == nil {
+		return
+	}
+	g.active--
+	if g.retired && g.active <= 0 && !g.drainedDone {
+		g.drainedDone = true
+		close(g.drained)
+		for i, o := range e.old {
+			if o == g {
+				e.old = append(e.old[:i], e.old[i+1:]...)
+				break
+			}
+		}
+	}
 }
 
 // ID returns the session's id — the tag its protocol messages carry,
@@ -245,6 +343,10 @@ func (s *Session) Wait() (*RunStats, error) {
 			errors.Is(err, sim.ErrEngineClosed),
 			errors.Is(err, dist.ErrEngineClosed):
 			err = ErrEngineClosed
+		case errors.Is(err, context.Canceled) && s.evicted.Load():
+			// A retired generation's drain deadline cancelled the session
+			// (no retry policy to migrate it under).
+			err = ErrSessionEvicted
 		case errors.Is(err, context.Canceled) && !s.userCxl.Load() &&
 			s.parent.Err() == nil && s.eng.isClosed():
 			// The cancellation came from Engine.Close, not from the
@@ -371,7 +473,7 @@ func (simulatorBackend) newEngine(p *Pipeline) (backendEngine, error) {
 			part[id] = w
 		}
 	}
-	return &simEngine{eng: sim.NewEngine(p.topo.g, sim.Config{
+	cfg := sim.Config{
 		Kernels:         p.kernels,
 		Algorithm:       p.alg,
 		Intervals:       p.intervals,
@@ -381,7 +483,13 @@ func (simulatorBackend) newEngine(p *Pipeline) (backendEngine, error) {
 		Partition:       part,
 		Faults:          p.faults,
 		CheckpointEvery: p.ckptEvery,
-	})}, nil
+	}
+	if p.onStep != nil {
+		// The autoscale controller rides the scheduler's round counter:
+		// virtual time, so scale decisions are deterministic.
+		cfg.OnStep = p.onStep.call
+	}
+	return &simEngine{eng: sim.NewEngine(p.topo.g, cfg)}, nil
 }
 
 func (se *simEngine) open(ctx context.Context, id SessionID, source Source, sink Sink) (backendSession, error) {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"streamdag/internal/fault"
@@ -184,9 +185,13 @@ func (e *Engine) Drain(ctx context.Context) (*Checkpoint, error) {
 		return nil, ErrEngineClosed
 	}
 	e.draining = true
+	gens := append([]*engineGen{}, e.old...)
+	gens = append(gens, e.cur)
 	e.mu.Unlock()
-	if err := e.impl.drain(ctx); err != nil {
-		return nil, err
+	for _, g := range gens {
+		if err := g.impl.drain(ctx); err != nil {
+			return nil, err
+		}
 	}
 	e.mu.Lock()
 	ck := &Checkpoint{Topology: e.p.fingerprint(), NextSession: e.nextID}
@@ -201,7 +206,7 @@ func (e *Engine) Resume(ck *Checkpoint) error {
 	if ck == nil {
 		return errors.New("streamdag: Resume: nil checkpoint")
 	}
-	if fp := e.p.fingerprint(); ck.Topology != fp {
+	if fp := e.pipe().fingerprint(); ck.Topology != fp {
 		return fmt.Errorf("streamdag: Resume: checkpoint is for a different topology")
 	}
 	e.mu.Lock()
@@ -221,7 +226,7 @@ func (e *Engine) Resume(ck *Checkpoint) error {
 // would.  With WithWorkerRestart the worker respawns and the mesh
 // re-forms.  Backends without workers return an error.
 func (e *Engine) KillWorker(name string) error {
-	return e.impl.killWorker(name)
+	return e.curGen().impl.killWorker(name)
 }
 
 // fingerprint identifies the executed topology for checkpoint
@@ -248,30 +253,80 @@ func (p *Pipeline) fingerprint() string {
 // ---------------------------------------------------------------------
 // The retry layer.
 
+// retryCtl is the per-session handle the rescale path uses to move a
+// retry-armed session between engine generations: evict cancels the
+// in-flight attempt and marks the session so the retry loop re-opens it
+// on the current generation (a migration) instead of counting the
+// cancellation as a failure.
+type retryCtl struct {
+	mu      sync.Mutex
+	cancel  context.CancelFunc
+	evicted bool
+}
+
+// arm installs the cancel func of the attempt now in flight.  If an
+// evict raced in before the attempt opened, it fires immediately — the
+// attempt dies at birth and the loop migrates it.
+func (rc *retryCtl) arm(cancel context.CancelFunc) {
+	rc.mu.Lock()
+	rc.cancel = cancel
+	ev := rc.evicted
+	rc.mu.Unlock()
+	if ev {
+		cancel()
+	}
+}
+
+// evict aborts the current attempt for migration.
+func (rc *retryCtl) evict() {
+	rc.mu.Lock()
+	rc.evicted = true
+	cancel := rc.cancel
+	rc.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// takeEvicted consumes the pending-migration flag.
+func (rc *retryCtl) takeEvicted() bool {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	ev := rc.evicted
+	rc.evicted = false
+	return ev
+}
+
 // openRetrying drives a session through up to MaxAttempts backend
 // sessions.  The first attempt opens synchronously (so Open still
 // reports immediate failures); the controller goroutine watches it and
 // re-opens on retryable failures, rewinding the source and letting the
-// dedupSink suppress re-deliveries.
-func (e *Engine) openRetrying(ctx context.Context, id SessionID, source Source, sink Sink) (backendSession, error) {
+// dedupSink suppress re-deliveries.  Each attempt gets its own
+// sub-context, so a rescale's drain deadline can abort just the attempt
+// — the session then migrates to the new generation on its next one.
+func (e *Engine) openRetrying(s *Session, ctx context.Context, id SessionID, source Source, sink Sink) (backendSession, error) {
 	rs, ok := source.(ReplayableSource)
 	if !ok {
 		return nil, fmt.Errorf("streamdag: WithRetry requires a ReplayableSource, got %T: a retried session re-ingests from the start", source)
 	}
+	g := s.gen
 	var obsF *obs.FaultMetrics
-	if m := e.p.obsMetrics(); m != nil {
+	if m := g.pipe.obsMetrics(); m != nil {
 		obsF = m.Faults()
 	}
 	ds := &dedupSink{
-		inner: sink, dlq: e.p.dlq, session: uint64(id),
+		inner: sink, dlq: g.pipe.dlq, session: uint64(id),
 		obsF: obsF, hw: -1, errSeq: -1, prevErr: -1, attempt: 1,
 	}
-	first, err := e.impl.open(ctx, id, rs, ds)
+	actx, acancel := context.WithCancel(ctx)
+	s.rc.arm(acancel)
+	first, err := g.impl.open(actx, id, fenceSource(ds, 0, rs), attemptSink{d: ds})
 	if err != nil {
+		acancel()
 		return nil, err
 	}
 	out := &retrySession{doneC: make(chan struct{})}
-	go e.retryLoop(ctx, id, rs, ds, first, out, obsF)
+	go e.retryLoop(s, ctx, id, rs, ds, first, out)
 	return out, nil
 }
 
@@ -290,9 +345,9 @@ func (r *retrySession) wait() (*RunStats, error) {
 
 func (r *retrySession) done() <-chan struct{} { return r.doneC }
 
-func (e *Engine) retryLoop(ctx context.Context, id SessionID, src ReplayableSource, ds *dedupSink, bs backendSession, out *retrySession, obsF *obs.FaultMetrics) {
+func (e *Engine) retryLoop(s *Session, ctx context.Context, id SessionID, src ReplayableSource, ds *dedupSink, bs backendSession, out *retrySession) {
 	defer close(out.doneC)
-	pol := e.p.retry
+	pol := s.gen.pipe.retry
 	attempt := 1
 	for {
 		stats, err := bs.wait()
@@ -300,38 +355,82 @@ func (e *Engine) retryLoop(ctx context.Context, id SessionID, src ReplayableSour
 			out.stats = stats
 			return
 		}
-		sinkFailed := ds.attemptFailed()
-		retryable := fault.IsWorkerDown(err) || (sinkFailed && ds.dlq != nil)
-		if !retryable || attempt >= pol.Attempts() || ctx.Err() != nil {
+		if ctx.Err() != nil {
+			// The session itself was cancelled (user, engine close), not
+			// just the attempt.
 			out.err = err
 			return
 		}
-		if d := pol.Delay(attempt); d > 0 {
-			select {
-			case <-ctx.Done():
-				out.err = ctx.Err()
+		migrate := s.rc.takeEvicted()
+		if !migrate {
+			sinkFailed := ds.attemptFailed()
+			retryable := fault.IsWorkerDown(err) || (sinkFailed && ds.dlq != nil)
+			if !retryable || attempt >= pol.Attempts() {
+				out.err = err
 				return
-			case <-time.After(d):
 			}
+			if d := pol.Delay(attempt); d > 0 {
+				select {
+				case <-ctx.Done():
+					out.err = ctx.Err()
+					return
+				case <-time.After(d):
+				}
+			}
+			// A migration is free: only genuine failures spend the
+			// attempt budget.
+			attempt++
 		}
-		if rerr := src.Rewind(); rerr != nil {
+		// Advance the attempt epoch before rewinding: any straggling
+		// delivery or ingest from the cancelled attempt's pipeline is
+		// fenced off the shared sink and source from here on, so the
+		// rewound stream cannot be raced by its predecessor.
+		ep := ds.beginAttempt(attempt)
+		ds.srcMu.Lock()
+		rerr := src.Rewind()
+		ds.srcMu.Unlock()
+		if rerr != nil {
 			out.err = fmt.Errorf("streamdag: session %d retry: rewind failed: %w (after: %v)", id, rerr, err)
 			return
 		}
-		attempt++
-		ds.beginAttempt(attempt)
-		if obsF != nil {
-			obsF.SessionRetries.Add(1)
+		// Re-home the session on the current generation: after a rescale
+		// the one it was opened on is draining or gone.  The dedup sink
+		// carries the high-water mark across, so the migrated stream stays
+		// exactly-once.
+		g := e.genMove(s)
+		if m := g.pipe.obsMetrics(); m != nil {
+			if migrate {
+				m.Scale().SessionsMigrated.Add(1)
+			} else {
+				m.Faults().SessionRetries.Add(1)
+			}
 		}
+		actx, acancel := context.WithCancel(ctx)
+		s.rc.arm(acancel)
 		// A fresh backend session ID per attempt: the failed one may not
 		// be fully retired backend-side yet, and reuse would collide.
-		nbs, oerr := e.impl.open(ctx, e.allocBackendID(), src, ds)
+		nbs, oerr := g.impl.open(actx, e.allocBackendID(), fenceSource(ds, ep, src), attemptSink{d: ds, epoch: ep})
 		if oerr != nil {
+			acancel()
 			out.err = fmt.Errorf("streamdag: session %d retry attempt %d: %w (after: %v)", id, attempt, oerr, err)
 			return
 		}
 		bs = nbs
 	}
+}
+
+// genMove re-homes a session onto the current generation before its
+// next attempt, releasing its slot on the (possibly retired) old one.
+func (e *Engine) genMove(s *Session) *engineGen {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	g := e.cur
+	if s.gen != g {
+		e.releaseGenLocked(s.gen)
+		s.gen = g
+		g.active++
+	}
+	return g
 }
 
 // allocBackendID hands the retry layer session IDs from the engine's
@@ -349,12 +448,21 @@ func (e *Engine) allocBackendID() SessionID {
 // suppressed, and a payload that fails on two consecutive attempts is
 // dead-lettered and skipped (when a DLQ is configured) instead of
 // poisoning every retry.  Sink deliveries arrive in ascending sequence
-// order within an attempt, which is what makes the single mark sound.
+// order within an attempt, which is what makes the single mark sound —
+// but a cancelled attempt's pipeline can keep delivering for a moment
+// after its wait() returns, concurrently with the replacement attempt.
+// Two defences close that window: every attempt goes through an
+// attemptSink/attemptSource pair stamped with the attempt's epoch, and
+// stale-epoch traffic is dropped; and the mark's check-deliver-update is
+// atomic (mu held across inner.Emit), so two attempts racing the same
+// sequence cannot both deliver it.
 type dedupSink struct {
 	inner   Sink
 	dlq     fault.DeadLetterSink
 	session uint64
 	obsF    *obs.FaultMetrics
+	epoch   atomic.Uint64 // current attempt epoch; older attempts are fenced
+	srcMu   sync.Mutex    // serializes source Next/NextSpan with Rewind
 
 	mu      sync.Mutex
 	hw      int64 // highest seq delivered (or dead-lettered)
@@ -365,34 +473,35 @@ type dedupSink struct {
 	attempt int
 }
 
-func (d *dedupSink) Emit(ctx context.Context, seq uint64, payload any) error {
+func (d *dedupSink) emit(ctx context.Context, epoch, seq uint64, payload any) error {
 	d.mu.Lock()
+	defer d.mu.Unlock()
+	if epoch != d.epoch.Load() {
+		// A later attempt owns the stream; this delivery is a straggler
+		// from one already cancelled (rescale eviction, worker death)
+		// whose pipeline has not fully wound down yet.
+		return nil
+	}
 	if int64(seq) <= d.hw {
-		d.mu.Unlock()
 		return nil
 	}
 	if d.dlq != nil && d.prevErr == int64(seq) {
 		// Second consecutive attempt dying on this payload: route it out
 		// of the stream and move on.
-		letter := DeadLetter{
+		d.hw = int64(seq)
+		d.dlq.Push(DeadLetter{
 			Session: d.session, Seq: seq, Payload: payload,
 			Attempts: d.attempt, Err: d.lastErr,
-		}
-		d.hw = int64(seq)
-		d.mu.Unlock()
-		d.dlq.Push(letter)
+		})
 		if d.obsF != nil {
 			d.obsF.DeadLettered.Add(1)
 		}
 		return nil
 	}
-	d.mu.Unlock()
 	var err error
 	if d.inner != nil {
 		err = d.inner.Emit(ctx, seq, payload)
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if err != nil {
 		d.failed = true
 		d.errSeq = int64(seq)
@@ -403,15 +512,76 @@ func (d *dedupSink) Emit(ctx context.Context, seq uint64, payload any) error {
 	return nil
 }
 
-// beginAttempt rolls the failure bookkeeping forward: this attempt's
-// failure becomes the previous one the poison check compares against.
-func (d *dedupSink) beginAttempt(n int) {
+// beginAttempt rolls the failure bookkeeping forward — this attempt's
+// failure becomes the previous one the poison check compares against —
+// and advances the epoch, fencing the outgoing attempt's pipeline off
+// the shared sink and source.  Taking mu first means any delivery in
+// flight completes (and records its high-water mark) before the new
+// attempt begins.  Returns the new attempt's epoch.
+func (d *dedupSink) beginAttempt(n int) uint64 {
 	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.prevErr = d.errSeq
 	d.errSeq = -1
 	d.failed = false
 	d.attempt = n
-	d.mu.Unlock()
+	return d.epoch.Add(1)
+}
+
+// attemptSink is one attempt's handle on the shared dedupSink; a
+// delivery from an attempt whose epoch has been superseded is dropped.
+type attemptSink struct {
+	d     *dedupSink
+	epoch uint64
+}
+
+func (a attemptSink) Emit(ctx context.Context, seq uint64, payload any) error {
+	return a.d.emit(ctx, a.epoch, seq, payload)
+}
+
+// attemptSource fences one attempt's ingestion the same way: once a
+// later attempt has begun, a straggling ingest pump from the old
+// attempt sees end-of-stream instead of stealing payloads the new
+// attempt is re-ingesting after Rewind.
+type attemptSource struct {
+	d     *dedupSink
+	epoch uint64
+	src   ReplayableSource
+}
+
+func (a attemptSource) Next(ctx context.Context) (any, bool, error) {
+	a.d.srcMu.Lock()
+	defer a.d.srcMu.Unlock()
+	if a.epoch != a.d.epoch.Load() {
+		return nil, false, nil
+	}
+	return a.src.Next(ctx)
+}
+
+// attemptSpanSource adds the bulk-ingestion path for sources that
+// support it, so fencing does not demote a SpanSource to one-at-a-time.
+type attemptSpanSource struct {
+	attemptSource
+	span SpanSource
+}
+
+func (a attemptSpanSource) NextSpan(ctx context.Context, buf []any) (int, bool, error) {
+	a.d.srcMu.Lock()
+	defer a.d.srcMu.Unlock()
+	if a.epoch != a.d.epoch.Load() {
+		return 0, true, nil
+	}
+	return a.span.NextSpan(ctx, buf)
+}
+
+// fenceSource wraps src for the attempt with the given epoch, keeping
+// the SpanSource fast path when the underlying source has one.
+func fenceSource(d *dedupSink, epoch uint64, src ReplayableSource) Source {
+	a := attemptSource{d: d, epoch: epoch, src: src}
+	if ss, ok := src.(SpanSource); ok {
+		return attemptSpanSource{attemptSource: a, span: ss}
+	}
+	return a
 }
 
 // attemptFailed reports whether a sink delivery failed during the

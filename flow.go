@@ -83,14 +83,15 @@ type nodeSpec struct {
 // lowering accumulates the topology, kernels, replication plan, and
 // run-reset hooks while the stage graph lowers.
 type lowering struct {
-	topo   *Topology
-	specs  []nodeSpec
-	names  map[string]bool
-	plan   ReplicationPlan
-	batch  map[string]int // per-stage Batch marks, keyed by node name
-	slot   *stageErrSlot
-	resets []func()
-	defBuf int
+	topo    *Topology
+	specs   []nodeSpec
+	names   map[string]bool
+	plan    ReplicationPlan
+	elastic map[string]Elastic // per-stage Elastic marks, keyed by node name
+	batch   map[string]int     // per-stage Batch marks, keyed by node name
+	slot    *stageErrSlot
+	resets  []func()
+	defBuf  int
 }
 
 // addNode registers a user stage's node; "source" and "sink" belong to
@@ -193,12 +194,13 @@ func (f *Flow[In, Out]) Compile(opts ...Option) (*Pipeline, error) {
 	}
 
 	lw := &lowering{
-		topo:   NewTopology(),
-		names:  make(map[string]bool),
-		plan:   make(ReplicationPlan),
-		batch:  make(map[string]int),
-		slot:   new(stageErrSlot),
-		defBuf: f.buf,
+		topo:    NewTopology(),
+		names:   make(map[string]bool),
+		plan:    make(ReplicationPlan),
+		elastic: make(map[string]Elastic),
+		batch:   make(map[string]int),
+		slot:    new(stageErrSlot),
+		defBuf:  f.buf,
 	}
 	if err := lw.addSynthetic("source", sourceFactory[In](lw.slot)); err != nil {
 		return nil, err
@@ -218,6 +220,9 @@ func (f *Flow[In, Out]) Compile(opts ...Option) (*Pipeline, error) {
 	buildOpts := []Option{WithKernels(lw.kernels())}
 	if len(lw.plan) > 0 {
 		buildOpts = append(buildOpts, WithReplication(lw.plan))
+	}
+	if len(lw.elastic) > 0 {
+		buildOpts = append(buildOpts, withElasticMarks(lw.elastic))
 	}
 	if f.obs != nil {
 		buildOpts = append(buildOpts, WithObserver(f.obs))

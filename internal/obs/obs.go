@@ -119,6 +119,26 @@ type FaultMetrics struct {
 	DrainTime atomic.Int64
 }
 
+// ScaleMetrics is the autoscaler's counters: rescale commits by
+// direction, swap latency, and what happened to the sessions that were
+// still running on the retiring topology.  One set per Metrics —
+// scaling, like faults, is an engine-wide concern.
+type ScaleMetrics struct {
+	// ScaleUps / ScaleDowns count committed rescales that raised /
+	// lowered a node's replica count.
+	ScaleUps   atomic.Int64
+	ScaleDowns atomic.Int64
+	// RescaleTime is the cumulative time spent re-planning and swapping
+	// (ns, or steps in virtual-time mode).
+	RescaleTime atomic.Int64
+	// SessionsMigrated counts sessions moved from a retiring generation
+	// onto the new topology via the retry path (rewind + dedup).
+	SessionsMigrated atomic.Int64
+	// SessionsEvicted counts sessions cancelled at the drain deadline
+	// because they had no retry path to migrate on.
+	SessionsEvicted atomic.Int64
+}
+
 // LinkMetrics is one distributed worker→peer link's transport counters.
 type LinkMetrics struct {
 	TxFrames atomic.Int64 // wire frames written (a batch frame counts once)
@@ -177,6 +197,21 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	return s
 }
 
+// lifecycle holds the counters that outlive any single topology:
+// session/fault/scale totals and transport links.  A Rebind (rescale
+// swapping in an expanded topology) shares the same lifecycle struct,
+// so engines still draining on the retired topology keep adding to the
+// counters the new snapshot reports — sessions are never lost from the
+// totals across a swap.
+type lifecycle struct {
+	sessions SessionMetrics
+	faults   FaultMetrics
+	scale    ScaleMetrics
+
+	linkMu sync.Mutex
+	links  map[string]*LinkMetrics
+}
+
 // Metrics is the per-topology registry all backends write into.  Node
 // and edge slots are fixed at construction (indexed by the topology's
 // NodeID/EdgeID); link slots are registered by the distributed engine.
@@ -185,13 +220,9 @@ type Metrics struct {
 	edgeNames []string
 	nodes     []NodeMetrics
 	edges     []EdgeMetrics
-	sessions  SessionMetrics
-	faults    FaultMetrics
+	life      *lifecycle
 
 	virtual atomic.Bool
-
-	linkMu sync.Mutex
-	links  map[string]*LinkMetrics
 }
 
 // New builds a Metrics for a topology with the given node names and
@@ -202,8 +233,25 @@ func New(nodeNames, edgeNames []string) *Metrics {
 		edgeNames: append([]string(nil), edgeNames...),
 		nodes:     make([]NodeMetrics, len(nodeNames)),
 		edges:     make([]EdgeMetrics, len(edgeNames)),
-		links:     make(map[string]*LinkMetrics),
+		life:      &lifecycle{links: make(map[string]*LinkMetrics)},
 	}
+}
+
+// Rebind builds a Metrics for a new topology that shares m's lifecycle
+// counters (sessions, faults, scale, links).  Per-node and per-edge
+// counters start at zero — a Prometheus counter reset, labeled by the
+// new topology's names — while the shared totals carry over, and
+// engines still draining against m keep feeding them.
+func (m *Metrics) Rebind(nodeNames, edgeNames []string) *Metrics {
+	nm := &Metrics{
+		nodeNames: append([]string(nil), nodeNames...),
+		edgeNames: append([]string(nil), edgeNames...),
+		nodes:     make([]NodeMetrics, len(nodeNames)),
+		edges:     make([]EdgeMetrics, len(edgeNames)),
+		life:      m.life,
+	}
+	nm.virtual.Store(m.virtual.Load())
+	return nm
 }
 
 // Matches reports whether m was built for exactly this topology — the
@@ -232,20 +280,23 @@ func (m *Metrics) Node(i int) *NodeMetrics { return &m.nodes[i] }
 func (m *Metrics) Edge(i int) *EdgeMetrics { return &m.edges[i] }
 
 // Sessions returns the session lifecycle counters.
-func (m *Metrics) Sessions() *SessionMetrics { return &m.sessions }
+func (m *Metrics) Sessions() *SessionMetrics { return &m.life.sessions }
 
 // Faults returns the fault-domain counters.
-func (m *Metrics) Faults() *FaultMetrics { return &m.faults }
+func (m *Metrics) Faults() *FaultMetrics { return &m.life.faults }
+
+// Scale returns the autoscaler counters.
+func (m *Metrics) Scale() *ScaleMetrics { return &m.life.scale }
 
 // Link returns (registering on first use) the counters for one
 // worker→peer transport link.
 func (m *Metrics) Link(name string) *LinkMetrics {
-	m.linkMu.Lock()
-	defer m.linkMu.Unlock()
-	l := m.links[name]
+	m.life.linkMu.Lock()
+	defer m.life.linkMu.Unlock()
+	l := m.life.links[name]
 	if l == nil {
 		l = &LinkMetrics{}
-		m.links[name] = l
+		m.life.links[name] = l
 	}
 	return l
 }
@@ -302,6 +353,15 @@ type FaultSnapshot struct {
 	DrainTime        int64 `json:"drain_time"`
 }
 
+// ScaleSnapshot is the autoscaler counters at snapshot time.
+type ScaleSnapshot struct {
+	ScaleUps         int64 `json:"scale_ups"`
+	ScaleDowns       int64 `json:"scale_downs"`
+	RescaleTime      int64 `json:"rescale_time"`
+	SessionsMigrated int64 `json:"sessions_migrated"`
+	SessionsEvicted  int64 `json:"sessions_evicted"`
+}
+
 // LinkSnapshot is one distributed link's counters at snapshot time.
 type LinkSnapshot struct {
 	Name     string `json:"name"`
@@ -322,7 +382,28 @@ type Snapshot struct {
 	Edges       []EdgeSnapshot  `json:"edges"`
 	Sessions    SessionSnapshot `json:"sessions"`
 	Faults      FaultSnapshot   `json:"faults"`
+	Scale       ScaleSnapshot   `json:"scale"`
 	Links       []LinkSnapshot  `json:"links,omitempty"`
+}
+
+// NodeByName returns the named node's snapshot, or nil.
+func (s *Snapshot) NodeByName(name string) *NodeSnapshot {
+	for i := range s.Nodes {
+		if s.Nodes[i].Name == name {
+			return &s.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// EdgeByName returns the named edge's snapshot ("from→to"), or nil.
+func (s *Snapshot) EdgeByName(name string) *EdgeSnapshot {
+	for i := range s.Edges {
+		if s.Edges[i].Name == name {
+			return &s.Edges[i]
+		}
+	}
+	return nil
 }
 
 // Snapshot copies the current counter values.
@@ -353,7 +434,7 @@ func (m *Metrics) Snapshot() *Snapshot {
 			CreditStallTime: e.CreditStallTime.Load(),
 		}
 	}
-	ss := &m.sessions
+	ss := &m.life.sessions
 	s.Sessions = SessionSnapshot{
 		Opened:    ss.Opened.Load(),
 		Active:    ss.Active.Load(),
@@ -362,7 +443,7 @@ func (m *Metrics) Snapshot() *Snapshot {
 		SinkMsgs:  ss.SinkMsgs.Load(),
 		Latency:   ss.Latency.snapshot(),
 	}
-	f := &m.faults
+	f := &m.life.faults
 	s.Faults = FaultSnapshot{
 		HeartbeatsMissed: f.HeartbeatsMissed.Load(),
 		WorkersDown:      f.WorkersDown.Load(),
@@ -373,14 +454,22 @@ func (m *Metrics) Snapshot() *Snapshot {
 		Drains:           f.Drains.Load(),
 		DrainTime:        f.DrainTime.Load(),
 	}
-	m.linkMu.Lock()
-	names := make([]string, 0, len(m.links))
-	for name := range m.links {
+	sc := &m.life.scale
+	s.Scale = ScaleSnapshot{
+		ScaleUps:         sc.ScaleUps.Load(),
+		ScaleDowns:       sc.ScaleDowns.Load(),
+		RescaleTime:      sc.RescaleTime.Load(),
+		SessionsMigrated: sc.SessionsMigrated.Load(),
+		SessionsEvicted:  sc.SessionsEvicted.Load(),
+	}
+	m.life.linkMu.Lock()
+	names := make([]string, 0, len(m.life.links))
+	for name := range m.life.links {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		l := m.links[name]
+		l := m.life.links[name]
 		s.Links = append(s.Links, LinkSnapshot{
 			Name:     name,
 			TxFrames: l.TxFrames.Load(),
@@ -390,8 +479,102 @@ func (m *Metrics) Snapshot() *Snapshot {
 			RxBytes:  l.RxBytes.Load(),
 		})
 	}
-	m.linkMu.Unlock()
+	m.life.linkMu.Unlock()
 	return s
+}
+
+// Delta returns s - prev: every counter becomes its increase since
+// prev, while point-in-time gauges (edge Depth, Active sessions) keep
+// their current values.  Nodes, edges, and links are matched by name —
+// entries absent from prev (a topology expanded by rescale) delta
+// against zero, and entries that disappeared are dropped.  A nil prev
+// returns s unchanged.  This is the windowed-rate helper the
+// bottleneck detector (and dashboards) build rates from: two snapshots
+// a known interval apart give rate = Delta / interval with no
+// re-derivation by hand.
+func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {
+	if prev == nil {
+		return s
+	}
+	d := &Snapshot{
+		VirtualTime: s.VirtualTime,
+		Nodes:       make([]NodeSnapshot, len(s.Nodes)),
+		Edges:       make([]EdgeSnapshot, len(s.Edges)),
+	}
+	for i, n := range s.Nodes {
+		if p := prev.NodeByName(n.Name); p != nil {
+			n.Firings -= p.Firings
+			n.ServiceTime -= p.ServiceTime
+			n.Spans -= p.Spans
+			n.SpanMsgs -= p.SpanMsgs
+		}
+		d.Nodes[i] = n
+	}
+	for i, e := range s.Edges {
+		if p := prev.EdgeByName(e.Name); p != nil {
+			e.Data -= p.Data
+			e.Dummies -= p.Dummies
+			e.CreditStalls -= p.CreditStalls
+			e.CreditStallTime -= p.CreditStallTime
+			// Depth is a gauge: keep the current value.
+		}
+		d.Edges[i] = e
+	}
+	d.Sessions = SessionSnapshot{
+		Opened:    s.Sessions.Opened - prev.Sessions.Opened,
+		Active:    s.Sessions.Active, // gauge
+		Completed: s.Sessions.Completed - prev.Sessions.Completed,
+		Failed:    s.Sessions.Failed - prev.Sessions.Failed,
+		SinkMsgs:  s.Sessions.SinkMsgs - prev.Sessions.SinkMsgs,
+		Latency:   s.Sessions.Latency.delta(&prev.Sessions.Latency),
+	}
+	d.Faults = FaultSnapshot{
+		HeartbeatsMissed: s.Faults.HeartbeatsMissed - prev.Faults.HeartbeatsMissed,
+		WorkersDown:      s.Faults.WorkersDown - prev.Faults.WorkersDown,
+		Reconnects:       s.Faults.Reconnects - prev.Faults.Reconnects,
+		SessionRetries:   s.Faults.SessionRetries - prev.Faults.SessionRetries,
+		DeadLettered:     s.Faults.DeadLettered - prev.Faults.DeadLettered,
+		Recoveries:       s.Faults.Recoveries - prev.Faults.Recoveries,
+		Drains:           s.Faults.Drains - prev.Faults.Drains,
+		DrainTime:        s.Faults.DrainTime - prev.Faults.DrainTime,
+	}
+	d.Scale = ScaleSnapshot{
+		ScaleUps:         s.Scale.ScaleUps - prev.Scale.ScaleUps,
+		ScaleDowns:       s.Scale.ScaleDowns - prev.Scale.ScaleDowns,
+		RescaleTime:      s.Scale.RescaleTime - prev.Scale.RescaleTime,
+		SessionsMigrated: s.Scale.SessionsMigrated - prev.Scale.SessionsMigrated,
+		SessionsEvicted:  s.Scale.SessionsEvicted - prev.Scale.SessionsEvicted,
+	}
+	for _, l := range s.Links {
+		for i := range prev.Links {
+			if prev.Links[i].Name == l.Name {
+				p := &prev.Links[i]
+				l.TxFrames -= p.TxFrames
+				l.TxBodies -= p.TxBodies
+				l.TxBytes -= p.TxBytes
+				l.RxFrames -= p.RxFrames
+				l.RxBytes -= p.RxBytes
+				break
+			}
+		}
+		d.Links = append(d.Links, l)
+	}
+	return d
+}
+
+// delta subtracts prev bucket-wise (matched by upper bound).
+func (h HistogramSnapshot) delta(prev *HistogramSnapshot) HistogramSnapshot {
+	d := HistogramSnapshot{Count: h.Count - prev.Count, Sum: h.Sum - prev.Sum}
+	prevByLe := make(map[int64]int64, len(prev.Buckets))
+	for _, b := range prev.Buckets {
+		prevByLe[b.Le] = b.Count
+	}
+	for _, b := range h.Buckets {
+		if n := b.Count - prevByLe[b.Le]; n != 0 {
+			d.Buckets = append(d.Buckets, BucketCount{Le: b.Le, Count: n})
+		}
+	}
+	return d
 }
 
 // Exposition: one handler serves both formats.  Paths containing
@@ -524,6 +707,22 @@ func WritePrometheus(w io.Writer, s *Snapshot) error {
 	p("# HELP streamdag_fault_drain_%s_total Cumulative drain duration (%s).\n", u, u)
 	p("# TYPE streamdag_fault_drain_%s_total counter\n", u)
 	p("streamdag_fault_drain_%s_total %d\n", u, s.Faults.DrainTime)
+
+	p("# HELP streamdag_scale_ups_total Committed rescales that raised a node's replica count.\n")
+	p("# TYPE streamdag_scale_ups_total counter\n")
+	p("streamdag_scale_ups_total %d\n", s.Scale.ScaleUps)
+	p("# HELP streamdag_scale_downs_total Committed rescales that lowered a node's replica count.\n")
+	p("# TYPE streamdag_scale_downs_total counter\n")
+	p("streamdag_scale_downs_total %d\n", s.Scale.ScaleDowns)
+	p("# HELP streamdag_scale_rescale_%s_total Cumulative re-plan and swap time (%s).\n", u, u)
+	p("# TYPE streamdag_scale_rescale_%s_total counter\n", u)
+	p("streamdag_scale_rescale_%s_total %d\n", u, s.Scale.RescaleTime)
+	p("# HELP streamdag_scale_sessions_migrated_total Sessions migrated off a retiring topology via the retry path.\n")
+	p("# TYPE streamdag_scale_sessions_migrated_total counter\n")
+	p("streamdag_scale_sessions_migrated_total %d\n", s.Scale.SessionsMigrated)
+	p("# HELP streamdag_scale_sessions_evicted_total Sessions cancelled at the rescale drain deadline.\n")
+	p("# TYPE streamdag_scale_sessions_evicted_total counter\n")
+	p("streamdag_scale_sessions_evicted_total %d\n", s.Scale.SessionsEvicted)
 
 	p("# HELP streamdag_session_latency_%s Session open-to-EOF latency (%s).\n", u, u)
 	p("# TYPE streamdag_session_latency_%s histogram\n", u)

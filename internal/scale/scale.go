@@ -1,0 +1,277 @@
+// Package scale is the autoscaler's bottleneck detector: it turns a
+// stream of observability snapshots into typed replica-count decisions.
+//
+// Replication is the repo's scaling lever — a hot node expands into k
+// replicas behind a round-robin splitter and sequence-ordered merger,
+// class-preserved so the dummy-interval deadlock-avoidance guarantee
+// survives — but k is useless if it's guessed.  The detector finds the
+// hot node from the signals the observability layer already measures:
+// per-replica service time (utilization), and per-inbound-edge queue
+// depth and credit-stall trends (pressure).  It is deliberately
+// time-unit agnostic: `at` and every duration are int64 in whatever
+// unit the caller's clock ticks — nanoseconds under the wall-clock
+// backends, deterministic scheduler steps under the simulator.  That
+// makes "a load spike at step N triggers a scale-up at step M" an
+// exact table test, not a flaky timing assertion.
+//
+// Decisions are hysteretic: separate scale-up and scale-down
+// utilization thresholds, a per-node cooldown, per-node min/max caps,
+// and a full sliding window required before any verdict.  Scale-up is
+// proportional (size k toward a target utilization); scale-down steps
+// by one replica at a time, and only while queue depth is not rising —
+// the asymmetry that keeps a bursty many-to-one filtering workload
+// from oscillating.
+package scale
+
+import (
+	"fmt"
+
+	"streamdag/internal/obs"
+)
+
+// Policy is the detector's tuning. The zero value is usable: Normalize
+// fills unset fields with the defaults below.
+type Policy struct {
+	// Window is the number of snapshot samples a node must accumulate
+	// before the detector will judge it (>= 2; default 3).  Trends and
+	// utilization are computed across the window's span, so a larger
+	// window smooths noise at the cost of reaction time.
+	Window int
+	// UpUtil scales a node up when its windowed utilization reaches
+	// this (default 0.80).  Must exceed DownUtil for hysteresis.
+	UpUtil float64
+	// DownUtil scales a node down when utilization falls to or below
+	// this and inbound depth is not rising (default 0.20).
+	DownUtil float64
+	// TargetUtil is the utilization scale-up sizes toward: new k is
+	// ceil(k * util / TargetUtil), clamped by Max and MaxStep
+	// (default 0.65).
+	TargetUtil float64
+	// Cooldown is the minimum time (caller's clock units) between two
+	// decisions for the same node (default 0 = none).
+	Cooldown int64
+	// MaxStep caps how many replicas one scale-up may add
+	// (default 0 = no cap beyond Max).
+	MaxStep int
+}
+
+// Normalize returns p with unset fields defaulted and invalid
+// hysteresis rejected.
+func (p Policy) Normalize() (Policy, error) {
+	if p.Window == 0 {
+		p.Window = 3
+	}
+	if p.UpUtil == 0 {
+		p.UpUtil = 0.80
+	}
+	if p.DownUtil == 0 {
+		p.DownUtil = 0.20
+	}
+	if p.TargetUtil == 0 {
+		p.TargetUtil = 0.65
+	}
+	if p.Window < 2 {
+		return p, fmt.Errorf("scale: Window %d < 2", p.Window)
+	}
+	if p.UpUtil <= p.DownUtil {
+		return p, fmt.Errorf("scale: UpUtil %.2f must exceed DownUtil %.2f (hysteresis)", p.UpUtil, p.DownUtil)
+	}
+	if p.TargetUtil <= 0 || p.Cooldown < 0 || p.MaxStep < 0 {
+		return p, fmt.Errorf("scale: negative or zero policy field")
+	}
+	return p, nil
+}
+
+// NodeSpec tells the detector how one elastic logical node appears in
+// the currently executing topology.  The caller re-primes specs after
+// every committed rescale — replica names change when k does.
+type NodeSpec struct {
+	Name     string   // logical (pre-replication) node name
+	K        int      // current replica count
+	Min, Max int      // replica caps (Min >= 1, Max >= Min)
+	Replicas []string // executed-topology names of the k replicas
+	Inbound  []string // executed-topology edges feeding the node (pressure signals)
+}
+
+// Decision is one typed autoscaling verdict.
+type Decision struct {
+	Node   string // logical node to re-plan
+	FromK  int
+	ToK    int
+	Reason string // human-readable trigger, e.g. "util 0.97 >= 0.80 over 3 samples"
+	At     int64  // detector clock time of the decision
+}
+
+// ScaleUp reports the decision's direction.
+func (d *Decision) ScaleUp() bool { return d.ToK > d.FromK }
+
+func (d *Decision) String() string {
+	return fmt.Sprintf("scale %s %d→%d at %d: %s", d.Node, d.FromK, d.ToK, d.At, d.Reason)
+}
+
+// sample is one windowed observation of a node's aggregate counters.
+type sample struct {
+	at      int64
+	service int64 // Σ replica service time (cumulative)
+	depth   int64 // Σ inbound edge queue depth (gauge)
+	stalls  int64 // Σ inbound credit-stall time (cumulative)
+}
+
+// nodeState is the detector's per-node sliding window.
+type nodeState struct {
+	spec    NodeSpec
+	window  []sample
+	lastDec int64
+	decided bool // lastDec is valid (distinguishes t=0 from "never")
+}
+
+// Detector turns snapshot samples into decisions.  Not safe for
+// concurrent use; the controller serializes Observe calls.
+type Detector struct {
+	policy Policy
+	nodes  []*nodeState
+}
+
+// New builds a detector.  The policy must already be Normalized.
+func New(policy Policy, specs []NodeSpec) *Detector {
+	d := &Detector{policy: policy}
+	d.Reprime(specs)
+	return d
+}
+
+// Reprime replaces the node specs after a committed rescale: windows
+// reset (the new topology's counters restart from zero) but each
+// node's cooldown clock is kept by name, so a swap doesn't grant a
+// free immediate re-decision.
+func (d *Detector) Reprime(specs []NodeSpec) {
+	prev := make(map[string]*nodeState, len(d.nodes))
+	for _, n := range d.nodes {
+		prev[n.spec.Name] = n
+	}
+	d.nodes = d.nodes[:0]
+	for _, s := range specs {
+		ns := &nodeState{spec: s}
+		if p := prev[s.Name]; p != nil {
+			ns.lastDec, ns.decided = p.lastDec, p.decided
+		}
+		d.nodes = append(d.nodes, ns)
+	}
+}
+
+// Observe feeds one snapshot taken at time `at` (caller's clock units,
+// monotonic) and returns at most one decision — the hottest scale-up
+// if any node qualifies, else the coldest scale-down — or nil.  The
+// caller applies the decision, re-primes, and keeps sampling.
+func (d *Detector) Observe(at int64, snap *obs.Snapshot) *Decision {
+	var (
+		best     *Decision
+		bestUtil float64
+	)
+	for _, n := range d.nodes {
+		n.push(d.sampleOf(at, snap, &n.spec), d.policy.Window)
+		dec, util := d.judge(n, at)
+		if dec == nil {
+			continue
+		}
+		if best == nil ||
+			(dec.ScaleUp() && !best.ScaleUp()) ||
+			(dec.ScaleUp() == best.ScaleUp() && pickier(dec.ScaleUp(), util, bestUtil)) {
+			best, bestUtil = dec, util
+		}
+	}
+	if best != nil {
+		for _, n := range d.nodes {
+			if n.spec.Name == best.Node {
+				n.lastDec, n.decided = at, true
+				n.window = n.window[:0]
+			}
+		}
+	}
+	return best
+}
+
+// pickier prefers the higher utilization among scale-ups and the lower
+// among scale-downs.
+func pickier(up bool, util, best float64) bool {
+	if up {
+		return util > best
+	}
+	return util < best
+}
+
+// sampleOf aggregates the node's replica and inbound-edge counters.
+func (d *Detector) sampleOf(at int64, snap *obs.Snapshot, spec *NodeSpec) sample {
+	s := sample{at: at}
+	for _, r := range spec.Replicas {
+		if n := snap.NodeByName(r); n != nil {
+			s.service += n.ServiceTime
+		}
+	}
+	for _, e := range spec.Inbound {
+		if es := snap.EdgeByName(e); es != nil {
+			s.depth += es.Depth
+			s.stalls += es.CreditStallTime
+		}
+	}
+	return s
+}
+
+func (n *nodeState) push(s sample, window int) {
+	n.window = append(n.window, s)
+	if len(n.window) > window {
+		copy(n.window, n.window[1:])
+		n.window = n.window[:window]
+	}
+}
+
+// judge evaluates one node's full window against the policy.
+func (d *Detector) judge(n *nodeState, at int64) (*Decision, float64) {
+	if len(n.window) < d.policy.Window {
+		return nil, 0
+	}
+	if n.decided && at-n.lastDec < d.policy.Cooldown {
+		return nil, 0
+	}
+	first, last := n.window[0], n.window[len(n.window)-1]
+	span := last.at - first.at
+	if span <= 0 || n.spec.K <= 0 {
+		return nil, 0
+	}
+	// Utilization: fraction of the window each replica spent inside its
+	// kernel/advance path.  Service time is sampled on the wall-clock
+	// backends, so clamp the noise.
+	util := float64(last.service-first.service) / (float64(span) * float64(n.spec.K))
+	if util < 0 {
+		util = 0
+	} else if util > 4 {
+		util = 4
+	}
+	depthTrend := last.depth - first.depth
+	stallTrend := last.stalls - first.stalls
+
+	switch {
+	case util >= d.policy.UpUtil && n.spec.K < n.spec.Max:
+		toK := int(float64(n.spec.K)*util/d.policy.TargetUtil + 0.999)
+		if toK <= n.spec.K {
+			toK = n.spec.K + 1
+		}
+		if d.policy.MaxStep > 0 && toK > n.spec.K+d.policy.MaxStep {
+			toK = n.spec.K + d.policy.MaxStep
+		}
+		if toK > n.spec.Max {
+			toK = n.spec.Max
+		}
+		return &Decision{
+			Node: n.spec.Name, FromK: n.spec.K, ToK: toK, At: at,
+			Reason: fmt.Sprintf("util %.2f >= %.2f over %d samples (depth %+d, stall %+d)",
+				util, d.policy.UpUtil, len(n.window), depthTrend, stallTrend),
+		}, util
+	case util <= d.policy.DownUtil && depthTrend <= 0 && n.spec.K > n.spec.Min:
+		return &Decision{
+			Node: n.spec.Name, FromK: n.spec.K, ToK: n.spec.K - 1, At: at,
+			Reason: fmt.Sprintf("util %.2f <= %.2f over %d samples (depth %+d)",
+				util, d.policy.DownUtil, len(n.window), depthTrend),
+		}, util
+	}
+	return nil, 0
+}

@@ -1,0 +1,234 @@
+package scale
+
+import (
+	"testing"
+
+	"streamdag/internal/obs"
+)
+
+// snap builds a one-node synthetic snapshot: cumulative service time
+// for each named replica plus one inbound edge gauge/stall reading.
+func snap(replicas map[string]int64, depth, stalls int64) *obs.Snapshot {
+	s := &obs.Snapshot{}
+	for name, svc := range replicas {
+		s.Nodes = append(s.Nodes, obs.NodeSnapshot{Name: name, ServiceTime: svc})
+	}
+	s.Edges = append(s.Edges, obs.EdgeSnapshot{Name: "gen→work", Depth: depth, CreditStallTime: stalls})
+	return s
+}
+
+func mustPolicy(t *testing.T, p Policy) Policy {
+	t.Helper()
+	p, err := p.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestBurstScaleTable drives the detector through the paper's bursty
+// many-to-one filtering pattern on a virtual clock (10 units per step):
+// idle, burst at step 10, burst over at step 20.  It must emit exactly
+// one scale-up — at step 11, deterministically — and exactly one
+// scale-down after the burst, with no oscillation afterwards.
+func TestBurstScaleTable(t *testing.T) {
+	p := mustPolicy(t, Policy{Window: 3, UpUtil: 0.8, DownUtil: 0.2, TargetUtil: 0.65, Cooldown: 50})
+	d := New(p, []NodeSpec{{
+		Name: "work", K: 1, Min: 1, Max: 4,
+		Replicas: []string{"work"}, Inbound: []string{"gen→work"},
+	}})
+
+	var decisions []*Decision
+	svc := int64(0)
+	// Phase A+B on k=1: idle rate 1/step for steps 1-9, burst rate
+	// 10/step from step 10.
+	for step := int64(1); step <= 19; step++ {
+		if step < 10 {
+			svc++
+		} else {
+			svc += 10
+		}
+		if dec := d.Observe(step*10, snap(map[string]int64{"work": svc}, 0, 0)); dec != nil {
+			decisions = append(decisions, dec)
+			break // controller would swap here
+		}
+	}
+	if len(decisions) != 1 {
+		t.Fatalf("burst produced %d decisions, want exactly 1", len(decisions))
+	}
+	up := decisions[0]
+	if !up.ScaleUp() || up.Node != "work" || up.FromK != 1 || up.ToK != 2 {
+		t.Fatalf("scale-up = %v, want work 1→2", up)
+	}
+	// Deterministic trigger step: window [step 9, 10, 11] spans 20 units
+	// with service delta 20 → util 1.0 ≥ 0.8 exactly at step 11.
+	if up.At != 110 {
+		t.Fatalf("scale-up at %d, want virtual time 110 (step 11)", up.At)
+	}
+
+	// Swap committed: re-prime at k=2.  The new topology's counters
+	// restart from zero.
+	d.Reprime([]NodeSpec{{
+		Name: "work", K: 2, Min: 1, Max: 4,
+		Replicas: []string{"work.1", "work.2"}, Inbound: []string{"gen→work.split"},
+	}})
+	var s1, s2 int64
+	for step := int64(12); step <= 30; step++ {
+		if step < 20 { // rest of the burst, split across 2 replicas: util 0.5
+			s1 += 5
+			s2 += 5
+		}
+		dec := d.Observe(step*10, snap(map[string]int64{"work.1": s1, "work.2": s2}, 0, 0))
+		if dec != nil {
+			decisions = append(decisions, dec)
+			break
+		}
+	}
+	if len(decisions) != 2 {
+		t.Fatalf("post-burst produced %d total decisions, want an up then a down", len(decisions))
+	}
+	down := decisions[1]
+	if down.ScaleUp() || down.FromK != 2 || down.ToK != 1 {
+		t.Fatalf("scale-down = %v, want work 2→1", down)
+	}
+	// Window [step 19, 20, 21] is the first spanning only idle time.
+	if down.At != 210 {
+		t.Fatalf("scale-down at %d, want virtual time 210 (step 21)", down.At)
+	}
+
+	// Back at k=1=Min, idle forever: no oscillation.
+	d.Reprime([]NodeSpec{{
+		Name: "work", K: 1, Min: 1, Max: 4,
+		Replicas: []string{"work"}, Inbound: []string{"gen→work"},
+	}})
+	for step := int64(22); step <= 60; step++ {
+		if dec := d.Observe(step*10, snap(map[string]int64{"work": s1 + s2}, 0, 0)); dec != nil {
+			t.Fatalf("idle at min k produced %v, want silence", dec)
+		}
+	}
+}
+
+// TestHysteresisBand pins that utilization between DownUtil and UpUtil
+// never triggers, in either direction.
+func TestHysteresisBand(t *testing.T) {
+	p := mustPolicy(t, Policy{Window: 2, UpUtil: 0.8, DownUtil: 0.2})
+	d := New(p, []NodeSpec{{
+		Name: "work", K: 2, Min: 1, Max: 4,
+		Replicas: []string{"work.1", "work.2"}, Inbound: []string{"gen→work.split"},
+	}})
+	var svc int64
+	for step := int64(1); step <= 40; step++ {
+		svc += 10 // 10 per step over 2 replicas at 10 units/step = util 0.5
+		if dec := d.Observe(step*10, snap(map[string]int64{"work.1": svc / 2, "work.2": svc / 2}, 0, 0)); dec != nil {
+			t.Fatalf("mid-band utilization triggered %v", dec)
+		}
+	}
+}
+
+// TestCooldownSpacing pins that consecutive scale-downs are at least
+// Cooldown apart even when utilization stays at zero.
+func TestCooldownSpacing(t *testing.T) {
+	p := mustPolicy(t, Policy{Window: 2, Cooldown: 100})
+	d := New(p, []NodeSpec{{
+		Name: "work", K: 4, Min: 1, Max: 4,
+		Replicas: []string{"work.1", "work.2", "work.3", "work.4"}, Inbound: []string{"gen→work.split"},
+	}})
+	var decs []*Decision
+	k := 4
+	for step := int64(1); step <= 100 && k > 1; step++ {
+		dec := d.Observe(step*10, snap(map[string]int64{}, 0, 0))
+		if dec == nil {
+			continue
+		}
+		decs = append(decs, dec)
+		if dec.ToK != k-1 {
+			t.Fatalf("down decision %v, want single step from k=%d", dec, k)
+		}
+		k = dec.ToK
+		d.Reprime([]NodeSpec{{
+			Name: "work", K: k, Min: 1, Max: 4,
+			Replicas: []string{"work.1"}, Inbound: []string{"gen→work.split"},
+		}})
+	}
+	if len(decs) != 3 {
+		t.Fatalf("idle at k=4 produced %d downs, want 3 (4→3→2→1)", len(decs))
+	}
+	for i := 1; i < len(decs); i++ {
+		if gap := decs[i].At - decs[i-1].At; gap < 100 {
+			t.Fatalf("decisions %d and %d only %d apart, want >= cooldown 100", i-1, i, gap)
+		}
+	}
+}
+
+// TestProportionalSizing pins that a deeply backlogged node (sampled
+// utilization past 1.0 on a wall clock) jumps multiple replicas at
+// once, clamped by Max and MaxStep.
+func TestProportionalSizing(t *testing.T) {
+	spec := func(maxStep int) (*Detector, Policy) {
+		p := mustPolicy(t, Policy{Window: 2, TargetUtil: 0.65, MaxStep: maxStep})
+		return New(p, []NodeSpec{{
+			Name: "work", K: 1, Min: 1, Max: 4,
+			Replicas: []string{"work"}, Inbound: []string{"gen→work"},
+		}}), p
+	}
+	run := func(d *Detector) *Decision {
+		var svc int64
+		for step := int64(1); step <= 10; step++ {
+			svc += 20 // util 2.0 at 10 units/step
+			if dec := d.Observe(step*10, snap(map[string]int64{"work": svc}, 50, 5)); dec != nil {
+				return dec
+			}
+		}
+		return nil
+	}
+	d, _ := spec(0)
+	dec := run(d)
+	if dec == nil || dec.ToK != 4 { // ceil(1 * 2.0 / 0.65) = 4
+		t.Fatalf("backlogged decision = %v, want 1→4", dec)
+	}
+	d, _ = spec(1)
+	dec = run(d)
+	if dec == nil || dec.ToK != 2 {
+		t.Fatalf("MaxStep=1 decision = %v, want 1→2", dec)
+	}
+}
+
+// TestPolicyValidation pins Normalize's hysteresis guard.
+func TestPolicyValidation(t *testing.T) {
+	if _, err := (Policy{UpUtil: 0.2, DownUtil: 0.8}).Normalize(); err == nil {
+		t.Fatal("inverted thresholds should be rejected")
+	}
+	if _, err := (Policy{Window: 1}).Normalize(); err == nil {
+		t.Fatal("window of 1 should be rejected")
+	}
+	p, err := (Policy{}).Normalize()
+	if err != nil || p.Window != 3 || p.UpUtil != 0.80 {
+		t.Fatalf("zero policy normalize = %+v, %v", p, err)
+	}
+}
+
+// TestHottestNodeWins pins that with two qualifying nodes the detector
+// picks the hotter one, and prefers scale-ups over scale-downs.
+func TestHottestNodeWins(t *testing.T) {
+	p := mustPolicy(t, Policy{Window: 2})
+	d := New(p, []NodeSpec{
+		{Name: "warm", K: 1, Min: 1, Max: 4, Replicas: []string{"warm"}, Inbound: nil},
+		{Name: "hot", K: 1, Min: 1, Max: 4, Replicas: []string{"hot"}, Inbound: nil},
+		{Name: "cold", K: 2, Min: 1, Max: 4, Replicas: []string{"cold.1", "cold.2"}, Inbound: nil},
+	})
+	var warm, hot int64
+	var dec *Decision
+	for step := int64(1); step <= 10 && dec == nil; step++ {
+		warm += 9 // util 0.9
+		hot += 10 // util 1.0
+		s := &obs.Snapshot{Nodes: []obs.NodeSnapshot{
+			{Name: "warm", ServiceTime: warm},
+			{Name: "hot", ServiceTime: hot},
+			{Name: "cold.1"}, {Name: "cold.2"},
+		}}
+		dec = d.Observe(step*10, s)
+	}
+	if dec == nil || dec.Node != "hot" || !dec.ScaleUp() {
+		t.Fatalf("decision = %v, want scale-up of the hot node", dec)
+	}
+}

@@ -207,6 +207,7 @@ func (e *Engine) Drain(ctx context.Context) error {
 func (e *Engine) schedule() {
 	defer close(e.done)
 	var active []*EngineSession
+	var rounds int64
 	for {
 		e.mu.Lock()
 		active = append(active, e.queue...)
@@ -247,5 +248,11 @@ func (e *Engine) schedule() {
 			active[i] = nil
 		}
 		active = live
+		// The virtual-clock hook fires after the sweep, so a session's
+		// completion (and its counters) is visible at its round.
+		rounds++
+		if e.cfg.OnStep != nil {
+			e.cfg.OnStep(rounds)
+		}
 	}
 }

@@ -130,6 +130,14 @@ type Config struct {
 	// steps, never wall clock, so two runs of the same configuration
 	// produce byte-identical snapshots.
 	Obs *obs.Metrics
+	// OnStep, when non-nil, is called by the Engine scheduler after each
+	// round that swept at least one active session, with the cumulative
+	// round count.  It runs on the scheduler goroutine — the autoscale
+	// controller uses it as a deterministic virtual clock, so "a burst at
+	// step N scales out at step M" is an exact table test.  It must not
+	// block; anything it starts (a topology swap) must complete or detach
+	// without waiting on this engine's scheduler.
+	OnStep func(step int64)
 }
 
 // Rounding is the policy for integerizing rational intervals; it is the

@@ -75,18 +75,25 @@ func (o *Observer) metrics() *obs.Metrics {
 	return o.m
 }
 
-// attach binds the observer to p's executed topology, allocating the
-// per-node/per-edge slots on first use.
-func (o *Observer) attach(p *Pipeline) error {
+// topoNames lists the executed topology's node and edge names in ID
+// order — the slot layout the backends instrument against.
+func topoNames(p *Pipeline) (nodeNames, edgeNames []string) {
 	g := p.topo.g
-	nodeNames := make([]string, g.NumNodes())
+	nodeNames = make([]string, g.NumNodes())
 	for i := range nodeNames {
 		nodeNames[i] = g.Name(NodeID(i))
 	}
-	edgeNames := make([]string, g.NumEdges())
+	edgeNames = make([]string, g.NumEdges())
 	for _, ed := range g.Edges() {
 		edgeNames[ed.ID] = g.Name(ed.From) + "→" + g.Name(ed.To)
 	}
+	return nodeNames, edgeNames
+}
+
+// attach binds the observer to p's executed topology, allocating the
+// per-node/per-edge slots on first use.
+func (o *Observer) attach(p *Pipeline) error {
+	nodeNames, edgeNames := topoNames(p)
 	o.mu.Lock()
 	if o.m == nil {
 		o.m = obs.New(nodeNames, edgeNames)
@@ -97,6 +104,33 @@ func (o *Observer) attach(p *Pipeline) error {
 	o.mu.Unlock()
 	p.obs = o
 	return nil
+}
+
+// rebind re-targets the live observer at a rescaled clone's executed
+// topology: per-node/per-edge slots restart at the new layout while the
+// lifecycle counters (sessions, faults, scale, links) carry over — the
+// Prometheus counter-reset convention for a re-shaped collector.  The
+// previous collector keeps feeding the shared lifecycle totals from the
+// draining generation.  Returns it so a failed swap can restore.
+func (o *Observer) rebind(np *Pipeline) *obs.Metrics {
+	nodeNames, edgeNames := topoNames(np)
+	o.mu.Lock()
+	prev := o.m
+	if prev == nil {
+		o.m = obs.New(nodeNames, edgeNames)
+	} else {
+		o.m = prev.Rebind(nodeNames, edgeNames)
+	}
+	o.mu.Unlock()
+	np.obs = o
+	return prev
+}
+
+// restore undoes a rebind after a failed swap.
+func (o *Observer) restore(m *obs.Metrics) {
+	o.mu.Lock()
+	o.m = m
+	o.mu.Unlock()
 }
 
 // Snapshot returns a point-in-time copy of the collected telemetry; an
@@ -167,10 +201,10 @@ func (p *Pipeline) obsMetrics() *obs.Metrics {
 // counts and credit stalls, and per-session latency, on every backend.
 // Without an attached Observer the snapshot is empty.
 func (e *Engine) Metrics() *Snapshot {
-	if e.p.obs == nil {
-		return &Snapshot{}
+	if o := e.pipe().obs; o != nil {
+		return o.Snapshot()
 	}
-	return e.p.obs.Snapshot()
+	return &Snapshot{}
 }
 
 // Metrics returns the engine's telemetry snapshot (see Engine.Metrics).

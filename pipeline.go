@@ -40,6 +40,17 @@ type Pipeline struct {
 	nodeBatch map[string]int // per-stage Batch marks, keyed by original node name
 	obs       *Observer      // telemetry collector; nil (the default) compiles instrumentation out
 
+	// Rescale state: the pre-expansion kernel resolution and the live
+	// replication plan, kept so withPlan can re-derive the executed
+	// topology for a different k without redoing option handling (see
+	// scale.go).
+	origKernels map[NodeID]Kernel // keyed by ORIGINAL topology IDs
+	plan        ReplicationPlan
+	cycleLimit  int
+	scale       *ScalePolicy       // autoscaler policy; nil without WithAutoscale
+	elastic     map[string]Elastic // Stage.Elastic marks, by original node name
+	onStep      *stepHook          // simulator virtual-clock tap for the controller
+
 	// Fault-tolerance configuration (see fault.go).
 	retry      RetryPolicy
 	dlq        DeadLetterSink
@@ -83,6 +94,8 @@ type buildConfig struct {
 	routing    Filter
 	avoidance  bool
 	observer   *Observer
+	scale      *ScalePolicy
+	elastic    map[string]Elastic
 	retry      RetryPolicy
 	dlq        DeadLetterSink
 	hbInterval time.Duration
@@ -253,34 +266,54 @@ func Build(t *Topology, opts ...Option) (*Pipeline, error) {
 		orig: t, topo: t,
 		backend: cfg.backend, alg: cfg.alg,
 		watchdog: cfg.watchdog, avoidance: cfg.avoidance,
-		maxBatch: cfg.maxBatch,
-		retry:    cfg.retry, dlq: cfg.dlq,
+		maxBatch:    cfg.maxBatch,
+		origKernels: kernels, cycleLimit: cfg.cycleLimit,
+		elastic: cfg.elastic,
+		retry:   cfg.retry, dlq: cfg.dlq,
 		hbInterval: cfg.hbInterval, hbMiss: cfg.hbMiss, restart: cfg.restart,
 		faults: cfg.faults, ckptEvery: cfg.ckptEvery, faultParts: cfg.faultParts,
 	}
-	if len(cfg.plan) > 0 {
-		rep, err := Replicate(t, cfg.plan)
-		if err != nil {
+	if cfg.scale != nil {
+		pol := cfg.scale.normalized()
+		if err := pol.validate(); err != nil {
 			return nil, err
 		}
-		p.rep = rep
-		p.topo = rep.Topology()
-		kernels = rep.Kernels(kernels)
+		p.scale = &pol
+		p.onStep = &stepHook{}
+		elastic := p.elasticNodes()
+		if len(elastic) == 0 {
+			return nil, errors.New("streamdag: build: WithAutoscale needs elastic nodes (ScalePolicy.Nodes or Stage.Elastic)")
+		}
+		// Probe-replicate every elastic node once so a node that cannot be
+		// replicated (source, sink, unknown name) fails at Build, not at
+		// the first live rescale.
+		probe := make(ReplicationPlan, len(elastic))
+		for name, el := range elastic {
+			if el.Min < 1 || el.Max < el.Min {
+				return nil, fmt.Errorf("streamdag: build: elastic range [%d, %d] for node %q is invalid", el.Min, el.Max, name)
+			}
+			probe[name] = 2
+			// An elastic floor above one is an initial replication plan.
+			if el.Min > 1 {
+				if _, set := cfg.plan[name]; !set {
+					if cfg.plan == nil {
+						cfg.plan = make(ReplicationPlan)
+					}
+					cfg.plan[name] = el.Min
+				}
+			}
+		}
+		if _, err := Replicate(t, probe); err != nil {
+			return nil, err
+		}
+		if cfg.observer == nil {
+			// The detector samples Engine.Metrics, so autoscaling implies
+			// an observer even when the caller didn't ask for one.
+			cfg.observer = NewObserver()
+		}
 	}
-	p.kernels = kernels
-
-	a, err := Analyze(p.topo)
-	if err != nil {
+	if err := p.applyPlan(cfg.plan); err != nil {
 		return nil, err
-	}
-	a.ExhaustiveCycleLimit = cfg.cycleLimit
-	p.analysis = a
-	if cfg.avoidance {
-		iv, err := a.Intervals(cfg.alg)
-		if err != nil {
-			return nil, err
-		}
-		p.intervals = iv
 	}
 	if cfg.observer != nil {
 		// Attached last, against the executed (possibly expanded) topology,
@@ -291,6 +324,84 @@ func Build(t *Topology, opts ...Option) (*Pipeline, error) {
 		}
 	}
 	return p, nil
+}
+
+// applyPlan derives the executed state from p.orig and plan: replication
+// expansion, kernel carry-over, classification, and dummy intervals.
+// Build calls it once; withPlan calls it on a clone for every live
+// rescale.
+func (p *Pipeline) applyPlan(plan ReplicationPlan) error {
+	p.plan = plan
+	p.rep = nil
+	p.topo = p.orig
+	kernels := p.origKernels
+	if len(plan) > 0 {
+		rep, err := Replicate(p.orig, plan)
+		if err != nil {
+			return err
+		}
+		p.rep = rep
+		p.topo = rep.Topology()
+		kernels = rep.Kernels(kernels)
+	}
+	p.kernels = kernels
+
+	a, err := Analyze(p.topo)
+	if err != nil {
+		return err
+	}
+	a.ExhaustiveCycleLimit = p.cycleLimit
+	p.analysis = a
+	p.intervals = nil
+	if p.avoidance {
+		iv, err := a.Intervals(p.alg)
+		if err != nil {
+			return err
+		}
+		p.intervals = iv
+	}
+	return nil
+}
+
+// planBackend is implemented by backends whose engine construction
+// depends on the executed topology's node names (the distributed
+// backend's node→worker assignment); forPlan derives the backend for a
+// rescaled clone from the one serving the old plan.
+type planBackend interface {
+	forPlan(np, old *Pipeline) (Backend, error)
+}
+
+// withPlan clones p for a different replication plan.  The clone shares
+// the original topology, kernels, options, and stateful-stage cells with
+// p, recompiles the executed topology, and refuses the swap if the new
+// expansion would change the topology's class — the class is what the
+// deadlock-freedom proof quantifies over, so a rescale must never move
+// it.  The clone's observer is left nil; the caller rebinds the live
+// Observer against the new topology before starting an engine.
+func (p *Pipeline) withPlan(plan ReplicationPlan) (*Pipeline, error) {
+	np := new(Pipeline)
+	*np = *p
+	np.obs = nil
+	if p.onStep != nil {
+		// Each generation gets its own virtual-clock tap so retiring the
+		// old engine can't tick the controller for the new one.
+		np.onStep = &stepHook{}
+	}
+	if err := np.applyPlan(plan); err != nil {
+		return nil, err
+	}
+	if np.analysis.Class() != p.analysis.Class() {
+		return nil, fmt.Errorf("streamdag: rescale: expansion would change topology class %s → %s; refusing",
+			p.analysis.Class(), np.analysis.Class())
+	}
+	if pb, ok := np.backend.(planBackend); ok {
+		b, err := pb.forPlan(np, p)
+		if err != nil {
+			return nil, err
+		}
+		np.backend = b
+	}
+	return np, nil
 }
 
 // Topology returns the topology the pipeline executes — the expanded one

@@ -1,0 +1,559 @@
+package streamdag
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Elastic-replication tests: live Rescale parity across all three
+// backends (the sink stream must be bit-identical to a static build no
+// matter when k changes), the deterministic simulator autoscale loop
+// (a bursty source triggers exactly one scale-up then one scale-down),
+// drain-deadline semantics (retry-armed sessions migrate exactly-once,
+// bare sessions evict), and the validation edges of Rescale,
+// WithAutoscale, and Stage.Elastic.
+
+// rescaleTopo is the replication pipeline: gen → work → out, with the
+// hot middle node the one being rescaled.
+func rescaleTopo() *Topology {
+	tp := NewTopology()
+	tp.Channel("gen", "work", 4)
+	tp.Channel("work", "out", 4)
+	return tp
+}
+
+// rescaleKernels gives work a filtering, payload-transforming kernel so
+// the parity assertion exercises the dummy protocol, not just pass-through.
+func rescaleKernels() []Option {
+	return []Option{
+		WithKernel("work", KernelFunc(func(seq uint64, in []Input) map[int]any {
+			if !in[0].Present || seq%5 == 4 {
+				return nil // filter every fifth frame
+			}
+			return map[int]any{0: "w:" + strings.ToUpper(in[0].Payload.(string))}
+		})),
+	}
+}
+
+func requireEmissions(t *testing.T, label string, got, want []Emission) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d emissions, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: emission %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// rescaleReference runs the static (k=1) build once and returns its
+// emission stream — the contract every rescaled session must reproduce.
+func rescaleReference(t *testing.T, n int) []Emission {
+	t.Helper()
+	ref, err := Build(rescaleTopo(), rescaleKernels()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var col Collector
+	if _, err := ref.Run(context.Background(), SliceSource(payloads(n)...), &col); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	return col.Emissions()
+}
+
+// TestRescaleParityAcrossBackends is the acceptance check for live
+// rescaling: k goes 1 → 4 → 2 → 1 on a resident engine — the first swap
+// landing mid-session — and every session's sink stream must be
+// bit-identical to the static build, on the goroutine runtime, the
+// deterministic simulator, and the TCP workers.
+func TestRescaleParityAcrossBackends(t *testing.T) {
+	const n = 80
+	want := rescaleReference(t, n)
+	opts := append(rescaleKernels(), WithWatchdog(10*time.Second))
+
+	for name, p := range backendsFor(t, rescaleTopo, opts...) {
+		t.Run(name, func(t *testing.T) {
+			eng, err := p.Engine()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+
+			// Session 1 is mid-stream when the engine rescales to 4: it
+			// must drain on the old generation with its output unchanged.
+			var col1 Collector
+			gs := &gateSink{inner: &col1, at: 5, gate: make(chan struct{}), slow: 500 * time.Microsecond}
+			ses1, err := eng.Open(context.Background(), SliceSource(payloads(n)...), gs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			<-gs.gate
+			if err := eng.Rescale("work", 4); err != nil {
+				t.Fatalf("Rescale to 4: %v", err)
+			}
+			if _, err := ses1.Wait(); err != nil {
+				t.Fatalf("session across the swap: %v", err)
+			}
+			requireEmissions(t, "session draining on the old generation", col1.Emissions(), want)
+
+			st := eng.ScaleStatus()
+			if st.Plan["work"] != 4 {
+				t.Fatalf("plan after rescale = %v, want work:4", st.Plan)
+			}
+			cur := st.Generations[len(st.Generations)-1]
+			if cur.Seq != 2 || cur.Retired {
+				t.Fatalf("current generation = %+v, want seq 2, not retired", cur)
+			}
+
+			// Fresh sessions on each subsequent plan: expand is already
+			// live; then contract, then collapse back to a single instance.
+			for _, k := range []int{4, 2, 1} {
+				if k != 4 {
+					if err := eng.Rescale("work", k); err != nil {
+						t.Fatalf("Rescale to %d: %v", k, err)
+					}
+				}
+				var col Collector
+				ses, err := eng.Open(context.Background(), SliceSource(payloads(n)...), &col)
+				if err != nil {
+					t.Fatalf("Open at k=%d: %v", k, err)
+				}
+				if _, err := ses.Wait(); err != nil {
+					t.Fatalf("session at k=%d: %v", k, err)
+				}
+				requireEmissions(t, fmt.Sprintf("session at k=%d", k), col.Emissions(), want)
+			}
+		})
+	}
+}
+
+// burstTopo is the autoscale diamond: src → {work, bypass} → out.  The
+// bypass branch always carries the stream (so the scheduler keeps
+// ticking); src routes payloads to the elastic work branch only during
+// hot phases, starving it down to dummy-timer traffic otherwise.
+func burstTopo() *Topology {
+	tp := NewTopology()
+	tp.Channel("src", "work", 4)
+	tp.Channel("src", "bypass", 4)
+	tp.Channel("work", "out", 4)
+	tp.Channel("bypass", "out", 4)
+	return tp
+}
+
+func burstKernels() []Option {
+	return []Option{
+		WithKernel("src", KernelFunc(func(_ uint64, in []Input) map[int]any {
+			p, _ := in[0].Payload.(string)
+			out := map[int]any{1: p}
+			if strings.HasPrefix(p, "hot-") {
+				out[0] = p
+			}
+			return out
+		})),
+		WithKernel("work", KernelFunc(func(_ uint64, in []Input) map[int]any {
+			if !in[0].Present {
+				return nil
+			}
+			return map[int]any{0: "W:" + strings.ToUpper(in[0].Payload.(string))}
+		})),
+		WithKernel("bypass", KernelFunc(func(_ uint64, in []Input) map[int]any {
+			if !in[0].Present {
+				return nil
+			}
+			return map[int]any{0: in[0].Payload}
+		})),
+	}
+}
+
+func burstPayloads(prefix string, n int) []any {
+	out := make([]any, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s-%03d", prefix, i)
+	}
+	return out
+}
+
+// TestSimAutoscaleBurstDeterministic closes the feedback loop on the
+// simulator: a hot burst saturates the work branch and the controller —
+// riding the scheduler's virtual round counter — scales it up exactly
+// once; the following cold stream starves the branch and the controller
+// scales it down exactly once.  No oscillation, and the entire run
+// (decisions, reasons, and both sink streams) replays bit-identically.
+func TestSimAutoscaleBurstDeterministic(t *testing.T) {
+	const hotN, coldN = 600, 300
+
+	run := func() (events []ScaleEvent, hot, cold []Emission, snap *Snapshot, st ScaleStatus) {
+		var mu sync.Mutex
+		o := NewObserver()
+		p, err := Build(burstTopo(), append(burstKernels(),
+			WithBackend(Simulator()),
+			WithObserver(o),
+			WithAutoscale(ScalePolicy{
+				StepInterval:    25,
+				Window:          3,
+				UpUtil:          0.8,
+				DownUtil:        0.45,
+				TargetUtil:      0.65,
+				CooldownSamples: 3,
+				Nodes:           map[string]Elastic{"work": {Min: 1, Max: 4}},
+				OnEvent: func(ev ScaleEvent) {
+					mu.Lock()
+					events = append(events, ev)
+					mu.Unlock()
+				},
+			}))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := p.Engine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, phase := range []struct {
+			prefix string
+			n      int
+			col    *[]Emission
+		}{{"hot", hotN, &hot}, {"cold", coldN, &cold}} {
+			var col Collector
+			ses, err := eng.Open(context.Background(), SliceSource(burstPayloads(phase.prefix, phase.n)...), &col)
+			if err != nil {
+				t.Fatalf("%s session: %v", phase.prefix, err)
+			}
+			if _, err := ses.Wait(); err != nil {
+				t.Fatalf("%s session: %v", phase.prefix, err)
+			}
+			*phase.col = col.Emissions()
+		}
+		snap = o.Snapshot()
+		st = eng.ScaleStatus()
+		if err := eng.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return events, hot, cold, snap, st
+	}
+
+	events, hot, cold, snap, st := run()
+
+	if len(events) != 2 {
+		t.Fatalf("scale events = %+v, want exactly one scale-up then one scale-down", events)
+	}
+	up, down := events[0], events[1]
+	if up.Node != "work" || up.FromK != 1 || up.ToK <= 1 || !up.Auto || up.Err != nil {
+		t.Fatalf("first event = %+v, want auto scale-up of work from 1", up)
+	}
+	if down.Node != "work" || down.FromK != up.ToK || down.ToK != up.ToK-1 || !down.Auto || down.Err != nil {
+		t.Fatalf("second event = %+v, want auto scale-down %d→%d", down, up.ToK, up.ToK-1)
+	}
+	if up.Reason == "" || down.Reason == "" {
+		t.Fatalf("events missing detector reasons: %+v", events)
+	}
+	if st.Plan["work"] != down.ToK {
+		t.Fatalf("final plan = %v, want work:%d", st.Plan, down.ToK)
+	}
+	if snap.Scale.ScaleUps != 1 || snap.Scale.ScaleDowns != 1 {
+		t.Fatalf("scale counters ups=%d downs=%d, want 1/1", snap.Scale.ScaleUps, snap.Scale.ScaleDowns)
+	}
+	if snap.Scale.SessionsMigrated != 0 || snap.Scale.SessionsEvicted != 0 {
+		t.Fatalf("migrated=%d evicted=%d, want 0/0 (sessions drain naturally)",
+			snap.Scale.SessionsMigrated, snap.Scale.SessionsEvicted)
+	}
+
+	// The streams themselves are unperturbed by the swaps.
+	if len(hot) != hotN {
+		t.Fatalf("hot emissions = %d, want %d", len(hot), hotN)
+	}
+	for i, em := range hot {
+		want := Emission{Seq: uint64(i), Payload: fmt.Sprintf("W:HOT-%03d", i)}
+		if em != want {
+			t.Fatalf("hot emission %d = %+v, want %+v", i, em, want)
+		}
+	}
+	if len(cold) != coldN {
+		t.Fatalf("cold emissions = %d, want %d", len(cold), coldN)
+	}
+	for i, em := range cold {
+		want := Emission{Seq: uint64(i), Payload: fmt.Sprintf("cold-%03d", i)}
+		if em != want {
+			t.Fatalf("cold emission %d = %+v, want %+v", i, em, want)
+		}
+	}
+
+	// Virtual time makes the whole feedback loop replayable: a second
+	// run produces the identical decision trace and streams.
+	events2, hot2, cold2, _, _ := run()
+	if !reflect.DeepEqual(events, events2) {
+		t.Fatalf("replay diverged:\n  first  %+v\n  second %+v", events, events2)
+	}
+	requireEmissions(t, "hot replay", hot2, hot)
+	requireEmissions(t, "cold replay", cold2, cold)
+}
+
+// TestRescaleMigratesRetrySession: a retry-armed session that outlives
+// the drain deadline must migrate to the new generation and complete
+// with an exactly-once sink stream — no drops, no duplicates — and the
+// move is accounted as a migration, not a failure.
+func TestRescaleMigratesRetrySession(t *testing.T) {
+	const n = 160
+	want := rescaleReference(t, n)
+
+	o := NewObserver()
+	p, err := Build(rescaleTopo(), append(rescaleKernels(),
+		WithRetry(RetryPolicy{MaxAttempts: 3, Backoff: time.Millisecond}),
+		WithObserver(o),
+		WithAutoscale(ScalePolicy{
+			Interval:     time.Hour, // inert sampler: this test rescales manually
+			DrainTimeout: 50 * time.Millisecond,
+			Nodes:        map[string]Elastic{"work": {Min: 1, Max: 4}},
+		}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := p.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	var col Collector
+	gs := &gateSink{inner: &col, at: 10, gate: make(chan struct{}), slow: 1500 * time.Microsecond}
+	ses, err := eng.Open(context.Background(), SliceSource(payloads(n)...), gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-gs.gate
+	if err := eng.Rescale("work", 3); err != nil {
+		t.Fatalf("Rescale: %v", err)
+	}
+	if _, err := ses.Wait(); err != nil {
+		t.Fatalf("migrated session: %v", err)
+	}
+	requireEmissions(t, "exactly-once across the migration", col.Emissions(), want)
+
+	sc := o.Snapshot().Scale
+	if sc.SessionsMigrated != 1 {
+		t.Errorf("sessions_migrated = %d, want 1", sc.SessionsMigrated)
+	}
+	if sc.SessionsEvicted != 0 {
+		t.Errorf("sessions_evicted = %d, want 0", sc.SessionsEvicted)
+	}
+	if f := o.Snapshot().Faults; f.SessionRetries != 0 {
+		t.Errorf("session_retries = %d, want 0 (a migration is not a failure)", f.SessionRetries)
+	}
+}
+
+// TestRescaleEvictsBareSession: without a retry policy there is nothing
+// to migrate — a session past the drain deadline fails with
+// ErrSessionEvicted and is counted.
+func TestRescaleEvictsBareSession(t *testing.T) {
+	o := NewObserver()
+	p, err := Build(rescaleTopo(), append(rescaleKernels(),
+		WithObserver(o),
+		WithAutoscale(ScalePolicy{
+			Interval:     time.Hour,
+			DrainTimeout: 40 * time.Millisecond,
+			Nodes:        map[string]Elastic{"work": {Min: 1, Max: 4}},
+		}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := p.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	var col Collector
+	gs := &gateSink{inner: &col, at: 5, gate: make(chan struct{}), slow: 2 * time.Millisecond}
+	ses, err := eng.Open(context.Background(), SliceSource(payloads(200)...), gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-gs.gate
+	if err := eng.Rescale("work", 2); err != nil {
+		t.Fatalf("Rescale: %v", err)
+	}
+	if _, err := ses.Wait(); !errors.Is(err, ErrSessionEvicted) {
+		t.Fatalf("evicted session error = %v, want ErrSessionEvicted", err)
+	}
+	if sc := o.Snapshot().Scale; sc.SessionsEvicted != 1 {
+		t.Errorf("sessions_evicted = %d, want 1", sc.SessionsEvicted)
+	}
+
+	// The engine itself is healthy: a fresh session on the new
+	// generation completes normally.
+	var col2 Collector
+	ses2, err := eng.Open(context.Background(), SliceSource(payloads(40)...), &col2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ses2.Wait(); err != nil {
+		t.Fatalf("session after eviction: %v", err)
+	}
+	requireEmissions(t, "post-eviction session", col2.Emissions(), rescaleReference(t, 40))
+}
+
+// TestRescaleValidation pins the error edges: unknown node, k < 1, the
+// unreplicable source, elastic range enforcement, no-op rescales, and
+// the closed engine — with the engine left serving after each refusal.
+func TestRescaleValidation(t *testing.T) {
+	p, err := Build(rescaleTopo(), rescaleKernels()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := p.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := eng.Rescale("nosuch", 2); err == nil || !strings.Contains(err.Error(), "no node") {
+		t.Errorf("Rescale(nosuch) = %v, want unknown-node error", err)
+	}
+	if err := eng.Rescale("work", 0); err == nil {
+		t.Error("Rescale(work, 0): no error")
+	}
+	if err := eng.Rescale("gen", 2); err == nil {
+		t.Error("Rescale(gen, 2): source must be unreplicable")
+	}
+	if err := eng.Rescale("work", 1); err != nil {
+		t.Errorf("no-op Rescale(work, 1) = %v, want nil", err)
+	}
+
+	// Every refusal above left the engine serving.
+	const n = 30
+	var col Collector
+	ses, err := eng.Open(context.Background(), SliceSource(payloads(n)...), &col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ses.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	requireEmissions(t, "session after refused rescales", col.Emissions(), rescaleReference(t, n))
+
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Rescale("work", 2); !errors.Is(err, ErrEngineClosed) {
+		t.Errorf("Rescale after Close = %v, want ErrEngineClosed", err)
+	}
+}
+
+// TestAutoscaleBuildValidation: WithAutoscale needs at least one elastic
+// node and a sane policy, and a policy Min > 1 seeds the initial plan.
+func TestAutoscaleBuildValidation(t *testing.T) {
+	if _, err := Build(rescaleTopo(), append(rescaleKernels(),
+		WithAutoscale(ScalePolicy{}))...); err == nil || !strings.Contains(err.Error(), "elastic") {
+		t.Errorf("Build with no elastic nodes = %v, want error", err)
+	}
+	if _, err := Build(rescaleTopo(), append(rescaleKernels(),
+		WithAutoscale(ScalePolicy{
+			UpUtil:   0.2,
+			DownUtil: 0.5,
+			Nodes:    map[string]Elastic{"work": {Min: 1, Max: 4}},
+		}))...); err == nil {
+		t.Error("Build with inverted hysteresis thresholds: no error")
+	}
+	if _, err := Build(rescaleTopo(), append(rescaleKernels(),
+		WithAutoscale(ScalePolicy{
+			Nodes: map[string]Elastic{"gen": {Min: 1, Max: 4}},
+		}))...); err == nil {
+		t.Error("Build with the source marked elastic: no error")
+	}
+
+	// Min > 1 starts the node expanded; Rescale enforces the range.
+	p, err := Build(rescaleTopo(), append(rescaleKernels(),
+		WithAutoscale(ScalePolicy{
+			Interval: time.Hour,
+			Nodes:    map[string]Elastic{"work": {Min: 2, Max: 3}},
+		}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := p.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if st := eng.ScaleStatus(); st.Plan["work"] != 2 {
+		t.Fatalf("seeded plan = %v, want work:2 (the elastic Min)", st.Plan)
+	}
+	if err := eng.Rescale("work", 4); err == nil || !strings.Contains(err.Error(), "elastic range") {
+		t.Errorf("Rescale above Max = %v, want range error", err)
+	}
+	if err := eng.Rescale("work", 3); err != nil {
+		t.Errorf("Rescale within range = %v", err)
+	}
+}
+
+// TestStageElastic: the flow builder's Elastic mark lowers into the
+// build, gates manual rescales, and is refused where replication would
+// be unsound (stateful and composite stages, invalid ranges).
+func TestStageElastic(t *testing.T) {
+	p, err := NewFlow[string, string]().
+		Then(Map("work", strings.ToUpper).Elastic(1, 4)).
+		Compile(WithAutoscale(ScalePolicy{Interval: time.Hour}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := p.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if err := eng.Rescale("work", 5); err == nil || !strings.Contains(err.Error(), "elastic range") {
+		t.Errorf("Rescale above the stage's Max = %v, want range error", err)
+	}
+	if err := eng.Rescale("work", 2); err != nil {
+		t.Fatalf("Rescale within the stage's range: %v", err)
+	}
+	var col Collector
+	ses, err := eng.Open(context.Background(), SliceSource("a", "b", "c"), &col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ses.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	requireEmissions(t, "rescaled flow", col.Emissions(), []Emission{
+		{Seq: 0, Payload: "A"}, {Seq: 1, Payload: "B"}, {Seq: 2, Payload: "C"},
+	})
+
+	// The mark gates manual rescales even without an autoscaler.
+	p2, err := NewFlow[string, string]().
+		Then(Map("w", strings.ToUpper).Elastic(1, 2)).
+		Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := p2.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	if err := eng2.Rescale("w", 3); err == nil || !strings.Contains(err.Error(), "elastic range") {
+		t.Errorf("unpoliced Rescale above Max = %v, want range error", err)
+	}
+
+	if _, err := NewFlow[string, string]().
+		Then(Map("w", strings.ToUpper).Elastic(0, 2)).
+		Compile(); err == nil || !strings.Contains(err.Error(), "elastic range") {
+		t.Errorf("Elastic(0, 2) = %v, want invalid-range error", err)
+	}
+	if _, err := NewFlow[string, string]().
+		Then(Stateful("acc", "", func(s, v string) (string, string, bool) { return s, v, true }).Elastic(1, 2)).
+		Compile(); err == nil || !strings.Contains(err.Error(), "stateful") {
+		t.Errorf("Elastic on a stateful stage = %v, want refusal", err)
+	}
+	if _, err := NewFlow[string, string]().
+		Then(Sequence(Map("a", strings.ToUpper), Map("b", strings.ToLower)).Elastic(1, 2)).
+		Compile(); err == nil || !strings.Contains(err.Error(), "composite") {
+		t.Errorf("Elastic on a composite stage = %v, want refusal", err)
+	}
+}

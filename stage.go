@@ -54,6 +54,12 @@ type Stage interface {
 	// safe for concurrent use.  Composite stages (Sequence, Split) reject
 	// it — tap their member stages.
 	Tap(fn func(v any)) Stage
+	// Elastic marks the stage autoscalable between min and max replicas
+	// (min >= 1): under WithAutoscale the engine re-plans the stage's
+	// replica count live as its load moves.  The stage's function is
+	// shared by all replicas and must be safe for concurrent use, like
+	// Replicate.  Stateful and composite stages reject it at Compile.
+	Elastic(min, max int) Stage
 
 	inType() reflect.Type
 	outType() reflect.Type
@@ -84,6 +90,8 @@ func compatibleTypes(from, to reflect.Type) bool {
 type stageBase struct {
 	name     string
 	replicas int
+	elMin    int // Elastic range; marked when elMax > 0
+	elMax    int
 	buf      int
 	batch    int
 	tap      func(any)
@@ -98,6 +106,14 @@ func (b *stageBase) Replicate(k int) Stage {
 		b.err = fmt.Errorf("streamdag: flow: stage %q: replica count %d must be positive", b.name, k)
 	}
 	b.replicas = k
+	return b.self
+}
+
+func (b *stageBase) Elastic(min, max int) Stage {
+	if (min < 1 || max < min) && b.err == nil {
+		b.err = fmt.Errorf("streamdag: flow: stage %q: elastic range [%d, %d] is invalid (need 1 <= min <= max)", b.name, min, max)
+	}
+	b.elMin, b.elMax = min, max
 	return b.self
 }
 
@@ -142,6 +158,9 @@ func (b *stageBase) lowerSimple(lw *lowering, from string, mk kernelFactory) (st
 	}
 	if b.replicas > 1 {
 		lw.plan[b.name] = b.replicas
+	}
+	if b.elMax > 0 {
+		lw.elastic[b.name] = Elastic{Min: b.elMin, Max: b.elMax}
 	}
 	if b.batch > 0 {
 		lw.batch[b.name] = b.batch
@@ -360,6 +379,9 @@ func (s *statefulStage[A, B, S]) lower(lw *lowering, from string) (string, error
 	if s.replicas > 1 {
 		return "", fmt.Errorf("streamdag: flow: stateful stage %q cannot be replicated (replicas would share its state)", s.name)
 	}
+	if s.elMax > 0 {
+		return "", fmt.Errorf("streamdag: flow: stateful stage %q cannot be elastic (replicas would share its state)", s.name)
+	}
 	// One state cell per Compile, reset at every Run, so neither a second
 	// Run nor a second Compile of the same Stage value sees stale state.
 	cell := new(S)
@@ -461,6 +483,9 @@ func (b *stageBase) compositeKnobs() error {
 	if b.replicas > 1 {
 		return fmt.Errorf("streamdag: flow: composite stage %q cannot be replicated; replicate its member stages", b.name)
 	}
+	if b.elMax > 0 {
+		return fmt.Errorf("streamdag: flow: composite stage %q cannot be elastic; mark its member stages", b.name)
+	}
 	if b.buf > 0 {
 		return fmt.Errorf("streamdag: flow: composite stage %q has no inbound channel of its own; set buffers on its member stages", b.name)
 	}
@@ -558,6 +583,9 @@ func (b *stageBase) lowerMerge(lw *lowering, froms []string, mk kernelFactory) (
 	}
 	if b.replicas > 1 {
 		lw.plan[b.name] = b.replicas
+	}
+	if b.elMax > 0 {
+		lw.elastic[b.name] = Elastic{Min: b.elMin, Max: b.elMax}
 	}
 	if b.batch > 0 {
 		lw.batch[b.name] = b.batch
