@@ -69,6 +69,24 @@
 // SpanSink.  The default n = 1 is the legacy one-message-at-a-time
 // path.
 //
+// # Time-aware stages
+//
+// TumblingWindow, SlidingWindow, SessionWindow, Throttle, Debounce,
+// Dedupe, and Sample bring processing time into the Flow vocabulary.
+// Each compiles to a kernel around an injected Clock: the runtime
+// backends default to the wall clock, while the Simulator substitutes
+// a deterministic virtual clock advanced by its round-robin scheduler,
+// so windowed runs there are bit-reproducible — the same flow and
+// input always produce identical window boundaries and contents.
+// WithClock overrides the source of time explicitly (a *FakeClock
+// makes wall-clock backends deterministic too, advanced by the test).
+// Window flushes are timer-driven mid-stream, a session idling inside
+// an open window is never misreported as deadlocked, and window state
+// resets across fault retries so replayed bursts never double-count.
+// Time-aware stages take exactly one input stream and cannot be
+// replicated or placed inside a Split branch — Compile rejects those
+// placements with an explanatory error.
+//
 // The pre-Pipeline entry points (Run, Simulate, NewDistWorker) remain
 // as deprecated wrappers.
 package streamdag

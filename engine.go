@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"streamdag/internal/clock"
 	"streamdag/internal/dist"
 	"streamdag/internal/graph"
 	"streamdag/internal/proto"
@@ -483,6 +484,15 @@ func (simulatorBackend) newEngine(p *Pipeline) (backendEngine, error) {
 		Partition:       part,
 		Faults:          p.faults,
 		CheckpointEvery: p.ckptEvery,
+	}
+	// The simulator's timed path needs the deterministic fake — Build
+	// created one when no WithClock was given.  An explicit non-fake
+	// clock cannot drive it: virtual time could not advance it, so timed
+	// kernels would never tick and their output would silently vanish.
+	if fake, ok := p.clk.(*clock.Fake); ok {
+		cfg.Clock = fake
+	} else if p.clk != nil && anyTimedKernel(p.kernels) {
+		return nil, errors.New("streamdag: time-aware stages on the Simulator need a deterministic clock: omit WithClock or pass a *FakeClock")
 	}
 	if p.onStep != nil {
 		// The autoscale controller rides the scheduler's round counter:

@@ -398,6 +398,17 @@ func (e *Engine) retryLoop(s *Session, ctx context.Context, id SessionID, src Re
 		// carries the high-water mark across, so the migrated stream stays
 		// exactly-once.
 		g := e.genMove(s)
+		// Re-initialize stateful and time-aware stage state before the
+		// replay: a retried stream re-ingests from payload zero, so
+		// half-filled windows and accumulator cells from the failed
+		// attempt would double-count.  (The bypass of Engine.Open here is
+		// why Open's fresh-generation reset alone is not enough.)  The
+		// attempt epoch advanced above fences the failed attempt's
+		// stragglers off the sink; the re-emitted prefix the replay
+		// produces is then suppressed by the dedup high-water mark.
+		for _, reset := range g.pipe.resets {
+			reset()
+		}
 		if m := g.pipe.obsMetrics(); m != nil {
 			if migrate {
 				m.Scale().SessionsMigrated.Add(1)

@@ -92,6 +92,10 @@ type lowering struct {
 	slot    *stageErrSlot
 	resets  []func()
 	defBuf  int
+	// split counts the Split nesting depth while branches lower; the
+	// time-aware stages reject positions inside a branch, where their
+	// re-sequenced output would break the merge's seq-keyed join.
+	split int
 }
 
 // addNode registers a user stage's node; "source" and "sink" belong to

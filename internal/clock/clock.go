@@ -1,0 +1,61 @@
+// Package clock is the engine-wide time source: a small Clock interface
+// with a wall-clock implementation for the concurrent backends and a
+// deterministic fake for the simulator and for tests.
+//
+// Every time-aware component of the library — the windowing and
+// rate-shaping stages, the engines' flush timers, the watchdog
+// suppression while a timer is armed — reads time exclusively through an
+// injected Clock, never through the time package directly.  That single
+// seam is what makes the simulator bit-deterministic: it injects a Fake
+// whose Now is a pure function of the scheduler's step counter, so two
+// runs of the same workload cut every window at the identical virtual
+// instant.  The concurrent backends inject Wall and get ordinary
+// monotonic wall time; tests inject a Fake and drive it by hand.
+package clock
+
+import "time"
+
+// Clock supplies the current time and one-shot timers.  Implementations
+// must be safe for concurrent use.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+
+	// AfterFunc arranges for f to run once d has elapsed on this clock
+	// and returns a Timer controlling the arrangement.  f runs on an
+	// unspecified goroutine (the advancing goroutine, for a Fake) and
+	// must not block.
+	AfterFunc(d time.Duration, f func()) Timer
+}
+
+// Timer is a one-shot timer returned by Clock.AfterFunc, mirroring the
+// *time.Timer surface the engines need.
+type Timer interface {
+	// Stop cancels the timer, reporting whether it was still pending.
+	Stop() bool
+
+	// Reset re-arms the timer to fire after d, reporting whether it was
+	// still pending.
+	Reset(d time.Duration) bool
+}
+
+// Wall is the real-time Clock backed by the time package; the zero
+// value is ready to use, and WallClock is the shared instance the
+// engines default to.
+type Wall struct{}
+
+// WallClock is the process-wide wall Clock.
+var WallClock Clock = Wall{}
+
+// Now returns time.Now.
+func (Wall) Now() time.Time { return time.Now() }
+
+// AfterFunc wraps time.AfterFunc.
+func (Wall) AfterFunc(d time.Duration, f func()) Timer {
+	return wallTimer{time.AfterFunc(d, f)}
+}
+
+type wallTimer struct{ t *time.Timer }
+
+func (w wallTimer) Stop() bool                 { return w.t.Stop() }
+func (w wallTimer) Reset(d time.Duration) bool { return w.t.Reset(d) }

@@ -1,0 +1,178 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFakeNowStandsStill(t *testing.T) {
+	f := NewFake()
+	if !f.Now().Equal(Epoch) {
+		t.Fatalf("new fake at %v, want %v", f.Now(), Epoch)
+	}
+	if !f.Now().Equal(f.Now()) {
+		t.Fatal("fake time moved without Advance")
+	}
+	f.Advance(3 * time.Second)
+	if got := f.Now(); !got.Equal(Epoch.Add(3 * time.Second)) {
+		t.Fatalf("after Advance(3s): %v", got)
+	}
+}
+
+func TestFakeAfterFuncFiresInDeadlineOrder(t *testing.T) {
+	f := NewFake()
+	var order []string
+	f.AfterFunc(30*time.Millisecond, func() { order = append(order, "c") })
+	f.AfterFunc(10*time.Millisecond, func() { order = append(order, "a") })
+	f.AfterFunc(20*time.Millisecond, func() { order = append(order, "b") })
+	// Equal deadlines fire in creation order.
+	f.AfterFunc(20*time.Millisecond, func() { order = append(order, "b2") })
+	if len(order) != 0 {
+		t.Fatalf("timers fired before Advance: %v", order)
+	}
+	f.Advance(25 * time.Millisecond)
+	if got := len(order); got != 3 {
+		t.Fatalf("fired %d timers, want 3 (%v)", got, order)
+	}
+	if order[0] != "a" || order[1] != "b" || order[2] != "b2" {
+		t.Fatalf("fired out of order: %v", order)
+	}
+	f.Advance(10 * time.Millisecond)
+	if order[len(order)-1] != "c" {
+		t.Fatalf("last timer missing: %v", order)
+	}
+	if n := f.NumTimers(); n != 0 {
+		t.Fatalf("%d timers still armed after all fired", n)
+	}
+}
+
+func TestFakeCallbackSeesDeadlineTime(t *testing.T) {
+	f := NewFake()
+	var at time.Time
+	f.AfterFunc(10*time.Millisecond, func() { at = f.Now() })
+	f.Advance(time.Second)
+	if want := Epoch.Add(10 * time.Millisecond); !at.Equal(want) {
+		t.Fatalf("callback observed %v, want its deadline %v", at, want)
+	}
+	if !f.Now().Equal(Epoch.Add(time.Second)) {
+		t.Fatalf("clock stopped at %v, want full advance", f.Now())
+	}
+}
+
+func TestFakeStopAndReset(t *testing.T) {
+	f := NewFake()
+	fired := 0
+	tm := f.AfterFunc(10*time.Millisecond, func() { fired++ })
+	if !tm.Stop() {
+		t.Fatal("Stop on an armed timer reported false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop reported true")
+	}
+	f.Advance(time.Second)
+	if fired != 0 {
+		t.Fatal("stopped timer fired")
+	}
+	if tm.Reset(5 * time.Millisecond) {
+		t.Fatal("Reset of a stopped timer reported pending")
+	}
+	f.Advance(5 * time.Millisecond)
+	if fired != 1 {
+		t.Fatalf("reset timer fired %d times, want 1", fired)
+	}
+	// Reset re-arms relative to the current instant, not the original.
+	tm.Reset(7 * time.Millisecond)
+	f.Advance(6 * time.Millisecond)
+	if fired != 1 {
+		t.Fatal("timer fired early after Reset")
+	}
+	f.Advance(time.Millisecond)
+	if fired != 2 {
+		t.Fatalf("timer fired %d times after full Reset interval, want 2", fired)
+	}
+}
+
+func TestFakeRearmingCallbackChains(t *testing.T) {
+	// A callback that re-arms its own timer (the engines' flush loop)
+	// must keep firing across one large Advance — once per interval.
+	f := NewFake()
+	fired := 0
+	var tm Timer
+	tm = f.AfterFunc(10*time.Millisecond, func() {
+		fired++
+		if fired < 5 {
+			tm.Reset(10 * time.Millisecond)
+		}
+	})
+	f.Advance(time.Second)
+	if fired != 5 {
+		t.Fatalf("chained timer fired %d times, want 5", fired)
+	}
+	if want := Epoch.Add(time.Second); !f.Now().Equal(want) {
+		t.Fatalf("clock at %v, want %v", f.Now(), want)
+	}
+}
+
+func TestFakeNextDeadline(t *testing.T) {
+	f := NewFake()
+	if _, ok := f.NextDeadline(); ok {
+		t.Fatal("fresh fake reports a deadline")
+	}
+	f.AfterFunc(20*time.Millisecond, func() {})
+	f.AfterFunc(10*time.Millisecond, func() {})
+	when, ok := f.NextDeadline()
+	if !ok || !when.Equal(Epoch.Add(10*time.Millisecond)) {
+		t.Fatalf("NextDeadline = %v, %v", when, ok)
+	}
+}
+
+func TestFakeSetIsMonotonic(t *testing.T) {
+	f := NewFake()
+	f.Advance(time.Second)
+	f.Set(Epoch.Add(500 * time.Millisecond)) // backwards target: time must hold
+	if !f.Now().Equal(Epoch.Add(time.Second)) {
+		t.Fatalf("Set moved time backwards to %v", f.Now())
+	}
+}
+
+func TestFakeConcurrentAccess(t *testing.T) {
+	// Smoke the locking under -race: concurrent Now/AfterFunc/Advance.
+	f := NewFake()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				f.AfterFunc(time.Duration(j)*time.Microsecond, func() {})
+				_ = f.Now()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 100; j++ {
+			f.Advance(10 * time.Microsecond)
+		}
+	}()
+	wg.Wait()
+}
+
+func TestWallClockAdvances(t *testing.T) {
+	t0 := WallClock.Now()
+	done := make(chan struct{})
+	tm := WallClock.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("wall AfterFunc never fired")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after firing reported pending")
+	}
+	if !WallClock.Now().After(t0) {
+		t.Fatal("wall clock did not advance")
+	}
+}

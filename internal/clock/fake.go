@@ -1,0 +1,155 @@
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Epoch is the instant a Fake starts at by default.  A fixed epoch (not
+// time.Now) keeps every virtual-time run — and therefore every
+// simulator window boundary — bit-identical across processes.
+var Epoch = time.Unix(0, 0).UTC()
+
+// Fake is a deterministic Clock for the simulator and for tests: time
+// stands still until Advance or Set moves it, and timers fire
+// synchronously inside that call, in deadline order (creation order
+// breaks ties), on the advancing goroutine.  The zero value is not
+// usable — call NewFake.
+type Fake struct {
+	mu     sync.Mutex
+	now    time.Time
+	seq    int // creation tie-break for equal deadlines
+	timers []*fakeTimer
+}
+
+// NewFake returns a Fake positioned at Epoch.
+func NewFake() *Fake { return NewFakeAt(Epoch) }
+
+// NewFakeAt returns a Fake positioned at start.
+func NewFakeAt(start time.Time) *Fake { return &Fake{now: start} }
+
+// Now returns the fake's current instant.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// AfterFunc registers f to run when the fake reaches d from now.  A
+// non-positive d fires on the next Advance/Set (never synchronously
+// inside AfterFunc), matching the grace real timers give.
+func (f *Fake) AfterFunc(d time.Duration, fn func()) Timer {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t := &fakeTimer{clk: f, fn: fn, when: f.now.Add(d), seq: f.seq, armed: true}
+	f.seq++
+	f.timers = append(f.timers, t)
+	return t
+}
+
+// Advance moves the clock forward by d, firing every timer whose
+// deadline falls within the traversed span, in deadline order, each
+// with the clock already set to its deadline — so a callback that
+// re-arms its timer (the engines' flush loop) observes consistent time.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	target := f.now.Add(d)
+	f.mu.Unlock()
+	f.Set(target)
+}
+
+// Set moves the clock forward to t (a target at or before Now is a
+// no-op for time, though due timers still fire), firing due timers in
+// deadline order on the calling goroutine.
+func (f *Fake) Set(t time.Time) {
+	for {
+		f.mu.Lock()
+		next := f.dueLocked(t)
+		if next == nil {
+			if t.After(f.now) {
+				f.now = t
+			}
+			f.mu.Unlock()
+			return
+		}
+		next.armed = false
+		if next.when.After(f.now) {
+			f.now = next.when
+		}
+		fn := next.fn
+		f.mu.Unlock()
+		fn()
+	}
+}
+
+// dueLocked returns the earliest armed timer with deadline ≤ t, or nil.
+func (f *Fake) dueLocked(t time.Time) *fakeTimer {
+	var due *fakeTimer
+	for _, tm := range f.timers {
+		if !tm.armed || tm.when.After(t) {
+			continue
+		}
+		if due == nil || tm.when.Before(due.when) || (tm.when.Equal(due.when) && tm.seq < due.seq) {
+			due = tm
+		}
+	}
+	return due
+}
+
+// NumTimers reports how many timers are currently armed — the
+// leak-check hook for tests (streamz's fake clock exposes the same).
+func (f *Fake) NumTimers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, tm := range f.timers {
+		if tm.armed {
+			n++
+		}
+	}
+	return n
+}
+
+// NextDeadline returns the earliest armed timer's deadline, if any.
+func (f *Fake) NextDeadline() (time.Time, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var when time.Time
+	ok := false
+	for _, tm := range f.timers {
+		if tm.armed && (!ok || tm.when.Before(when)) {
+			when, ok = tm.when, true
+		}
+	}
+	return when, ok
+}
+
+type fakeTimer struct {
+	clk   *Fake
+	fn    func()
+	when  time.Time
+	seq   int
+	armed bool
+}
+
+// Stop disarms the timer, reporting whether it was still armed.
+func (t *fakeTimer) Stop() bool {
+	t.clk.mu.Lock()
+	defer t.clk.mu.Unlock()
+	was := t.armed
+	t.armed = false
+	return was
+}
+
+// Reset re-arms the timer d from the fake's current instant.  (Timers
+// stay registered for the Fake's lifetime — the engines allocate one
+// flush timer per timed node and Reset it, so the registry is bounded
+// by the topology, not the workload.)
+func (t *fakeTimer) Reset(d time.Duration) bool {
+	t.clk.mu.Lock()
+	defer t.clk.mu.Unlock()
+	was := t.armed
+	t.when = t.clk.now.Add(d)
+	t.armed = true
+	return was
+}

@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"streamdag/internal/clock"
 	"streamdag/internal/fault"
 	"streamdag/internal/graph"
 	"streamdag/internal/obs"
@@ -594,7 +595,7 @@ func (e *Engine) watchdog() {
 			dead := e.deadWorker()
 			for _, ses := range active {
 				cur := ses.progress.Load()
-				if ses.watched && cur == ses.lastProgress && ses.external.Load() == 0 {
+				if ses.watched && cur == ses.lastProgress && ses.external.Load() == 0 && ses.timersArmed.Load() == 0 {
 					if dead != "" {
 						// The stall is already attributed: a dead worker with
 						// no restart coming.  Name it instead of reporting a
@@ -663,8 +664,13 @@ type EngineSession struct {
 	abort  chan struct{} // closed on end: unblocks this session's nodes
 	nodeWG sync.WaitGroup
 
-	progress     atomic.Int64
-	external     atomic.Int64
+	progress atomic.Int64
+	external atomic.Int64
+	// timersArmed counts armed time-aware flush timers across the
+	// session's nodes (sessionPorts.TimerArmed); the watchdog treats an
+	// armed timer like in-flight external work — a session quietly idle
+	// inside an open window is the clock's pace, not a wedge.
+	timersArmed  atomic.Int64
 	lastProgress int64
 	watched      bool
 
@@ -992,7 +998,13 @@ func (w *engineWorker) start(ws *workerSession) {
 				kernel = stream.Passthrough(len(out))
 			}
 			if m := w.e.cfg.Obs; m != nil {
-				kernel = &obsKernel{k: kernel, n: m.Node(int(id))}
+				if tk, ok := kernel.(stream.TimedKernel); ok {
+					// A plain obsKernel would hide the TimedKernel methods
+					// and silently demote the node to per-seq firing.
+					kernel = &obsTimedKernel{obsKernel{k: kernel, n: m.Node(int(id))}, tk, m.Time()}
+				} else {
+					kernel = &obsKernel{k: kernel, n: m.Node(int(id))}
+				}
 			}
 			engine := proto.NewEngine(out, proto.Config{
 				Algorithm: w.e.cfg.Algorithm,
@@ -1020,6 +1032,34 @@ func (o *obsKernel) Process(seq uint64, ins []stream.Input) map[int]any {
 	o.n.Firings.Add(1)
 	return outs
 }
+
+// obsTimedKernel is obsKernel for a time-aware kernel: Process keeps
+// the telemetry decoration while the TimedKernel methods pass through,
+// so stream.NodeLoop still dispatches the timed loop.
+type obsTimedKernel struct {
+	obsKernel
+	t  stream.TimedKernel
+	tm *obs.TimeMetrics
+}
+
+func (o *obsTimedKernel) TimedClock() clock.Clock { return o.t.TimedClock() }
+
+func (o *obsTimedKernel) Tick(now time.Time) {
+	o.t.Tick(now)
+	o.tm.TimerTicks.Add(1)
+}
+
+func (o *obsTimedKernel) Flush() { o.t.Flush() }
+
+func (o *obsTimedKernel) TakeEmissions() []any {
+	ems := o.t.TakeEmissions()
+	if len(ems) > 0 {
+		o.tm.TimedEmissions.Add(int64(len(ems)))
+	}
+	return ems
+}
+
+func (o *obsTimedKernel) NextDeadline() (time.Time, bool) { return o.t.NextDeadline() }
 
 func (w *engineWorker) session(id proto.SessionID) *workerSession {
 	w.mu.Lock()
@@ -1309,6 +1349,13 @@ func (p *sessionPorts) Send(i int, m stream.Message) bool {
 	}
 	ses.progress.Add(1)
 	return true
+}
+
+// TimerArmed implements stream.TimerPorts: the timed node loop reports
+// flush-timer transitions here so the engine watchdog can tell a
+// quietly open window from a wedge.
+func (p *sessionPorts) TimerArmed(delta int) {
+	p.ws.ses.timersArmed.Add(int64(delta))
 }
 
 func (p *sessionPorts) Consumed(i int) bool {

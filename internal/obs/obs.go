@@ -139,6 +139,18 @@ type ScaleMetrics struct {
 	SessionsEvicted atomic.Int64
 }
 
+// TimeMetrics is the time-aware stage library's counters: timer-driven
+// flushes delivered to timed kernels and the elements they emit (window
+// closes, debounce and sample flushes, throttle passes).  One set per
+// Metrics — timed behaviour is an engine-wide concern like faults and
+// scaling, and the per-node Firings/Spans counters already localize it.
+type TimeMetrics struct {
+	// TimerTicks counts timer-driven Tick deliveries to timed kernels.
+	TimerTicks atomic.Int64
+	// TimedEmissions counts elements emitted by timed kernels.
+	TimedEmissions atomic.Int64
+}
+
 // LinkMetrics is one distributed worker→peer link's transport counters.
 type LinkMetrics struct {
 	TxFrames atomic.Int64 // wire frames written (a batch frame counts once)
@@ -207,6 +219,7 @@ type lifecycle struct {
 	sessions SessionMetrics
 	faults   FaultMetrics
 	scale    ScaleMetrics
+	timed    TimeMetrics
 
 	linkMu sync.Mutex
 	links  map[string]*LinkMetrics
@@ -288,6 +301,9 @@ func (m *Metrics) Faults() *FaultMetrics { return &m.life.faults }
 // Scale returns the autoscaler counters.
 func (m *Metrics) Scale() *ScaleMetrics { return &m.life.scale }
 
+// Time returns the time-aware stage counters.
+func (m *Metrics) Time() *TimeMetrics { return &m.life.timed }
+
 // Link returns (registering on first use) the counters for one
 // worker→peer transport link.
 func (m *Metrics) Link(name string) *LinkMetrics {
@@ -362,6 +378,12 @@ type ScaleSnapshot struct {
 	SessionsEvicted  int64 `json:"sessions_evicted"`
 }
 
+// TimeSnapshot is the time-aware stage counters at snapshot time.
+type TimeSnapshot struct {
+	TimerTicks     int64 `json:"timer_ticks"`
+	TimedEmissions int64 `json:"timed_emissions"`
+}
+
 // LinkSnapshot is one distributed link's counters at snapshot time.
 type LinkSnapshot struct {
 	Name     string `json:"name"`
@@ -383,6 +405,7 @@ type Snapshot struct {
 	Sessions    SessionSnapshot `json:"sessions"`
 	Faults      FaultSnapshot   `json:"faults"`
 	Scale       ScaleSnapshot   `json:"scale"`
+	Time        TimeSnapshot    `json:"time"`
 	Links       []LinkSnapshot  `json:"links,omitempty"`
 }
 
@@ -461,6 +484,11 @@ func (m *Metrics) Snapshot() *Snapshot {
 		RescaleTime:      sc.RescaleTime.Load(),
 		SessionsMigrated: sc.SessionsMigrated.Load(),
 		SessionsEvicted:  sc.SessionsEvicted.Load(),
+	}
+	tm := &m.life.timed
+	s.Time = TimeSnapshot{
+		TimerTicks:     tm.TimerTicks.Load(),
+		TimedEmissions: tm.TimedEmissions.Load(),
 	}
 	m.life.linkMu.Lock()
 	names := make([]string, 0, len(m.life.links))
@@ -544,6 +572,10 @@ func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {
 		RescaleTime:      s.Scale.RescaleTime - prev.Scale.RescaleTime,
 		SessionsMigrated: s.Scale.SessionsMigrated - prev.Scale.SessionsMigrated,
 		SessionsEvicted:  s.Scale.SessionsEvicted - prev.Scale.SessionsEvicted,
+	}
+	d.Time = TimeSnapshot{
+		TimerTicks:     s.Time.TimerTicks - prev.Time.TimerTicks,
+		TimedEmissions: s.Time.TimedEmissions - prev.Time.TimedEmissions,
 	}
 	for _, l := range s.Links {
 		for i := range prev.Links {
@@ -723,6 +755,13 @@ func WritePrometheus(w io.Writer, s *Snapshot) error {
 	p("# HELP streamdag_scale_sessions_evicted_total Sessions cancelled at the rescale drain deadline.\n")
 	p("# TYPE streamdag_scale_sessions_evicted_total counter\n")
 	p("streamdag_scale_sessions_evicted_total %d\n", s.Scale.SessionsEvicted)
+
+	p("# HELP streamdag_time_timer_ticks_total Timer-driven flushes delivered to time-aware kernels.\n")
+	p("# TYPE streamdag_time_timer_ticks_total counter\n")
+	p("streamdag_time_timer_ticks_total %d\n", s.Time.TimerTicks)
+	p("# HELP streamdag_time_timed_emissions_total Elements emitted by time-aware kernels.\n")
+	p("# TYPE streamdag_time_timed_emissions_total counter\n")
+	p("streamdag_time_timed_emissions_total %d\n", s.Time.TimedEmissions)
 
 	p("# HELP streamdag_session_latency_%s Session open-to-EOF latency (%s).\n", u, u)
 	p("# TYPE streamdag_session_latency_%s histogram\n", u)

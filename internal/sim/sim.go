@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"streamdag/internal/clock"
 	"streamdag/internal/cs4"
 	"streamdag/internal/fault"
 	"streamdag/internal/graph"
@@ -138,6 +139,23 @@ type Config struct {
 	// block; anything it starts (a topology swap) must complete or detach
 	// without waiting on this engine's scheduler.
 	OnStep func(step int64)
+	// Clock, when non-nil, is the virtual clock backing time-aware
+	// kernels (stream.TimedKernel): the simulator advances it
+	// deterministically — StepDuration of virtual time per scheduler
+	// round of this session — and delivers due flush-timer deadlines
+	// between consumes, so window boundaries are a pure function of the
+	// input and bit-identical across runs.  A round with no other
+	// progress jumps the clock to the earliest pending deadline instead
+	// of declaring deadlock: the stream is waiting for time, which the
+	// simulator can fast-forward.  The caller must inject the same Fake
+	// into the kernels.  Concurrent sessions share the clock (it only
+	// moves forward), so per-session virtual time is deterministic only
+	// for serial sessions — which time-aware stages already force, being
+	// stateful.
+	Clock *clock.Fake
+	// StepDuration is the virtual time one scheduler round represents
+	// when Clock is set; it defaults to one millisecond.
+	StepDuration time.Duration
 }
 
 // Rounding is the policy for integerizing rational intervals; it is the
@@ -224,6 +242,12 @@ type node struct {
 	// batch is the node's vectorization width (>= 1, kernel mode only).
 	batch int
 	done  bool
+	// timed is non-nil when the kernel is time-aware; the node then
+	// consumes its input silently and fires only for the kernel's own
+	// emissions at outSeq, its private output-sequence counter (see
+	// stream/timed.go for the re-sequencing contract).
+	timed  stream.TimedKernel
+	outSeq uint64
 	// obsN is the node's telemetry slot, nil when observation is off.
 	obsN *obs.NodeMetrics
 }
@@ -307,6 +331,13 @@ func newState(g *graph.Graph, filter Filter, cfg Config) *state {
 		sinkHW: -1,
 	}
 	s.orc = newOracle(cfg)
+	if cfg.Clock != nil {
+		s.vbase = cfg.Clock.Now()
+		s.stepDur = cfg.StepDuration
+		if s.stepDur <= 0 {
+			s.stepDur = time.Millisecond
+		}
+	}
 	for i := range s.chans {
 		s.chans[i].cap = g.Edge(graph.EdgeID(i)).Buf
 	}
@@ -347,6 +378,9 @@ func newState(g *graph.Graph, filter Filter, cfg Config) *state {
 			nd.allTrue = make([]bool, len(nd.out))
 			for i := range nd.allTrue {
 				nd.allTrue[i] = true
+			}
+			if tk, ok := nd.kernel.(stream.TimedKernel); ok && len(nd.in) == 1 && len(nd.out) > 0 && cfg.Clock != nil {
+				nd.timed = tk
 			}
 		}
 		s.nodes = append(s.nodes, nd)
@@ -403,6 +437,11 @@ type state struct {
 	// obsF the engine-wide fault counters.
 	obsS *obs.SessionMetrics
 	obsF *obs.FaultMetrics
+	// vbase/stepDur map this session's Steps onto the shared virtual
+	// clock (Clock != nil only): each round moves time to
+	// vbase + Steps·stepDur, never backwards.
+	vbase   time.Time
+	stepDur time.Duration
 }
 
 func (s *state) run() {
@@ -423,6 +462,11 @@ func (s *state) advanceOnce() (done bool) {
 	}
 	if s.orc != nil && s.faultTick() {
 		return true
+	}
+	if s.cfg.Clock != nil {
+		// Virtual time is a pure function of this session's step count —
+		// Set never moves backwards, so a prior deadline jump holds.
+		s.cfg.Clock.Set(s.vbase.Add(time.Duration(s.res.Steps) * s.stepDur))
 	}
 	progress := false
 	for _, nd := range s.nodes {
@@ -450,11 +494,44 @@ func (s *state) advanceOnce() (done bool) {
 		return true
 	}
 	if !progress {
+		if s.jumpToNextDeadline() {
+			return false
+		}
 		s.res.Reason = "deadlock"
 		s.res.Blocked = s.describeBlocked()
 		return true
 	}
 	return false
+}
+
+// jumpToNextDeadline advances virtual time to the earliest pending
+// flush-timer deadline after a round with no other progress: the stream
+// is not wedged, it is waiting for time to pass, which the simulator
+// fast-forwards deterministically (the wall backends' watchdogs make
+// the matching allowance by suppressing DeadlockError while a flush
+// timer is armed).  Reports whether it jumped; a deadline at or before
+// now never jumps — the sweep would have delivered it, so reaching here
+// with one means a kernel broke the Tick contract, and the deadlock
+// verdict stands rather than spinning.
+func (s *state) jumpToNextDeadline() bool {
+	if s.cfg.Clock == nil {
+		return false
+	}
+	var earliest time.Time
+	found := false
+	for _, nd := range s.nodes {
+		if nd.timed == nil || nd.done {
+			continue
+		}
+		if when, ok := nd.timed.NextDeadline(); ok && (!found || when.Before(earliest)) {
+			earliest, found = when, true
+		}
+	}
+	if !found || !earliest.After(s.cfg.Clock.Now()) {
+		return false
+	}
+	s.cfg.Clock.Set(earliest)
+	return true
 }
 
 // fail records the first source/sink failure and stops the scheduler
@@ -542,6 +619,9 @@ func (s *state) step(nd *node) bool {
 		}
 		return s.stepSource(nd)
 	}
+	if nd.timed != nil {
+		return s.stepTimed(nd)
+	}
 	if s.kernelMode && nd.batch > 1 && len(nd.in) == 1 && s.cfg.Trace == nil {
 		if ch := &s.chans[nd.in[0]]; !ch.empty() && ch.buf[0].kind == Data {
 			return s.stepRunConsume(nd)
@@ -598,6 +678,80 @@ func (s *state) step(nd *node) bool {
 		s.emit(nd, minSeq, anyData)
 	}
 	return true
+}
+
+// stepTimed is one unit of work for a time-aware node: a due flush
+// deadline is delivered first (virtual time outranks queued input, so a
+// window closing at T never absorbs an element the clock says arrived
+// after T), then one input is consumed — dummies silently, data into
+// the kernel, EOS via the unconditional Flush — and any matured
+// emissions fire in the node's private output-sequence space.
+func (s *state) stepTimed(nd *node) bool {
+	now := s.cfg.Clock.Now()
+	if when, ok := nd.timed.NextDeadline(); ok && !when.After(now) {
+		nd.timed.Tick(now)
+		if nd.obsN != nil {
+			nd.obsN.ServiceTime.Add(1)
+		}
+		if m := s.cfg.Obs; m != nil {
+			m.Time().TimerTicks.Add(1)
+		}
+		s.drainTimed(nd)
+		return true // the consumed deadline is progress even if it emitted nothing
+	}
+	ch := &s.chans[nd.in[0]]
+	if ch.empty() {
+		return false
+	}
+	m := ch.buf[0]
+	ch.buf = ch.buf[1:]
+	if ch.obsE != nil {
+		ch.obsE.Consumed.Add(1)
+	}
+	if nd.obsN != nil {
+		nd.obsN.ServiceTime.Add(1)
+	}
+	if m.seq == proto.EOSSeq {
+		nd.timed.Flush()
+		s.drainTimed(nd)
+		for _, e := range nd.out {
+			nd.pending = append(nd.pending, pendingMsg{edge: e, msg: message{seq: math.MaxUint64, kind: EOS}})
+		}
+		nd.done = true
+		return true
+	}
+	if m.kind == Data {
+		nd.ins[0] = stream.Input{Present: true, Payload: m.payload}
+		nd.timed.Process(m.seq, nd.ins)
+		nd.ins[0] = stream.Input{}
+		if nd.obsN != nil {
+			nd.obsN.Firings.Add(1)
+		}
+	}
+	s.drainTimed(nd)
+	return true
+}
+
+// drainTimed queues the kernel's matured emissions: one firing per
+// emission at consecutive private output sequence numbers, data on
+// every out-edge under the all-emitted mask — which never dummies, the
+// protocol-safety half of the re-sequencing contract (stream/timed.go).
+func (s *state) drainTimed(nd *node) {
+	ems := nd.timed.TakeEmissions()
+	if len(ems) == 0 {
+		return
+	}
+	first := nd.outSeq
+	for j, em := range ems {
+		for _, e := range nd.out {
+			nd.pending = append(nd.pending, pendingMsg{edge: e, msg: message{seq: first + uint64(j), kind: Data, payload: em}})
+		}
+	}
+	nd.engine.FireRun(first, first+uint64(len(ems))-1, nd.allTrue)
+	nd.outSeq = first + uint64(len(ems))
+	if m := s.cfg.Obs; m != nil {
+		m.Time().TimedEmissions.Add(int64(len(ems)))
+	}
 }
 
 // stepSource injects external inputs at the source node: synthetic

@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"streamdag/internal/clock"
 	"streamdag/internal/graph"
 	"streamdag/internal/obs"
 	"streamdag/internal/proto"
@@ -210,6 +211,9 @@ func NewEngine(g *graph.Graph, kernels map[graph.NodeID]Kernel, cfg Config) (*En
 			n.spanK = sk
 			n.spanIn = make([]any, n.batch)
 			n.spanOut = make([]any, n.batch)
+		}
+		if tk, ok := k.(TimedKernel); ok && len(n.in) == 1 && len(n.out) > 0 {
+			n.timed = tk
 		}
 		e.nodes[i] = n
 	}
@@ -418,7 +422,7 @@ func (e *Engine) watchdog() {
 			e.mu.Unlock()
 			for _, ses := range active {
 				cur := ses.progress.Load()
-				if ses.watched && cur == ses.lastProgress && ses.external.Load() == 0 {
+				if ses.watched && cur == ses.lastProgress && ses.external.Load() == 0 && ses.timersArmed.Load() == 0 {
 					chans, stalled := e.snapshot(ses)
 					ses.end(&DeadlockError{Session: ses.id, Channels: chans, Stalled: stalled}, nil)
 					continue
@@ -496,6 +500,11 @@ type EngineSession struct {
 	// in-flight Source/Sink callbacks (blocked user code is not a wedge).
 	progress atomic.Int64
 	external atomic.Int64
+	// timersArmed counts the session's armed time-aware flush timers; the
+	// watchdog treats an armed timer like in-flight external work (a
+	// session quietly idle inside an open window is the clock's pace, not
+	// a wedge).
+	timersArmed atomic.Int64
 	// lastProgress/watched belong to the engine watchdog goroutine.
 	lastProgress int64
 	watched      bool
@@ -820,6 +829,7 @@ const (
 	evCredit
 	evIngest // coalesced kick: drain the session's shared ingest buffer
 	evSinkDone
+	evTick // a time-aware node's flush timer fired for the session
 	evAbort
 )
 
@@ -970,6 +980,10 @@ type engineNode struct {
 	// node batches; spanIn/spanOut are its reusable argument slices.
 	spanK           SpanKernel
 	spanIn, spanOut []any
+	// timed is non-nil when the kernel is time-aware (TimedKernel); the
+	// node then consumes its input silently and fires only for the
+	// kernel's own emissions, re-sequenced (see timed.go).
+	timed TimedKernel
 
 	// Observability pointers, nil when Config.Obs is nil (the default):
 	// the node's counters, the shared session counters, and the node's
@@ -1030,6 +1044,16 @@ type nodeSession struct {
 	done         bool
 	aborted      bool // session ended; state dropped, skip advances
 	dirty        bool // queued in the node's per-batch advance list
+
+	// Time-aware node state (n.timed != nil only).  outSeq is the node's
+	// private output-sequence counter; tickDue records an absorbed but
+	// not-yet-delivered flush-timer wakeup; timer is the session's one
+	// flush timer (allocated once, Reset thereafter) and timerArmed its
+	// contribution to ses.timersArmed.
+	outSeq     uint64
+	tickDue    bool
+	timer      clock.Timer
+	timerArmed bool
 }
 
 func (n *engineNode) run() {
@@ -1097,6 +1121,9 @@ func (n *engineNode) absorb(ev event) {
 	if ev.kind == evAbort {
 		if ns := n.sess[ev.ses.id]; ns != nil {
 			ns.aborted = true
+			if n.timed != nil {
+				n.stopTimer(ns)
+			}
 			delete(n.sess, ev.ses.id)
 		}
 		if ev.ses.abortAcks.Add(1) == int64(len(n.e.nodes)) {
@@ -1176,6 +1203,8 @@ func (n *engineNode) absorb(ev event) {
 		}
 	case evSinkDone:
 		ns.sinkInflight -= ev.cnt
+	case evTick:
+		ns.tickDue = true
 	}
 	ev.ses.progress.Add(1)
 	n.markDirty(ns)
@@ -1189,7 +1218,9 @@ func (n *engineNode) advance(ns *nodeSession) {
 		return
 	}
 	n.flush(ns)
-	if len(n.in) == 0 {
+	if n.timed != nil {
+		n.advanceTimed(ns)
+	} else if len(n.in) == 0 {
 		n.advanceSource(ns)
 	} else {
 		batched := n.batch > 1 && len(n.in) == 1
@@ -1669,6 +1700,149 @@ func (n *engineNode) queueFiring(ns *nodeSession, seq uint64, outs map[int]any) 
 		}
 	}
 	n.flush(ns)
+}
+
+// advanceTimed is the advance body for a time-aware node: deliver a due
+// flush-timer tick, consume inputs while sends land, and (re)arm the
+// session's flush timer to the kernel's next deadline.  A tick that
+// finds parked sends is deferred — the credit that drains them re-runs
+// the advance — and the timer stays disarmed meanwhile, so a genuinely
+// wedged downstream still trips the watchdog instead of being masked by
+// an immediately-due timer respinning forever.
+func (n *engineNode) advanceTimed(ns *nodeSession) {
+	if ns.tickDue {
+		ns.tickDue = false
+		if !ns.done && ns.pendingN == 0 {
+			n.timed.Tick(n.timed.TimedClock().Now())
+			if m := n.e.cfg.Obs; m != nil {
+				m.Time().TimerTicks.Add(1)
+			}
+			n.fireTimedEmissions(ns)
+			n.flush(ns)
+		} else if !ns.done {
+			ns.tickDue = true
+		}
+	}
+	for !ns.done && ns.pendingN == 0 {
+		if !n.fireTimed(ns) {
+			break
+		}
+		n.flush(ns)
+	}
+	n.flushCredits(ns)
+	n.armTimer(ns)
+}
+
+// fireTimed consumes one input head of a time-aware node.  The input's
+// protocol alignment is absorbed silently — dummies are dropped, data
+// feeds the kernel — and any emissions the consumption matured are
+// fired in the node's private output-sequence space (see timed.go).
+// Reports whether anything was consumed.
+func (n *engineNode) fireTimed(ns *nodeSession) bool {
+	q := ns.heads[0]
+	if len(q) == 0 {
+		return false
+	}
+	h := q[0]
+	if h.Seq == proto.EOSSeq {
+		n.popHead(ns, 0)
+		n.stopTimer(ns)
+		n.timed.Flush()
+		n.fireTimedEmissions(ns)
+		ns.done = true
+		for i := range n.out {
+			n.setPending(ns, i, Message{Seq: proto.EOSSeq, Kind: EOS})
+		}
+		return true
+	}
+	if h.Kind == Data {
+		n.runIn[0] = Input{Present: true, Payload: h.Payload}
+		n.timed.Process(h.Seq, n.runIn)
+		n.runIn[0] = Input{}
+		ns.ses.progress.Add(1)
+		if n.obsN != nil {
+			n.obsN.Firings.Add(1)
+		}
+	}
+	n.popHead(ns, 0)
+	n.fireTimedEmissions(ns)
+	return true
+}
+
+// fireTimedEmissions drains the kernel's matured emissions as one
+// batched run of firings at the node's next output sequence numbers,
+// broadcast on every out-edge with the all-emitted mask — never a
+// dummy; see timed.go for why re-sequencing is protocol-safe.
+func (n *engineNode) fireTimedEmissions(ns *nodeSession) {
+	ems := n.timed.TakeEmissions()
+	if len(ems) == 0 {
+		return
+	}
+	first := ns.outSeq
+	last := first + uint64(len(ems)) - 1
+	ns.engine.FireRun(first, last, n.allTrue)
+	for i := range n.out {
+		span := getSpan(len(ems))
+		for j, e := range ems {
+			span = append(span, Message{Seq: first + uint64(j), Kind: Data, Payload: e})
+		}
+		n.parkSpan(ns, i, span)
+	}
+	ns.outSeq = last + 1
+	ns.ses.progress.Add(int64(len(ems)))
+	if n.obsN != nil {
+		n.obsN.Spans.Add(1)
+		n.obsN.SpanMsgs.Add(int64(len(ems)))
+	}
+	if m := n.e.cfg.Obs; m != nil {
+		m.Time().TimedEmissions.Add(int64(len(ems)))
+	}
+}
+
+// armTimer (re)arms the session's flush timer to the kernel's next
+// deadline, maintaining the session's armed-timer count so the watchdog
+// does not mistake a quietly open window for a deadlock.  No deadline,
+// a finished session, or an undelivered tick leaves the timer stopped
+// (the tick case already has its wakeup queued behind parked sends).
+func (n *engineNode) armTimer(ns *nodeSession) {
+	if ns.done || ns.aborted || ns.tickDue {
+		n.stopTimer(ns)
+		return
+	}
+	clk := n.timed.TimedClock()
+	when, ok := n.timed.NextDeadline()
+	if !ok {
+		n.stopTimer(ns)
+		return
+	}
+	d := when.Sub(clk.Now())
+	if d < 0 {
+		d = 0
+	}
+	if ns.timer == nil {
+		ses := ns.ses
+		ns.timer = clk.AfterFunc(d, func() {
+			n.mb.post(event{kind: evTick, ses: ses})
+		})
+	} else {
+		ns.timer.Reset(d)
+	}
+	if !ns.timerArmed {
+		ns.timerArmed = true
+		ns.ses.timersArmed.Add(1)
+	}
+}
+
+// stopTimer disarms the session's flush timer and releases its
+// armed-timer count.
+func (n *engineNode) stopTimer(ns *nodeSession) {
+	if ns.timer != nil {
+		ns.timer.Stop()
+	}
+	if ns.timerArmed {
+		ns.timerArmed = false
+		ns.ses.timersArmed.Add(-1)
+	}
 }
 
 // fireSource processes one ingested payload at the source node.

@@ -48,6 +48,14 @@ type Ports interface {
 // p.SinkEmit — the kernel's output for key 0 when it returns one, the
 // first present input payload otherwise.
 func NodeLoop(nIn, nOut int, kernel Kernel, engine *proto.Engine, p Ports) {
+	// Time-aware kernels re-sequence their output stream and need the
+	// flush timer multiplexed against the receive path; they run on
+	// their own loop (the Flow builder guarantees the in-degree-1,
+	// interior shape).
+	if tk, ok := kernel.(TimedKernel); ok && nIn == 1 && nOut > 0 {
+		timedNodeLoop(nOut, tk, engine, p)
+		return
+	}
 	heads := make([]*Message, nIn)
 	seqs := make([]uint64, nIn)
 	emitted := make([]bool, nOut)

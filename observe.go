@@ -51,6 +51,11 @@ type LinkSnapshot = obs.LinkSnapshot
 // HistogramSnapshot is a latency distribution within a Snapshot.
 type HistogramSnapshot = obs.HistogramSnapshot
 
+// TimeSnapshot is the time-aware stage counters within a Snapshot:
+// timer-driven flushes delivered to timed kernels and the elements they
+// emitted (see TumblingWindow and friends).
+type TimeSnapshot = obs.TimeSnapshot
+
 // Observer collects telemetry for one compiled topology.  Create it with
 // NewObserver, attach it with WithObserver at Build/Compile (or Observe
 // after), and read it with Snapshot, Handler, or the Write methods at any

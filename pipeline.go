@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"streamdag/internal/clock"
 	"streamdag/internal/stream"
 )
 
@@ -39,6 +40,7 @@ type Pipeline struct {
 	maxBatch  int
 	nodeBatch map[string]int // per-stage Batch marks, keyed by original node name
 	obs       *Observer      // telemetry collector; nil (the default) compiles instrumentation out
+	clk       clock.Clock    // time source of the time-aware stages; nil means backend default
 
 	// Rescale state: the pre-expansion kernel resolution and the live
 	// replication plan, kept so withPlan can re-derive the executed
@@ -104,6 +106,7 @@ type buildConfig struct {
 	faults     []FaultInjection
 	ckptEvery  int64
 	faultParts map[string]string
+	clk        clock.Clock
 	err        error // first option error; reported by Build
 }
 
@@ -209,6 +212,25 @@ func WithoutAvoidance() Option {
 	return func(c *buildConfig) { c.avoidance = false }
 }
 
+// WithClock injects the time source the time-aware stages (windows,
+// Throttle, Debounce, Dedupe, Sample) read.  The default depends on the
+// backend: the wall clock on the runtime backends, and a fresh
+// deterministic FakeClock on the Simulator (which advances it with
+// virtual time, one millisecond per scheduler round, so window contents
+// are a pure function of the input).  Pass a NewFakeClock to drive
+// wall-backend tests by hand, or a shared FakeClock to pin simulator
+// runs to a chosen start instant; passing the wall clock to a Simulator
+// pipeline with time-aware stages is a Build error, because it would
+// destroy the determinism the backend exists for.
+func WithClock(c Clock) Option {
+	return func(cfg *buildConfig) {
+		if c == nil && cfg.err == nil {
+			cfg.err = errors.New("streamdag: build: nil Clock")
+		}
+		cfg.clk = c
+	}
+}
+
 // Build compiles a topology into a runnable Pipeline in one step:
 // validate, apply any replication, classify (SP / CS4 / general), and
 // compute the per-edge dummy intervals for the chosen protocol.
@@ -272,6 +294,22 @@ func Build(t *Topology, opts ...Option) (*Pipeline, error) {
 		retry:   cfg.retry, dlq: cfg.dlq,
 		hbInterval: cfg.hbInterval, hbMiss: cfg.hbMiss, restart: cfg.restart,
 		faults: cfg.faults, ckptEvery: cfg.ckptEvery, faultParts: cfg.faultParts,
+		clk: cfg.clk,
+	}
+	// Resolve the time-aware stages' clock: an explicit WithClock wins;
+	// otherwise a Simulator pipeline with timed kernels gets its own
+	// deterministic fake (advanced by the scheduler), and the runtime
+	// backends leave clk nil so the kernels default to the wall clock.
+	// Injection reaches the kernel instances themselves, which survive
+	// replication carry-over and autoscale re-plans, so every generation
+	// reads the same clock.
+	if p.clk == nil {
+		if _, isSim := cfg.backend.(simulatorBackend); isSim && anyTimedKernel(kernels) {
+			p.clk = clock.NewFake()
+		}
+	}
+	if p.clk != nil {
+		injectClock(kernels, p.clk)
 	}
 	if cfg.scale != nil {
 		pol := cfg.scale.normalized()
@@ -315,6 +353,9 @@ func Build(t *Topology, opts ...Option) (*Pipeline, error) {
 	if err := p.applyPlan(cfg.plan); err != nil {
 		return nil, err
 	}
+	if err := p.validateTimed(); err != nil {
+		return nil, err
+	}
 	if cfg.observer != nil {
 		// Attached last, against the executed (possibly expanded) topology,
 		// so the observer's node/edge slots line up with the IDs the
@@ -335,6 +376,21 @@ func (p *Pipeline) applyPlan(plan ReplicationPlan) error {
 	p.rep = nil
 	p.topo = p.orig
 	kernels := p.origKernels
+	// Replication wraps the replicated node's kernel in per-replica
+	// adapters, which would silently erase a timed kernel's TimedKernel
+	// surface — the replicas would fall to the plain dispatch path and
+	// drop every element.  Checked against the original kernels, before
+	// the wrap hides the interface.
+	for name, n := range plan {
+		if n == 1 {
+			continue
+		}
+		if id, ok := p.orig.g.NodeByName(name); ok {
+			if _, timed := kernels[id].(stream.TimedKernel); timed {
+				return fmt.Errorf("streamdag: replication: node %q is a time-aware stage and cannot be replicated — replicas would partition its single window state", name)
+			}
+		}
+	}
 	if len(plan) > 0 {
 		rep, err := Replicate(p.orig, plan)
 		if err != nil {
@@ -359,6 +415,37 @@ func (p *Pipeline) applyPlan(plan ReplicationPlan) error {
 			return err
 		}
 		p.intervals = iv
+	}
+	return nil
+}
+
+// validateTimed checks the expanded topology against the timed path's
+// structural contract: a time-aware kernel runs on exactly one input and
+// at least one output (the backends dispatch it to the re-sequencing
+// loop only then), and a kernel instance may serve only one node —
+// replication shares the instance across replicas, which for a stateful
+// timed kernel would mean concurrent mutation of one window state.
+// Checked after every plan application as a backstop behind applyPlan's
+// explicit plan screen, so a structural violation fails at Build or at
+// the offending rescale, never silently at run time.  (A replicated
+// stage directly upstream is fine: expansion inserts a merge node, so
+// the timed node still sees exactly one ordered input edge.)
+func (p *Pipeline) validateTimed() error {
+	g := p.topo.g
+	seen := make(map[Kernel]NodeID)
+	for id, k := range p.kernels {
+		if _, ok := k.(stream.TimedKernel); !ok {
+			continue
+		}
+		if prev, dup := seen[k]; dup {
+			return fmt.Errorf("streamdag: build: time-aware kernel shared by nodes %q and %q — replicating a time-aware stage would share one window state across replicas",
+				g.Name(prev), g.Name(id))
+		}
+		seen[k] = id
+		if len(g.In(id)) != 1 || len(g.Out(id)) == 0 {
+			return fmt.Errorf("streamdag: build: time-aware node %q needs exactly one input and at least one output, got %d and %d — it cannot directly follow a replicated stage or sit at a topology endpoint",
+				g.Name(id), len(g.In(id)), len(g.Out(id)))
+		}
 	}
 	return nil
 }
@@ -388,6 +475,9 @@ func (p *Pipeline) withPlan(plan ReplicationPlan) (*Pipeline, error) {
 		np.onStep = &stepHook{}
 	}
 	if err := np.applyPlan(plan); err != nil {
+		return nil, err
+	}
+	if err := np.validateTimed(); err != nil {
 		return nil, err
 	}
 	if np.analysis.Class() != p.analysis.Class() {
@@ -480,6 +570,31 @@ type Backend interface {
 	// newEngine starts the backend's resident runtime for p; all
 	// execution — including Pipeline.Run — flows through it.
 	newEngine(p *Pipeline) (backendEngine, error)
+}
+
+// anyTimedKernel reports whether any kernel runs on the backends' timed
+// path (stream.TimedKernel — see stage_time.go and internal/stream).
+func anyTimedKernel(ks map[NodeID]Kernel) bool {
+	for _, k := range ks {
+		if _, ok := k.(stream.TimedKernel); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// clockUser is the unexported injection point the time-aware stage
+// kernels expose (timedCore.setClock); hand-wired kernels manage their
+// own clocks and are left alone.
+type clockUser interface{ setClock(clock.Clock) }
+
+// injectClock hands c to every kernel that accepts one.
+func injectClock(ks map[NodeID]Kernel, c clock.Clock) {
+	for _, k := range ks {
+		if cu, ok := k.(clockUser); ok {
+			cu.setClock(c)
+		}
+	}
 }
 
 // sourceFunc adapts the public Source to the internal callback shape.

@@ -854,15 +854,19 @@ func (s *splitStage) lower(lw *lowering, from string) (string, error) {
 		return "", err
 	}
 	exits := make([]string, len(s.branches))
+	lw.split++
 	for i, b := range s.branches {
 		if err := b.stageErr(); err != nil {
+			lw.split--
 			return "", err
 		}
 		exit, err := b.lower(lw, from)
 		if err != nil {
+			lw.split--
 			return "", err
 		}
 		exits[i] = exit
 	}
+	lw.split--
 	return s.merge.mergeLower(lw, exits)
 }

@@ -1,0 +1,721 @@
+package streamdag
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+
+	"streamdag/internal/clock"
+	"streamdag/internal/stream"
+)
+
+// This file is the time-aware stage library: windows (tumbling, sliding,
+// session), Throttle, Debounce, Dedupe, and Sample.  Each lowers to a
+// kernel implementing stream.TimedKernel, so the backends run it on the
+// re-sequenced timed path: the node consumes its input without firing at
+// input seqs and fires only for its own emissions at a dense private
+// sequence with an all-true mask.  A never-filtering output needs no
+// dummy traffic, which is what makes an element-collapsing stage (a
+// window turns many elements into one) safe under the deadlock-avoidance
+// protocol.
+//
+// Time is processing time read from the injected Clock (WithClock; the
+// simulator injects its deterministic virtual clock automatically, the
+// wall backends default to the real clock).  All seven stages are
+// stateful — they register per-run resets like Stateful, confining the
+// pipeline to one session at a time — and reject Replicate, Elastic, and
+// positions inside a Split branch, where re-sequenced output would break
+// the merge's seq-keyed join.
+
+// Clock is the time source the time-aware stages read: Now for the
+// current instant and AfterFunc for flush timers.  Inject one with
+// WithClock; the wall clock is the runtime backends' default, and the
+// Simulator supplies a deterministic FakeClock advanced by its
+// scheduler.  (Aliased from the internal clock package, like Kernel.)
+type Clock = clock.Clock
+
+// Timer is a cancellable timer handle returned by Clock.AfterFunc.
+type Timer = clock.Timer
+
+// FakeClock is a manually driven deterministic Clock for tests and the
+// Simulator backend: time moves only via Advance/Set, which fire due
+// timers in deadline order with Now pinned to each deadline.
+type FakeClock = clock.Fake
+
+// NewFakeClock returns a FakeClock starting at the Unix epoch — the
+// instant window grids are anchored to, so window boundaries land on
+// round offsets.
+func NewFakeClock() *FakeClock { return clock.NewFake() }
+
+// NewFakeClockAt returns a FakeClock starting at t.
+func NewFakeClockAt(t time.Time) *FakeClock { return clock.NewFakeAt(t) }
+
+// Window is the emission type of the window stages: the elements that
+// fell into one [Start, End) interval of processing time, in arrival
+// order.
+type Window[T any] struct {
+	Start time.Time
+	End   time.Time
+	Items []T
+}
+
+// alignTime returns the latest instant at or before t that is a whole
+// number of steps from clock.Epoch.  Window boundaries sit on this fixed
+// grid rather than at offsets of the first element, so repeated
+// deterministic runs place elements in identical windows.  The result is
+// derived from the epoch, not from t, so it carries no monotonic clock
+// reading: aligned instants computed from different wall readings of the
+// same slot compare Equal, which is what keys elements into one window.
+func alignTime(t time.Time, step time.Duration) time.Time {
+	d := t.Sub(clock.Epoch)
+	off := d % step
+	if off < 0 {
+		off += step
+	}
+	return clock.Epoch.Add(d - off)
+}
+
+// timedStageKernel is what the time-aware stages hand to lowerTimed: a
+// timed kernel plus the hooks the lowering drives (per-run reset, tap
+// installation).
+type timedStageKernel interface {
+	stream.TimedKernel
+	reset()
+	setTap(func(any))
+}
+
+// timedCore is the chassis embedded by every time-aware kernel: the
+// injected clock, the emission queue drained by TakeEmissions, and the
+// stage's tap hook.  setClock is the injection point Build uses (see
+// pipeline.go); until injection the core falls back to the wall clock.
+type timedCore struct {
+	clk   clock.Clock
+	queue []any
+	tap   func(any)
+}
+
+func (c *timedCore) setClock(k clock.Clock) { c.clk = k }
+func (c *timedCore) setTap(fn func(any))    { c.tap = fn }
+
+func (c *timedCore) TimedClock() clock.Clock {
+	if c.clk == nil {
+		return clock.WallClock
+	}
+	return c.clk
+}
+
+func (c *timedCore) now() time.Time { return c.TimedClock().Now() }
+
+// emit queues v for the next TakeEmissions drain.  The tap runs here —
+// at emission, where the stage's output actually materializes — because
+// the timed lowering bypasses wrapTap (a wrapper would hide the
+// TimedKernel methods from the backends).
+func (c *timedCore) emit(v any) {
+	if c.tap != nil {
+		c.tap(v)
+	}
+	c.queue = append(c.queue, v)
+}
+
+func (c *timedCore) TakeEmissions() []any {
+	q := c.queue
+	c.queue = nil
+	return q
+}
+
+func (c *timedCore) resetCore() { c.queue = nil }
+
+// lowerTimed is lowerSimple's counterpart for the time-aware stages.
+// The kernel instance is created by the caller at lower time — the
+// factory closes over it, so autoscale re-plans (which re-invoke
+// factories) keep the same state and the same injected clock — and is
+// registered for per-run reset.  Replication, elasticity, and Split
+// branches are rejected: a timed kernel is single-instance state, and
+// its re-sequenced output cannot join a seq-keyed merge.
+func (b *stageBase) lowerTimed(lw *lowering, from string, k timedStageKernel) (string, error) {
+	if b.replicas > 1 {
+		return "", fmt.Errorf("streamdag: flow: time-aware stage %q cannot be replicated", b.name)
+	}
+	if b.elMax > 0 {
+		return "", fmt.Errorf("streamdag: flow: time-aware stage %q cannot be elastic", b.name)
+	}
+	if lw.split > 0 {
+		return "", fmt.Errorf("streamdag: flow: time-aware stage %q cannot run inside a Split branch: its re-sequenced output would not align with the sibling branches at the merge", b.name)
+	}
+	k.setTap(b.tap)
+	lw.resets = append(lw.resets, k.reset)
+	if err := lw.addNode(b.name, func(nIn, nOut int) Kernel { return k }); err != nil {
+		return "", err
+	}
+	if b.batch > 0 {
+		lw.batch[b.name] = b.batch
+	}
+	lw.connect(from, b.name, b.bufOr(lw.defBuf))
+	return b.name, nil
+}
+
+// ---------------------------------------------------------------------
+// Tumbling and sliding windows (one kernel: tumbling is slide == width).
+
+type windowStage[T any] struct {
+	stageBase
+	width, slide time.Duration
+}
+
+// TumblingWindow creates a stage that groups elements into consecutive
+// non-overlapping intervals of width and emits each interval's elements
+// as one Window[T] when the interval's end passes.  Boundaries sit on
+// the fixed grid anchored at the Unix epoch, and an empty interval emits
+// nothing.
+func TumblingWindow[T any](name string, width time.Duration) Stage {
+	s := &windowStage[T]{stageBase: stageBase{name: name}, width: width, slide: width}
+	s.self = s
+	if width <= 0 {
+		s.err = fmt.Errorf("streamdag: flow: stage %q: window width %v must be positive", name, width)
+	}
+	return s
+}
+
+// SlidingWindow creates a stage that groups elements into overlapping
+// intervals of width starting every slide (0 < slide <= width); an
+// element falls into every window covering its arrival instant.  Each
+// window emits as a Window[T] when its end passes; empty windows emit
+// nothing.
+func SlidingWindow[T any](name string, width, slide time.Duration) Stage {
+	s := &windowStage[T]{stageBase: stageBase{name: name}, width: width, slide: slide}
+	s.self = s
+	if width <= 0 {
+		s.err = fmt.Errorf("streamdag: flow: stage %q: window width %v must be positive", name, width)
+	} else if slide <= 0 || slide > width {
+		s.err = fmt.Errorf("streamdag: flow: stage %q: slide %v must be in (0, %v]", name, slide, width)
+	}
+	return s
+}
+
+func (s *windowStage[T]) inType() reflect.Type  { return typeOf[T]() }
+func (s *windowStage[T]) outType() reflect.Type { return typeOf[Window[T]]() }
+
+func (s *windowStage[T]) lower(lw *lowering, from string) (string, error) {
+	k := &windowKernel[T]{name: s.name, slot: lw.slot, width: s.width, slide: s.slide}
+	return s.lowerTimed(lw, from, k)
+}
+
+// openWindow is one not-yet-closed window of a windowKernel.
+type openWindow[T any] struct {
+	start time.Time
+	items []T
+}
+
+type windowKernel[T any] struct {
+	timedCore
+	name         string
+	slot         *stageErrSlot
+	width, slide time.Duration
+	open         []*openWindow[T] // ascending by start
+}
+
+func (k *windowKernel[T]) reset() {
+	k.resetCore()
+	k.open = nil
+}
+
+func (k *windowKernel[T]) Process(seq uint64, in []Input) map[int]any {
+	p, ok := firstPresent(in)
+	if !ok {
+		return nil
+	}
+	v, ok := castPayload[T](k.slot, k.name, seq, p)
+	if !ok {
+		return nil
+	}
+	t := k.now()
+	// Every window covering t: starts walk down from the aligned slot
+	// until the window no longer reaches t (one iteration when tumbling).
+	var starts []time.Time
+	for s := alignTime(t, k.slide); s.Add(k.width).After(t); s = s.Add(-k.slide) {
+		starts = append(starts, s)
+	}
+	for i := len(starts) - 1; i >= 0; i-- {
+		k.add(starts[i], v)
+	}
+	return nil
+}
+
+// add appends v to the open window starting at start, creating it in
+// start order if absent.  The scan runs from the back: arrivals touch
+// the most recent windows.
+func (k *windowKernel[T]) add(start time.Time, v T) {
+	for i := len(k.open) - 1; i >= 0; i-- {
+		w := k.open[i]
+		if w.start.Equal(start) {
+			w.items = append(w.items, v)
+			return
+		}
+		if w.start.Before(start) {
+			k.open = append(k.open, nil)
+			copy(k.open[i+2:], k.open[i+1:])
+			k.open[i+1] = &openWindow[T]{start: start, items: []T{v}}
+			return
+		}
+	}
+	k.open = append([]*openWindow[T]{{start: start, items: []T{v}}}, k.open...)
+}
+
+func (k *windowKernel[T]) Tick(now time.Time) {
+	i := 0
+	for ; i < len(k.open); i++ {
+		w := k.open[i]
+		end := w.start.Add(k.width)
+		if end.After(now) {
+			break
+		}
+		k.emit(Window[T]{Start: w.start, End: end, Items: w.items})
+	}
+	k.open = k.open[i:]
+}
+
+func (k *windowKernel[T]) Flush() {
+	for _, w := range k.open {
+		k.emit(Window[T]{Start: w.start, End: w.start.Add(k.width), Items: w.items})
+	}
+	k.open = nil
+}
+
+func (k *windowKernel[T]) NextDeadline() (time.Time, bool) {
+	if len(k.open) == 0 {
+		return time.Time{}, false
+	}
+	return k.open[0].start.Add(k.width), true
+}
+
+// ---------------------------------------------------------------------
+// Session windows.
+
+type sessionWindowStage[T any] struct {
+	stageBase
+	gap time.Duration
+}
+
+// SessionWindow creates a stage that groups bursts of elements separated
+// by quiet gaps: a session opens at the first element, extends with each
+// arrival, and closes — emitting one Window[T] spanning first arrival to
+// last arrival plus gap — once no element has arrived for gap.
+func SessionWindow[T any](name string, gap time.Duration) Stage {
+	s := &sessionWindowStage[T]{stageBase: stageBase{name: name}, gap: gap}
+	s.self = s
+	if gap <= 0 {
+		s.err = fmt.Errorf("streamdag: flow: stage %q: session gap %v must be positive", name, gap)
+	}
+	return s
+}
+
+func (s *sessionWindowStage[T]) inType() reflect.Type  { return typeOf[T]() }
+func (s *sessionWindowStage[T]) outType() reflect.Type { return typeOf[Window[T]]() }
+
+func (s *sessionWindowStage[T]) lower(lw *lowering, from string) (string, error) {
+	k := &sessionWindowKernel[T]{name: s.name, slot: lw.slot, gap: s.gap}
+	return s.lowerTimed(lw, from, k)
+}
+
+type sessionWindowKernel[T any] struct {
+	timedCore
+	name        string
+	slot        *stageErrSlot
+	gap         time.Duration
+	open        bool
+	start, last time.Time
+	items       []T
+}
+
+func (k *sessionWindowKernel[T]) reset() {
+	k.resetCore()
+	k.open = false
+	k.items = nil
+}
+
+func (k *sessionWindowKernel[T]) closeSession() {
+	k.emit(Window[T]{Start: k.start, End: k.last.Add(k.gap), Items: k.items})
+	k.open = false
+	k.items = nil
+}
+
+func (k *sessionWindowKernel[T]) Process(seq uint64, in []Input) map[int]any {
+	p, ok := firstPresent(in)
+	if !ok {
+		return nil
+	}
+	v, ok := castPayload[T](k.slot, k.name, seq, p)
+	if !ok {
+		return nil
+	}
+	t := k.now()
+	// A stale open session (its gap elapsed, timer delivery still in
+	// flight) closes before this element opens the next one.
+	if k.open && !t.Before(k.last.Add(k.gap)) {
+		k.closeSession()
+	}
+	if !k.open {
+		k.open = true
+		k.start = t
+	}
+	k.items = append(k.items, v)
+	k.last = t
+	return nil
+}
+
+func (k *sessionWindowKernel[T]) Tick(now time.Time) {
+	if k.open && !now.Before(k.last.Add(k.gap)) {
+		k.closeSession()
+	}
+}
+
+func (k *sessionWindowKernel[T]) Flush() {
+	if k.open {
+		k.closeSession()
+	}
+}
+
+func (k *sessionWindowKernel[T]) NextDeadline() (time.Time, bool) {
+	if !k.open {
+		return time.Time{}, false
+	}
+	return k.last.Add(k.gap), true
+}
+
+// ---------------------------------------------------------------------
+// Throttle.
+
+type throttleStage[T any] struct {
+	stageBase
+	interval time.Duration
+}
+
+// Throttle creates a stage that passes an element through and then
+// drops everything arriving within interval of it (leading-edge rate
+// limiting).  The first element always passes.
+func Throttle[T any](name string, interval time.Duration) Stage {
+	s := &throttleStage[T]{stageBase: stageBase{name: name}, interval: interval}
+	s.self = s
+	if interval <= 0 {
+		s.err = fmt.Errorf("streamdag: flow: stage %q: throttle interval %v must be positive", name, interval)
+	}
+	return s
+}
+
+func (s *throttleStage[T]) inType() reflect.Type  { return typeOf[T]() }
+func (s *throttleStage[T]) outType() reflect.Type { return typeOf[T]() }
+
+func (s *throttleStage[T]) lower(lw *lowering, from string) (string, error) {
+	k := &throttleKernel[T]{name: s.name, slot: lw.slot, interval: s.interval}
+	return s.lowerTimed(lw, from, k)
+}
+
+// throttleKernel is purely arrival-driven — it never arms a deadline, so
+// it adds no timer traffic and never wakes an idle pipeline.
+type throttleKernel[T any] struct {
+	timedCore
+	name     string
+	slot     *stageErrSlot
+	interval time.Duration
+	passed   bool
+	lastPass time.Time
+}
+
+func (k *throttleKernel[T]) reset() {
+	k.resetCore()
+	k.passed = false
+}
+
+func (k *throttleKernel[T]) Process(seq uint64, in []Input) map[int]any {
+	p, ok := firstPresent(in)
+	if !ok {
+		return nil
+	}
+	v, ok := castPayload[T](k.slot, k.name, seq, p)
+	if !ok {
+		return nil
+	}
+	t := k.now()
+	if !k.passed || t.Sub(k.lastPass) >= k.interval {
+		k.passed = true
+		k.lastPass = t
+		k.emit(v)
+	}
+	return nil
+}
+
+func (k *throttleKernel[T]) Tick(time.Time) {}
+func (k *throttleKernel[T]) Flush()         {}
+
+func (k *throttleKernel[T]) NextDeadline() (time.Time, bool) { return time.Time{}, false }
+
+// ---------------------------------------------------------------------
+// Debounce.
+
+type debounceStage[T any] struct {
+	stageBase
+	quiet time.Duration
+}
+
+// Debounce creates a stage that holds the latest element and emits it
+// once quiet has elapsed with no newer arrival (trailing-edge): a burst
+// collapses to its final element.  A stream that ends while an element
+// is held emits it on flush.
+func Debounce[T any](name string, quiet time.Duration) Stage {
+	s := &debounceStage[T]{stageBase: stageBase{name: name}, quiet: quiet}
+	s.self = s
+	if quiet <= 0 {
+		s.err = fmt.Errorf("streamdag: flow: stage %q: debounce interval %v must be positive", name, quiet)
+	}
+	return s
+}
+
+func (s *debounceStage[T]) inType() reflect.Type  { return typeOf[T]() }
+func (s *debounceStage[T]) outType() reflect.Type { return typeOf[T]() }
+
+func (s *debounceStage[T]) lower(lw *lowering, from string) (string, error) {
+	k := &debounceKernel[T]{name: s.name, slot: lw.slot, quiet: s.quiet}
+	return s.lowerTimed(lw, from, k)
+}
+
+type debounceKernel[T any] struct {
+	timedCore
+	name    string
+	slot    *stageErrSlot
+	quiet   time.Duration
+	held    bool
+	pending T
+	due     time.Time
+}
+
+func (k *debounceKernel[T]) reset() {
+	k.resetCore()
+	k.held = false
+	var zero T
+	k.pending = zero
+}
+
+func (k *debounceKernel[T]) Process(seq uint64, in []Input) map[int]any {
+	p, ok := firstPresent(in)
+	if !ok {
+		return nil
+	}
+	v, ok := castPayload[T](k.slot, k.name, seq, p)
+	if !ok {
+		return nil
+	}
+	t := k.now()
+	// A held element whose quiet period already elapsed (timer delivery
+	// still in flight) emits before this arrival replaces it.
+	if k.held && !t.Before(k.due) {
+		k.emit(k.pending)
+	}
+	k.held = true
+	k.pending = v
+	k.due = t.Add(k.quiet)
+	return nil
+}
+
+func (k *debounceKernel[T]) Tick(now time.Time) {
+	if k.held && !now.Before(k.due) {
+		k.emit(k.pending)
+		k.held = false
+		var zero T
+		k.pending = zero
+	}
+}
+
+func (k *debounceKernel[T]) Flush() {
+	if k.held {
+		k.emit(k.pending)
+		k.held = false
+		var zero T
+		k.pending = zero
+	}
+}
+
+func (k *debounceKernel[T]) NextDeadline() (time.Time, bool) {
+	if !k.held {
+		return time.Time{}, false
+	}
+	return k.due, true
+}
+
+// ---------------------------------------------------------------------
+// Dedupe.
+
+type dedupeStage[T comparable] struct {
+	stageBase
+	ttl time.Duration
+}
+
+// Dedupe creates a stage that drops elements equal to one already seen
+// within the last ttl; an element seen longer ago than ttl passes again
+// (and restarts its ttl).  T must be comparable — equality is Go's ==.
+func Dedupe[T comparable](name string, ttl time.Duration) Stage {
+	s := &dedupeStage[T]{stageBase: stageBase{name: name}, ttl: ttl}
+	s.self = s
+	if ttl <= 0 {
+		s.err = fmt.Errorf("streamdag: flow: stage %q: dedupe ttl %v must be positive", name, ttl)
+	}
+	return s
+}
+
+func (s *dedupeStage[T]) inType() reflect.Type  { return typeOf[T]() }
+func (s *dedupeStage[T]) outType() reflect.Type { return typeOf[T]() }
+
+func (s *dedupeStage[T]) lower(lw *lowering, from string) (string, error) {
+	k := &dedupeKernel[T]{name: s.name, slot: lw.slot, ttl: s.ttl}
+	return s.lowerTimed(lw, from, k)
+}
+
+// dedupeKernel expires lazily — entries are checked against ttl on
+// lookup and swept amortized every dedupeSweep insertions — rather than
+// arming a deadline per entry, which would flood the simulator's
+// idle-jump scan and the wall backends' timer with expiry-only wakeups
+// that never emit anything.
+type dedupeKernel[T comparable] struct {
+	timedCore
+	name string
+	slot *stageErrSlot
+	ttl  time.Duration
+	seen map[T]time.Time
+	ops  int
+}
+
+const dedupeSweep = 1024
+
+func (k *dedupeKernel[T]) reset() {
+	k.resetCore()
+	k.seen = nil
+	k.ops = 0
+}
+
+func (k *dedupeKernel[T]) Process(seq uint64, in []Input) map[int]any {
+	p, ok := firstPresent(in)
+	if !ok {
+		return nil
+	}
+	v, ok := castPayload[T](k.slot, k.name, seq, p)
+	if !ok {
+		return nil
+	}
+	t := k.now()
+	if at, seen := k.seen[v]; seen && t.Sub(at) < k.ttl {
+		return nil
+	}
+	if k.seen == nil {
+		k.seen = make(map[T]time.Time)
+	}
+	k.seen[v] = t
+	k.emit(v)
+	if k.ops++; k.ops >= dedupeSweep {
+		k.ops = 0
+		for key, at := range k.seen {
+			if t.Sub(at) >= k.ttl {
+				delete(k.seen, key)
+			}
+		}
+	}
+	return nil
+}
+
+func (k *dedupeKernel[T]) Tick(time.Time) {}
+func (k *dedupeKernel[T]) Flush()         {}
+
+func (k *dedupeKernel[T]) NextDeadline() (time.Time, bool) { return time.Time{}, false }
+
+// ---------------------------------------------------------------------
+// Sample.
+
+type sampleStage[T any] struct {
+	stageBase
+	interval time.Duration
+}
+
+// Sample creates a stage that conflates each interval-aligned slot of
+// processing time to the latest element observed in it, emitted when the
+// slot ends.  Slots with no arrivals emit nothing; a stream ending
+// mid-slot emits the held element on flush.
+func Sample[T any](name string, interval time.Duration) Stage {
+	s := &sampleStage[T]{stageBase: stageBase{name: name}, interval: interval}
+	s.self = s
+	if interval <= 0 {
+		s.err = fmt.Errorf("streamdag: flow: stage %q: sample interval %v must be positive", name, interval)
+	}
+	return s
+}
+
+func (s *sampleStage[T]) inType() reflect.Type  { return typeOf[T]() }
+func (s *sampleStage[T]) outType() reflect.Type { return typeOf[T]() }
+
+func (s *sampleStage[T]) lower(lw *lowering, from string) (string, error) {
+	k := &sampleKernel[T]{name: s.name, slot: lw.slot, interval: s.interval}
+	return s.lowerTimed(lw, from, k)
+}
+
+type sampleKernel[T any] struct {
+	timedCore
+	name     string
+	slot     *stageErrSlot
+	interval time.Duration
+	held     bool
+	latest   T
+	due      time.Time
+}
+
+func (k *sampleKernel[T]) reset() {
+	k.resetCore()
+	k.held = false
+	var zero T
+	k.latest = zero
+}
+
+func (k *sampleKernel[T]) Process(seq uint64, in []Input) map[int]any {
+	p, ok := firstPresent(in)
+	if !ok {
+		return nil
+	}
+	v, ok := castPayload[T](k.slot, k.name, seq, p)
+	if !ok {
+		return nil
+	}
+	t := k.now()
+	// A held sample whose slot already ended (timer delivery in flight)
+	// emits before this arrival starts the next slot.
+	if k.held && !t.Before(k.due) {
+		k.emit(k.latest)
+		k.held = false
+	}
+	if !k.held {
+		k.held = true
+		k.due = alignTime(t, k.interval).Add(k.interval)
+	}
+	k.latest = v
+	return nil
+}
+
+func (k *sampleKernel[T]) Tick(now time.Time) {
+	if k.held && !now.Before(k.due) {
+		k.emit(k.latest)
+		k.held = false
+		var zero T
+		k.latest = zero
+	}
+}
+
+func (k *sampleKernel[T]) Flush() {
+	if k.held {
+		k.emit(k.latest)
+		k.held = false
+		var zero T
+		k.latest = zero
+	}
+}
+
+func (k *sampleKernel[T]) NextDeadline() (time.Time, bool) {
+	if !k.held {
+		return time.Time{}, false
+	}
+	return k.due, true
+}
